@@ -1,0 +1,131 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Ablation benches for the design choices DESIGN.md calls out:
+//  (a) exact DP vs. greedy shedding-set selection (§V-C approximation);
+//  (b) hash-join indexes on/off, and expression keys on/off (§VI-A);
+//  (c) online adaptation on/off under distribution drift (§V-B);
+//  (d) the standing zero-class filter vs. trigger-only state shedding.
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/shed/hybrid.h"
+
+using namespace cepshed;
+using namespace cepshed::bench;
+
+namespace {
+
+double WallSeconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  // (a) DP vs greedy knapsack.
+  {
+    Header("Ablation (a)", "shedding-set solver: exact DP vs greedy (DS1/Q1, 50% bound)",
+           "solver,recall,throughput_eps");
+    for (KnapsackMode mode : {KnapsackMode::kDP, KnapsackMode::kGreedy}) {
+      Ds1Options gen;
+      gen.num_events = 20000;
+      HarnessOptions opts;
+      opts.solver = mode;
+      auto exp = PrepareDs1(*queries::Q1("8ms"), gen, opts);
+      const ExperimentResult r = exp.harness->RunBound(StrategyKind::kHybrid, 0.5);
+      std::printf("%s,%.4f,%.0f\n", mode == KnapsackMode::kDP ? "DP" : "greedy",
+                  r.quality.recall, r.throughput_eps);
+    }
+  }
+
+  // (b) join indexes.
+  {
+    Header("Ablation (b)", "join indexes (DS1/Q1, exhaustive run)",
+           "index_mode,wall_seconds,matches");
+    const Schema schema = MakeDs1Schema();
+    Ds1Options gen;
+    gen.num_events = 20000;
+    const EventStream stream = GenerateDs1(schema, gen);
+    auto nfa = Nfa::Compile(*queries::Q1("8ms"), &schema);
+    for (auto [label, use, expr] :
+         {std::tuple{"none", false, false}, std::tuple{"attribute", true, false},
+          std::tuple{"attribute+expression", true, true}}) {
+      EngineOptions eopts;
+      eopts.use_join_index = use;
+      eopts.index_expression_keys = expr;
+      size_t matches = 0;
+      const double secs = WallSeconds([&] {
+        Engine engine(*nfa, eopts);
+        std::vector<Match> out;
+        for (const EventPtr& e : stream) engine.Process(e, &out);
+        matches = out.size();
+      });
+      std::printf("%s,%.3f,%zu\n", label, secs, matches);
+    }
+  }
+
+  // (c) online adaptation under drift (the Fig. 12 setting, summarized).
+  {
+    Header("Ablation (c)", "online adaptation under a C.V distribution flip",
+           "adaptation,post_flip_recall");
+    for (bool adapt : {true, false}) {
+      const Schema schema = MakeDs1Schema();
+      Ds1Options gen;
+      gen.num_events = 30000;
+      gen.c_v_min = 2;
+      gen.c_v_max = 10;
+      gen.flip_at = 15000;
+      Ds1Options train_gen = gen;
+      train_gen.flip_at = 0;
+      train_gen.num_events = 15000;
+      train_gen.seed = 11;
+      gen.seed = 12;
+      const EventStream train = GenerateDs1(schema, train_gen);
+      const EventStream test = GenerateDs1(schema, gen);
+      HarnessOptions opts;
+      opts.cost_model.enable_online_adaptation = adapt;
+      ExperimentHarness harness(&schema, *queries::Q1("8ms"), opts);
+      if (!harness.Prepare(train, test).ok()) return 1;
+      const ExperimentResult r = harness.RunBound(StrategyKind::kHybrid, 0.4);
+      // Recall over the post-flip half only.
+      const auto q =
+          ComputeQualityInRange(r.raw.matches, harness.truth(), 16000 * 10, 30000 * 10);
+      std::printf("%s,%.4f\n", adapt ? "on" : "off", q.recall);
+    }
+  }
+
+  // (d) standing zero-class filter vs trigger-only shedding.
+  {
+    Header("Ablation (d)", "standing zero-class filter (DS1/Q1, 50% bound)",
+           "mode,recall,avg_latency");
+    Ds1Options gen;
+    gen.num_events = 20000;
+    auto exp = PrepareDs1(*queries::Q1("8ms"), gen);
+    // Full hybrid (standing filter on) via the harness.
+    const ExperimentResult full = exp.harness->RunBound(StrategyKind::kHybrid, 0.5);
+    std::printf("standing-filter,%.4f,%.0f\n", full.quality.recall, full.avg_latency);
+    // Zero-release = hysteresis: the standing filter is dropped as soon as
+    // the bound holds, reverting to trigger-only behaviour.
+    CostModel model = exp.harness->model();
+    HybridOptions hopts;
+    hopts.theta = 0.5 * exp.harness->BaselineLatency();
+    hopts.zero_release = 10.0;  // release immediately once mu <= theta*10... i.e. always
+    HybridShedder shedder(&model, hopts);
+    Engine engine(exp.harness->nfa(), exp.harness->options().engine);
+    engine.set_classifier([&](const PartialMatch& pm) { return model.Classify(pm); });
+    engine.set_pm_created_hook([&](const PartialMatch& pm, const PartialMatch* parent) {
+      model.OnPmCreated(pm, parent, pm.last_ts);
+    });
+    engine.set_match_hook([&](const Match& m, const PartialMatch* parent) {
+      model.OnMatch(m, parent, m.detected_at);
+    });
+    ShedRunner runner(&engine, &shedder, exp.harness->options().latency);
+    const RunResult rr = runner.Run(*exp.test);
+    const auto q = ComputeQuality(rr.matches, exp.harness->truth());
+    std::printf("trigger-only,%.4f,%.0f\n", q.recall, rr.avg_latency);
+  }
+  return 0;
+}

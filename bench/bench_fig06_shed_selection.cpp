@@ -1,0 +1,37 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Fig. 6 of the paper: how well is the data to shed selected? Fixed
+// shedding ratios 10%-90%; (a)+(b) input-based strategies RI, SI, HyI;
+// (c)+(d) state-based strategies RS, SS, HyS; recall and throughput.
+
+#include "bench/bench_util.h"
+
+using namespace cepshed;
+using namespace cepshed::bench;
+
+int main() {
+  Ds1Options gen;
+  gen.num_events = 30000;
+  auto exp = PrepareDs1(*queries::Q1("8ms"), gen);
+
+  Header("Fig. 6a+6b", "input-based selection at fixed shedding ratios (DS1/Q1)",
+         kResultColumns);
+  for (double ratio : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (StrategyKind kind :
+         {StrategyKind::kRI, StrategyKind::kSI, StrategyKind::kHyI}) {
+      PrintResultRow(std::to_string(ratio).substr(0, 3),
+                     exp.harness->RunFixed(kind, ratio));
+    }
+  }
+
+  Header("Fig. 6c+6d", "state-based selection at fixed shedding ratios (DS1/Q1)",
+         kResultColumns);
+  for (double ratio : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    for (StrategyKind kind :
+         {StrategyKind::kRS, StrategyKind::kSS, StrategyKind::kHyS}) {
+      PrintResultRow(std::to_string(ratio).substr(0, 3),
+                     exp.harness->RunFixed(kind, ratio));
+    }
+  }
+  return 0;
+}

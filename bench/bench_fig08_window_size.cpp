@@ -1,0 +1,24 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Fig. 8 of the paper: impact of the time window size (1-16 ms) on recall
+// and throughput under a 50% bound on the 95th-percentile latency (DS1/Q1).
+
+#include "bench/bench_util.h"
+
+using namespace cepshed;
+using namespace cepshed::bench;
+
+int main() {
+  Header("Fig. 8a+8b", "DS1/Q1, window 1-16ms, 50% bound on the 95th-pct latency",
+         kResultColumns);
+  for (int window_ms : {1, 2, 4, 8, 16}) {
+    Ds1Options gen;
+    gen.num_events = window_ms >= 8 ? 20000 : 25000;
+    auto exp = PrepareDs1(*queries::Q1(std::to_string(window_ms) + "ms"), gen);
+    for (StrategyKind kind : BoundStrategies()) {
+      const ExperimentResult r = exp.harness->RunBound(kind, 0.5, LatencyStat::kP95);
+      PrintResultRow(std::to_string(window_ms), r);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Fig. 9 of the paper: impact of the queried pattern length. Q2's Kleene
+// limit is varied so that the pattern length ranges from 4 to 8, under a
+// 50% bound on the 95th-percentile latency (DS1).
+
+#include "bench/bench_util.h"
+
+using namespace cepshed;
+using namespace cepshed::bench;
+
+int main() {
+  Header("Fig. 9a+9b", "DS1/Q2, pattern length 4-8, 50% bound on the 95th-pct latency",
+         kResultColumns);
+  for (int length : {4, 5, 6, 7, 8}) {
+    // Pattern = A a, A+{1,L-3} b[], B c, C d -> length = 3 + Kleene limit.
+    const int kleene_limit = length - 3;
+    Ds1Options gen;
+    gen.num_events = 20000;
+    gen.event_gap = 2;  // Q2's 1ms window needs a dense stream
+    auto exp = PrepareDs1(*queries::Q2(kleene_limit, "1ms"), gen);
+    for (StrategyKind kind : BoundStrategies()) {
+      const ExperimentResult r = exp.harness->RunBound(kind, 0.5, LatencyStat::kP95);
+      PrintResultRow(std::to_string(length), r);
+    }
+  }
+  return 0;
+}

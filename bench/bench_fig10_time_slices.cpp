@@ -1,0 +1,39 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Fig. 10 of the paper: temporal granularity of the cost model. DS1/Q1
+// with a 2ms window under a 20% bound on the 95th-percentile latency,
+// varying the number of time slices of the hybrid strategy (annotated
+// Hybrid-1TS .. Hybrid-6TS in the paper) against the baselines.
+
+#include "bench/bench_util.h"
+
+using namespace cepshed;
+using namespace cepshed::bench;
+
+int main() {
+  Header("Fig. 10a+10b", "DS1/Q1 (2ms window), 40% bound on the 95th-pct latency",
+         kResultColumns);
+
+  // Baselines once (they have no time-slice knob).
+  {
+    Ds1Options gen;
+    gen.num_events = 25000;
+    auto exp = PrepareDs1(*queries::Q1("2ms"), gen);
+    for (StrategyKind kind :
+         {StrategyKind::kRI, StrategyKind::kSI, StrategyKind::kRS, StrategyKind::kSS}) {
+      PrintResultRow("-", exp.harness->RunBound(kind, 0.4, LatencyStat::kP95));
+    }
+  }
+
+  for (int slices : {1, 2, 3, 4, 5, 6}) {
+    Ds1Options gen;
+    gen.num_events = 25000;
+    HarnessOptions opts;
+    opts.cost_model.num_time_slices = slices;
+    auto exp = PrepareDs1(*queries::Q1("2ms"), gen, opts);
+    ExperimentResult r = exp.harness->RunBound(StrategyKind::kHybrid, 0.4, LatencyStat::kP95);
+    r.name = "Hybrid-" + std::to_string(slices) + "TS";
+    PrintResultRow(std::to_string(slices), r);
+  }
+  return 0;
+}

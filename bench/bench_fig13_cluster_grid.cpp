@@ -1,0 +1,31 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Fig. 13 of the paper: sensitivity of the cost model estimation to the
+// number of clusters. Q1 has two intermediate states; the cluster counts
+// of both are varied (the paper scans 2-10 each; we scan {2,4,6,8,10} to
+// bound the grid's runtime) under a 50% average-latency bound, reporting
+// the recall heatmap.
+
+#include "bench/bench_util.h"
+
+using namespace cepshed;
+using namespace cepshed::bench;
+
+int main() {
+  Header("Fig. 13", "recall over cluster counts (state1 x state2), DS1/Q1, 50% avg bound",
+         "clusters_state1,clusters_state2,recall");
+  const std::vector<int> grid = {2, 4, 6, 8, 10};
+  for (int k1 : grid) {
+    for (int k2 : grid) {
+      Ds1Options gen;
+      gen.num_events = 15000;
+      HarnessOptions opts;
+      opts.cost_model.fixed_k_per_state = {1, k1, k2};
+      opts.cost_model.tree_max_depth = 10;  // the paper's §VI-G setting
+      auto exp = PrepareDs1(*queries::Q1("8ms"), gen, opts);
+      const ExperimentResult r = exp.harness->RunBound(StrategyKind::kHybrid, 0.5);
+      std::printf("%d,%d,%.4f\n", k1, k2, r.quality.recall);
+    }
+  }
+  return 0;
+}

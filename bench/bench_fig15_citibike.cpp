@@ -1,0 +1,31 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Fig. 15 of the paper: the bike-sharing case study. The 'hot paths'
+// query of Listing 1 (paths of at least five stations within one hour)
+// over the synthetic citibike stream, under bounds on the 99th-percentile
+// latency. The selectivity-based baselines exploit the user type.
+
+#include "bench/bench_util.h"
+
+using namespace cepshed;
+using namespace cepshed::bench;
+
+int main() {
+  CitibikeOptions gen;
+  gen.num_events = 25000;
+  auto exp = PrepareCitibike(*queries::CitibikeHotPaths(5, 8), gen);
+
+  std::printf("# no-shedding p99 latency = %.1f cost units, truth = %zu matches\n",
+              exp.harness->BaselineLatency(LatencyStat::kP99),
+              exp.harness->truth().size());
+
+  Header("Fig. 15a+15b", "citibike hot paths, bounds on the 99th-pct latency",
+         kResultColumns);
+  for (double bound : {0.8, 0.6, 0.4, 0.2}) {
+    for (StrategyKind kind : BoundStrategies()) {
+      const ExperimentResult r = exp.harness->RunBound(kind, bound, LatencyStat::kP99);
+      PrintResultRow(std::to_string(bound).substr(0, 3), r);
+    }
+  }
+  return 0;
+}

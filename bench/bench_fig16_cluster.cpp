@@ -1,0 +1,30 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Fig. 16 of the paper: the cluster-monitoring case study. Listing 3's
+// task-churn pattern (submit, schedule+evict on one machine, reschedule+
+// evict on another, reschedule on a third, fail; within 1h) over the
+// synthetic Google cluster trace, under latency bounds.
+
+#include "bench/bench_util.h"
+
+using namespace cepshed;
+using namespace cepshed::bench;
+
+int main() {
+  GoogleTraceOptions gen;
+  gen.num_events = 30000;
+  auto exp = PrepareGoogle(*queries::GoogleTaskChurn(), gen);
+
+  std::printf("# no-shedding avg latency = %.1f cost units, truth = %zu matches\n",
+              exp.harness->BaselineLatency(), exp.harness->truth().size());
+
+  Header("Fig. 16a+16b", "Google cluster task churn, bounds on the average latency",
+         kResultColumns);
+  for (double bound : {0.8, 0.6, 0.4, 0.2}) {
+    for (StrategyKind kind : BoundStrategies()) {
+      const ExperimentResult r = exp.harness->RunBound(kind, bound);
+      PrintResultRow(std::to_string(bound).substr(0, 3), r);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Micro benchmarks (google-benchmark): engine throughput with and without
+// join indexes, per query, plus parser speed. Complements the figure
+// benches with wall-clock numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "src/cep/engine.h"
+#include "src/query/parser.h"
+#include "src/workload/ds1.h"
+#include "src/workload/queries.h"
+
+namespace cepshed {
+namespace {
+
+void BM_EngineQ1(benchmark::State& state) {
+  const Schema schema = MakeDs1Schema();
+  Ds1Options gen;
+  gen.num_events = 20000;
+  const EventStream stream = GenerateDs1(schema, gen);
+  auto nfa = Nfa::Compile(*queries::Q1("4ms"), &schema);
+  EngineOptions opts;
+  opts.use_join_index = state.range(0) != 0;
+  for (auto _ : state) {
+    Engine engine(*nfa, opts);
+    std::vector<Match> out;
+    for (const EventPtr& e : stream) engine.Process(e, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_EngineQ1)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_EngineQ2Kleene(benchmark::State& state) {
+  const Schema schema = MakeDs1Schema();
+  Ds1Options gen;
+  gen.num_events = 10000;
+  gen.event_gap = 2;
+  const EventStream stream = GenerateDs1(schema, gen);
+  auto nfa = Nfa::Compile(*queries::Q2(static_cast<int>(state.range(0)), "1ms"), &schema);
+  for (auto _ : state) {
+    Engine engine(*nfa, EngineOptions{});
+    std::vector<Match> out;
+    for (const EventPtr& e : stream) engine.Process(e, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_EngineQ2Kleene)->Arg(1)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
+
+void BM_ParseQuery(benchmark::State& state) {
+  const std::string text =
+      "PATTERN SEQ(A a, A+{1,4} b[], B c, C d) "
+      "WHERE a.ID = b[i].ID AND a.ID = c.ID AND b[i].V = a.V AND a.V + c.V = d.V "
+      "WITHIN 1ms";
+  for (auto _ : state) {
+    auto q = ParseQuery(text);
+    benchmark::DoNotOptimize(q.ok());
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+void BM_NfaCompile(benchmark::State& state) {
+  const Schema schema = MakeDs1Schema();
+  const Query query = *queries::Q1("4ms");
+  for (auto _ : state) {
+    auto nfa = Nfa::Compile(query, &schema);
+    benchmark::DoNotOptimize(nfa.ok());
+  }
+}
+BENCHMARK(BM_NfaCompile);
+
+}  // namespace
+}  // namespace cepshed
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Micro benchmarks for the shedding machinery. The paper's §V/§VI report
+// two feasibility numbers these benches check on this machine:
+//  - shedding-set selection via dynamic programming over tens of classes
+//    is fast enough for online use;
+//  - offline cost-model estimation takes on the order of seconds.
+
+#include <benchmark/benchmark.h>
+
+#include "src/ml/kmeans.h"
+#include "src/opt/knapsack.h"
+#include "src/shed/cost_model.h"
+#include "src/shed/offline_estimator.h"
+#include "src/sketch/count_min.h"
+#include "src/workload/ds1.h"
+#include "src/workload/queries.h"
+
+namespace cepshed {
+namespace {
+
+std::vector<KnapsackItem> MakeItems(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KnapsackItem> items(n);
+  for (auto& it : items) {
+    it.value = rng.UniformDouble(0, 1);
+    it.weight = rng.UniformDouble(0.001, 2.0 / static_cast<double>(n));
+  }
+  return items;
+}
+
+void BM_KnapsackDP(benchmark::State& state) {
+  const auto items = MakeItems(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto sel = SolveCoveringKnapsackDP(items, 0.4);
+    benchmark::DoNotOptimize(sel.size());
+  }
+}
+BENCHMARK(BM_KnapsackDP)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_KnapsackGreedy(benchmark::State& state) {
+  const auto items = MakeItems(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto sel = SolveCoveringKnapsackGreedy(items, 0.4);
+    benchmark::DoNotOptimize(sel.size());
+  }
+}
+BENCHMARK(BM_KnapsackGreedy)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 2000; ++i) {
+    points.push_back({rng.UniformDouble(0, 1), rng.UniformDouble(0, 1)});
+  }
+  for (auto _ : state) {
+    Rng r2(4);
+    auto km = KMeans(points, static_cast<int>(state.range(0)), &r2);
+    benchmark::DoNotOptimize(km.ok());
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_CountMin(benchmark::State& state) {
+  CountMinSketch sketch(2048, 3);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    sketch.Add(key++, 1.0);
+    benchmark::DoNotOptimize(sketch.Estimate(key / 2));
+  }
+}
+BENCHMARK(BM_CountMin);
+
+void BM_OfflineEstimation(benchmark::State& state) {
+  const Schema schema = MakeDs1Schema();
+  Ds1Options gen;
+  gen.num_events = static_cast<size_t>(state.range(0));
+  const EventStream stream = GenerateDs1(schema, gen);
+  auto nfa = Nfa::Compile(*queries::Q1("4ms"), &schema);
+  for (auto _ : state) {
+    auto stats = EstimateOffline(*nfa, stream, 4, true);
+    benchmark::DoNotOptimize(stats.ok());
+  }
+}
+BENCHMARK(BM_OfflineEstimation)->Arg(5000)->Arg(20000)->Unit(benchmark::kMillisecond);
+
+void BM_CostModelTrain(benchmark::State& state) {
+  const Schema schema = MakeDs1Schema();
+  Ds1Options gen;
+  gen.num_events = 20000;
+  const EventStream stream = GenerateDs1(schema, gen);
+  auto nfa = Nfa::Compile(*queries::Q1("4ms"), &schema);
+  auto stats = EstimateOffline(*nfa, stream, 4, true);
+  for (auto _ : state) {
+    CostModel model(*nfa, CostModelOptions{});
+    Rng rng(5);
+    auto st = model.Train(*stats, &rng);
+    benchmark::DoNotOptimize(st.ok());
+  }
+}
+BENCHMARK(BM_CostModelTrain)->Unit(benchmark::kMillisecond);
+
+void BM_CostModelClassifyEvent(benchmark::State& state) {
+  const Schema schema = MakeDs1Schema();
+  Ds1Options gen;
+  gen.num_events = 20000;
+  const EventStream stream = GenerateDs1(schema, gen);
+  auto nfa = Nfa::Compile(*queries::Q1("4ms"), &schema);
+  auto stats = EstimateOffline(*nfa, stream, 4, true);
+  CostModel model(*nfa, CostModelOptions{});
+  Rng rng(6);
+  if (!model.Train(*stats, &rng).ok()) return;
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.EventUtility(*stream[i % stream.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CostModelClassifyEvent);
+
+}  // namespace
+}  // namespace cepshed
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Shared helpers for the figure benchmarks: dataset/harness construction
+// and uniform table output. Every figure bench prints one CSV-ish block
+// per sub-figure, headed by a `# Fig. N` marker, so EXPERIMENTS.md and
+// plotting scripts can consume the output directly.
+
+#ifndef CEPSHED_BENCH_BENCH_UTIL_H_
+#define CEPSHED_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/runtime/experiment.h"
+#include "src/workload/citibike.h"
+#include "src/workload/ds1.h"
+#include "src/workload/ds2.h"
+#include "src/workload/google_trace.h"
+#include "src/workload/queries.h"
+
+namespace cepshed::bench {
+
+/// The five latency-bound strategies of the paper's comparisons.
+inline const std::vector<StrategyKind>& BoundStrategies() {
+  static const std::vector<StrategyKind> kAll = {
+      StrategyKind::kRI, StrategyKind::kSI, StrategyKind::kRS, StrategyKind::kSS,
+      StrategyKind::kHybrid};
+  return kAll;
+}
+
+/// Prints the block header for a (sub-)figure.
+inline void Header(const std::string& fig, const std::string& what,
+                   const std::string& columns) {
+  std::printf("\n# %s — %s\n%s\n", fig.c_str(), what.c_str(), columns.c_str());
+}
+
+/// A prepared harness plus the streams it was prepared with.
+struct PreparedExperiment {
+  Schema schema;
+  std::unique_ptr<EventStream> train;
+  std::unique_ptr<EventStream> test;
+  std::unique_ptr<ExperimentHarness> harness;
+};
+
+/// DS1 + Q1-style setup used by most controlled experiments.
+inline PreparedExperiment PrepareDs1(const Query& query, Ds1Options gen,
+                                     HarnessOptions options = {},
+                                     uint64_t train_seed = 11,
+                                     uint64_t test_seed = 12) {
+  PreparedExperiment out;
+  out.schema = MakeDs1Schema();
+  gen.seed = train_seed;
+  out.train = std::make_unique<EventStream>(GenerateDs1(out.schema, gen));
+  gen.seed = test_seed;
+  out.test = std::make_unique<EventStream>(GenerateDs1(out.schema, gen));
+  out.harness = std::make_unique<ExperimentHarness>(&out.schema, query, options);
+  const Status st = out.harness->Prepare(*out.train, *out.test);
+  if (!st.ok()) {
+    std::fprintf(stderr, "harness prepare failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return out;
+}
+
+/// DS2 + Q3 setup.
+inline PreparedExperiment PrepareDs2(const Query& query, Ds2Options gen,
+                                     HarnessOptions options = {}) {
+  PreparedExperiment out;
+  out.schema = MakeDs2Schema();
+  gen.seed = 21;
+  out.train = std::make_unique<EventStream>(GenerateDs2(out.schema, gen));
+  gen.seed = 22;
+  out.test = std::make_unique<EventStream>(GenerateDs2(out.schema, gen));
+  out.harness = std::make_unique<ExperimentHarness>(&out.schema, query, options);
+  const Status st = out.harness->Prepare(*out.train, *out.test);
+  if (!st.ok()) {
+    std::fprintf(stderr, "harness prepare failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return out;
+}
+
+/// Synthetic citibike setup (Listing 1).
+inline PreparedExperiment PrepareCitibike(const Query& query, CitibikeOptions gen,
+                                          HarnessOptions options = {}) {
+  PreparedExperiment out;
+  out.schema = MakeCitibikeSchema();
+  gen.seed = 31;
+  out.train = std::make_unique<EventStream>(GenerateCitibike(out.schema, gen));
+  gen.seed = 32;
+  out.test = std::make_unique<EventStream>(GenerateCitibike(out.schema, gen));
+  out.harness = std::make_unique<ExperimentHarness>(&out.schema, query, options);
+  const Status st = out.harness->Prepare(*out.train, *out.test);
+  if (!st.ok()) {
+    std::fprintf(stderr, "harness prepare failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return out;
+}
+
+/// Synthetic Google cluster setup (Listing 3).
+inline PreparedExperiment PrepareGoogle(const Query& query, GoogleTraceOptions gen,
+                                        HarnessOptions options = {}) {
+  PreparedExperiment out;
+  out.schema = MakeGoogleTraceSchema();
+  gen.seed = 41;
+  out.train = std::make_unique<EventStream>(GenerateGoogleTrace(out.schema, gen));
+  gen.seed = 42;
+  out.test = std::make_unique<EventStream>(GenerateGoogleTrace(out.schema, gen));
+  out.harness = std::make_unique<ExperimentHarness>(&out.schema, query, options);
+  const Status st = out.harness->Prepare(*out.train, *out.test);
+  if (!st.ok()) {
+    std::fprintf(stderr, "harness prepare failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  return out;
+}
+
+/// Prints the standard recall/throughput/shed-ratio row.
+inline void PrintResultRow(const std::string& x, const ExperimentResult& r) {
+  std::printf("%s,%s,%.4f,%.0f,%.4f,%.4f,%.4f\n", x.c_str(), r.name.c_str(),
+              r.quality.recall, r.throughput_eps, r.shed_event_ratio, r.shed_pm_ratio,
+              r.bound_violation_ratio);
+}
+
+inline const char* kResultColumns =
+    "x,strategy,recall,throughput_eps,shed_event_ratio,shed_pm_ratio,violation_ratio";
+
+}  // namespace cepshed::bench
+
+#endif  // CEPSHED_BENCH_BENCH_UTIL_H_

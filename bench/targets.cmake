@@ -1,0 +1,34 @@
+# Benchmark harness: one binary per paper figure plus micro benchmarks.
+# Included from the top-level CMakeLists so that build/bench/ contains
+# nothing but the benchmark executables (the canonical run is
+# `for b in build/bench/*; do $b; done`).
+
+function(cepshed_add_bench name)
+  add_executable(${name} bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE cepshed)
+  target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+cepshed_add_bench(bench_fig01_pm_growth)
+cepshed_add_bench(bench_fig04_latency_bounds)
+cepshed_add_bench(bench_fig05_hybrid_details)
+cepshed_add_bench(bench_fig06_shed_selection)
+cepshed_add_bench(bench_fig07_selectivity_variance)
+cepshed_add_bench(bench_fig08_window_size)
+cepshed_add_bench(bench_fig09_pattern_length)
+cepshed_add_bench(bench_fig10_time_slices)
+cepshed_add_bench(bench_fig11_resource_costs)
+cepshed_add_bench(bench_fig12_adaptivity)
+cepshed_add_bench(bench_fig13_cluster_grid)
+cepshed_add_bench(bench_fig14_negation)
+cepshed_add_bench(bench_fig15_citibike)
+cepshed_add_bench(bench_fig16_cluster)
+cepshed_add_bench(bench_datasets)
+
+cepshed_add_bench(bench_micro_engine)
+target_link_libraries(bench_micro_engine PRIVATE benchmark::benchmark)
+cepshed_add_bench(bench_micro_model)
+target_link_libraries(bench_micro_model PRIVATE benchmark::benchmark)
+cepshed_add_bench(bench_ablation_design)

@@ -1,0 +1,104 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Fraud-detection example (the paper's §II-A finance scenario): flag cards
+// that are charged in two different cities within minutes — a classic
+// "impossible travel" pattern — while a data-breach exploitation spike
+// multiplies the transaction rate. Fraud clearance has a tight latency
+// budget (the paper cites ~25ms per transaction), so the engine resorts
+// to hybrid best-effort processing during the spike.
+//
+//   $ ./examples/fraud_detection
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/runtime/experiment.h"
+#include "src/query/parser.h"
+
+using namespace cepshed;
+
+namespace {
+
+Schema MakeTxSchema() {
+  Schema schema;
+  (void)schema.AddEventType("Tx");
+  (void)schema.AddAttribute("card", ValueType::kInt);
+  (void)schema.AddAttribute("city", ValueType::kInt);
+  (void)schema.AddAttribute("amount", ValueType::kInt);
+  return schema;
+}
+
+/// Transactions from `num_cards` cards. Legit cards stay in one home city;
+/// a small set of breached cards is charged from many cities. During the
+/// breach window the rate spikes 5x.
+EventStream GenerateTransactions(const Schema& schema, size_t n, uint64_t seed) {
+  EventStream stream(&schema);
+  Rng rng(seed);
+  const int num_cards = 500;
+  const int num_cities = 40;
+  const int breached_cards = 25;
+  std::vector<int> home(num_cards);
+  for (auto& h : home) h = static_cast<int>(rng.UniformInt(0, num_cities - 1));
+
+  Timestamp now = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool spike = i > n / 3 && i < 2 * n / 3;  // breach exploitation
+    now += std::max<Timestamp>(1, static_cast<Timestamp>(
+                                      rng.Exponential(spike ? 1.0 / 40 : 1.0 / 200)));
+    const bool breached = spike && rng.Bernoulli(0.3);
+    const int card = breached
+                         ? static_cast<int>(rng.UniformInt(0, breached_cards - 1))
+                         : static_cast<int>(rng.UniformInt(0, num_cards - 1));
+    const int city = breached ? static_cast<int>(rng.UniformInt(0, num_cities - 1))
+                              : home[static_cast<size_t>(card)];
+    std::vector<Value> attrs(schema.num_attributes());
+    attrs[0] = Value(static_cast<int64_t>(card));
+    attrs[1] = Value(static_cast<int64_t>(city));
+    attrs[2] = Value(rng.UniformInt(1, 500));
+    (void)stream.Emit(schema.EventTypeId("Tx"), now, std::move(attrs));
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main() {
+  const Schema schema = MakeTxSchema();
+  const EventStream train = GenerateTransactions(schema, 25000, 1);
+  const EventStream live = GenerateTransactions(schema, 25000, 2);
+
+  // Same card, different cities, within the travel-impossible window.
+  Result<Query> query = ParseQuery(
+      "PATTERN SEQ(Tx a, Tx b) "
+      "WHERE a.card = b.card AND a.city != b.city "
+      "WITHIN 25ms");
+  if (!query.ok()) {
+    std::fprintf(stderr, "query error: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  query->name = "impossible-travel";
+  std::printf("Query: %s\n\n", query->ToString().c_str());
+
+  ExperimentHarness harness(&schema, *query, HarnessOptions{});
+  if (Status st = harness.Prepare(train, live); !st.ok()) {
+    std::fprintf(stderr, "prepare error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("Exhaustive processing: %zu suspicious pairs, avg latency %.0f units.\n\n",
+              harness.truth().size(), harness.BaselineLatency());
+
+  std::printf("Clearing transactions at half the exhaustive latency budget:\n");
+  std::printf("%-8s %8s %10s %14s\n", "strategy", "recall", "precision", "violations");
+  for (StrategyKind kind :
+       {StrategyKind::kRI, StrategyKind::kRS, StrategyKind::kHybrid}) {
+    const ExperimentResult r = harness.RunBound(kind, 0.5);
+    std::printf("%-8s %7.1f%% %9.1f%% %13.1f%%\n", r.name.c_str(),
+                100.0 * r.quality.recall, 100.0 * r.quality.precision,
+                100.0 * r.bound_violation_ratio);
+  }
+  std::printf(
+      "\nThe cost model concentrates effort on cards whose partial matches\n"
+      "still can complete (breached, multi-city cards), so most frauds are\n"
+      "flagged although a third of the work is shed.\n");
+  return 0;
+}

@@ -1,0 +1,444 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/cep/engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cepshed {
+
+Engine::Engine(std::shared_ptr<const Nfa> nfa, EngineOptions options)
+    : nfa_(std::move(nfa)),
+      options_(options),
+      store_(nfa_->num_states(), static_cast<int>(nfa_->query().elements.size())),
+      indexes_(static_cast<size_t>(nfa_->num_states())) {
+  ctx_.num_elements = static_cast<int>(nfa_->query().elements.size());
+  BuildIndexLayout();
+}
+
+void Engine::BuildIndexLayout() {
+  const bool use = options_.use_join_index;
+  auto usable = [&](const JoinIndexSpec& spec) {
+    return use && spec.valid() &&
+           (options_.index_expression_keys || !spec.expression_key);
+  };
+  for (int s = 0; s < nfa_->num_states(); ++s) {
+    const NfaState& st = nfa_->state(s);
+    StateIndexes& idx = indexes_[static_cast<size_t>(s)];
+    if (usable(st.fill_index)) {
+      idx.fresh.enabled = true;
+      idx.fresh.spec = &st.fill_index;
+    }
+    if (st.kleene) {
+      const JoinIndexSpec* ext_spec =
+          usable(st.extend_index) ? &st.extend_index
+                                  : (usable(st.fill_index) ? &st.fill_index : nullptr);
+      if (ext_spec != nullptr) {
+        idx.ext.enabled = true;
+        idx.ext.spec = ext_spec;
+      }
+    }
+    if (s > 0 && nfa_->state(s - 1).kleene && usable(st.fill_index)) {
+      idx.proceed.enabled = true;
+      idx.proceed.spec = &st.fill_index;
+    }
+  }
+}
+
+void Engine::FillContext(const PartialMatch* pm, const Event* current, int current_elem) {
+  for (int e = 0; e < ctx_.num_elements; ++e) {
+    ctx_.bindings[e] = ElemBinding{};
+  }
+  ctx_.current = current;
+  ctx_.current_elem = current_elem;
+  ctx_.negated = nullptr;
+  ctx_.negated_elem = -1;
+  if (pm == nullptr || pm->events.empty()) return;
+  const size_t closed = pm->slot_end.size();
+  uint32_t begin = 0;
+  for (size_t slot = 0; slot < closed; ++slot) {
+    const uint32_t end = pm->slot_end[slot];
+    const int elem = nfa_->ElemOfSlot(static_cast<int>(slot));
+    ctx_.bindings[elem] = ElemBinding{pm->events.data() + begin, end - begin};
+    begin = end;
+  }
+  const uint32_t total = static_cast<uint32_t>(pm->events.size());
+  if (begin < total) {
+    // Open (in-progress Kleene) component.
+    const int elem = nfa_->ElemOfSlot(static_cast<int>(closed));
+    ctx_.bindings[elem] = ElemBinding{pm->events.data() + begin, total - begin};
+  }
+}
+
+bool Engine::EvalPreds(const std::vector<const CompiledPredicate*>& preds, double* cost) {
+  for (const CompiledPredicate* cp : preds) {
+    double pred_cost = 0.0;
+    const bool pass = cp->expr->EvalBool(ctx_, &pred_cost);
+    *cost += pred_cost * options_.costs.pred_weight;
+    ++stats_.predicate_evals;
+    if (!pass) return false;
+  }
+  return true;
+}
+
+Value Engine::BuildKey(const HashIndex& index, const PartialMatch& pm) {
+  if (!index.enabled) return Value();
+  FillContext(&pm, nullptr, -1);
+  return index.spec->build_expr->Eval(ctx_, nullptr);
+}
+
+void Engine::IndexAdd(HashIndex* index, PartialMatch* pm, const Value& key) {
+  if (!index->enabled || key.is_null()) {
+    index->unkeyed.push_back(pm);
+  } else {
+    index->map[key].push_back(pm);
+  }
+}
+
+void Engine::IndexInsert(PartialMatch* pm) {
+  const int s = pm->state;
+  const NfaState& st = nfa_->state(s);
+  StateIndexes& idx = indexes_[static_cast<size_t>(s)];
+  if (pm->OpenCount() == 0) {
+    IndexAdd(&idx.fresh, pm, BuildKey(idx.fresh, *pm));
+  } else {
+    IndexAdd(&idx.ext, pm, BuildKey(idx.ext, *pm));
+  }
+  if (st.kleene && pm->OpenCount() >= static_cast<uint32_t>(st.min_reps) &&
+      s + 1 < nfa_->num_states()) {
+    StateIndexes& next = indexes_[static_cast<size_t>(s + 1)];
+    IndexAdd(&next.proceed, pm, BuildKey(next.proceed, *pm));
+  }
+}
+
+bool Engine::TryBind(PartialMatch* pm, int state, const EventPtr& event, bool is_proceed,
+                     double* cost, std::vector<Match>* out) {
+  const NfaState& st = nfa_->state(state);
+  const int elem = st.pattern_elem;
+  const uint32_t open_before = (pm != nullptr && !is_proceed) ? pm->OpenCount() : 0;
+  const bool is_extension = st.kleene && !is_proceed && open_before >= 1;
+
+  FillContext(pm, event.get(), elem);
+  if (is_proceed) {
+    // The previous (Kleene) component is closing: enforce its deferred
+    // aggregate predicates over the finished binding.
+    const NfaState& prev = nfa_->state(state - 1);
+    if (!EvalPreds(prev.close_preds, cost)) return false;
+  }
+  if (!EvalPreds(st.bind_preds, cost)) return false;
+  if (is_extension && !EvalPreds(st.iter_preds, cost)) return false;
+
+  // Clone and bind.
+  auto clone = std::make_unique<PartialMatch>();
+  clone->id = next_pm_id_++;
+  clone->parent_id = pm != nullptr ? pm->id : 0;
+  if (pm != nullptr) {
+    clone->events = pm->events;
+    clone->slot_end = pm->slot_end;
+  }
+  if (is_proceed) {
+    clone->slot_end.push_back(static_cast<uint32_t>(clone->events.size()));
+  }
+  clone->events.push_back(event);
+  *cost += options_.costs.per_clone_base +
+           options_.costs.per_clone_event * static_cast<double>(clone->events.size());
+
+  bool complete = false;
+  bool store_clone = true;
+  if (!st.kleene) {
+    clone->slot_end.push_back(static_cast<uint32_t>(clone->events.size()));
+    clone->state = state + 1;
+    complete = clone->state == nfa_->num_states();
+    store_clone = !complete;
+  } else {
+    clone->state = state;
+    const uint32_t k = clone->OpenCount();
+    const bool trailing = state + 1 == nfa_->num_states();
+    if (trailing && k >= static_cast<uint32_t>(st.min_reps)) {
+      bool close_ok = true;
+      if (!st.close_preds.empty()) {
+        FillContext(clone.get(), nullptr, -1);
+        close_ok = EvalPreds(st.close_preds, cost);
+      }
+      if (close_ok) EmitMatch(*clone, pm, event, cost, out);
+    }
+    const bool can_extend = k < static_cast<uint32_t>(st.max_reps);
+    const bool can_proceed = !trailing;
+    store_clone = can_extend || can_proceed;
+  }
+  clone->start_ts = clone->events.front()->timestamp();
+  clone->start_seq = clone->events.front()->seq();
+  clone->last_ts = event->timestamp();
+
+  if (complete) {
+    EmitMatch(*clone, pm, event, cost, out);
+    return true;
+  }
+  if (store_clone) {
+    pending_.push_back(std::move(clone));
+    pending_parents_.push_back(pm);
+  }
+  return true;
+}
+
+void Engine::EmitMatch(const PartialMatch& closed, const PartialMatch* parent,
+                       const EventPtr& last_event, double* cost, std::vector<Match>* out) {
+  Match match;
+  match.events = closed.events;
+  match.slot_end = closed.slot_end;
+  if (match.slot_end.size() < static_cast<size_t>(nfa_->num_states())) {
+    match.slot_end.push_back(static_cast<uint32_t>(match.events.size()));
+  }
+  match.detected_at = last_event->timestamp();
+  match.from_pm = parent != nullptr ? parent->id : 0;
+  *cost += options_.costs.per_match_emit;
+  if (IsVetoed(match, cost)) {
+    ++stats_.matches_vetoed;
+    return;
+  }
+  ++stats_.matches_emitted;
+  if (match_hook_) match_hook_(match, parent);
+  if (out != nullptr) out->push_back(std::move(match));
+}
+
+bool Engine::IsVetoed(const Match& match, double* cost) {
+  for (const NegationSpec& neg : nfa_->negations()) {
+    // Veto interval: strictly between the last event of the preceding slot
+    // and the first event of the following slot.
+    const uint32_t prev_end = match.slot_end[static_cast<size_t>(neg.prev_state)];
+    const Timestamp t_lo = match.events[prev_end - 1]->timestamp();
+    const uint32_t next_begin =
+        neg.next_state == 0 ? 0 : match.slot_end[static_cast<size_t>(neg.next_state) - 1];
+    const Timestamp t_hi = match.events[next_begin]->timestamp();
+    if (t_hi <= t_lo) continue;
+
+    const auto& bucket = store_.witnesses(neg.pattern_elem);
+    // Witnesses are stored in arrival (= timestamp) order.
+    auto it = std::partition_point(bucket.begin(), bucket.end(),
+                                   [t_lo](const std::unique_ptr<PartialMatch>& w) {
+                                     return w->last_ts <= t_lo;
+                                   });
+    for (; it != bucket.end() && (*it)->last_ts < t_hi; ++it) {
+      const PartialMatch* w = it->get();
+      if (!w->alive) continue;
+      *cost += options_.costs.per_witness_check;
+      // Evaluate negation predicates with the witness standing in for the
+      // negated component.
+      for (int e = 0; e < ctx_.num_elements; ++e) ctx_.bindings[e] = ElemBinding{};
+      uint32_t begin = 0;
+      for (size_t slot = 0; slot < match.slot_end.size(); ++slot) {
+        const uint32_t end = match.slot_end[slot];
+        const int elem = nfa_->ElemOfSlot(static_cast<int>(slot));
+        ctx_.bindings[elem] = ElemBinding{match.events.data() + begin, end - begin};
+        begin = end;
+      }
+      ctx_.current = nullptr;
+      ctx_.current_elem = -1;
+      ctx_.negated = w->events[0].get();
+      ctx_.negated_elem = neg.pattern_elem;
+      bool all_pass = true;
+      for (const CompiledPredicate* cp : neg.preds) {
+        double pred_cost = 0.0;
+        const bool pass = cp->expr->EvalBool(ctx_, &pred_cost);
+        *cost += pred_cost * options_.costs.pred_weight;
+        ++stats_.predicate_evals;
+        if (!pass) {
+          all_pass = false;
+          break;
+        }
+      }
+      if (all_pass) return true;
+    }
+  }
+  return false;
+}
+
+void Engine::StorePending(std::vector<Match>* out, double* cost) {
+  (void)out;
+  (void)cost;
+  for (size_t i = 0; i < pending_.size(); ++i) {
+    std::unique_ptr<PartialMatch>& pm = pending_[i];
+    const PartialMatch* parent = pending_parents_[i];
+    PartialMatch* stored;
+    if (pm->is_witness) {
+      stored = store_.AddWitness(std::move(pm));
+      ++stats_.witnesses_created;
+    } else {
+      if (classifier_) pm->class_label = classifier_(*pm);
+      if (creation_filter_ && creation_filter_(*pm)) {
+        ++stats_.pms_created;  // it existed; shedding discarded it
+        continue;
+      }
+      stored = store_.Add(std::move(pm));
+      ++stats_.pms_created;
+      IndexInsert(stored);
+    }
+    if (pm_created_hook_) pm_created_hook_(*stored, parent);
+  }
+  pending_.clear();
+  pending_parents_.clear();
+}
+
+double Engine::Process(const EventPtr& event, std::vector<Match>* out) {
+  double cost = options_.costs.per_event_base;
+  const Timestamp now = event->timestamp();
+  const Duration window = nfa_->window();
+  const uint64_t count_window = nfa_->query().count_window;
+  const uint64_t seq = event->seq();
+  auto expired = [&](const PartialMatch& pm) {
+    return count_window > 0 ? pm.ExpiredByCount(seq, count_window)
+                            : pm.Expired(now, window);
+  };
+
+  if (++events_since_evict_ >= options_.evict_interval) {
+    events_since_evict_ = 0;
+    const size_t scanned = store_.NumAlive() + store_.NumAliveWitnesses();
+    cost += options_.costs.per_sweep_scan * static_cast<double>(scanned);
+    size_t evicted = 0;
+    if (count_window > 0) {
+      auto sweep = [&](PartialMatch* pm) {
+        if (pm->ExpiredByCount(seq, count_window)) {
+          store_.Kill(pm);
+          ++evicted;
+        }
+      };
+      store_.ForEachAlive(sweep);
+      store_.ForEachAliveWitness(sweep);
+    } else {
+      evicted = store_.EvictExpired(now, window);
+    }
+    stats_.pms_evicted += evicted;
+    cost += options_.costs.per_eviction * static_cast<double>(evicted);
+    const size_t dead =
+        store_.NumDead();
+    if (dead >= options_.compact_min_dead &&
+        store_.DeadFraction() >= options_.compact_dead_fraction) {
+      store_.Compact();
+      RebuildIndexes();
+    }
+  }
+
+  const SelectionPolicy policy = nfa_->query().policy;
+  auto probe = [&](HashIndex& index, int state, bool is_proceed) {
+    const NfaState& st = nfa_->state(state);
+    auto consider = [&](PartialMatch* pm) {
+      ++stats_.candidates_scanned;
+      cost += options_.costs.per_candidate;
+      if (!pm->alive) return;
+      if (expired(*pm)) {
+        store_.Kill(pm);
+        ++stats_.pms_evicted;
+        return;
+      }
+      if (!is_proceed && st.kleene && pm->OpenCount() >= static_cast<uint32_t>(st.max_reps)) {
+        return;
+      }
+      bool bound;
+      if (pm_probed_hook_) {
+        const double before = cost;
+        bound = TryBind(pm, state, event, is_proceed, &cost, out);
+        pm_probed_hook_(*pm, options_.costs.per_candidate + (cost - before), now);
+      } else {
+        bound = TryBind(pm, state, event, is_proceed, &cost, out);
+      }
+      if (bound && policy == SelectionPolicy::kSkipTillNextMatch) {
+        // Selective: the match takes this event and does not branch.
+        store_.Kill(pm);
+      }
+    };
+    if (index.enabled) {
+      ++stats_.index_probes;
+      cost += options_.costs.per_index_probe;
+      const Value key = event->attr(index.spec->probe_attr);
+      if (!key.is_null()) {
+        auto it = index.map.find(key);
+        if (it != index.map.end()) {
+          for (PartialMatch* pm : it->second) consider(pm);
+        }
+      }
+      for (PartialMatch* pm : index.unkeyed) consider(pm);
+    } else {
+      for (PartialMatch* pm : index.unkeyed) consider(pm);
+    }
+  };
+
+  for (int s : nfa_->StatesForType(event->type())) {
+    StateIndexes& idx = indexes_[static_cast<size_t>(s)];
+    probe(idx.fresh, s, /*is_proceed=*/false);
+    if (nfa_->state(s).kleene) probe(idx.ext, s, /*is_proceed=*/false);
+    if (s > 0 && nfa_->state(s - 1).kleene) probe(idx.proceed, s, /*is_proceed=*/true);
+  }
+
+  // Stream-created match at state 0.
+  if (nfa_->state(0).event_type == event->type()) {
+    cost += options_.costs.per_create;
+    TryBind(nullptr, 0, event, /*is_proceed=*/false, &cost, out);
+  }
+
+  // Negation witnesses.
+  for (int neg_elem : nfa_->NegationsForType(event->type())) {
+    auto witness = std::make_unique<PartialMatch>();
+    witness->id = next_pm_id_++;
+    witness->state = 0;
+    witness->is_witness = true;
+    witness->negated_elem = neg_elem;
+    witness->events.push_back(event);
+    witness->start_ts = witness->last_ts = now;
+    witness->start_seq = event->seq();
+    cost += options_.costs.per_witness_store;
+    pending_.push_back(std::move(witness));
+    pending_parents_.push_back(nullptr);
+  }
+
+  StorePending(out, &cost);
+
+  if (policy == SelectionPolicy::kStrictContiguity) {
+    // Strict contiguity: a stored match survives only if this very event
+    // extended it (its newest clone carries the event's sequence number);
+    // everything older dies.
+    store_.ForEachAlive([&](PartialMatch* pm) {
+      if (pm->events.back()->seq() != event->seq()) store_.Kill(pm);
+    });
+  }
+
+  ++stats_.events_processed;
+  stats_.total_cost += cost;
+  const size_t live = store_.NumAlive() + store_.NumAliveWitnesses();
+  if (live > stats_.peak_pms) stats_.peak_pms = live;
+  return cost;
+}
+
+void Engine::Vacuum(Timestamp now) {
+  stats_.pms_evicted += store_.EvictExpired(now, nfa_->window());
+  store_.Compact();
+  RebuildIndexes();
+}
+
+void Engine::Reset() {
+  store_.Clear();
+  for (auto& idx : indexes_) {
+    idx.fresh.Clear();
+    idx.ext.Clear();
+    idx.proceed.Clear();
+  }
+  stats_ = EngineStats{};
+  next_pm_id_ = 1;
+  events_since_evict_ = 0;
+  pending_.clear();
+  pending_parents_.clear();
+}
+
+void Engine::RebuildIndexes() {
+  for (auto& idx : indexes_) {
+    idx.fresh.Clear();
+    idx.ext.Clear();
+    idx.proceed.Clear();
+  }
+  for (int s = 0; s < store_.num_states(); ++s) {
+    for (auto& pm : store_.bucket(s)) {
+      if (pm->alive) IndexInsert(pm.get());
+    }
+  }
+}
+
+}  // namespace cepshed

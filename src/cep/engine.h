@@ -1,0 +1,217 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// The CEP evaluation engine: automata-based matching under the exhaustive
+// skip-till-any-match selection policy (the paper's f_Q). The engine
+// accounts every unit of work it performs in abstract cost units, which
+// drive the latency model and the cost model's resource consumption Omega.
+
+#ifndef CEPSHED_CEP_ENGINE_H_
+#define CEPSHED_CEP_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cep/match.h"
+#include "src/cep/nfa.h"
+#include "src/cep/partial_match.h"
+#include "src/common/status.h"
+
+namespace cepshed {
+
+/// \brief Abstract work units charged per engine operation. One unit is
+/// roughly one predicate-node evaluation; see DESIGN.md §3 on why latency
+/// is accounted in deterministic cost units rather than wall time.
+struct CostParams {
+  double per_event_base = 1.0;
+  double per_candidate = 0.25;
+  double per_index_probe = 0.5;
+  double per_clone_base = 1.0;
+  double per_clone_event = 0.05;
+  double per_create = 1.0;
+  double per_witness_store = 0.25;
+  double per_witness_check = 0.5;
+  double per_match_emit = 1.0;
+  double per_eviction = 0.1;
+  /// Charged per live match examined by the periodic window sweep: the
+  /// state-size-proportional bookkeeping (expiry checks, memory pressure)
+  /// every stateful engine pays — the resource demand of Fig. 1.
+  double per_sweep_scan = 0.05;
+  /// Multiplier applied to predicate-evaluation work.
+  double pred_weight = 1.0;
+};
+
+/// \brief Engine configuration.
+struct EngineOptions {
+  /// Use hash-join indexes derived from equality predicates (§VI-A).
+  bool use_join_index = true;
+  /// Also index computed expression keys (e.g. c.V = a.V + b.V keyed on
+  /// the bound-side sum). Off by default: the paper's engine indexes
+  /// attribute values only, and several experiments depend on expression
+  /// predicates being evaluated per candidate match.
+  bool index_expression_keys = false;
+  /// Events between window-expiry sweeps.
+  int evict_interval = 64;
+  /// Compact the store once this fraction of entries is dead...
+  double compact_dead_fraction = 0.25;
+  /// ...and at least this many entries are dead.
+  size_t compact_min_dead = 4096;
+  CostParams costs;
+};
+
+/// \brief Aggregate engine counters.
+struct EngineStats {
+  uint64_t events_processed = 0;
+  uint64_t pms_created = 0;
+  uint64_t witnesses_created = 0;
+  uint64_t matches_emitted = 0;
+  uint64_t matches_vetoed = 0;
+  uint64_t pms_evicted = 0;
+  uint64_t predicate_evals = 0;
+  uint64_t candidates_scanned = 0;
+  uint64_t index_probes = 0;
+  size_t peak_pms = 0;
+  double total_cost = 0.0;
+};
+
+/// \brief Evaluates one compiled query over a stream, one event at a time.
+///
+/// Shedding integration points:
+///  - state-based: tombstone partial matches via `store().Kill(...)` (or
+///    the strategy helpers in src/shed); the engine skips dead matches.
+///  - input-based: simply do not call Process for dropped events
+///    (f_Q(⊥, P) = P in the paper's model).
+///  - the classifier hook assigns each new partial match its cost-model
+///    class; the created/match hooks feed offline estimation and online
+///    adaptation.
+class Engine {
+ public:
+  Engine(std::shared_ptr<const Nfa> nfa, EngineOptions options);
+
+  /// Processes one event; appends any complete matches to *out. Returns the
+  /// work performed in cost units (the per-event latency in the virtual
+  /// cost clock).
+  double Process(const EventPtr& event, std::vector<Match>* out);
+
+  /// The partial-match store (the evaluation state P(k)).
+  PartialMatchStore& store() { return store_; }
+  const PartialMatchStore& store() const { return store_; }
+
+  const Nfa& nfa() const { return *nfa_; }
+  const EngineOptions& options() const { return options_; }
+  const EngineStats& stats() const { return stats_; }
+
+  /// Live regular partial matches.
+  size_t NumPartialMatches() const { return store_.NumAlive(); }
+  /// Live negation witnesses.
+  size_t NumWitnesses() const { return store_.NumAliveWitnesses(); }
+
+  /// Classifier invoked on every newly stored partial match; the returned
+  /// label is written to PartialMatch::class_label.
+  using PmClassifier = std::function<int32_t(const PartialMatch&)>;
+  void set_classifier(PmClassifier fn) { classifier_ = std::move(fn); }
+
+  /// Invoked after a partial match (or witness) is stored. `parent` is the
+  /// match it extends, or nullptr for stream-created matches.
+  using PmCreatedHook = std::function<void(const PartialMatch&, const PartialMatch* parent)>;
+  void set_pm_created_hook(PmCreatedHook fn) { pm_created_hook_ = std::move(fn); }
+
+  /// Invoked on every emitted complete match. `parent` is the partial
+  /// match the final extension was derived from (nullptr for
+  /// single-element patterns).
+  using MatchHook = std::function<void(const Match&, const PartialMatch* parent)>;
+  void set_match_hook(MatchHook fn) { match_hook_ = std::move(fn); }
+
+  /// Invoked whenever a stored partial match is considered as a transition
+  /// candidate, with the work (cost units) spent on it for this event —
+  /// the recurring resource consumption the cost model's Gamma- measures.
+  /// Only wired during offline estimation; adds overhead when set.
+  using PmProbedHook = std::function<void(const PartialMatch&, double cost, Timestamp now)>;
+  void set_pm_probed_hook(PmProbedHook fn) { pm_probed_hook_ = std::move(fn); }
+
+  /// Creation-time state filter: invoked on every new (classified) partial
+  /// match; returning true discards it immediately instead of storing it.
+  /// This realizes the paper's formal model, where rho_S(P(k)) applies at
+  /// every evaluation step — a shedding set stays in force until cleared.
+  using CreationFilter = std::function<bool(const PartialMatch&)>;
+  void set_creation_filter(CreationFilter fn) { creation_filter_ = std::move(fn); }
+
+  /// Forces an expiry sweep + compaction + index rebuild now.
+  void Vacuum(Timestamp now);
+
+  /// Rebuilds the join indexes from the live store contents (required
+  /// after an external compaction).
+  void RebuildIndexes();
+
+  /// Clears all evaluation state and statistics (between experiment runs).
+  void Reset();
+
+ private:
+  /// Hash index over stored partial matches for one transition family.
+  struct HashIndex {
+    bool enabled = false;
+    const JoinIndexSpec* spec = nullptr;
+    std::unordered_map<Value, std::vector<PartialMatch*>, ValueHash> map;
+    std::vector<PartialMatch*> unkeyed;
+
+    void Clear() {
+      map.clear();
+      unkeyed.clear();
+    }
+  };
+
+  /// Per-state runtime indexes.
+  struct StateIndexes {
+    /// Matches at this state with an empty in-progress component
+    /// (candidates for a first bind).
+    HashIndex fresh;
+    /// Kleene: matches with >= 1 event in the open component
+    /// (candidates for extension).
+    HashIndex ext;
+    /// Matches at the previous state eligible to proceed into this one
+    /// (previous component is Kleene and has reached min_reps).
+    HashIndex proceed;
+  };
+
+  void BuildIndexLayout();
+  void IndexInsert(PartialMatch* pm);
+  void IndexAdd(HashIndex* index, PartialMatch* pm, const Value& key);
+  Value BuildKey(const HashIndex& index, const PartialMatch& pm);
+
+  void FillContext(const PartialMatch* pm, const Event* current, int current_elem);
+  bool EvalPreds(const std::vector<const CompiledPredicate*>& preds, double* cost);
+
+  /// Tries to bind `event` into slot `state` of `pm` (pm may be at `state`
+  /// or, for proceed transitions, at state-1). On success the clone is
+  /// queued and any complete match emitted; returns whether the bind
+  /// succeeded (used by the selective policies).
+  bool TryBind(PartialMatch* pm, int state, const EventPtr& event, bool is_proceed,
+               double* cost, std::vector<Match>* out);
+
+  void EmitMatch(const PartialMatch& closed, const PartialMatch* parent,
+                 const EventPtr& last_event, double* cost, std::vector<Match>* out);
+  bool IsVetoed(const Match& match, double* cost);
+
+  void StorePending(std::vector<Match>* out, double* cost);
+
+  std::shared_ptr<const Nfa> nfa_;
+  EngineOptions options_;
+  PartialMatchStore store_;
+  std::vector<StateIndexes> indexes_;
+  EngineStats stats_;
+  uint64_t next_pm_id_ = 1;
+  int events_since_evict_ = 0;
+  EvalContext ctx_;
+  std::vector<std::unique_ptr<PartialMatch>> pending_;
+  std::vector<const PartialMatch*> pending_parents_;
+  PmClassifier classifier_;
+  PmCreatedHook pm_created_hook_;
+  MatchHook match_hook_;
+  PmProbedHook pm_probed_hook_;
+  CreationFilter creation_filter_;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_CEP_ENGINE_H_

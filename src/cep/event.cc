@@ -1,0 +1,23 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/cep/event.h"
+
+#include <sstream>
+
+namespace cepshed {
+
+std::string Event::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  os << schema.EventTypeName(type_) << "@" << timestamp_ << "{";
+  bool first = true;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].is_null()) continue;
+    if (!first) os << ",";
+    first = false;
+    os << schema.attribute(static_cast<int>(i)).name << "=" << attrs_[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace cepshed

@@ -1,0 +1,62 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Events: the elements of the input stream. An event carries its type, a
+// timestamp, a monotonically increasing sequence number (its position in
+// the stream), and one Value per schema attribute.
+
+#ifndef CEPSHED_CEP_EVENT_H_
+#define CEPSHED_CEP_EVENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cep/schema.h"
+#include "src/common/time.h"
+#include "src/common/value.h"
+
+namespace cepshed {
+
+/// \brief An immutable stream element.
+///
+/// Events are shared between the stream buffer and partial matches via
+/// shared_ptr<const Event>; a discarded event whose partial matches were
+/// all evicted is freed automatically.
+class Event {
+ public:
+  /// Constructs an event. `attrs` must be indexed by schema attribute
+  /// index; types absent from the event's payload hold null Values.
+  Event(int type, Timestamp timestamp, uint64_t seq, std::vector<Value> attrs)
+      : type_(type), timestamp_(timestamp), seq_(seq), attrs_(std::move(attrs)) {}
+
+  /// The event type id (see Schema::EventTypeId).
+  int type() const { return type_; }
+  /// The event timestamp in microseconds.
+  Timestamp timestamp() const { return timestamp_; }
+  /// The position of the event in its stream (0-based).
+  uint64_t seq() const { return seq_; }
+  /// The attribute value at the given schema index (null if out of range).
+  const Value& attr(int index) const {
+    static const Value kNull;
+    if (index < 0 || static_cast<size_t>(index) >= attrs_.size()) return kNull;
+    return attrs_[static_cast<size_t>(index)];
+  }
+  /// Number of stored attribute slots.
+  size_t num_attrs() const { return attrs_.size(); }
+
+  /// Renders "type@ts{a1,...}" using the given schema for names.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  int type_;
+  Timestamp timestamp_;
+  uint64_t seq_;
+  std::vector<Value> attrs_;
+};
+
+using EventPtr = std::shared_ptr<const Event>;
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_CEP_EVENT_H_

@@ -1,0 +1,500 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/cep/expr.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/cep/pattern.h"
+
+namespace cepshed {
+
+namespace {
+
+// Abstract work units per node kind; sqrt is deliberately expensive so that
+// queries like the paper's Q3 exhibit heterogeneous resource costs (§IV-A).
+constexpr double kCostBasic = 1.0;
+constexpr double kCostSqrt = 5.0;
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+  }
+  return "?";
+}
+
+const char* CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* AggName(AggKind agg) {
+  switch (agg) {
+    case AggKind::kAvg: return "AVG";
+    case AggKind::kSum: return "SUM";
+    case AggKind::kMin: return "MIN";
+    case AggKind::kMax: return "MAX";
+    case AggKind::kCount: return "COUNT";
+  }
+  return "?";
+}
+
+const char* SelectorSuffix(RefSelector sel) {
+  switch (sel) {
+    case RefSelector::kSingle: return "";
+    case RefSelector::kIterPrev: return "[i]";
+    case RefSelector::kIterCurr: return "[i+1]";
+    case RefSelector::kFirst: return "[first]";
+    case RefSelector::kLast: return "[last]";
+  }
+  return "";
+}
+
+}  // namespace
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = Ptr(new Expr(ExprKind::kLiteral));
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Attr(std::string var, RefSelector selector, std::string attr) {
+  auto e = Ptr(new Expr(ExprKind::kAttrRef));
+  e->var_name_ = std::move(var);
+  e->selector_ = selector;
+  e->attr_name_ = std::move(attr);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinOp op, Ptr lhs, Ptr rhs) {
+  auto e = Ptr(new Expr(ExprKind::kBinary));
+  e->bin_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Compare(CmpOp op, Ptr lhs, Ptr rhs) {
+  auto e = Ptr(new Expr(ExprKind::kCompare));
+  e->cmp_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::And(std::vector<Ptr> children) {
+  auto e = Ptr(new Expr(ExprKind::kAnd));
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::Or(std::vector<Ptr> children) {
+  auto e = Ptr(new Expr(ExprKind::kOr));
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::Not(Ptr child) {
+  auto e = Ptr(new Expr(ExprKind::kNot));
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::Func(FuncKind func, Ptr arg) {
+  auto e = Ptr(new Expr(ExprKind::kFunc));
+  e->func_ = func;
+  e->children_ = {std::move(arg)};
+  return e;
+}
+
+ExprPtr Expr::AvgN(std::vector<Ptr> children) {
+  auto e = Ptr(new Expr(ExprKind::kFunc));
+  e->func_ = FuncKind::kAvgN;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::InSet(Ptr child, std::vector<Value> values) {
+  auto e = Ptr(new Expr(ExprKind::kInSet));
+  e->children_ = {std::move(child)};
+  e->set_values_ = std::move(values);
+  return e;
+}
+
+ExprPtr Expr::Aggregate(AggKind agg, std::string var, std::string attr) {
+  auto e = Ptr(new Expr(ExprKind::kAggregate));
+  e->agg_ = agg;
+  e->var_name_ = std::move(var);
+  e->attr_name_ = std::move(attr);
+  return e;
+}
+
+Status Expr::Resolve(const std::vector<PatternElement>& elements, const Schema& schema) {
+  if (resolved_) return Status::OK();
+  if (kind_ == ExprKind::kAttrRef || kind_ == ExprKind::kAggregate) {
+    elem_index_ = -1;
+    for (size_t i = 0; i < elements.size(); ++i) {
+      if (elements[i].variable == var_name_) {
+        elem_index_ = static_cast<int>(i);
+        break;
+      }
+    }
+    if (elem_index_ < 0) {
+      return Status::InvalidArgument("unknown pattern variable '" + var_name_ + "'");
+    }
+    attr_index_ = schema.AttributeIndex(attr_name_);
+    if (attr_index_ < 0) {
+      return Status::InvalidArgument("unknown attribute '" + attr_name_ + "'");
+    }
+    const bool kleene = elements[static_cast<size_t>(elem_index_)].kleene;
+    if (kind_ == ExprKind::kAttrRef) {
+      if (!kleene && selector_ != RefSelector::kSingle) {
+        return Status::InvalidArgument("indexed reference on non-Kleene variable '" +
+                                       var_name_ + "'");
+      }
+      if (kleene && selector_ == RefSelector::kSingle) {
+        // Plain `a` on a Kleene variable means its latest binding.
+        selector_ = RefSelector::kLast;
+      }
+    } else if (!kleene) {
+      return Status::InvalidArgument("aggregate over non-Kleene variable '" +
+                                     var_name_ + "'");
+    }
+  }
+  for (const Ptr& child : children_) {
+    CEPSHED_RETURN_NOT_OK(child->Resolve(elements, schema));
+  }
+  resolved_ = true;
+  return Status::OK();
+}
+
+Value Expr::EvalAttr(const EvalContext& ctx) const {
+  const int e = elem_index_;
+  if (e == ctx.negated_elem && ctx.negated != nullptr) {
+    return ctx.negated->attr(attr_index_);
+  }
+  const ElemBinding& b =
+      (e >= 0 && e < ctx.num_elements) ? ctx.bindings[e] : ElemBinding{};
+  if (e == ctx.current_elem && ctx.current != nullptr) {
+    switch (selector_) {
+      case RefSelector::kSingle:
+      case RefSelector::kIterCurr:
+      case RefSelector::kLast:
+        return ctx.current->attr(attr_index_);
+      case RefSelector::kIterPrev:
+        if (b.count == 0) return Value();  // first iteration: see HasIterPrevRef
+        return b.events[b.count - 1]->attr(attr_index_);
+      case RefSelector::kFirst:
+        if (b.count == 0) return ctx.current->attr(attr_index_);
+        return b.events[0]->attr(attr_index_);
+    }
+    return Value();
+  }
+  if (b.count == 0) return Value();
+  switch (selector_) {
+    case RefSelector::kSingle:
+    case RefSelector::kFirst:
+      return b.events[0]->attr(attr_index_);
+    case RefSelector::kLast:
+    case RefSelector::kIterCurr:
+      return b.events[b.count - 1]->attr(attr_index_);
+    case RefSelector::kIterPrev:
+      return b.count >= 2 ? b.events[b.count - 2]->attr(attr_index_)
+                          : b.events[0]->attr(attr_index_);
+  }
+  return Value();
+}
+
+Value Expr::EvalAggregate(const EvalContext& ctx, double* cost) const {
+  const int e = elem_index_;
+  const ElemBinding& b =
+      (e >= 0 && e < ctx.num_elements) ? ctx.bindings[e] : ElemBinding{};
+  const bool include_current = (e == ctx.current_elem && ctx.current != nullptr);
+  const uint32_t n = b.count + (include_current ? 1u : 0u);
+  if (cost != nullptr) *cost += kCostBasic * (1 + n);
+  if (agg_ == AggKind::kCount) return Value(static_cast<int64_t>(n));
+  if (n == 0) return Value();
+  double sum = 0.0;
+  double mn = 0.0;
+  double mx = 0.0;
+  bool first = true;
+  auto fold = [&](const Value& v) {
+    const double d = v.ToDouble();
+    sum += d;
+    if (first || d < mn) mn = d;
+    if (first || d > mx) mx = d;
+    first = false;
+  };
+  for (uint32_t i = 0; i < b.count; ++i) fold(b.events[i]->attr(attr_index_));
+  if (include_current) fold(ctx.current->attr(attr_index_));
+  switch (agg_) {
+    case AggKind::kAvg: return Value(sum / n);
+    case AggKind::kSum: return Value(sum);
+    case AggKind::kMin: return Value(mn);
+    case AggKind::kMax: return Value(mx);
+    case AggKind::kCount: break;  // handled above
+  }
+  return Value();
+}
+
+Value Expr::Eval(const EvalContext& ctx, double* cost) const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kAttrRef:
+      if (cost != nullptr) *cost += kCostBasic;
+      return EvalAttr(ctx);
+    case ExprKind::kBinary: {
+      if (cost != nullptr) *cost += kCostBasic;
+      const Value lhs = children_[0]->Eval(ctx, cost);
+      const Value rhs = children_[1]->Eval(ctx, cost);
+      if (lhs.is_null() || rhs.is_null()) return Value();
+      if (lhs.type() == ValueType::kInt && rhs.type() == ValueType::kInt) {
+        const int64_t a = lhs.AsInt();
+        const int64_t b = rhs.AsInt();
+        switch (bin_op_) {
+          case BinOp::kAdd: return Value(a + b);
+          case BinOp::kSub: return Value(a - b);
+          case BinOp::kMul: return Value(a * b);
+          case BinOp::kDiv: return b == 0 ? Value() : Value(a / b);
+          case BinOp::kMod: return b == 0 ? Value() : Value(a % b);
+        }
+        return Value();
+      }
+      if (!lhs.is_numeric() || !rhs.is_numeric()) return Value();
+      const double a = lhs.ToDouble();
+      const double b = rhs.ToDouble();
+      switch (bin_op_) {
+        case BinOp::kAdd: return Value(a + b);
+        case BinOp::kSub: return Value(a - b);
+        case BinOp::kMul: return Value(a * b);
+        case BinOp::kDiv: return b == 0.0 ? Value() : Value(a / b);
+        case BinOp::kMod: return b == 0.0 ? Value() : Value(std::fmod(a, b));
+      }
+      return Value();
+    }
+    case ExprKind::kCompare: {
+      if (cost != nullptr) *cost += kCostBasic;
+      const Value lhs = children_[0]->Eval(ctx, cost);
+      const Value rhs = children_[1]->Eval(ctx, cost);
+      if (cmp_op_ == CmpOp::kEq) return Value(static_cast<int64_t>(lhs.Equals(rhs)));
+      if (cmp_op_ == CmpOp::kNe) {
+        if (lhs.is_null() || rhs.is_null()) return Value();
+        return Value(static_cast<int64_t>(!lhs.Equals(rhs)));
+      }
+      const int c = lhs.Compare(rhs);
+      if (c == -2) return Value();
+      switch (cmp_op_) {
+        case CmpOp::kLt: return Value(static_cast<int64_t>(c < 0));
+        case CmpOp::kLe: return Value(static_cast<int64_t>(c <= 0));
+        case CmpOp::kGt: return Value(static_cast<int64_t>(c > 0));
+        case CmpOp::kGe: return Value(static_cast<int64_t>(c >= 0));
+        default: return Value();
+      }
+    }
+    case ExprKind::kAnd: {
+      for (const Ptr& child : children_) {
+        if (!child->EvalBool(ctx, cost)) return Value(static_cast<int64_t>(0));
+      }
+      return Value(static_cast<int64_t>(1));
+    }
+    case ExprKind::kOr: {
+      for (const Ptr& child : children_) {
+        if (child->EvalBool(ctx, cost)) return Value(static_cast<int64_t>(1));
+      }
+      return Value(static_cast<int64_t>(0));
+    }
+    case ExprKind::kNot:
+      return Value(static_cast<int64_t>(!children_[0]->EvalBool(ctx, cost)));
+    case ExprKind::kFunc: {
+      if (func_ == FuncKind::kAvgN) {
+        if (cost != nullptr) *cost += kCostBasic;
+        double sum = 0.0;
+        for (const Ptr& child : children_) {
+          const Value v = child->Eval(ctx, cost);
+          if (!v.is_numeric()) return Value();
+          sum += v.ToDouble();
+        }
+        return children_.empty() ? Value() : Value(sum / static_cast<double>(children_.size()));
+      }
+      const Value v = children_[0]->Eval(ctx, cost);
+      if (!v.is_numeric()) return Value();
+      switch (func_) {
+        case FuncKind::kSqrt: {
+          if (cost != nullptr) *cost += kCostSqrt;
+          const double d = v.ToDouble();
+          return d < 0.0 ? Value() : Value(std::sqrt(d));
+        }
+        case FuncKind::kAbs:
+          if (cost != nullptr) *cost += kCostBasic;
+          return v.type() == ValueType::kInt ? Value(std::abs(v.AsInt()))
+                                             : Value(std::fabs(v.ToDouble()));
+        case FuncKind::kAvgN:
+          break;  // handled above
+      }
+      return Value();
+    }
+    case ExprKind::kInSet: {
+      if (cost != nullptr) *cost += kCostBasic;
+      const Value v = children_[0]->Eval(ctx, cost);
+      if (v.is_null()) return Value();
+      for (const Value& member : set_values_) {
+        if (v.Equals(member)) return Value(static_cast<int64_t>(1));
+      }
+      return Value(static_cast<int64_t>(0));
+    }
+    case ExprKind::kAggregate:
+      return EvalAggregate(ctx, cost);
+  }
+  return Value();
+}
+
+bool Expr::EvalBool(const EvalContext& ctx, double* cost) const {
+  const Value v = Eval(ctx, cost);
+  if (v.is_null()) return false;
+  switch (v.type()) {
+    case ValueType::kInt: return v.AsInt() != 0;
+    case ValueType::kDouble: return v.AsDouble() != 0.0;
+    default: return false;
+  }
+}
+
+int Expr::MaxElemRef() const {
+  int max_ref = -1;
+  if (kind_ == ExprKind::kAttrRef || kind_ == ExprKind::kAggregate) {
+    max_ref = elem_index_;
+  }
+  for (const Ptr& child : children_) {
+    const int c = child->MaxElemRef();
+    if (c > max_ref) max_ref = c;
+  }
+  return max_ref;
+}
+
+bool Expr::RefsElem(int elem) const {
+  if ((kind_ == ExprKind::kAttrRef || kind_ == ExprKind::kAggregate) &&
+      elem_index_ == elem) {
+    return true;
+  }
+  for (const Ptr& child : children_) {
+    if (child->RefsElem(elem)) return true;
+  }
+  return false;
+}
+
+bool Expr::HasIterPrevRef(int elem) const {
+  if (kind_ == ExprKind::kAttrRef && elem_index_ == elem &&
+      selector_ == RefSelector::kIterPrev) {
+    return true;
+  }
+  for (const Ptr& child : children_) {
+    if (child->HasIterPrevRef(elem)) return true;
+  }
+  return false;
+}
+
+void Expr::CollectAttrRefs(std::vector<const Expr*>* out) const {
+  if (kind_ == ExprKind::kAttrRef) out->push_back(this);
+  for (const Ptr& child : children_) child->CollectAttrRefs(out);
+}
+
+ExprPtr Expr::CloneReplacingSelector(int elem, RefSelector from, RefSelector to) const {
+  auto clone = Ptr(new Expr(kind_));
+  clone->literal_ = literal_;
+  clone->var_name_ = var_name_;
+  clone->attr_name_ = attr_name_;
+  clone->selector_ = selector_;
+  clone->elem_index_ = elem_index_;
+  clone->attr_index_ = attr_index_;
+  clone->bin_op_ = bin_op_;
+  clone->cmp_op_ = cmp_op_;
+  clone->func_ = func_;
+  clone->agg_ = agg_;
+  clone->set_values_ = set_values_;
+  clone->resolved_ = resolved_;
+  if (kind_ == ExprKind::kAttrRef && elem_index_ == elem && selector_ == from) {
+    clone->selector_ = to;
+  }
+  clone->children_.reserve(children_.size());
+  for (const Ptr& child : children_) {
+    clone->children_.push_back(child->CloneReplacingSelector(elem, from, to));
+  }
+  return clone;
+}
+
+double Expr::StaticCost() const {
+  double c = kind_ == ExprKind::kFunc && func_ == FuncKind::kSqrt ? kCostSqrt
+                                                                  : kCostBasic;
+  for (const Ptr& child : children_) c += child->StaticCost();
+  return c;
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      os << literal_.ToString();
+      break;
+    case ExprKind::kAttrRef:
+      os << var_name_ << SelectorSuffix(selector_) << "." << attr_name_;
+      break;
+    case ExprKind::kBinary:
+      os << "(" << children_[0]->ToString() << BinOpName(bin_op_)
+         << children_[1]->ToString() << ")";
+      break;
+    case ExprKind::kCompare:
+      os << children_[0]->ToString() << CmpOpName(cmp_op_) << children_[1]->ToString();
+      break;
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const char* sep = kind_ == ExprKind::kAnd ? " AND " : " OR ";
+      os << "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) os << sep;
+        os << children_[i]->ToString();
+      }
+      os << ")";
+      break;
+    }
+    case ExprKind::kNot:
+      os << "NOT " << children_[0]->ToString();
+      break;
+    case ExprKind::kFunc:
+      if (func_ == FuncKind::kAvgN) {
+        os << "AVG(";
+        for (size_t i = 0; i < children_.size(); ++i) {
+          if (i > 0) os << ", ";
+          os << children_[i]->ToString();
+        }
+        os << ")";
+      } else {
+        os << (func_ == FuncKind::kSqrt ? "SQRT(" : "ABS(")
+           << children_[0]->ToString() << ")";
+      }
+      break;
+    case ExprKind::kInSet: {
+      os << children_[0]->ToString() << " IN {";
+      for (size_t i = 0; i < set_values_.size(); ++i) {
+        if (i > 0) os << ",";
+        os << set_values_[i].ToString();
+      }
+      os << "}";
+      break;
+    }
+    case ExprKind::kAggregate:
+      os << AggName(agg_) << "(" << var_name_ << "[]." << attr_name_ << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace cepshed

@@ -1,0 +1,191 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Predicate expressions of the WHERE clause: arithmetic, comparisons,
+// boolean connectives, sqrt, set membership, and aggregates over Kleene
+// bindings. Expressions are built by the query parser (or programmatically),
+// resolved against a pattern + schema once, and then evaluated millions of
+// times during matching.
+
+#ifndef CEPSHED_CEP_EXPR_H_
+#define CEPSHED_CEP_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cep/event.h"
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace cepshed {
+
+struct PatternElement;  // pattern.h
+
+/// \brief Expression node kinds.
+enum class ExprKind : int {
+  kLiteral,    ///< constant Value
+  kAttrRef,    ///< var[.selector].attr reference to a bound event
+  kBinary,     ///< arithmetic: + - * / %
+  kCompare,    ///< comparison: = != < <= > >=
+  kAnd,        ///< logical and (n-ary)
+  kOr,         ///< logical or (n-ary)
+  kNot,        ///< logical negation
+  kFunc,       ///< built-in scalar function (sqrt, abs) or n-ary avg
+  kInSet,      ///< value IN {v1, ..., vn}
+  kAggregate,  ///< AVG/SUM/MIN/MAX/COUNT over a Kleene element's attribute
+};
+
+/// \brief Arithmetic operators.
+enum class BinOp : int { kAdd, kSub, kMul, kDiv, kMod };
+/// \brief Comparison operators.
+enum class CmpOp : int { kEq, kNe, kLt, kLe, kGt, kGe };
+/// \brief Built-in scalar functions.
+enum class FuncKind : int { kSqrt, kAbs, kAvgN };
+/// \brief Aggregates over Kleene bindings.
+enum class AggKind : int { kAvg, kSum, kMin, kMax, kCount };
+
+/// \brief Which event of a pattern element an AttrRef selects.
+///
+/// For the Kleene iteration constraints of the paper's queries:
+/// `a[i]` -> kIterPrev (the previously bound event), `a[i+1]` -> kIterCurr
+/// (the event being bound), `a[first]`/`a[last]` -> the edges of the
+/// binding, plain `a` -> kSingle (non-Kleene variables).
+enum class RefSelector : int { kSingle, kIterPrev, kIterCurr, kFirst, kLast };
+
+/// \brief The events bound to one pattern element during evaluation.
+struct ElemBinding {
+  const EventPtr* events = nullptr;
+  uint32_t count = 0;
+};
+
+/// \brief Evaluation context assembled by the engine per predicate check.
+///
+/// `bindings[e]` holds the events already bound to pattern element e.
+/// `current` is the event being tested for binding to element
+/// `current_elem`. For negation checks, `negated` is the witness event
+/// standing in for negated element `negated_elem`.
+struct EvalContext {
+  static constexpr int kMaxElements = 32;
+  ElemBinding bindings[kMaxElements];
+  int num_elements = 0;
+  const Event* current = nullptr;
+  int current_elem = -1;
+  const Event* negated = nullptr;
+  int negated_elem = -1;
+};
+
+/// \brief An immutable-after-resolve expression tree node.
+///
+/// Build with the static factories, call Resolve() once against the pattern
+/// elements and schema, then Eval() freely. Eval also accumulates a cost in
+/// abstract work units (sqrt weighs more than an addition), which feeds the
+/// engine's latency model and the paper's resource cost Omega.
+class Expr {
+ public:
+  using Ptr = std::shared_ptr<Expr>;
+
+  /// Constant.
+  static Ptr Literal(Value v);
+  /// Attribute reference `var.attr` with the given selector.
+  static Ptr Attr(std::string var, RefSelector selector, std::string attr);
+  /// Arithmetic node.
+  static Ptr Binary(BinOp op, Ptr lhs, Ptr rhs);
+  /// Comparison node.
+  static Ptr Compare(CmpOp op, Ptr lhs, Ptr rhs);
+  /// Conjunction of two or more children.
+  static Ptr And(std::vector<Ptr> children);
+  /// Disjunction of two or more children.
+  static Ptr Or(std::vector<Ptr> children);
+  /// Negation.
+  static Ptr Not(Ptr child);
+  /// sqrt(x) / abs(x).
+  static Ptr Func(FuncKind func, Ptr arg);
+  /// Arithmetic mean of two or more scalar children (the paper's Q3 AVG).
+  static Ptr AvgN(std::vector<Ptr> children);
+  /// Set membership: child IN {values}.
+  static Ptr InSet(Ptr child, std::vector<Value> values);
+  /// Aggregate over a Kleene element's attribute, e.g. AVG over a[].V.
+  static Ptr Aggregate(AggKind agg, std::string var, std::string attr);
+
+  /// Resolves variable and attribute names to pattern-element and schema
+  /// indices; validates selector usage. Must be called exactly once before
+  /// Eval. `elements` are the pattern elements of the owning query.
+  Status Resolve(const std::vector<PatternElement>& elements, const Schema& schema);
+
+  /// Evaluates the expression. Adds the work performed (abstract units) to
+  /// *cost if non-null. Null propagates; boolean results are int 0/1.
+  Value Eval(const EvalContext& ctx, double* cost) const;
+
+  /// Evaluates as a boolean predicate: non-zero numeric is true, null and
+  /// zero are false.
+  bool EvalBool(const EvalContext& ctx, double* cost) const;
+
+  /// The largest pattern-element index referenced (including aggregates),
+  /// or -1 for constant expressions. Valid after Resolve.
+  int MaxElemRef() const;
+
+  /// True iff any node references the given element index.
+  bool RefsElem(int elem) const;
+
+  /// True iff any node is an kIterPrev reference to the given element
+  /// (such predicates are skipped on the first Kleene iteration).
+  bool HasIterPrevRef(int elem) const;
+
+  /// Collects all AttrRef nodes in the subtree (post-Resolve).
+  void CollectAttrRefs(std::vector<const Expr*>* out) const;
+
+  /// Deep copy that rewrites AttrRef selectors on the given element from
+  /// `from` to `to`. Used by the NFA compiler to turn Kleene iteration
+  /// predicates (a[i] refs) into join-index build keys (a[last] refs)
+  /// evaluable on a stored partial match without a current event.
+  Ptr CloneReplacingSelector(int elem, RefSelector from, RefSelector to) const;
+
+  /// Static work units of one evaluation of this subtree (upper bound used
+  /// by the resource-cost mode of the cost model).
+  double StaticCost() const;
+
+  /// Renders the expression for diagnostics.
+  std::string ToString() const;
+
+  /// Node kind.
+  ExprKind kind() const { return kind_; }
+  /// Resolved pattern-element index (kAttrRef / kAggregate nodes).
+  int elem_index() const { return elem_index_; }
+  /// Resolved schema attribute index (kAttrRef / kAggregate nodes).
+  int attr_index() const { return attr_index_; }
+  /// Reference selector (kAttrRef nodes).
+  RefSelector selector() const { return selector_; }
+  /// Comparison operator (kCompare nodes).
+  CmpOp cmp_op() const { return cmp_op_; }
+  /// Arithmetic operator (kBinary nodes).
+  BinOp bin_op() const { return bin_op_; }
+  /// Children.
+  const std::vector<Ptr>& children() const { return children_; }
+
+ private:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+
+  Value EvalAttr(const EvalContext& ctx) const;
+  Value EvalAggregate(const EvalContext& ctx, double* cost) const;
+
+  ExprKind kind_;
+  Value literal_;
+  std::string var_name_;
+  std::string attr_name_;
+  RefSelector selector_ = RefSelector::kSingle;
+  int elem_index_ = -1;
+  int attr_index_ = -1;
+  BinOp bin_op_ = BinOp::kAdd;
+  CmpOp cmp_op_ = CmpOp::kEq;
+  FuncKind func_ = FuncKind::kSqrt;
+  AggKind agg_ = AggKind::kAvg;
+  std::vector<Ptr> children_;
+  std::vector<Value> set_values_;
+  bool resolved_ = false;
+};
+
+using ExprPtr = Expr::Ptr;
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_CEP_EXPR_H_

@@ -1,0 +1,50 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Complete matches emitted by the engine.
+
+#ifndef CEPSHED_CEP_MATCH_H_
+#define CEPSHED_CEP_MATCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cep/event.h"
+#include "src/common/time.h"
+
+namespace cepshed {
+
+/// \brief A complete match: the events bound per positive pattern slot.
+struct Match {
+  /// All bound events, grouped by positive slot (contiguous).
+  std::vector<EventPtr> events;
+  /// Prefix end offsets into `events`, one per positive slot.
+  std::vector<uint32_t> slot_end;
+  /// Timestamp of the final event (detection time in event time).
+  Timestamp detected_at = 0;
+  /// Id of the partial match the final extension was derived from
+  /// (0 for single-element patterns).
+  uint64_t from_pm = 0;
+
+  /// A canonical identity of the match (the sequence numbers of its
+  /// events), used to compare shedding runs against ground truth.
+  std::string Key() const {
+    std::string key;
+    key.reserve(events.size() * sizeof(uint64_t));
+    for (const EventPtr& e : events) {
+      const uint64_t seq = e->seq();
+      key.append(reinterpret_cast<const char*>(&seq), sizeof(seq));
+    }
+    return key;
+  }
+
+  /// Events bound to the given positive slot: [begin, end) into `events`.
+  std::pair<uint32_t, uint32_t> SlotRange(size_t slot) const {
+    const uint32_t begin = slot == 0 ? 0 : slot_end[slot - 1];
+    return {begin, slot_end[slot]};
+  }
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_CEP_MATCH_H_

@@ -1,0 +1,96 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/cep/partial_match.h"
+
+namespace cepshed {
+
+PartialMatchStore::PartialMatchStore(int num_states, int num_elements)
+    : buckets_(static_cast<size_t>(num_states)),
+      witness_buckets_(static_cast<size_t>(num_elements)) {}
+
+PartialMatch* PartialMatchStore::Add(std::unique_ptr<PartialMatch> pm) {
+  PartialMatch* raw = pm.get();
+  buckets_[static_cast<size_t>(pm->state)].push_back(std::move(pm));
+  ++num_alive_;
+  return raw;
+}
+
+PartialMatch* PartialMatchStore::AddWitness(std::unique_ptr<PartialMatch> pm) {
+  PartialMatch* raw = pm.get();
+  pm->is_witness = true;
+  witness_buckets_[static_cast<size_t>(pm->negated_elem)].push_back(std::move(pm));
+  ++num_alive_witnesses_;
+  return raw;
+}
+
+void PartialMatchStore::Kill(PartialMatch* pm) {
+  if (!pm->alive) return;
+  pm->alive = false;
+  ++num_dead_;
+  if (pm->is_witness) {
+    --num_alive_witnesses_;
+  } else {
+    --num_alive_;
+  }
+}
+
+size_t PartialMatchStore::EvictExpired(Timestamp now, Duration window) {
+  size_t evicted = 0;
+  auto sweep = [&](Bucket& bucket) {
+    for (auto& pm : bucket) {
+      if (pm->alive && pm->Expired(now, window)) {
+        Kill(pm.get());
+        ++evicted;
+      }
+    }
+  };
+  for (auto& bucket : buckets_) sweep(bucket);
+  for (auto& bucket : witness_buckets_) sweep(bucket);
+  return evicted;
+}
+
+void PartialMatchStore::ForEachAlive(const std::function<void(PartialMatch*)>& fn) {
+  for (auto& bucket : buckets_) {
+    for (auto& pm : bucket) {
+      if (pm->alive) fn(pm.get());
+    }
+  }
+}
+
+void PartialMatchStore::ForEachAliveWitness(
+    const std::function<void(PartialMatch*)>& fn) {
+  for (auto& bucket : witness_buckets_) {
+    for (auto& pm : bucket) {
+      if (pm->alive) fn(pm.get());
+    }
+  }
+}
+
+void PartialMatchStore::Compact() {
+  auto compact_bucket = [](Bucket& bucket) {
+    size_t keep = 0;
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i]->alive) {
+        if (keep != i) bucket[keep] = std::move(bucket[i]);
+        ++keep;
+      }
+    }
+    bucket.resize(keep);
+  };
+  for (auto& bucket : buckets_) compact_bucket(bucket);
+  for (auto& bucket : witness_buckets_) compact_bucket(bucket);
+  num_dead_ = 0;
+}
+
+double PartialMatchStore::DeadFraction() const {
+  const size_t total = num_alive_ + num_alive_witnesses_ + num_dead_;
+  return total == 0 ? 0.0 : static_cast<double>(num_dead_) / static_cast<double>(total);
+}
+
+void PartialMatchStore::Clear() {
+  for (auto& bucket : buckets_) bucket.clear();
+  for (auto& bucket : witness_buckets_) bucket.clear();
+  num_alive_ = num_alive_witnesses_ = num_dead_ = 0;
+}
+
+}  // namespace cepshed

@@ -1,0 +1,142 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Partial matches and their store — the *state* of CEP query evaluation
+// (P(k) in the paper). State-based load shedding operates directly on this
+// store; the cost model annotates each partial match with its class.
+
+#ifndef CEPSHED_CEP_PARTIAL_MATCH_H_
+#define CEPSHED_CEP_PARTIAL_MATCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cep/event.h"
+#include "src/common/time.h"
+
+namespace cepshed {
+
+/// \brief One partial match: a prefix binding of the pattern's positive
+/// components, or a negation witness.
+///
+/// Partial matches are immutable once stored: extending a match clones it
+/// (skip-till-any-match keeps the original). `alive` is a tombstone used by
+/// window eviction and state-based shedding; dead matches are reclaimed by
+/// the store's periodic compaction.
+struct PartialMatch {
+  /// Unique id (monotonic per engine), used for lineage tracking.
+  uint64_t id = 0;
+  /// Id of the partial match this one was cloned from (0 = stream-created).
+  uint64_t parent_id = 0;
+  /// Index of the positive component currently being filled. Equals the
+  /// NFA state of the match.
+  int state = 0;
+  /// Events bound so far, grouped by positive slot.
+  std::vector<EventPtr> events;
+  /// Prefix end offsets into `events` per positive slot filled so far.
+  /// slot_end.size() == state for completed slots plus, for Kleene, the
+  /// in-progress slot is represented by events beyond slot_end.back().
+  std::vector<uint32_t> slot_end;
+  /// Timestamp of the first bound event (window anchor).
+  Timestamp start_ts = 0;
+  /// Timestamp of the latest bound event.
+  Timestamp last_ts = 0;
+  /// Cost model class within the match's state (-1 = unclassified).
+  int32_t class_label = -1;
+  /// Tombstone: false once evicted or shed.
+  bool alive = true;
+  /// True for negation witnesses (single-event vetoes).
+  bool is_witness = false;
+  /// Pattern element index of the negated component (witnesses only).
+  int negated_elem = -1;
+
+  /// Events bound to the in-progress (Kleene) component.
+  uint32_t OpenCount() const {
+    const uint32_t closed = slot_end.empty() ? 0 : slot_end.back();
+    return static_cast<uint32_t>(events.size()) - closed;
+  }
+  /// Total number of bound events.
+  uint32_t Length() const { return static_cast<uint32_t>(events.size()); }
+  /// Sequence number of the first bound event (count-window anchor).
+  uint64_t start_seq = 0;
+  /// True if the match has aged out of the window at time `now`.
+  bool Expired(Timestamp now, Duration window) const {
+    return now - start_ts > window;
+  }
+  /// True if the match has aged out of a count-based window at stream
+  /// position `seq`.
+  bool ExpiredByCount(uint64_t seq, uint64_t count_window) const {
+    return seq - start_seq > count_window;
+  }
+};
+
+/// \brief Buckets of partial matches per NFA state, plus negation
+/// witnesses, with tombstone-based removal.
+class PartialMatchStore {
+ public:
+  using Bucket = std::vector<std::unique_ptr<PartialMatch>>;
+
+  /// Constructs a store for `num_states` positive components and
+  /// `num_elements` total pattern components (witness buckets are indexed
+  /// by pattern element).
+  PartialMatchStore(int num_states, int num_elements);
+
+  /// Inserts a match into the bucket of its state; returns a stable pointer.
+  PartialMatch* Add(std::unique_ptr<PartialMatch> pm);
+
+  /// Inserts a negation witness for the given pattern element.
+  PartialMatch* AddWitness(std::unique_ptr<PartialMatch> pm);
+
+  /// The bucket of the given NFA state.
+  Bucket& bucket(int state) { return buckets_[static_cast<size_t>(state)]; }
+  const Bucket& bucket(int state) const { return buckets_[static_cast<size_t>(state)]; }
+  int num_states() const { return static_cast<int>(buckets_.size()); }
+
+  /// The witness bucket of the given pattern element.
+  Bucket& witnesses(int elem) { return witness_buckets_[static_cast<size_t>(elem)]; }
+  const Bucket& witnesses(int elem) const {
+    return witness_buckets_[static_cast<size_t>(elem)];
+  }
+  int num_witness_buckets() const { return static_cast<int>(witness_buckets_.size()); }
+
+  /// Tombstones a match (no-op if already dead).
+  void Kill(PartialMatch* pm);
+
+  /// Number of live regular partial matches.
+  size_t NumAlive() const { return num_alive_; }
+  /// Number of live negation witnesses.
+  size_t NumAliveWitnesses() const { return num_alive_witnesses_; }
+  /// Number of tombstoned entries awaiting compaction.
+  size_t NumDead() const { return num_dead_; }
+
+  /// Tombstones every live match (regular and witness) whose window has
+  /// elapsed at `now`; returns the number evicted.
+  size_t EvictExpired(Timestamp now, Duration window);
+
+  /// Applies `fn` to every live regular match.
+  void ForEachAlive(const std::function<void(PartialMatch*)>& fn);
+  /// Applies `fn` to every live witness.
+  void ForEachAliveWitness(const std::function<void(PartialMatch*)>& fn);
+
+  /// Physically removes tombstoned matches. Pointers to dead matches become
+  /// dangling; callers holding indexes must rebuild them (the engine does).
+  void Compact();
+
+  /// Fraction of dead entries, used to decide when to compact.
+  double DeadFraction() const;
+
+  /// Kills everything (used between experiment runs).
+  void Clear();
+
+ private:
+  std::vector<Bucket> buckets_;
+  std::vector<Bucket> witness_buckets_;
+  size_t num_alive_ = 0;
+  size_t num_alive_witnesses_ = 0;
+  size_t num_dead_ = 0;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_CEP_PARTIAL_MATCH_H_

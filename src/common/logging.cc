@@ -1,0 +1,43 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace cepshed {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) > g_log_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::fprintf(stderr, "[cepshed %s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace cepshed

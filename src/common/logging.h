@@ -1,0 +1,53 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Minimal leveled logging to stderr. Quiet by default so that benchmark
+// output stays machine-readable; raise the level for debugging.
+
+#ifndef CEPSHED_COMMON_LOGGING_H_
+#define CEPSHED_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cepshed {
+
+/// \brief Log severity levels, ordered by verbosity.
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+/// Sets the global log threshold; messages above it are suppressed.
+void SetLogLevel(LogLevel level);
+/// Returns the global log threshold.
+LogLevel GetLogLevel();
+/// Emits one formatted line to stderr if `level` passes the threshold.
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+/// Stream-style log line builder; flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace internal
+
+#define CEPSHED_LOG(level) ::cepshed::internal::LogLine(::cepshed::LogLevel::level)
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_COMMON_LOGGING_H_

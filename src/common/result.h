@@ -1,0 +1,83 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Result<T>: a Status plus, when OK, a value of type T.
+
+#ifndef CEPSHED_COMMON_RESULT_H_
+#define CEPSHED_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace cepshed {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Construction from a T yields an OK result; construction from a non-OK
+/// Status yields an error result. Accessing the value of an error result is
+/// a programming error (checked by assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+  /// Constructs an error result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the contained value out. Requires ok().
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  /// Mutable access to the contained value. Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `alt` if this result is an error.
+  T ValueOr(T alt) const {
+    if (ok()) return *value_;
+    return alt;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error Status to the caller.
+#define CEPSHED_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define CEPSHED_ASSIGN_OR_RETURN(lhs, rexpr)                                  \
+  CEPSHED_ASSIGN_OR_RETURN_IMPL(CEPSHED_CONCAT_(_res_, __LINE__), lhs, rexpr)
+
+#define CEPSHED_CONCAT_INNER_(a, b) a##b
+#define CEPSHED_CONCAT_(a, b) CEPSHED_CONCAT_INNER_(a, b)
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_COMMON_RESULT_H_

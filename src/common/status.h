@@ -1,0 +1,111 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Status-based error handling (no exceptions cross the public API).
+// Modeled after the idiom used by RocksDB and Apache Arrow.
+
+#ifndef CEPSHED_COMMON_STATUS_H_
+#define CEPSHED_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace cepshed {
+
+/// \brief Machine-readable error categories carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kParseError = 7,
+  kResourceExhausted = 8,
+};
+
+/// \brief Returns a short human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of an operation: either OK, or an error code plus message.
+///
+/// Functions that can fail return Status (or Result<T> when they also
+/// produce a value). The CEPSHED_RETURN_NOT_OK macro propagates errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument error.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a NotFound error.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns an AlreadyExists error.
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  /// Returns an OutOfRange error.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns an Unimplemented error.
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  /// Returns an Internal error.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Returns a ParseError (query language front end).
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  /// Returns a ResourceExhausted error.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message (empty for OK).
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status to the caller.
+#define CEPSHED_RETURN_NOT_OK(expr)              \
+  do {                                           \
+    ::cepshed::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Time representation. All event timestamps and windows are expressed as
+// int64 microseconds; helpers construct durations from the units used in
+// the paper's queries (WITHIN 8ms, WITHIN 1h, ...).
+
+#ifndef CEPSHED_COMMON_TIME_H_
+#define CEPSHED_COMMON_TIME_H_
+
+#include <cstdint>
+
+namespace cepshed {
+
+/// Event time and duration unit: microseconds since stream start.
+using Timestamp = int64_t;
+using Duration = int64_t;
+
+/// Constructs a duration of `n` microseconds.
+constexpr Duration Micros(int64_t n) { return n; }
+/// Constructs a duration of `n` milliseconds.
+constexpr Duration Millis(int64_t n) { return n * 1000; }
+/// Constructs a duration of `n` seconds.
+constexpr Duration Seconds(int64_t n) { return n * 1000 * 1000; }
+/// Constructs a duration of `n` minutes.
+constexpr Duration Minutes(int64_t n) { return Seconds(n * 60); }
+/// Constructs a duration of `n` hours.
+constexpr Duration Hours(int64_t n) { return Minutes(n * 60); }
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_COMMON_TIME_H_

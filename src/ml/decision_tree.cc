@@ -1,0 +1,175 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <numeric>
+
+namespace cepshed {
+
+namespace {
+
+double Gini(const std::vector<double>& counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double g = 1.0;
+  for (double c : counts) {
+    const double p = c / total;
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+Status DecisionTree::Fit(const std::vector<std::vector<double>>& x,
+                         const std::vector<int>& y, const Options& options) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("decision tree: empty or mismatched training data");
+  }
+  num_features_ = x[0].size();
+  num_classes_ = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i].size() != num_features_) {
+      return Status::InvalidArgument("decision tree: ragged features");
+    }
+    if (y[i] < 0) return Status::InvalidArgument("decision tree: negative label");
+    num_classes_ = std::max(num_classes_, y[i] + 1);
+  }
+  nodes_.clear();
+  std::vector<uint32_t> indices(x.size());
+  std::iota(indices.begin(), indices.end(), 0u);
+  Build(x, y, indices, 0, indices.size(), 0, options);
+
+  size_t correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (Predict(x[i]) == y[i]) ++correct;
+  }
+  training_accuracy_ = static_cast<double>(correct) / static_cast<double>(x.size());
+  return Status::OK();
+}
+
+int DecisionTree::Build(const std::vector<std::vector<double>>& x,
+                        const std::vector<int>& y, std::vector<uint32_t>& indices,
+                        size_t begin, size_t end, int depth, const Options& options) {
+  const size_t n = end - begin;
+  std::vector<double> counts(static_cast<size_t>(num_classes_), 0.0);
+  for (size_t i = begin; i < end; ++i) counts[static_cast<size_t>(y[indices[i]])] += 1.0;
+  int majority = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (counts[static_cast<size_t>(c)] > counts[static_cast<size_t>(majority)]) majority = c;
+  }
+  const double purity = counts[static_cast<size_t>(majority)] / static_cast<double>(n);
+
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+  nodes_[static_cast<size_t>(node_id)].label = majority;
+
+  if (depth >= options.max_depth || purity >= options.purity_stop ||
+      n < 2 * static_cast<size_t>(options.min_samples_leaf)) {
+    return node_id;
+  }
+
+  // Best (feature, threshold) by Gini impurity decrease.
+  const double parent_gini = Gini(counts, static_cast<double>(n));
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_score = parent_gini - 1e-9;
+  std::vector<std::pair<double, int>> column(n);
+  std::vector<double> left_counts(static_cast<size_t>(num_classes_));
+  for (size_t f = 0; f < num_features_; ++f) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t idx = indices[begin + i];
+      column[i] = {x[idx][f], y[idx]};
+    }
+    std::sort(column.begin(), column.end());
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    std::vector<double> right_counts = counts;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_counts[static_cast<size_t>(column[i].second)] += 1.0;
+      right_counts[static_cast<size_t>(column[i].second)] -= 1.0;
+      if (column[i].first == column[i + 1].first) continue;
+      const size_t nl = i + 1;
+      const size_t nr = n - nl;
+      if (nl < static_cast<size_t>(options.min_samples_leaf) ||
+          nr < static_cast<size_t>(options.min_samples_leaf)) {
+        continue;
+      }
+      const double score =
+          (static_cast<double>(nl) * Gini(left_counts, static_cast<double>(nl)) +
+           static_cast<double>(nr) * Gini(right_counts, static_cast<double>(nr))) /
+          static_cast<double>(n);
+      if (score < best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  // Partition indices in place.
+  auto mid_it = std::partition(indices.begin() + static_cast<ptrdiff_t>(begin),
+                               indices.begin() + static_cast<ptrdiff_t>(end),
+                               [&](uint32_t idx) {
+                                 return x[idx][static_cast<size_t>(best_feature)] <=
+                                        best_threshold;
+                               });
+  const size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_id;  // degenerate split
+
+  nodes_[static_cast<size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<size_t>(node_id)].threshold = best_threshold;
+  const int left = Build(x, y, indices, begin, mid, depth + 1, options);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  const int right = Build(x, y, indices, mid, end, depth + 1, options);
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+int DecisionTree::Predict(const double* x, size_t n) const {
+  if (nodes_.empty()) return 0;
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<size_t>(node)];
+    if (static_cast<size_t>(nd.feature) >= n) return nd.label;
+    node = x[static_cast<size_t>(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+  }
+  return nodes_[static_cast<size_t>(node)].label;
+}
+
+std::vector<std::vector<DecisionTree::PathCondition>> DecisionTree::PathsToClass(
+    int label) const {
+  std::vector<std::vector<PathCondition>> paths;
+  if (nodes_.empty()) return paths;
+  std::vector<PathCondition> current;
+  // Depth-first traversal carrying the condition chain.
+  std::function<void(int)> walk = [&](int node_id) {
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+    if (node.feature < 0) {
+      if (node.label == label) paths.push_back(current);
+      return;
+    }
+    current.push_back(PathCondition{node.feature, node.threshold, true});
+    walk(node.left);
+    current.back().less_equal = false;
+    walk(node.right);
+    current.pop_back();
+  };
+  walk(0);
+  return paths;
+}
+
+int DecisionTree::Depth() const {
+  if (nodes_.empty()) return 0;
+  std::function<int(int)> depth_of = [&](int node_id) -> int {
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+    if (node.feature < 0) return 1;
+    return 1 + std::max(depth_of(node.left), depth_of(node.right));
+  };
+  return depth_of(0);
+}
+
+}  // namespace cepshed

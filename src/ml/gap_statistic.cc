@@ -1,0 +1,95 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/ml/gap_statistic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/ml/kmeans.h"
+
+namespace cepshed {
+
+namespace {
+
+// log of the within-cluster dispersion W_k (inertia), guarded for zero.
+double LogDispersion(double inertia) {
+  return std::log(std::max(inertia, 1e-12));
+}
+
+}  // namespace
+
+Result<GapStatisticResult> EstimateClusters(
+    const std::vector<std::vector<double>>& points, const GapStatisticOptions& options,
+    Rng* rng) {
+  if (points.empty()) return Status::InvalidArgument("gap statistic: no points");
+  if (options.k_min < 1 || options.k_max < options.k_min) {
+    return Status::InvalidArgument("gap statistic: bad k range");
+  }
+  const size_t n = points.size();
+  const size_t d = points[0].size();
+
+  // Bounding box for the uniform reference distribution.
+  std::vector<double> lo(d, std::numeric_limits<double>::max());
+  std::vector<double> hi(d, std::numeric_limits<double>::lowest());
+  for (const auto& p : points) {
+    if (p.size() != d) return Status::InvalidArgument("gap statistic: ragged input");
+    for (size_t j = 0; j < d; ++j) {
+      lo[j] = std::min(lo[j], p[j]);
+      hi[j] = std::max(hi[j], p[j]);
+    }
+  }
+
+  const int k_hi = std::min<int>(options.k_max, static_cast<int>(n));
+  GapStatisticResult result;
+
+  std::vector<double> log_wk;
+  for (int k = options.k_min; k <= k_hi; ++k) {
+    CEPSHED_ASSIGN_OR_RETURN(KMeansResult km,
+                             KMeans(points, k, rng, options.kmeans_max_iters));
+    log_wk.push_back(LogDispersion(km.inertia));
+  }
+
+  // Reference dispersions.
+  std::vector<std::vector<double>> ref(n, std::vector<double>(d));
+  std::vector<std::vector<double>> ref_log_wk(
+      log_wk.size(), std::vector<double>(static_cast<size_t>(options.num_references)));
+  for (int r = 0; r < options.num_references; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        ref[i][j] = hi[j] > lo[j] ? rng->UniformDouble(lo[j], hi[j]) : lo[j];
+      }
+    }
+    for (int k = options.k_min; k <= k_hi; ++k) {
+      CEPSHED_ASSIGN_OR_RETURN(KMeansResult km,
+                               KMeans(ref, k, rng, options.kmeans_max_iters));
+      ref_log_wk[static_cast<size_t>(k - options.k_min)][static_cast<size_t>(r)] =
+          LogDispersion(km.inertia);
+    }
+  }
+
+  result.gap.resize(log_wk.size());
+  result.s_k.resize(log_wk.size());
+  for (size_t i = 0; i < log_wk.size(); ++i) {
+    double mean = 0.0;
+    for (double v : ref_log_wk[i]) mean += v;
+    mean /= static_cast<double>(options.num_references);
+    double var = 0.0;
+    for (double v : ref_log_wk[i]) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(options.num_references);
+    result.gap[i] = mean - log_wk[i];
+    result.s_k[i] = std::sqrt(var) * std::sqrt(1.0 + 1.0 / options.num_references);
+  }
+
+  // First k with gap(k) >= gap(k+1) - s(k+1).
+  result.best_k = options.k_min + static_cast<int>(log_wk.size()) - 1;
+  for (size_t i = 0; i + 1 < result.gap.size(); ++i) {
+    if (result.gap[i] >= result.gap[i + 1] - result.s_k[i + 1]) {
+      result.best_k = options.k_min + static_cast<int>(i);
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace cepshed

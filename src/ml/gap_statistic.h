@@ -1,0 +1,41 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// The gap statistic of Tibshirani, Walther & Hastie (2001), used by the
+// paper to estimate the number of cost-model clusters per NFA state
+// (§V-B: "We employ the gap statistic technique to estimate an optimal
+// number of clusters").
+
+#ifndef CEPSHED_ML_GAP_STATISTIC_H_
+#define CEPSHED_ML_GAP_STATISTIC_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+
+namespace cepshed {
+
+/// \brief Configuration for the gap-statistic search.
+struct GapStatisticOptions {
+  int k_min = 1;
+  int k_max = 10;
+  /// Reference datasets drawn uniformly over the data's bounding box.
+  int num_references = 8;
+  int kmeans_max_iters = 30;
+};
+
+/// \brief Per-k diagnostics of the search.
+struct GapStatisticResult {
+  int best_k = 1;
+  std::vector<double> gap;     ///< gap(k) for k in [k_min, k_max]
+  std::vector<double> s_k;     ///< reference dispersion std errors
+};
+
+/// \brief Estimates the number of clusters in `points` by the first k with
+/// gap(k) >= gap(k+1) - s_{k+1}.
+Result<GapStatisticResult> EstimateClusters(const std::vector<std::vector<double>>& points,
+                                            const GapStatisticOptions& options, Rng* rng);
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_ML_GAP_STATISTIC_H_

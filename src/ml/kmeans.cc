@@ -1,0 +1,124 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/ml/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cepshed {
+
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points, int k,
+                            Rng* rng, int max_iters) {
+  return KMeansWeighted(points, std::vector<double>(points.size(), 1.0), k, rng,
+                        max_iters);
+}
+
+Result<KMeansResult> KMeansWeighted(const std::vector<std::vector<double>>& points,
+                                    const std::vector<double>& weights, int k,
+                                    Rng* rng, int max_iters) {
+  if (points.empty()) return Status::InvalidArgument("k-means: no points");
+  if (weights.size() != points.size()) {
+    return Status::InvalidArgument("k-means: weights/points size mismatch");
+  }
+  if (k < 1) return Status::InvalidArgument("k-means: k must be >= 1");
+  const size_t n = points.size();
+  const size_t d = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != d) return Status::InvalidArgument("k-means: ragged input");
+  }
+  const size_t kk = std::min<size_t>(static_cast<size_t>(k), n);
+
+  KMeansResult result;
+  result.labels.assign(n, 0);
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(kk);
+  centroids.push_back(points[static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1))]);
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  while (centroids.size() < kk) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double dist = SquaredDistance(points[i], centroids.back());
+      if (dist < min_dist[i]) min_dist[i] = dist;
+      total += min_dist[i] * weights[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; duplicate one.
+      centroids.push_back(points[0]);
+      continue;
+    }
+    double draw = rng->UniformDouble() * total;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      draw -= min_dist[i] * weights[i];
+      if (draw <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+
+  // Lloyd iterations.
+  std::vector<double> counts(kk, 0.0);
+  for (int iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::max();
+      for (size_t c = 0; c < centroids.size(); ++c) {
+        const double dist = SquaredDistance(points[i], centroids[c]);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = static_cast<int>(c);
+        }
+      }
+      if (result.labels[i] != best) {
+        result.labels[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    for (auto& c : centroids) std::fill(c.begin(), c.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      auto& c = centroids[static_cast<size_t>(result.labels[i])];
+      for (size_t j = 0; j < d; ++j) c[j] += points[i][j] * weights[i];
+      counts[static_cast<size_t>(result.labels[i])] += weights[i];
+    }
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      if (counts[c] == 0.0) {
+        // Re-seed an empty cluster at a random point.
+        centroids[c] = points[static_cast<size_t>(
+            rng->UniformInt(0, static_cast<int64_t>(n) - 1))];
+        continue;
+      }
+      for (size_t j = 0; j < d; ++j) {
+        centroids[c][j] /= counts[c];
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia +=
+        weights[i] *
+        SquaredDistance(points[i], centroids[static_cast<size_t>(result.labels[i])]);
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace cepshed

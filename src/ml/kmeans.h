@@ -1,0 +1,46 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// k-means clustering (Lloyd's algorithm with k-means++ seeding). The cost
+// model clusters partial matches by their (contribution, consumption)
+// values per NFA state (§V-B of the paper).
+
+#ifndef CEPSHED_ML_KMEANS_H_
+#define CEPSHED_ML_KMEANS_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+
+namespace cepshed {
+
+/// \brief Outcome of a k-means run.
+struct KMeansResult {
+  /// Cluster centers, k x d.
+  std::vector<std::vector<double>> centroids;
+  /// Cluster label per input point.
+  std::vector<int> labels;
+  /// Sum of squared distances of points to their assigned centroid.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+/// \brief Runs k-means on `points` (n x d). `k` is clamped to n. Fails on
+/// empty input, k < 1, or ragged rows.
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points, int k,
+                            Rng* rng, int max_iters = 50);
+
+/// \brief Weighted k-means: point i carries weight `weights[i]` > 0 in the
+/// seeding and the centroid updates. Used to cluster feature groups of
+/// partial matches by their mean contribution/consumption, weighted by
+/// group size.
+Result<KMeansResult> KMeansWeighted(const std::vector<std::vector<double>>& points,
+                                    const std::vector<double>& weights, int k,
+                                    Rng* rng, int max_iters = 50);
+
+/// Squared Euclidean distance between equally sized vectors.
+double SquaredDistance(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_ML_KMEANS_H_

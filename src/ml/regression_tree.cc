@@ -1,0 +1,191 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/ml/regression_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <numeric>
+
+namespace cepshed {
+
+Status RegressionTree::Fit(const std::vector<std::vector<double>>& x,
+                           const std::vector<std::vector<double>>& y,
+                           const Options& options) {
+  if (x.empty() || x.size() != y.size()) {
+    return Status::InvalidArgument("regression tree: empty or mismatched data");
+  }
+  num_features_ = x[0].size();
+  num_targets_ = y[0].size();
+  if (num_targets_ == 0) {
+    return Status::InvalidArgument("regression tree: no targets");
+  }
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i].size() != num_features_ || y[i].size() != num_targets_) {
+      return Status::InvalidArgument("regression tree: ragged data");
+    }
+  }
+
+  // Normalize targets to unit variance so each counts equally.
+  std::vector<double> mean(num_targets_, 0.0);
+  std::vector<double> scale(num_targets_, 1.0);
+  for (const auto& row : y) {
+    for (size_t t = 0; t < num_targets_; ++t) mean[t] += row[t];
+  }
+  for (auto& m : mean) m /= static_cast<double>(y.size());
+  for (const auto& row : y) {
+    for (size_t t = 0; t < num_targets_; ++t) {
+      const double d = row[t] - mean[t];
+      scale[t] += d * d;
+    }
+  }
+  for (auto& s : scale) s = std::sqrt(s / static_cast<double>(y.size()));
+  std::vector<std::vector<double>> y_norm(y.size(), std::vector<double>(num_targets_));
+  for (size_t i = 0; i < y.size(); ++i) {
+    for (size_t t = 0; t < num_targets_; ++t) {
+      y_norm[i][t] = scale[t] > 0.0 ? y[i][t] / scale[t] : 0.0;
+    }
+  }
+
+  nodes_.clear();
+  leaves_.clear();
+  training_leaves_.assign(x.size(), 0);
+  std::vector<uint32_t> indices(x.size());
+  std::iota(indices.begin(), indices.end(), 0u);
+  Build(x, y_norm, indices, 0, indices.size(), 0, options, y);
+  return Status::OK();
+}
+
+int RegressionTree::Build(const std::vector<std::vector<double>>& x,
+                          const std::vector<std::vector<double>>& y_norm,
+                          std::vector<uint32_t>& indices, size_t begin, size_t end,
+                          int depth, const Options& options,
+                          const std::vector<std::vector<double>>& y_raw) {
+  const size_t n = end - begin;
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{});
+
+  // Node impurity: total SSE over normalized targets.
+  std::vector<double> sum(num_targets_, 0.0);
+  std::vector<double> sum_sq(num_targets_, 0.0);
+  for (size_t i = begin; i < end; ++i) {
+    const auto& row = y_norm[indices[i]];
+    for (size_t t = 0; t < num_targets_; ++t) {
+      sum[t] += row[t];
+      sum_sq[t] += row[t] * row[t];
+    }
+  }
+  double node_sse = 0.0;
+  for (size_t t = 0; t < num_targets_; ++t) {
+    node_sse += sum_sq[t] - sum[t] * sum[t] / static_cast<double>(n);
+  }
+
+  auto make_leaf = [&]() {
+    Leaf leaf;
+    leaf.count = n;
+    leaf.mean.assign(num_targets_, 0.0);
+    for (size_t i = begin; i < end; ++i) {
+      const auto& row = y_raw[indices[i]];
+      for (size_t t = 0; t < num_targets_; ++t) leaf.mean[t] += row[t];
+    }
+    for (auto& m : leaf.mean) m /= static_cast<double>(n);
+    const int leaf_index = static_cast<int>(leaves_.size());
+    for (size_t i = begin; i < end; ++i) {
+      training_leaves_[indices[i]] = leaf_index;
+    }
+    nodes_[static_cast<size_t>(node_id)].leaf_index = leaf_index;
+    leaves_.push_back(std::move(leaf));
+    return node_id;
+  };
+
+  if (depth >= options.max_depth ||
+      n < 2 * static_cast<size_t>(options.min_samples_leaf) || node_sse <= 1e-12) {
+    return make_leaf();
+  }
+
+  // Best split by SSE reduction.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_sse = node_sse * (1.0 - options.min_gain);
+  std::vector<std::pair<double, uint32_t>> column(n);
+  std::vector<double> left_sum(num_targets_);
+  std::vector<double> left_sq(num_targets_);
+  for (size_t f = 0; f < num_features_; ++f) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t idx = indices[begin + i];
+      column[i] = {x[idx][f], idx};
+    }
+    std::sort(column.begin(), column.end());
+    std::fill(left_sum.begin(), left_sum.end(), 0.0);
+    std::fill(left_sq.begin(), left_sq.end(), 0.0);
+    for (size_t i = 0; i + 1 < n; ++i) {
+      const auto& row = y_norm[column[i].second];
+      for (size_t t = 0; t < num_targets_; ++t) {
+        left_sum[t] += row[t];
+        left_sq[t] += row[t] * row[t];
+      }
+      if (column[i].first == column[i + 1].first) continue;
+      const size_t nl = i + 1;
+      const size_t nr = n - nl;
+      if (nl < static_cast<size_t>(options.min_samples_leaf) ||
+          nr < static_cast<size_t>(options.min_samples_leaf)) {
+        continue;
+      }
+      double sse = 0.0;
+      for (size_t t = 0; t < num_targets_; ++t) {
+        const double rl = left_sq[t] - left_sum[t] * left_sum[t] / static_cast<double>(nl);
+        const double rs = sum[t] - left_sum[t];
+        const double rq = sum_sq[t] - left_sq[t];
+        const double rr = rq - rs * rs / static_cast<double>(nr);
+        sse += rl + rr;
+      }
+      if (sse < best_sse) {
+        best_sse = sse;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return make_leaf();
+
+  auto mid_it = std::partition(indices.begin() + static_cast<ptrdiff_t>(begin),
+                               indices.begin() + static_cast<ptrdiff_t>(end),
+                               [&](uint32_t idx) {
+                                 return x[idx][static_cast<size_t>(best_feature)] <=
+                                        best_threshold;
+                               });
+  const size_t mid = static_cast<size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return make_leaf();
+
+  nodes_[static_cast<size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<size_t>(node_id)].threshold = best_threshold;
+  const int left = Build(x, y_norm, indices, begin, mid, depth + 1, options, y_raw);
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  const int right = Build(x, y_norm, indices, mid, end, depth + 1, options, y_raw);
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+int RegressionTree::PredictLeaf(const double* x, size_t n) const {
+  if (nodes_.empty()) return 0;
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const Node& nd = nodes_[static_cast<size_t>(node)];
+    if (static_cast<size_t>(nd.feature) >= n) break;
+    node = x[static_cast<size_t>(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+  }
+  const int leaf = nodes_[static_cast<size_t>(node)].leaf_index;
+  return leaf >= 0 ? leaf : 0;
+}
+
+int RegressionTree::Depth() const {
+  if (nodes_.empty()) return 0;
+  std::function<int(int)> depth_of = [&](int node_id) -> int {
+    const Node& node = nodes_[static_cast<size_t>(node_id)];
+    if (node.feature < 0) return 1;
+    return 1 + std::max(depth_of(node.left), depth_of(node.right));
+  };
+  return depth_of(0);
+}
+
+}  // namespace cepshed

@@ -1,0 +1,174 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/opt/knapsack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+namespace cepshed {
+
+double TotalValue(const std::vector<KnapsackItem>& items,
+                  const std::vector<size_t>& sel) {
+  double v = 0.0;
+  for (size_t i : sel) v += items[i].value;
+  return v;
+}
+
+double TotalWeight(const std::vector<KnapsackItem>& items,
+                   const std::vector<size_t>& sel) {
+  double w = 0.0;
+  for (size_t i : sel) w += items[i].weight;
+  return w;
+}
+
+std::vector<size_t> SolveCoveringKnapsackDP(const std::vector<KnapsackItem>& items,
+                                            double threshold, int grid) {
+  const size_t n = items.size();
+  if (n == 0) return {};
+  double total_weight = 0.0;
+  for (const auto& it : items) total_weight += it.weight;
+  if (total_weight <= threshold) return {};  // infeasible
+  if (threshold < 0.0) threshold = 0.0;
+
+  // Discretize weights; rounding *down* keeps selections honest (a
+  // selection deemed covering on the grid is re-checked exactly below).
+  const double scale = static_cast<double>(grid) / std::max(total_weight, 1e-12);
+  std::vector<int> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = static_cast<int>(std::floor(items[i].weight * scale));
+  }
+  // Strictly exceeding `threshold` on the grid: reach at least T.
+  const int target = static_cast<int>(std::floor(threshold * scale)) + 1;
+
+  const double kInf = std::numeric_limits<double>::max() / 4;
+  const size_t cols = static_cast<size_t>(target) + 1;
+  // dp[i][t]: minimal value using a subset of items[0..i) whose capped
+  // discretized weight sum is exactly t (weights cap at `target`).
+  // prev_t[i][t]: the t in layer i-1 this cell came from; take[i][t]:
+  // whether item i-1 was taken on that transition.
+  std::vector<std::vector<double>> dp(n + 1, std::vector<double>(cols, kInf));
+  std::vector<std::vector<int>> prev_t(n + 1, std::vector<int>(cols, -1));
+  std::vector<std::vector<char>> take(n + 1, std::vector<char>(cols, 0));
+  dp[0][0] = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (int t = 0; t <= target; ++t) {
+      const double base = dp[i][static_cast<size_t>(t)];
+      if (base >= kInf) continue;
+      // Skip item i.
+      if (base < dp[i + 1][static_cast<size_t>(t)]) {
+        dp[i + 1][static_cast<size_t>(t)] = base;
+        prev_t[i + 1][static_cast<size_t>(t)] = t;
+        take[i + 1][static_cast<size_t>(t)] = 0;
+      }
+      // Take item i.
+      const int nt = std::min(target, t + w[i]);
+      const double cand = base + items[i].value;
+      if (cand < dp[i + 1][static_cast<size_t>(nt)]) {
+        dp[i + 1][static_cast<size_t>(nt)] = cand;
+        prev_t[i + 1][static_cast<size_t>(nt)] = t;
+        take[i + 1][static_cast<size_t>(nt)] = 1;
+      }
+    }
+  }
+  if (dp[n][static_cast<size_t>(target)] >= kInf) {
+    // Grid rounding made the covering infeasible; fall back to greedy.
+    return SolveCoveringKnapsackGreedy(items, threshold);
+  }
+
+  std::vector<size_t> selection;
+  int t = target;
+  for (size_t i = n; i > 0; --i) {
+    if (take[i][static_cast<size_t>(t)]) selection.push_back(i - 1);
+    t = prev_t[i][static_cast<size_t>(t)];
+  }
+  std::reverse(selection.begin(), selection.end());
+  if (TotalWeight(items, selection) > threshold) {
+    return selection;
+  }
+  // Weight rounding left the exact sum short of the threshold: top up
+  // greedily with the cheapest remaining items.
+  std::vector<char> in_sel(n, 0);
+  for (size_t i : selection) in_sel[i] = 1;
+  std::vector<size_t> rest;
+  for (size_t i = 0; i < n; ++i) {
+    if (!in_sel[i]) rest.push_back(i);
+  }
+  std::sort(rest.begin(), rest.end(), [&](size_t a, size_t b) {
+    const double ra = items[a].value / std::max(items[a].weight, 1e-12);
+    const double rb = items[b].value / std::max(items[b].weight, 1e-12);
+    return ra < rb;
+  });
+  double weight = TotalWeight(items, selection);
+  for (size_t i : rest) {
+    if (weight > threshold) break;
+    if (items[i].weight <= 0.0) continue;
+    selection.push_back(i);
+    weight += items[i].weight;
+  }
+  if (weight <= threshold) return SolveCoveringKnapsackGreedy(items, threshold);
+  std::sort(selection.begin(), selection.end());
+  return selection;
+}
+
+std::vector<size_t> SolveCoveringKnapsackGreedy(const std::vector<KnapsackItem>& items,
+                                                double threshold) {
+  const size_t n = items.size();
+  double total_weight = 0.0;
+  for (const auto& it : items) total_weight += it.weight;
+  if (total_weight <= threshold) return {};
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  // Cheapest recall loss per unit of saved consumption first.
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const double ra = items[a].value / std::max(items[a].weight, 1e-12);
+    const double rb = items[b].value / std::max(items[b].weight, 1e-12);
+    if (ra != rb) return ra < rb;
+    return items[a].weight > items[b].weight;
+  });
+  std::vector<size_t> selection;
+  double w = 0.0;
+  for (size_t i : order) {
+    if (w > threshold) break;
+    if (items[i].weight <= 0.0) continue;
+    selection.push_back(i);
+    w += items[i].weight;
+  }
+  if (w <= threshold) return {};  // numeric corner: could not cover
+  std::sort(selection.begin(), selection.end());
+  return selection;
+}
+
+std::vector<size_t> SolveCoveringKnapsackBrute(const std::vector<KnapsackItem>& items,
+                                               double threshold) {
+  const size_t n = items.size();
+  if (n > 24) return SolveCoveringKnapsackDP(items, threshold);
+  std::vector<size_t> best;
+  double best_value = std::numeric_limits<double>::max();
+  bool found = false;
+  for (uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    double v = 0.0;
+    double w = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (mask & (1ULL << i)) {
+        v += items[i].value;
+        w += items[i].weight;
+      }
+    }
+    if (w > threshold && v < best_value) {
+      best_value = v;
+      found = true;
+      best.clear();
+      for (size_t i = 0; i < n; ++i) {
+        if (mask & (1ULL << i)) best.push_back(i);
+      }
+    }
+  }
+  if (!found) return {};
+  return best;
+}
+
+}  // namespace cepshed

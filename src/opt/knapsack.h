@@ -1,0 +1,48 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Shedding-set selection as a knapsack variant (§IV-B of the paper):
+// choose a subset D of items minimizing the total contribution (value)
+// subject to the total consumption (weight) strictly exceeding the latency
+// violation (capacity threshold). Provides an exact dynamic program, the
+// greedy ratio approximation the paper sketches (§V-C), and a brute-force
+// oracle for testing.
+
+#ifndef CEPSHED_OPT_KNAPSACK_H_
+#define CEPSHED_OPT_KNAPSACK_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cepshed {
+
+/// \brief One candidate item of the shedding set: a class of partial
+/// matches with its relative contribution (recall we would lose) and
+/// relative consumption (resources we would save).
+struct KnapsackItem {
+  double value = 0.0;   ///< Delta+ : relative contribution (loss if shed)
+  double weight = 0.0;  ///< Delta- : relative consumption (saving if shed)
+};
+
+/// \brief Exact covering-knapsack solver by dynamic programming over a
+/// discretized weight grid (`grid` buckets; error <= items/grid in weight).
+/// Returns indices of the selected items; empty if the threshold cannot be
+/// exceeded even by taking everything.
+std::vector<size_t> SolveCoveringKnapsackDP(const std::vector<KnapsackItem>& items,
+                                            double threshold, int grid = 1024);
+
+/// \brief Greedy approximation: take items in increasing value/weight
+/// ratio until the threshold is exceeded (the paper's §V-C strategy).
+std::vector<size_t> SolveCoveringKnapsackGreedy(const std::vector<KnapsackItem>& items,
+                                                double threshold);
+
+/// \brief Exhaustive oracle for small instances (n <= 24); used by tests.
+std::vector<size_t> SolveCoveringKnapsackBrute(const std::vector<KnapsackItem>& items,
+                                               double threshold);
+
+/// Sum of values / weights over the selected indices.
+double TotalValue(const std::vector<KnapsackItem>& items, const std::vector<size_t>& sel);
+double TotalWeight(const std::vector<KnapsackItem>& items, const std::vector<size_t>& sel);
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_OPT_KNAPSACK_H_

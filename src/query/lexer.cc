@@ -1,0 +1,183 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace cepshed {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsKeyword(const Token& token, std::string_view keyword) {
+  if (token.kind != TokenKind::kIdent) return false;
+  if (token.text.size() != keyword.size()) return false;
+  for (size_t i = 0; i < keyword.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(token.text[i])) !=
+        std::toupper(static_cast<unsigned char>(keyword[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  auto push = [&](TokenKind kind, size_t offset, std::string text = {}) {
+    Token t;
+    t.kind = kind;
+    t.offset = offset;
+    t.text = std::move(text);
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments: -- or //
+    if ((c == '-' && i + 1 < n && input[i + 1] == '-') ||
+        (c == '/' && i + 1 < n && input[i + 1] == '/')) {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      push(TokenKind::kIdent, start, std::string(input.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j < n && input[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      }
+      Token t;
+      t.offset = start;
+      t.text = std::string(input.substr(i, j - i));
+      if (is_double) {
+        t.kind = TokenKind::kDouble;
+        t.double_value = std::strtod(t.text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInt;
+        t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && input[j] != '\'') ++j;
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      Token t;
+      t.kind = TokenKind::kString;
+      t.offset = start;
+      t.text = std::string(input.substr(i + 1, j - i - 1));
+      tokens.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    // Multi-byte unicode operators used in the paper's typography.
+    auto match_utf8 = [&](std::string_view seq) {
+      return input.substr(i).substr(0, seq.size()) == seq;
+    };
+    if (match_utf8("¬")) {  // ¬
+      push(TokenKind::kBang, start);
+      i += 2;
+      continue;
+    }
+    if (match_utf8("∈")) {  // ∈
+      push(TokenKind::kIn, start);
+      i += 3;
+      continue;
+    }
+    if (match_utf8("≤")) {  // ≤
+      push(TokenKind::kLe, start);
+      i += 3;
+      continue;
+    }
+    if (match_utf8("≥")) {  // ≥
+      push(TokenKind::kGe, start);
+      i += 3;
+      continue;
+    }
+    if (match_utf8("≠")) {  // ≠
+      push(TokenKind::kNe, start);
+      i += 3;
+      continue;
+    }
+    ++i;
+    switch (c) {
+      case '(': push(TokenKind::kLParen, start); break;
+      case ')': push(TokenKind::kRParen, start); break;
+      case '[': push(TokenKind::kLBracket, start); break;
+      case ']': push(TokenKind::kRBracket, start); break;
+      case '{': push(TokenKind::kLBrace, start); break;
+      case '}': push(TokenKind::kRBrace, start); break;
+      case ',': push(TokenKind::kComma, start); break;
+      case '.': push(TokenKind::kDot, start); break;
+      case '+': push(TokenKind::kPlus, start); break;
+      case '-': push(TokenKind::kMinus, start); break;
+      case '*': push(TokenKind::kStar, start); break;
+      case '/': push(TokenKind::kSlash, start); break;
+      case '%': push(TokenKind::kPercent, start); break;
+      case '=': push(TokenKind::kEq, start); break;
+      case '!':
+        if (i < n && input[i] == '=') {
+          push(TokenKind::kNe, start);
+          ++i;
+        } else {
+          push(TokenKind::kBang, start);
+        }
+        break;
+      case '<':
+        if (i < n && input[i] == '=') {
+          push(TokenKind::kLe, start);
+          ++i;
+        } else if (i < n && input[i] == '>') {
+          push(TokenKind::kNe, start);
+          ++i;
+        } else {
+          push(TokenKind::kLt, start);
+        }
+        break;
+      case '>':
+        if (i < n && input[i] == '=') {
+          push(TokenKind::kGe, start);
+          ++i;
+        } else {
+          push(TokenKind::kGt, start);
+        }
+        break;
+      default:
+        return Status::ParseError("unexpected character '" + std::string(1, c) +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenKind::kEnd, n);
+  return tokens;
+}
+
+}  // namespace cepshed

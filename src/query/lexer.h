@@ -1,0 +1,68 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Lexer for the SASE-style surface syntax of the paper's listings:
+//   PATTERN SEQ(BikeTrip+ a[], BikeTrip b)
+//   WHERE a[i+1].bike=a[i].bike AND b.end IN {7,8,9} ...
+//   WITHIN 1h
+// Unicode operators from the paper's typography are accepted too
+// (¬ for NOT, ∈ for IN, ≤ ≥ ≠).
+
+#ifndef CEPSHED_QUERY_LEXER_H_
+#define CEPSHED_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace cepshed {
+
+/// \brief Token kinds produced by the lexer.
+enum class TokenKind : int {
+  kEnd,
+  kIdent,     // identifiers and keywords (keyword check is by the parser)
+  kInt,       // integer literal
+  kDouble,    // floating literal
+  kString,    // 'quoted' string literal
+  kLParen,    // (
+  kRParen,    // )
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLBrace,    // {
+  kRBrace,    // }
+  kComma,     // ,
+  kDot,       // .
+  kPlus,      // +
+  kMinus,     // -
+  kStar,      // *
+  kSlash,     // /
+  kPercent,   // %
+  kEq,        // =
+  kNe,        // != or <> or ≠
+  kLt,        // <
+  kLe,        // <= or ≤
+  kGt,        // >
+  kGe,        // >= or ≥
+  kBang,      // ! or ¬  (negated pattern component / NOT)
+  kIn,        // ∈ (keyword IN arrives as kIdent)
+};
+
+/// \brief One token with its source position for error messages.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier text / literal spelling
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;      // byte offset in the input
+};
+
+/// \brief Tokenizes `input`; fails with ParseError on unknown characters.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// Case-insensitive keyword comparison for identifier tokens.
+bool IsKeyword(const Token& token, std::string_view keyword);
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_QUERY_LEXER_H_

@@ -1,0 +1,412 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/query/parser.h"
+
+#include <climits>
+
+#include "src/query/lexer.h"
+
+namespace cepshed {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> Parse() {
+    Query query;
+    CEPSHED_RETURN_NOT_OK(ExpectKeyword("PATTERN"));
+    CEPSHED_RETURN_NOT_OK(ExpectKeyword("SEQ"));
+    CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+    while (true) {
+      CEPSHED_ASSIGN_OR_RETURN(PatternElement elem, ParseElement());
+      query.elements.push_back(std::move(elem));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+
+    if (IsKeyword(Peek(), "WHERE")) {
+      Advance();
+      // Top-level conjunction becomes the predicate list.
+      while (true) {
+        CEPSHED_ASSIGN_OR_RETURN(ExprPtr pred, ParseCmp());
+        query.predicates.push_back(std::move(pred));
+        if (IsKeyword(Peek(), "AND")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+
+    if (IsKeyword(Peek(), "POLICY")) {
+      Advance();
+      const Token& t = Peek();
+      if (IsKeyword(t, "any") || IsKeyword(t, "skip_till_any_match")) {
+        query.policy = SelectionPolicy::kSkipTillAnyMatch;
+      } else if (IsKeyword(t, "next") || IsKeyword(t, "skip_till_next_match")) {
+        query.policy = SelectionPolicy::kSkipTillNextMatch;
+      } else if (IsKeyword(t, "strict") || IsKeyword(t, "contiguity")) {
+        query.policy = SelectionPolicy::kStrictContiguity;
+      } else {
+        return Err("unknown selection policy '" + t.text + "'");
+      }
+      Advance();
+    }
+
+    CEPSHED_RETURN_NOT_OK(ExpectKeyword("WITHIN"));
+    // Either a duration (8ms, 1h) or an event-count window (1000 EVENTS).
+    if (Peek().kind == TokenKind::kInt && IsKeyword(Peek(1), "EVENTS")) {
+      query.count_window = static_cast<uint64_t>(Advance().int_value);
+      Advance();  // EVENTS
+      // Time slices etc. still need a duration scale; callers replaying
+      // one event per time unit get an equivalent window.
+      query.window = static_cast<Duration>(query.count_window);
+    } else {
+      CEPSHED_ASSIGN_OR_RETURN(query.window, ParseDuration());
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("trailing input after WITHIN clause");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " (near offset " + std::to_string(Peek().offset) + ")");
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) return Err(std::string("expected '") + what + "'");
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(Peek(), kw)) return Err(std::string("expected keyword ") + kw);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<PatternElement> ParseElement() {
+    PatternElement elem;
+    if (Peek().kind == TokenKind::kBang || IsKeyword(Peek(), "NOT")) {
+      elem.negated = true;
+      Advance();
+    }
+    if (Peek().kind != TokenKind::kIdent) return Err("expected event type name");
+    elem.event_type = Advance().text;
+    if (Peek().kind == TokenKind::kPlus) {
+      Advance();
+      elem.kleene = true;
+      elem.min_reps = 1;
+      elem.max_reps = INT_MAX;
+      if (Peek().kind == TokenKind::kLBrace) {
+        // Optional repetition bounds: {min}, {min,}, {min,max}.
+        Advance();
+        if (Peek().kind != TokenKind::kInt) return Err("expected Kleene min bound");
+        elem.min_reps = static_cast<int>(Advance().int_value);
+        elem.max_reps = elem.min_reps;
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          elem.max_reps = INT_MAX;
+          if (Peek().kind == TokenKind::kInt) {
+            elem.max_reps = static_cast<int>(Advance().int_value);
+          }
+        }
+        CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "}"));
+      }
+    }
+    if (Peek().kind != TokenKind::kIdent) return Err("expected pattern variable name");
+    elem.variable = Advance().text;
+    if (Peek().kind == TokenKind::kLBracket) {
+      // Array marker `a[]` on Kleene variables.
+      Advance();
+      CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "]"));
+      if (!elem.kleene) return Err("array marker on non-Kleene variable");
+    }
+    return elem;
+  }
+
+  Result<ExprPtr> ParseDisj() {
+    CEPSHED_ASSIGN_OR_RETURN(ExprPtr lhs, ParseConj());
+    if (!IsKeyword(Peek(), "OR")) return lhs;
+    std::vector<ExprPtr> children = {std::move(lhs)};
+    while (IsKeyword(Peek(), "OR")) {
+      Advance();
+      CEPSHED_ASSIGN_OR_RETURN(ExprPtr rhs, ParseConj());
+      children.push_back(std::move(rhs));
+    }
+    return Expr::Or(std::move(children));
+  }
+
+  Result<ExprPtr> ParseConj() {
+    CEPSHED_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCmp());
+    if (!IsKeyword(Peek(), "AND")) return lhs;
+    std::vector<ExprPtr> children = {std::move(lhs)};
+    while (IsKeyword(Peek(), "AND")) {
+      Advance();
+      CEPSHED_ASSIGN_OR_RETURN(ExprPtr rhs, ParseCmp());
+      children.push_back(std::move(rhs));
+    }
+    return Expr::And(std::move(children));
+  }
+
+  Result<ExprPtr> ParseCmp() {
+    if (IsKeyword(Peek(), "NOT")) {
+      Advance();
+      CEPSHED_ASSIGN_OR_RETURN(ExprPtr inner, ParseCmp());
+      return Expr::Not(std::move(inner));
+    }
+    CEPSHED_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd());
+    const TokenKind k = Peek().kind;
+    if (k == TokenKind::kIn || IsKeyword(Peek(), "IN")) {
+      Advance();
+      CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kLBrace, "{"));
+      std::vector<Value> values;
+      while (true) {
+        CEPSHED_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        values.push_back(std::move(v));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "}"));
+      return Expr::InSet(std::move(lhs), std::move(values));
+    }
+    CmpOp op;
+    switch (k) {
+      case TokenKind::kEq: op = CmpOp::kEq; break;
+      case TokenKind::kNe: op = CmpOp::kNe; break;
+      case TokenKind::kLt: op = CmpOp::kLt; break;
+      case TokenKind::kLe: op = CmpOp::kLe; break;
+      case TokenKind::kGt: op = CmpOp::kGt; break;
+      case TokenKind::kGe: op = CmpOp::kGe; break;
+      default:
+        return lhs;  // bare expression (boolean context)
+    }
+    Advance();
+    CEPSHED_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdd());
+    return Expr::Compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    CEPSHED_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul());
+    while (Peek().kind == TokenKind::kPlus || Peek().kind == TokenKind::kMinus) {
+      const BinOp op = Advance().kind == TokenKind::kPlus ? BinOp::kAdd : BinOp::kSub;
+      CEPSHED_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMul());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMul() {
+    CEPSHED_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().kind == TokenKind::kStar || Peek().kind == TokenKind::kSlash ||
+           Peek().kind == TokenKind::kPercent) {
+      const TokenKind k = Advance().kind;
+      const BinOp op = k == TokenKind::kStar
+                           ? BinOp::kMul
+                           : (k == TokenKind::kSlash ? BinOp::kDiv : BinOp::kMod);
+      CEPSHED_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().kind == TokenKind::kMinus) {
+      Advance();
+      CEPSHED_ASSIGN_OR_RETURN(ExprPtr inner, ParseUnary());
+      return Expr::Binary(BinOp::kSub, Expr::Literal(Value(static_cast<int64_t>(0))),
+                          std::move(inner));
+    }
+    return ParsePrimary();
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        const int64_t v = t.int_value;
+        Advance();
+        return Value(v);
+      }
+      case TokenKind::kDouble: {
+        const double v = t.double_value;
+        Advance();
+        return Value(v);
+      }
+      case TokenKind::kString: {
+        std::string s = t.text;
+        Advance();
+        return Value(std::move(s));
+      }
+      case TokenKind::kMinus: {
+        Advance();
+        CEPSHED_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+        if (v.type() == ValueType::kInt) return Value(-v.AsInt());
+        if (v.type() == ValueType::kDouble) return Value(-v.AsDouble());
+        return Err("cannot negate a string literal");
+      }
+      default:
+        return Err("expected literal");
+    }
+  }
+
+  // Parses an attribute reference starting at the current identifier.
+  Result<ExprPtr> ParseAttrRef() {
+    const std::string var = Advance().text;
+    RefSelector selector = RefSelector::kSingle;
+    if (Peek().kind == TokenKind::kLBracket) {
+      Advance();
+      const Token& sel = Peek();
+      if (IsKeyword(sel, "i")) {
+        Advance();
+        if (Peek().kind == TokenKind::kPlus) {
+          Advance();
+          if (Peek().kind != TokenKind::kInt || Peek().int_value != 1) {
+            return Err("only [i+1] iteration references are supported");
+          }
+          Advance();
+          selector = RefSelector::kIterCurr;
+        } else {
+          selector = RefSelector::kIterPrev;
+        }
+      } else if (IsKeyword(sel, "first")) {
+        Advance();
+        selector = RefSelector::kFirst;
+      } else if (IsKeyword(sel, "last")) {
+        Advance();
+        selector = RefSelector::kLast;
+      } else {
+        return Err("expected i, i+1, first, or last in [] selector");
+      }
+      CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kRBracket, "]"));
+    }
+    CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kDot, "."));
+    if (Peek().kind != TokenKind::kIdent) return Err("expected attribute name");
+    const std::string attr = Advance().text;
+    return Expr::Attr(var, selector, attr);
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kInt || t.kind == TokenKind::kDouble ||
+        t.kind == TokenKind::kString) {
+      CEPSHED_ASSIGN_OR_RETURN(Value v, ParseLiteral());
+      return Expr::Literal(std::move(v));
+    }
+    if (t.kind == TokenKind::kLParen) {
+      Advance();
+      CEPSHED_ASSIGN_OR_RETURN(ExprPtr inner, ParseDisj());
+      CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+      return inner;
+    }
+    if (t.kind != TokenKind::kIdent) return Err("expected expression");
+
+    if (IsKeyword(t, "SQRT") || IsKeyword(t, "ABS")) {
+      const FuncKind fn = IsKeyword(t, "SQRT") ? FuncKind::kSqrt : FuncKind::kAbs;
+      Advance();
+      CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+      CEPSHED_ASSIGN_OR_RETURN(ExprPtr arg, ParseDisj());
+      CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+      return Expr::Func(fn, std::move(arg));
+    }
+
+    if (IsKeyword(t, "AVG") || IsKeyword(t, "SUM") || IsKeyword(t, "MIN") ||
+        IsKeyword(t, "MAX") || IsKeyword(t, "COUNT")) {
+      AggKind agg = AggKind::kAvg;
+      if (IsKeyword(t, "SUM")) agg = AggKind::kSum;
+      if (IsKeyword(t, "MIN")) agg = AggKind::kMin;
+      if (IsKeyword(t, "MAX")) agg = AggKind::kMax;
+      if (IsKeyword(t, "COUNT")) agg = AggKind::kCount;
+      const bool is_avg = IsKeyword(t, "AVG");
+      Advance();
+      CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kLParen, "("));
+      // Kleene aggregate form: VAR [] . ATTR
+      if (Peek().kind == TokenKind::kIdent && Peek(1).kind == TokenKind::kLBracket &&
+          Peek(2).kind == TokenKind::kRBracket) {
+        const std::string var = Advance().text;
+        Advance();  // [
+        Advance();  // ]
+        CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kDot, "."));
+        if (Peek().kind != TokenKind::kIdent) return Err("expected attribute name");
+        const std::string attr = Advance().text;
+        CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+        return Expr::Aggregate(agg, var, attr);
+      }
+      if (!is_avg) {
+        return Err("SUM/MIN/MAX/COUNT require a Kleene argument var[].attr");
+      }
+      // n-ary AVG over scalar expressions (the paper's Q3).
+      std::vector<ExprPtr> args;
+      while (true) {
+        CEPSHED_ASSIGN_OR_RETURN(ExprPtr arg, ParseDisj());
+        args.push_back(std::move(arg));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      CEPSHED_RETURN_NOT_OK(Expect(TokenKind::kRParen, ")"));
+      return Expr::AvgN(std::move(args));
+    }
+
+    return ParseAttrRef();
+  }
+
+  Result<Duration> ParseDuration() {
+    if (Peek().kind != TokenKind::kInt && Peek().kind != TokenKind::kDouble) {
+      return Err("expected duration");
+    }
+    const Token num = Advance();
+    const double amount =
+        num.kind == TokenKind::kInt ? static_cast<double>(num.int_value) : num.double_value;
+    if (Peek().kind != TokenKind::kIdent) return Err("expected duration unit");
+    const Token unit = Advance();
+    double factor;
+    if (IsKeyword(unit, "us")) {
+      factor = 1;
+    } else if (IsKeyword(unit, "ms")) {
+      factor = 1000;
+    } else if (IsKeyword(unit, "s") || IsKeyword(unit, "sec")) {
+      factor = 1000 * 1000;
+    } else if (IsKeyword(unit, "m") || IsKeyword(unit, "min")) {
+      factor = 60.0 * 1000 * 1000;
+    } else if (IsKeyword(unit, "h")) {
+      factor = 3600.0 * 1000 * 1000;
+    } else {
+      return Err("unknown duration unit '" + unit.text + "'");
+    }
+    return static_cast<Duration>(amount * factor);
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  CEPSHED_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace cepshed

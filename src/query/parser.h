@@ -1,0 +1,39 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Recursive-descent parser for the SASE-style query language used in the
+// paper's listings. Produces an unresolved Query; name resolution happens
+// in Query::Validate / Nfa::Compile against a schema.
+//
+// Grammar sketch:
+//   query    := PATTERN SEQ '(' elem (',' elem)* ')' [WHERE disj] WITHIN dur
+//   elem     := ['!'|'¬'|NOT] TYPE ['+' ['{' INT [',' [INT]] '}']] VAR ['[' ']']
+//   disj     := conj (OR conj)*
+//   conj     := cmp (AND cmp)*
+//   cmp      := [NOT] add [ ('='|'!='|'<'|'<='|'>'|'>=') add
+//                          | (IN|'∈') '{' literal (',' literal)* '}' ]
+//   add      := mul (('+'|'-') mul)*
+//   mul      := unary (('*'|'/'|'%') unary)*
+//   unary    := ['-'] primary
+//   primary  := literal | '(' disj ')' | SQRT '(' disj ')' | ABS '(' disj ')'
+//             | (AVG|SUM|MIN|MAX|COUNT) '(' aggarg ')' | attr
+//   aggarg   := VAR '[' ']' '.' ATTR          (Kleene aggregate)
+//             | disj (',' disj)*              (AVG only: n-ary mean)
+//   attr     := VAR ['[' (i | i'+'1 | first | last) ']'] '.' ATTR
+//   dur      := NUMBER (us|ms|s|min|m|h)
+
+#ifndef CEPSHED_QUERY_PARSER_H_
+#define CEPSHED_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "src/cep/pattern.h"
+#include "src/common/result.h"
+
+namespace cepshed {
+
+/// \brief Parses a SASE-style query string into an (unresolved) Query.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_QUERY_PARSER_H_

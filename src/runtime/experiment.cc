@@ -1,0 +1,258 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/runtime/experiment.h"
+
+#include "src/shed/baselines.h"
+#include "src/shed/hybrid.h"
+
+namespace cepshed {
+
+const char* StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kNone: return "None";
+    case StrategyKind::kRI: return "RI";
+    case StrategyKind::kSI: return "SI";
+    case StrategyKind::kRS: return "RS";
+    case StrategyKind::kSS: return "SS";
+    case StrategyKind::kHybrid: return "Hybrid";
+    case StrategyKind::kHyI: return "HyI";
+    case StrategyKind::kHyS: return "HyS";
+    case StrategyKind::kPI: return "PI";
+  }
+  return "?";
+}
+
+ExperimentHarness::ExperimentHarness(const Schema* schema, Query query,
+                                     HarnessOptions options)
+    : schema_(schema),
+      query_(std::move(query)),
+      options_(options),
+      train_(schema),
+      test_(schema) {}
+
+Status ExperimentHarness::Prepare(const EventStream& train, const EventStream& test) {
+  CEPSHED_ASSIGN_OR_RETURN(nfa_, Nfa::Compile(query_, schema_));
+  train_ = train;
+  test_ = test;
+
+  CEPSHED_ASSIGN_OR_RETURN(
+      offline_, EstimateOffline(nfa_, train_, options_.cost_model.num_time_slices,
+                                options_.cost_model.use_resource_cost, options_.engine));
+  model_ = std::make_unique<CostModel>(nfa_, options_.cost_model);
+  Rng rng(options_.seed);
+  CEPSHED_RETURN_NOT_OK(model_->Train(offline_, &rng));
+  utility_samples_ = ComputeTrainingUtilities(*model_, train_);
+
+  positional_ = std::make_unique<PositionalUtility>(
+      static_cast<int>(schema_->num_event_types()), /*buckets=*/8, query_.window);
+  CEPSHED_RETURN_NOT_OK(positional_->Train(nfa_, train_));
+
+  prepared_ = true;
+  return RefreshTruth();
+}
+
+Status ExperimentHarness::RefreshTruth() {
+  if (!prepared_) return Status::Internal("Prepare must be called first");
+  Engine engine(nfa_, options_.engine);
+  NoShedder none;
+  ShedRunner runner(&engine, &none, options_.latency);
+  truth_run_ = runner.Run(test_);
+  truth_ = GroundTruth(truth_run_.matches);
+  return Status::OK();
+}
+
+double ExperimentHarness::BaselineLatency(LatencyStat stat) const {
+  switch (stat) {
+    case LatencyStat::kAverage: return truth_run_.avg_latency;
+    case LatencyStat::kP95: return truth_run_.p95_latency;
+    case LatencyStat::kP99: return truth_run_.p99_latency;
+  }
+  return truth_run_.avg_latency;
+}
+
+ExperimentResult ExperimentHarness::RunWith(Shedder* shedder, CostModel* model,
+                                            size_t pm_sample_stride) {
+  Engine engine(nfa_, options_.engine);
+  if (model != nullptr) {
+    engine.set_classifier(
+        [model](const PartialMatch& pm) { return model->Classify(pm); });
+    engine.set_pm_created_hook(
+        [model](const PartialMatch& pm, const PartialMatch* parent) {
+          model->OnPmCreated(pm, parent, pm.last_ts);
+        });
+    engine.set_match_hook([model](const Match& m, const PartialMatch* parent) {
+      model->OnMatch(m, parent, m.detected_at);
+    });
+  }
+  ShedRunner runner(&engine, shedder, options_.latency);
+  ExperimentResult result;
+  result.name = shedder->Name();
+  result.raw = runner.Run(test_, pm_sample_stride);
+  result.quality = ComputeQuality(result.raw.matches, truth_);
+  result.throughput_eps =
+      result.raw.wall_seconds > 0.0
+          ? static_cast<double>(result.raw.total_events) / result.raw.wall_seconds
+          : 0.0;
+  result.shed_event_ratio =
+      result.raw.total_events > 0
+          ? static_cast<double>(result.raw.dropped_events) /
+                static_cast<double>(result.raw.total_events)
+          : 0.0;
+  result.shed_pm_ratio =
+      result.raw.pms_created > 0
+          ? static_cast<double>(result.raw.shed_pms) /
+                static_cast<double>(result.raw.pms_created)
+          : 0.0;
+  result.avg_latency = result.raw.avg_latency;
+  result.bound_violation_ratio =
+      result.raw.bound_checked > 0
+          ? static_cast<double>(result.raw.bound_violations) /
+                static_cast<double>(result.raw.bound_checked)
+          : 0.0;
+  return result;
+}
+
+ExperimentResult ExperimentHarness::RunBound(StrategyKind kind, double bound_fraction,
+                                             LatencyStat stat,
+                                             size_t pm_sample_stride) {
+  LatencyMonitor::Options lat = options_.latency;
+  lat.stat = stat;
+  HarnessOptions saved = options_;
+  options_.latency = lat;
+  const double theta = bound_fraction * BaselineLatency(stat);
+  const uint64_t seed = options_.seed * 1000003 + static_cast<uint64_t>(kind) * 101 +
+                        static_cast<uint64_t>(bound_fraction * 1000);
+
+  ExperimentResult result;
+  switch (kind) {
+    case StrategyKind::kNone: {
+      NoShedder shedder;
+      result = RunWith(&shedder, nullptr, pm_sample_stride);
+      break;
+    }
+    case StrategyKind::kRI: {
+      RandomInputShedder shedder(theta, options_.baseline_trigger_delay, seed);
+      result = RunWith(&shedder, nullptr, pm_sample_stride);
+      break;
+    }
+    case StrategyKind::kSI: {
+      SelectivityInputShedder shedder(offline_, theta, options_.baseline_trigger_delay, seed);
+      result = RunWith(&shedder, nullptr, pm_sample_stride);
+      break;
+    }
+    case StrategyKind::kRS: {
+      RandomStateShedder shedder(LatencyBoundMode{theta, options_.baseline_trigger_delay}, seed);
+      result = RunWith(&shedder, nullptr, pm_sample_stride);
+      break;
+    }
+    case StrategyKind::kSS: {
+      SelectivityStateShedder shedder(offline_, LatencyBoundMode{theta, options_.baseline_trigger_delay}, seed);
+      result = RunWith(&shedder, nullptr, pm_sample_stride);
+      break;
+    }
+    case StrategyKind::kPI: {
+      PositionalInputShedder shedder(positional_.get(), theta,
+                                     options_.baseline_trigger_delay, seed);
+      result = RunWith(&shedder, nullptr, pm_sample_stride);
+      break;
+    }
+    case StrategyKind::kHybrid:
+    case StrategyKind::kHyI:
+    case StrategyKind::kHyS: {
+      CostModel model = *model_;  // fresh copy: online adaptation is per-run
+      HybridOptions hopts;
+      hopts.theta = theta;
+      hopts.trigger_delay = options_.trigger_delay;
+      hopts.enable_input = kind != StrategyKind::kHyS;
+      hopts.enable_state = kind != StrategyKind::kHyI;
+      hopts.solver = options_.solver;
+      hopts.utility_samples = utility_samples_;
+      HybridShedder shedder(&model, hopts);
+      result = RunWith(&shedder, &model, pm_sample_stride);
+      break;
+    }
+  }
+  options_ = saved;
+  return result;
+}
+
+ExperimentResult ExperimentHarness::RunFixed(StrategyKind kind, double ratio,
+                                             size_t pm_sample_stride) {
+  const uint64_t seed = options_.seed * 7919 + static_cast<uint64_t>(kind) * 31 +
+                        static_cast<uint64_t>(ratio * 1000);
+  switch (kind) {
+    case StrategyKind::kNone: {
+      NoShedder shedder;
+      return RunWith(&shedder, nullptr, pm_sample_stride);
+    }
+    case StrategyKind::kRI: {
+      RandomInputShedder shedder(ratio, seed);
+      return RunWith(&shedder, nullptr, pm_sample_stride);
+    }
+    case StrategyKind::kSI: {
+      SelectivityInputShedder shedder(offline_, ratio, seed);
+      return RunWith(&shedder, nullptr, pm_sample_stride);
+    }
+    case StrategyKind::kRS: {
+      RandomStateShedder shedder(FixedRatioMode{ratio, options_.state_shed_period}, seed);
+      return RunWith(&shedder, nullptr, pm_sample_stride);
+    }
+    case StrategyKind::kSS: {
+      SelectivityStateShedder shedder(offline_, FixedRatioMode{ratio, options_.state_shed_period}, seed);
+      return RunWith(&shedder, nullptr, pm_sample_stride);
+    }
+    case StrategyKind::kPI: {
+      PositionalInputShedder shedder(positional_.get(), ratio, seed);
+      return RunWith(&shedder, nullptr, pm_sample_stride);
+    }
+    case StrategyKind::kHyI: {
+      CostModel model = *model_;
+      const auto [thr, tie] = ComputeUtilityThreshold(model, train_, ratio);
+      HybridFixedInputShedder shedder(&model, thr, tie, seed);
+      return RunWith(&shedder, &model, pm_sample_stride);
+    }
+    case StrategyKind::kHyS: {
+      CostModel model = *model_;
+      HybridFixedStateShedder shedder(&model, ratio, options_.state_shed_period, seed);
+      return RunWith(&shedder, &model, pm_sample_stride);
+    }
+    case StrategyKind::kHybrid: {
+      // Fixed-ratio hybrid: split the ratio across input and state.
+      CostModel model = *model_;
+      const auto [thr, tie] = ComputeUtilityThreshold(model, train_, ratio * 0.5);
+      HybridFixedInputShedder input(&model, thr, tie, seed);
+      // Run input filter and periodic state shedding together via a small
+      // composite.
+      class Composite : public Shedder {
+       public:
+        Composite(HybridFixedInputShedder* in, HybridFixedStateShedder* st)
+            : in_(in), st_(st) {}
+        std::string Name() const override { return "Hybrid"; }
+        void Bind(Engine* engine) override {
+          Shedder::Bind(engine);
+          in_->Bind(engine);
+          st_->Bind(engine);
+        }
+        bool FilterEvent(const Event& e) override { return in_->FilterEvent(e); }
+        void AfterEvent(Timestamp now, double mu) override {
+          st_->AfterEvent(now, mu);
+        }
+       private:
+        HybridFixedInputShedder* in_;
+        HybridFixedStateShedder* st_;
+      };
+      HybridFixedStateShedder state(&model, ratio * 0.5, options_.state_shed_period,
+                                    seed + 1);
+      Composite composite(&input, &state);
+      ExperimentResult result = RunWith(&composite, &model, pm_sample_stride);
+      // Collect drop/shed counters from the parts.
+      result.raw.dropped_events = input.events_dropped();
+      result.raw.shed_pms = state.pms_shed();
+      return result;
+    }
+  }
+  NoShedder shedder;
+  return RunWith(&shedder, nullptr, pm_sample_stride);
+}
+
+}  // namespace cepshed

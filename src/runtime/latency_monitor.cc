@@ -1,0 +1,65 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/runtime/latency_monitor.h"
+
+#include <algorithm>
+
+namespace cepshed {
+
+LatencyMonitor::LatencyMonitor() : LatencyMonitor(Options()) {}
+
+LatencyMonitor::LatencyMonitor(Options options) : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  ring_.assign(options_.window, 0.0);
+}
+
+void LatencyMonitor::Record(double latency) {
+  if (filled_ == options_.window) {
+    window_sum_ -= ring_[head_];
+  } else {
+    ++filled_;
+  }
+  ring_[head_] = latency;
+  head_ = (head_ + 1) % options_.window;
+  window_sum_ += latency;
+  total_sum_ += latency;
+  ++count_;
+
+  if (options_.stat == LatencyStat::kAverage) {
+    current_ = window_sum_ / static_cast<double>(filled_);
+    return;
+  }
+  if (++since_refresh_ >= options_.refresh_every || count_ <= options_.refresh_every) {
+    since_refresh_ = 0;
+    Refresh();
+  }
+}
+
+void LatencyMonitor::Refresh() {
+  scratch_.assign(ring_.begin(), ring_.begin() + static_cast<ptrdiff_t>(filled_));
+  if (scratch_.empty()) {
+    current_ = 0.0;
+    return;
+  }
+  const double q = options_.stat == LatencyStat::kP95 ? 0.95 : 0.99;
+  const size_t idx = std::min(
+      scratch_.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(scratch_.size() - 1) + 0.5));
+  std::nth_element(scratch_.begin(), scratch_.begin() + static_cast<ptrdiff_t>(idx),
+                   scratch_.end());
+  current_ = scratch_[idx];
+}
+
+double LatencyMonitor::OverallAverage() const {
+  return count_ == 0 ? 0.0 : total_sum_ / static_cast<double>(count_);
+}
+
+void LatencyMonitor::Reset() {
+  std::fill(ring_.begin(), ring_.end(), 0.0);
+  head_ = filled_ = count_ = 0;
+  window_sum_ = total_sum_ = 0.0;
+  since_refresh_ = 0;
+  current_ = 0.0;
+}
+
+}  // namespace cepshed

@@ -1,0 +1,67 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// The latency model: mu(k) as a sliding statistic over per-event
+// processing latencies ("latency is assessed for a fixed-size interval,
+// e.g., as a sliding average over 1,000 measurements", §III-A). Supports
+// the average, 95th- and 99th-percentile statistics used across the
+// paper's experiments.
+
+#ifndef CEPSHED_RUNTIME_LATENCY_MONITOR_H_
+#define CEPSHED_RUNTIME_LATENCY_MONITOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cepshed {
+
+/// \brief Which statistic over the sliding window defines mu(k).
+enum class LatencyStat : int { kAverage, kP95, kP99 };
+
+/// \brief Sliding-window latency statistic over per-event latencies.
+class LatencyMonitor {
+ public:
+  struct Options {
+    LatencyStat stat = LatencyStat::kAverage;
+    /// Measurements in the sliding window.
+    size_t window = 1000;
+    /// Recompute cadence for percentile stats (events); averages are exact
+    /// and O(1) per record.
+    size_t refresh_every = 64;
+  };
+
+  /// Constructs a monitor with default options (average over 1000).
+  LatencyMonitor();
+  explicit LatencyMonitor(Options options);
+
+  /// Records one per-event latency measurement.
+  void Record(double latency);
+
+  /// The current smoothed latency mu(k).
+  double Current() const { return current_; }
+
+  /// Exact statistic over all recorded measurements so far (used to
+  /// establish the no-shedding baseline latency a bound is defined
+  /// against).
+  double OverallAverage() const;
+
+  size_t Count() const { return count_; }
+  void Reset();
+
+ private:
+  void Refresh();
+
+  Options options_;
+  std::vector<double> ring_;
+  size_t head_ = 0;
+  size_t filled_ = 0;
+  size_t count_ = 0;
+  double window_sum_ = 0.0;
+  double total_sum_ = 0.0;
+  size_t since_refresh_ = 0;
+  double current_ = 0.0;
+  mutable std::vector<double> scratch_;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_RUNTIME_LATENCY_MONITOR_H_

@@ -1,0 +1,57 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/runtime/metrics.h"
+
+namespace cepshed {
+
+GroundTruth::GroundTruth(const std::vector<Match>& matches) {
+  detected_at_.reserve(matches.size());
+  for (const Match& m : matches) detected_at_.emplace(m.Key(), m.detected_at);
+}
+
+QualityMetrics ComputeQuality(const std::vector<Match>& found, const GroundTruth& truth) {
+  QualityMetrics q;
+  q.truth_size = truth.size();
+  q.found = found.size();
+  for (const Match& m : found) {
+    if (truth.Contains(m.Key())) {
+      ++q.true_positives;
+    } else {
+      ++q.false_positives;
+    }
+  }
+  q.recall = q.truth_size == 0
+                 ? 1.0
+                 : static_cast<double>(q.true_positives) / static_cast<double>(q.truth_size);
+  q.precision = q.found == 0
+                    ? 1.0
+                    : static_cast<double>(q.true_positives) / static_cast<double>(q.found);
+  return q;
+}
+
+QualityMetrics ComputeQualityInRange(const std::vector<Match>& found,
+                                     const GroundTruth& truth, Timestamp t_begin,
+                                     Timestamp t_end) {
+  QualityMetrics q;
+  for (const auto& [key, ts] : truth.entries()) {
+    if (ts >= t_begin && ts < t_end) ++q.truth_size;
+  }
+  for (const Match& m : found) {
+    if (m.detected_at < t_begin || m.detected_at >= t_end) continue;
+    ++q.found;
+    if (truth.Contains(m.Key())) {
+      ++q.true_positives;
+    } else {
+      ++q.false_positives;
+    }
+  }
+  q.recall = q.truth_size == 0
+                 ? 1.0
+                 : static_cast<double>(q.true_positives) / static_cast<double>(q.truth_size);
+  q.precision = q.found == 0
+                    ? 1.0
+                    : static_cast<double>(q.true_positives) / static_cast<double>(q.found);
+  return q;
+}
+
+}  // namespace cepshed

@@ -1,0 +1,61 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Result-quality metrics: the recall loss delta(k) of Problem 1 is
+// measured by comparing a shedding run's complete matches against the
+// ground truth produced by an identical run without shedding. For
+// monotonic queries precision is always 1; for non-monotonic queries
+// (negation) false positives are counted too.
+
+#ifndef CEPSHED_RUNTIME_METRICS_H_
+#define CEPSHED_RUNTIME_METRICS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cep/match.h"
+
+namespace cepshed {
+
+/// \brief The complete matches of an exhaustive (no-shedding) run, keyed
+/// by match identity, with detection timestamps for windowed analyses.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  explicit GroundTruth(const std::vector<Match>& matches);
+
+  size_t size() const { return detected_at_.size(); }
+  bool Contains(const std::string& key) const { return detected_at_.count(key) > 0; }
+  /// Detection timestamp of a truth match (requires Contains).
+  Timestamp DetectedAt(const std::string& key) const { return detected_at_.at(key); }
+  const std::unordered_map<std::string, Timestamp>& entries() const {
+    return detected_at_;
+  }
+
+ private:
+  std::unordered_map<std::string, Timestamp> detected_at_;
+};
+
+/// \brief Recall / precision of a shedding run against ground truth.
+struct QualityMetrics {
+  double recall = 1.0;
+  double precision = 1.0;
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t truth_size = 0;
+  size_t found = 0;
+};
+
+/// Computes recall and precision. With an empty truth, recall is 1; with
+/// no found matches, precision is 1.
+QualityMetrics ComputeQuality(const std::vector<Match>& found, const GroundTruth& truth);
+
+/// Recall over a time bucket [t_begin, t_end) of detection timestamps
+/// (Fig. 12's recall-over-offset series).
+QualityMetrics ComputeQualityInRange(const std::vector<Match>& found,
+                                     const GroundTruth& truth, Timestamp t_begin,
+                                     Timestamp t_end);
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_RUNTIME_METRICS_H_

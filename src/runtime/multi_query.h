@@ -1,0 +1,87 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Multi-query processing under one latency budget — the setting of the
+// prior CEP-shedding work the paper discusses ([24] He, Barman & Naughton,
+// which "optimizes shedding decisions for a set of queries based on
+// pre-defined weights"), realized on top of this library's per-query
+// hybrid shedders: the global budget is divided across the queries in
+// proportion to their weighted no-shedding costs, and each query's hybrid
+// strategy enforces its slice.
+
+#ifndef CEPSHED_RUNTIME_MULTI_QUERY_H_
+#define CEPSHED_RUNTIME_MULTI_QUERY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cep/engine.h"
+#include "src/runtime/latency_monitor.h"
+#include "src/runtime/metrics.h"
+#include "src/shed/cost_model.h"
+#include "src/shed/hybrid.h"
+
+namespace cepshed {
+
+/// \brief One query of the workload, with its share weight.
+struct WeightedQuery {
+  Query query;
+  /// Relative importance: a query with twice the weight receives twice the
+  /// per-unit-cost budget (pre-defined weights in the sense of [24]).
+  double weight = 1.0;
+};
+
+/// \brief Per-query outcome of a multi-query run.
+struct PerQueryResult {
+  std::string name;
+  std::vector<Match> matches;
+  double avg_latency = 0.0;     ///< this query's per-event cost share
+  uint64_t dropped_events = 0;  ///< events its rho_I discarded
+  uint64_t shed_pms = 0;
+};
+
+/// \brief Outcome of a multi-query run.
+struct MultiQueryResult {
+  std::vector<PerQueryResult> queries;
+  /// Total per-event latency (sum over queries), overall average.
+  double total_avg_latency = 0.0;
+};
+
+/// \brief Evaluates several queries over one stream, sharing a latency
+/// budget theta (in cost units per event across all queries).
+class MultiQueryRunner {
+ public:
+  /// The schema must outlive the runner.
+  MultiQueryRunner(const Schema* schema, std::vector<WeightedQuery> queries,
+                   HybridOptions shed_options = {}, CostModelOptions model_options = {},
+                   EngineOptions engine_options = {});
+
+  /// Compiles all queries and trains each query's cost model on `train`.
+  Status Prepare(const EventStream& train);
+
+  /// Processes `stream`. With `theta` <= 0 no shedding happens (the
+  /// exhaustive multi-query baseline); otherwise the budget is split
+  /// theta_q = theta * w_q c_q / sum(w c) where c_q is query q's
+  /// no-shedding average cost on the training stream, and each query's
+  /// hybrid shedder enforces its slice.
+  Result<MultiQueryResult> Run(const EventStream& stream, double theta);
+
+  size_t num_queries() const { return queries_.size(); }
+  /// Training-stream average per-event cost of one query (post-Prepare).
+  double BaselineCost(size_t q) const { return baseline_cost_[q]; }
+
+ private:
+  const Schema* schema_;
+  std::vector<WeightedQuery> queries_;
+  HybridOptions shed_options_;
+  CostModelOptions model_options_;
+  EngineOptions engine_options_;
+  std::vector<std::shared_ptr<const Nfa>> nfas_;
+  std::vector<std::unique_ptr<CostModel>> models_;
+  std::vector<std::vector<double>> utility_samples_;
+  std::vector<double> baseline_cost_;
+  bool prepared_ = false;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_RUNTIME_MULTI_QUERY_H_

@@ -1,0 +1,225 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/shed/baselines.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace cepshed {
+
+// --- RI ----------------------------------------------------------------
+
+RandomInputShedder::RandomInputShedder(double theta, uint64_t trigger_delay,
+                                       uint64_t seed)
+    : controller_(DropRateController(theta, trigger_delay)), rng_(seed) {}
+
+RandomInputShedder::RandomInputShedder(double fraction, uint64_t seed)
+    : fixed_fraction_(fraction), rng_(seed) {}
+
+double RandomInputShedder::theta() const {
+  return controller_ ? controller_->theta() : -1.0;
+}
+
+bool RandomInputShedder::FilterEvent(const Event&) {
+  const double p = fixed_fraction_ >= 0.0 ? fixed_fraction_ : rate_;
+  if (p > 0.0 && rng_.Bernoulli(p)) return DropEvent();
+  return false;
+}
+
+void RandomInputShedder::AfterEvent(Timestamp, double mu) {
+  if (controller_) rate_ = controller_->Update(mu);
+}
+
+void RandomInputShedder::Reset() {
+  Shedder::Reset();
+  rate_ = 0.0;
+  if (controller_) controller_->Reset();
+}
+
+// --- SI ----------------------------------------------------------------
+
+SelectivityInputShedder::SelectivityInputShedder(const OfflineStats& stats,
+                                                 double theta, uint64_t trigger_delay,
+                                                 uint64_t seed)
+    : type_utility_(stats.type_utility),
+      type_share_(stats.type_share),
+      controller_(DropRateController(theta, trigger_delay)),
+      rng_(seed) {
+  drop_prob_.assign(type_utility_.size(), 0.0);
+}
+
+SelectivityInputShedder::SelectivityInputShedder(const OfflineStats& stats,
+                                                 double fraction, uint64_t seed)
+    : type_utility_(stats.type_utility),
+      type_share_(stats.type_share),
+      fixed_fraction_(fraction),
+      rng_(seed) {
+  drop_prob_.assign(type_utility_.size(), 0.0);
+  RebuildPlan(fraction);
+}
+
+double SelectivityInputShedder::theta() const {
+  return controller_ ? controller_->theta() : -1.0;
+}
+
+void SelectivityInputShedder::RebuildPlan(double fraction) {
+  planned_fraction_ = fraction;
+  std::fill(drop_prob_.begin(), drop_prob_.end(), 0.0);
+  if (fraction <= 0.0) return;
+  // Types in increasing utility order; drop whole low-utility types first,
+  // then a probabilistic share of the marginal type.
+  std::vector<size_t> order(type_utility_.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (type_utility_[a] != type_utility_[b]) {
+      return type_utility_[a] < type_utility_[b];
+    }
+    return type_share_[a] > type_share_[b];
+  });
+  double remaining = fraction;
+  for (size_t t : order) {
+    if (remaining <= 0.0) break;
+    const double share = type_share_[t];
+    if (share <= 0.0) continue;
+    if (share <= remaining) {
+      drop_prob_[t] = 1.0;
+      remaining -= share;
+    } else {
+      drop_prob_[t] = remaining / share;
+      remaining = 0.0;
+    }
+  }
+}
+
+bool SelectivityInputShedder::FilterEvent(const Event& event) {
+  const size_t t = static_cast<size_t>(event.type());
+  if (t >= drop_prob_.size()) return false;
+  const double p = drop_prob_[t];
+  if (p >= 1.0) return DropEvent();
+  if (p > 0.0 && rng_.Bernoulli(p)) return DropEvent();
+  return false;
+}
+
+void SelectivityInputShedder::AfterEvent(Timestamp, double mu) {
+  if (!controller_) return;
+  const double rate = controller_->Update(mu);
+  if (rate != planned_fraction_) RebuildPlan(rate);
+}
+
+void SelectivityInputShedder::Reset() {
+  Shedder::Reset();
+  if (controller_) {
+    controller_->Reset();
+    RebuildPlan(0.0);
+  } else {
+    RebuildPlan(fixed_fraction_);
+  }
+}
+
+// --- RS ----------------------------------------------------------------
+
+RandomStateShedder::RandomStateShedder(LatencyBoundMode mode, uint64_t seed)
+    : trigger_(OverloadTrigger(mode.theta, mode.trigger_delay)), rng_(seed) {}
+
+RandomStateShedder::RandomStateShedder(FixedRatioMode mode, uint64_t seed)
+    : fixed_fraction_(mode.fraction),
+      period_(mode.period == 0 ? 1 : mode.period),
+      rng_(seed) {}
+
+double RandomStateShedder::theta() const {
+  return trigger_ ? trigger_->theta() : -1.0;
+}
+
+void RandomStateShedder::ShedFraction(double fraction) {
+  if (fraction <= 0.0) return;
+  engine_->store().ForEachAlive([&](PartialMatch* pm) {
+    if (rng_.Bernoulli(fraction)) KillPm(pm);
+  });
+  engine_->store().ForEachAliveWitness([&](PartialMatch* pm) {
+    if (rng_.Bernoulli(fraction)) KillPm(pm);
+  });
+}
+
+void RandomStateShedder::AfterEvent(Timestamp, double mu) {
+  if (trigger_) {
+    const double v = trigger_->Check(mu);
+    if (v > 0.0) ShedFraction(v);
+    return;
+  }
+  if (++events_seen_ % period_ == 0) ShedFraction(fixed_fraction_);
+}
+
+void RandomStateShedder::Reset() {
+  Shedder::Reset();
+  events_seen_ = 0;
+  if (trigger_) trigger_->Reset();
+}
+
+// --- SS ----------------------------------------------------------------
+
+SelectivityStateShedder::SelectivityStateShedder(const OfflineStats& stats,
+                                                 LatencyBoundMode mode, uint64_t seed)
+    : state_completion_(stats.state_completion),
+      trigger_(OverloadTrigger(mode.theta, mode.trigger_delay)),
+      rng_(seed) {}
+
+SelectivityStateShedder::SelectivityStateShedder(const OfflineStats& stats,
+                                                 FixedRatioMode mode, uint64_t seed)
+    : state_completion_(stats.state_completion),
+      fixed_fraction_(mode.fraction),
+      period_(mode.period == 0 ? 1 : mode.period),
+      rng_(seed) {}
+
+double SelectivityStateShedder::theta() const {
+  return trigger_ ? trigger_->theta() : -1.0;
+}
+
+void SelectivityStateShedder::ShedFraction(double fraction) {
+  if (fraction <= 0.0) return;
+  const size_t alive =
+      engine_->store().NumAlive() + engine_->store().NumAliveWitnesses();
+  size_t target = static_cast<size_t>(fraction * static_cast<double>(alive) + 0.5);
+  if (target == 0) return;
+
+  // Witnesses have zero completion probability: shed them first.
+  engine_->store().ForEachAliveWitness([&](PartialMatch* pm) {
+    if (target == 0) return;
+    KillPm(pm);
+    --target;
+  });
+  if (target == 0) return;
+
+  // States in increasing completion probability.
+  std::vector<int> order(state_completion_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return state_completion_[static_cast<size_t>(a)] <
+           state_completion_[static_cast<size_t>(b)];
+  });
+  for (int s : order) {
+    if (target == 0) break;
+    for (auto& pm : engine_->store().bucket(s)) {
+      if (target == 0) break;
+      if (!pm->alive) continue;
+      KillPm(pm.get());
+      --target;
+    }
+  }
+}
+
+void SelectivityStateShedder::AfterEvent(Timestamp, double mu) {
+  if (trigger_) {
+    const double v = trigger_->Check(mu);
+    if (v > 0.0) ShedFraction(v);
+    return;
+  }
+  if (++events_seen_ % period_ == 0) ShedFraction(fixed_fraction_);
+}
+
+void SelectivityStateShedder::Reset() {
+  Shedder::Reset();
+  events_seen_ = 0;
+  if (trigger_) trigger_->Reset();
+}
+
+}  // namespace cepshed

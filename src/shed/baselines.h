@@ -1,0 +1,175 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// The baseline shedding strategies the paper compares against (§VI-A):
+//   RI - random input shedding (as in Kafka/Heron),
+//   SI - selectivity-based input shedding (per-type utility),
+//   RS - random state shedding,
+//   SS - selectivity-based state shedding (per-state completion
+//        probability, following best-effort pattern matching [29]).
+// Every strategy supports two operation modes: latency-bound driven
+// (trigger when mu > theta) and fixed shedding ratio (§VI-C).
+
+#ifndef CEPSHED_SHED_BASELINES_H_
+#define CEPSHED_SHED_BASELINES_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/shed/offline_estimator.h"
+#include "src/shed/shedder.h"
+
+namespace cepshed {
+
+/// \brief Bang-bang drop-rate controller shared by the input-based
+/// latency-bound strategies: raise the drop rate on each trigger
+/// proportionally to the violation, switch off once the bound holds.
+class DropRateController {
+ public:
+  DropRateController(double theta, uint64_t delay_events)
+      : trigger_(theta, delay_events) {}
+
+  /// Updates with the current latency; returns the target drop fraction.
+  double Update(double mu) {
+    if (mu <= trigger_.theta()) {
+      rate_ = 0.0;
+      return rate_;
+    }
+    const double v = trigger_.Check(mu);
+    if (v > 0.0) {
+      rate_ = std::min(0.98, rate_ + v * (1.0 - rate_));
+    }
+    return rate_;
+  }
+
+  double rate() const { return rate_; }
+  double theta() const { return trigger_.theta(); }
+  void Reset() {
+    rate_ = 0.0;
+    trigger_.Reset();
+  }
+
+ private:
+  OverloadTrigger trigger_;
+  double rate_ = 0.0;
+};
+
+/// \brief RI: drops each input event with the current target probability.
+class RandomInputShedder : public Shedder {
+ public:
+  /// Latency-bound mode.
+  RandomInputShedder(double theta, uint64_t trigger_delay, uint64_t seed);
+  /// Fixed-ratio mode: drop each event with probability `fraction`.
+  RandomInputShedder(double fraction, uint64_t seed);
+
+  std::string Name() const override { return "RI"; }
+  double theta() const override;
+  bool FilterEvent(const Event& event) override;
+  void AfterEvent(Timestamp now, double mu) override;
+  void Reset() override;
+
+ private:
+  std::optional<DropRateController> controller_;
+  double rate_ = 0.0;
+  double fixed_fraction_ = -1.0;
+  Rng rng_;
+};
+
+/// \brief SI: drops events of the least useful types first, covering the
+/// target drop fraction from the per-type input shares.
+class SelectivityInputShedder : public Shedder {
+ public:
+  /// Latency-bound mode.
+  SelectivityInputShedder(const OfflineStats& stats, double theta,
+                          uint64_t trigger_delay, uint64_t seed);
+  /// Fixed-ratio mode.
+  SelectivityInputShedder(const OfflineStats& stats, double fraction, uint64_t seed);
+
+  std::string Name() const override { return "SI"; }
+  double theta() const override;
+  bool FilterEvent(const Event& event) override;
+  void AfterEvent(Timestamp now, double mu) override;
+  void Reset() override;
+
+ private:
+  void RebuildPlan(double fraction);
+
+  std::vector<double> type_utility_;
+  std::vector<double> type_share_;
+  std::optional<DropRateController> controller_;
+  double fixed_fraction_ = -1.0;
+  double planned_fraction_ = -1.0;
+  /// Per type: probability of dropping an event of that type.
+  std::vector<double> drop_prob_;
+  Rng rng_;
+};
+
+/// \brief Constructor tag for latency-bound operation.
+struct LatencyBoundMode {
+  double theta = 0.0;
+  uint64_t trigger_delay = 200;
+};
+
+/// \brief Constructor tag for fixed-ratio operation.
+struct FixedRatioMode {
+  double fraction = 0.0;
+  uint64_t period = 500;
+};
+
+/// \brief RS: sheds a violation-sized random fraction of the live partial
+/// matches (and witnesses) whenever the trigger fires.
+class RandomStateShedder : public Shedder {
+ public:
+  /// Latency-bound mode.
+  RandomStateShedder(LatencyBoundMode mode, uint64_t seed);
+  /// Fixed-ratio mode: every `period` events shed `fraction` of the state.
+  RandomStateShedder(FixedRatioMode mode, uint64_t seed);
+
+  std::string Name() const override { return "RS"; }
+  double theta() const override;
+  bool FilterEvent(const Event&) override { return false; }
+  void AfterEvent(Timestamp now, double mu) override;
+  void Reset() override;
+
+ private:
+  void ShedFraction(double fraction);
+
+  std::optional<OverloadTrigger> trigger_;
+  double fixed_fraction_ = -1.0;
+  uint64_t period_ = 0;
+  uint64_t events_seen_ = 0;
+  Rng rng_;
+};
+
+/// \brief SS: sheds partial matches in increasing order of their state's
+/// offline completion probability (witnesses count as zero-utility).
+class SelectivityStateShedder : public Shedder {
+ public:
+  /// Latency-bound mode.
+  SelectivityStateShedder(const OfflineStats& stats, LatencyBoundMode mode,
+                          uint64_t seed);
+  /// Fixed-ratio mode.
+  SelectivityStateShedder(const OfflineStats& stats, FixedRatioMode mode,
+                          uint64_t seed);
+
+  std::string Name() const override { return "SS"; }
+  double theta() const override;
+  bool FilterEvent(const Event&) override { return false; }
+  void AfterEvent(Timestamp now, double mu) override;
+  void Reset() override;
+
+ private:
+  void ShedFraction(double fraction);
+
+  std::vector<double> state_completion_;
+  std::optional<OverloadTrigger> trigger_;
+  double fixed_fraction_ = -1.0;
+  uint64_t period_ = 0;
+  uint64_t events_seen_ = 0;
+  Rng rng_;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_SHED_BASELINES_H_

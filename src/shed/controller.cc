@@ -1,0 +1,74 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/shed/controller.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace cepshed {
+
+ShedRunner::ShedRunner(Engine* engine, Shedder* shedder,
+                       LatencyMonitor::Options latency_options)
+    : engine_(engine), shedder_(shedder), latency_options_(latency_options) {
+  shedder_->Bind(engine_);
+}
+
+RunResult ShedRunner::Run(const EventStream& stream, size_t pm_sample_stride) {
+  RunResult result;
+  LatencyMonitor monitor(latency_options_);
+  std::vector<double> latencies;
+  latencies.reserve(stream.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  size_t since_sample = 0;
+  for (const EventPtr& event : stream) {
+    ++result.total_events;
+    double cost;
+    if (shedder_->FilterEvent(*event)) {
+      ++result.dropped_events;
+      cost = kDroppedEventCost;
+    } else {
+      cost = engine_->Process(event, &result.matches);
+      ++result.processed_events;
+    }
+    monitor.Record(cost);
+    latencies.push_back(cost);
+    const double theta = shedder_->theta();
+    if (theta > 0.0 && monitor.Count() >= latency_options_.window) {
+      ++result.bound_checked;
+      if (monitor.Current() > theta) ++result.bound_violations;
+    }
+    shedder_->AfterEvent(event->timestamp(), monitor.Current());
+
+    if (pm_sample_stride > 0 && ++since_sample >= pm_sample_stride) {
+      since_sample = 0;
+      result.pm_series.push_back(engine_->NumPartialMatches() +
+                                 engine_->NumWitnesses());
+    }
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  result.shed_pms = shedder_->pms_shed();
+  result.pms_created = engine_->stats().pms_created + engine_->stats().witnesses_created;
+  result.engine_stats = engine_->stats();
+  result.pm_series_stride = pm_sample_stride;
+
+  result.avg_latency = monitor.OverallAverage();
+  if (!latencies.empty()) {
+    auto percentile = [&](double q) {
+      std::vector<double> copy = latencies;
+      const size_t idx = std::min(
+          copy.size() - 1,
+          static_cast<size_t>(q * static_cast<double>(copy.size() - 1) + 0.5));
+      std::nth_element(copy.begin(), copy.begin() + static_cast<ptrdiff_t>(idx),
+                       copy.end());
+      return copy[idx];
+    };
+    result.p95_latency = percentile(0.95);
+    result.p99_latency = percentile(0.99);
+  }
+  return result;
+}
+
+}  // namespace cepshed

@@ -1,0 +1,175 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// The paper's hybrid load shedding (§IV, §V): the cost model's shedding
+// set simultaneously drives state-based shedding (rho_S removes the
+// selected classes of partial matches) and input-based shedding (rho_I
+// discards arriving events that classify into a selected class, applied
+// until the latency bound is satisfied again). Because both functions are
+// grounded in the same cost model, no explicit weighting between them is
+// needed (§IV-C).
+
+#ifndef CEPSHED_SHED_HYBRID_H_
+#define CEPSHED_SHED_HYBRID_H_
+
+#include <set>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/shed/cost_model.h"
+#include "src/shed/shedder.h"
+#include "src/shed/shedding_set.h"
+
+namespace cepshed {
+
+/// \brief Configuration of the latency-bound hybrid strategy.
+struct HybridOptions {
+  /// Latency bound theta in cost units.
+  double theta = 0.0;
+  /// Post-trigger delay j in events (effects must materialize first —
+  /// at least the latency monitor's sliding window, or each violation is
+  /// re-covered several times before mu can reflect the previous kill).
+  uint64_t trigger_delay = 1000;
+  /// Enable rho_I (disable for a pure state-based variant).
+  bool enable_input = true;
+  /// Enable rho_S (disable for a pure input-based variant).
+  bool enable_state = true;
+  /// Shedding-set solver.
+  KnapsackMode solver = KnapsackMode::kDP;
+  /// Sorted per-event utilities of the training stream (see
+  /// ComputeTrainingUtilities); the input filter's cutoff is a quantile of
+  /// this distribution. Empty = only zero-utility events are droppable.
+  std::vector<double> utility_samples;
+  /// Each non-improving trigger escalates the input filter by this
+  /// fraction of the event-utility distribution; improvement steps back —
+  /// trading recall for throughput gradually (the turning point of the
+  /// paper's Fig. 5). The base level drops only events whose utility is
+  /// assessably zero (§IV-A: input shedding is preferred exactly when an
+  /// event's utility can be assessed precisely).
+  double input_escalation_step = 0.075;
+  /// Ablation: restrict rho_S to zero-contribution classes (never shed
+  /// contribution-bearing state even under sustained violation).
+  bool state_zero_only = false;
+  /// The input filter and escalation release once mu falls below
+  /// hysteresis x theta; releasing right at theta floods the state back
+  /// and oscillates between overload and recovery.
+  double hysteresis = 0.85;
+  /// The standing zero-class filter is free in recall terms and is held
+  /// until deep recovery (mu below this fraction of theta), which keeps
+  /// the system from cycling refill -> overload -> mass kill.
+  double zero_release = 0.6;
+  /// Seed for the fractional kills of contribution-bearing classes.
+  uint64_t seed = 1234;
+  /// Exploration rate: this fraction of filter decisions (both the
+  /// standing zero-class filter and rho_I) is overridden, letting a few
+  /// matches/events of "worthless" classes through. Without it a class
+  /// that becomes valuable after a distribution change could never
+  /// produce the contribution evidence online adaptation needs to
+  /// rehabilitate it (the recovery of the paper's Fig. 12).
+  double exploration = 0.02;
+};
+
+/// \brief Latency-bound hybrid shedding (the paper's "Hybrid").
+///
+/// The owning harness must wire the bound engine's classifier and hooks to
+/// the same CostModel instance (see ExperimentHarness).
+class HybridShedder : public Shedder {
+ public:
+  HybridShedder(CostModel* model, HybridOptions options);
+
+  std::string Name() const override;
+  double theta() const override { return options_.theta; }
+  void Bind(Engine* engine) override;
+  bool FilterEvent(const Event& event) override;
+  void AfterEvent(Timestamp now, double mu) override;
+  void Reset() override;
+
+  /// Times the shedding-set selection was executed.
+  uint64_t triggers() const { return triggers_; }
+  /// True while the derived input filter is active.
+  bool input_filter_active() const { return input_active_; }
+
+ private:
+  CostModel* model_;
+  HybridOptions options_;
+  OverloadTrigger trigger_;
+  bool input_active_ = false;
+  bool state_filter_active_ = false;
+  /// Zero-contribution (state, class, slice) keys: free to shed, kept in
+  /// force (creation filter) until the bound holds again.
+  std::set<std::tuple<int, int32_t, int>> zero_keys_;
+  /// Contribution-bearing keys the knapsack needed to cover the violation:
+  /// transient, re-decided at every trigger so no class is suppressed
+  /// permanently.
+  std::set<std::tuple<int, int32_t, int>> lossy_keys_;
+  /// Current rho_I utility cutoff: arriving events whose cost-model
+  /// utility is at or below it are discarded.
+  double utility_cutoff_ = -1.0;
+  uint64_t triggers_ = 0;
+  double last_violation_ = 0.0;
+  int escalation_level_ = 0;
+  /// Kill probability applied to members of lossy_keys_ this trigger.
+  double lossy_fraction_ = 1.0;
+  Rng rng_{1234};
+};
+
+/// \brief Fixed-ratio input-only variant (HyI in §VI-C): drops the events
+/// whose cost-model utility falls below the ratio's quantile, calibrated
+/// on the training stream.
+class HybridFixedInputShedder : public Shedder {
+ public:
+  /// `threshold` and `tie_probability` come from
+  /// ComputeUtilityThreshold() over the training stream.
+  HybridFixedInputShedder(const CostModel* model, double threshold,
+                          double tie_probability, uint64_t seed);
+
+  std::string Name() const override { return "HyI"; }
+  bool FilterEvent(const Event& event) override;
+  void AfterEvent(Timestamp, double) override {}
+
+ private:
+  const CostModel* model_;
+  double threshold_;
+  double tie_probability_;
+  Rng rng_;
+};
+
+/// \brief Fixed-ratio state-only variant (HyS in §VI-C): periodically
+/// sheds the requested fraction of live matches, choosing classes in
+/// increasing contribution/consumption ratio.
+class HybridFixedStateShedder : public Shedder {
+ public:
+  HybridFixedStateShedder(const CostModel* model, double fraction, uint64_t period,
+                          uint64_t seed);
+
+  std::string Name() const override { return "HyS"; }
+  bool FilterEvent(const Event&) override { return false; }
+  void AfterEvent(Timestamp now, double mu) override;
+  void Reset() override;
+
+ private:
+  const CostModel* model_;
+  double fraction_;
+  uint64_t period_;
+  uint64_t events_seen_ = 0;
+  Rng rng_;
+};
+
+/// \brief Calibrates the fixed-ratio utility threshold: the `fraction`
+/// quantile of CostModel::EventUtility over the training stream, plus the
+/// tie-breaking drop probability that hits the fraction exactly under
+/// discrete utilities.
+std::pair<double, double> ComputeUtilityThreshold(const CostModel& model,
+                                                  const EventStream& train,
+                                                  double fraction);
+
+/// \brief Sorted per-event utilities of a (training) stream — the
+/// distribution the hybrid strategy's input-filter quantile cutoff is
+/// taken from.
+std::vector<double> ComputeTrainingUtilities(const CostModel& model,
+                                             const EventStream& train);
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_SHED_HYBRID_H_

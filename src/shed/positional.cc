@@ -1,0 +1,120 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/shed/positional.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/cep/engine.h"
+
+namespace cepshed {
+
+PositionalUtility::PositionalUtility(int num_types, int buckets, Duration window)
+    : num_types_(num_types),
+      buckets_(buckets < 1 ? 1 : buckets),
+      window_(window < 1 ? 1 : window) {
+  hits_.assign(static_cast<size_t>(num_types_) * static_cast<size_t>(buckets_), 0.0);
+  totals_.assign(hits_.size(), 0.0);
+}
+
+size_t PositionalUtility::Index(int type, Duration offset) const {
+  Duration cyc = offset % window_;
+  if (cyc < 0) cyc += window_;
+  const int bucket = static_cast<int>(cyc * buckets_ / window_);
+  return static_cast<size_t>(type) * static_cast<size_t>(buckets_) +
+         static_cast<size_t>(std::min(bucket, buckets_ - 1));
+}
+
+Status PositionalUtility::Train(const std::shared_ptr<const Nfa>& nfa,
+                                const EventStream& history) {
+  Engine engine(nfa, EngineOptions{});
+  std::unordered_set<uint64_t> participating;
+  engine.set_match_hook([&](const Match& match, const PartialMatch*) {
+    for (const EventPtr& e : match.events) participating.insert(e->seq());
+  });
+  std::vector<Match> sink;
+  for (const EventPtr& e : history) {
+    engine.Process(e, &sink);
+    sink.clear();
+  }
+  for (const EventPtr& e : history) {
+    const size_t idx = Index(e->type(), e->timestamp());
+    totals_[idx] += 1.0;
+    if (participating.count(e->seq()) > 0) hits_[idx] += 1.0;
+  }
+  sorted_utilities_.clear();
+  sorted_utilities_.reserve(history.size());
+  for (const EventPtr& e : history) {
+    sorted_utilities_.push_back(Utility(e->type(), e->timestamp()));
+  }
+  std::sort(sorted_utilities_.begin(), sorted_utilities_.end());
+  return Status::OK();
+}
+
+double PositionalUtility::Utility(int type, Timestamp ts) const {
+  if (type < 0 || type >= num_types_) return 0.0;
+  const size_t idx = Index(type, ts);
+  return totals_[idx] > 0.0 ? hits_[idx] / totals_[idx] : 0.0;
+}
+
+PositionalInputShedder::PositionalInputShedder(const PositionalUtility* utility,
+                                               double theta, uint64_t trigger_delay,
+                                               uint64_t seed)
+    : utility_(utility),
+      controller_(DropRateController(theta, trigger_delay)),
+      rng_(seed) {}
+
+PositionalInputShedder::PositionalInputShedder(const PositionalUtility* utility,
+                                               double fraction, uint64_t seed)
+    : utility_(utility), fixed_fraction_(fraction), rng_(seed) {
+  threshold_ = ThresholdFor(fraction);
+  planned_fraction_ = fraction;
+}
+
+double PositionalInputShedder::theta() const {
+  return controller_ ? controller_->theta() : -1.0;
+}
+
+double PositionalInputShedder::ThresholdFor(double fraction) const {
+  const auto& sorted = utility_->sorted_utilities();
+  if (sorted.empty() || fraction <= 0.0) return -1.0;
+  const size_t idx = std::min(
+      sorted.size() - 1, static_cast<size_t>(fraction * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+bool PositionalInputShedder::FilterEvent(const Event& event) {
+  if (threshold_ < 0.0) return false;
+  const double u = utility_->Utility(event.type(), event.timestamp());
+  if (u < threshold_) return DropEvent();
+  if (u == threshold_ && planned_fraction_ > 0.0 &&
+      rng_.Bernoulli(0.5 * planned_fraction_)) {
+    // Rough tie-breaking keeps the realized rate near the target when the
+    // utility distribution is coarse.
+    return DropEvent();
+  }
+  return false;
+}
+
+void PositionalInputShedder::AfterEvent(Timestamp, double mu) {
+  if (!controller_) return;
+  const double rate = controller_->Update(mu);
+  if (rate != planned_fraction_) {
+    planned_fraction_ = rate;
+    threshold_ = ThresholdFor(rate);
+  }
+}
+
+void PositionalInputShedder::Reset() {
+  Shedder::Reset();
+  if (controller_) {
+    controller_->Reset();
+    planned_fraction_ = 0.0;
+    threshold_ = -1.0;
+  } else {
+    planned_fraction_ = fixed_fraction_;
+    threshold_ = ThresholdFor(fixed_fraction_);
+  }
+}
+
+}  // namespace cepshed

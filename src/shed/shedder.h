@@ -1,0 +1,120 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// The shedding strategy interface: every strategy implements the paper's
+// two shedding functions —
+//   rho_I (input-based):  FilterEvent() decides per arriving event whether
+//                         to discard it without processing;
+//   rho_S (state-based):  AfterEvent() may tombstone partial matches in
+//                         the bound engine's store.
+// Strategies see the smoothed latency mu(k) after every event and decide
+// when/what/how much to shed (questions Q1-Q3 of the paper).
+
+#ifndef CEPSHED_SHED_SHEDDER_H_
+#define CEPSHED_SHED_SHEDDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/cep/engine.h"
+
+namespace cepshed {
+
+/// \brief Base class of all shedding strategies.
+class Shedder {
+ public:
+  virtual ~Shedder() = default;
+
+  /// Strategy name for reports ("RI", "SI", "RS", "SS", "Hybrid", ...).
+  virtual std::string Name() const = 0;
+
+  /// The latency bound the strategy enforces, or a negative value for
+  /// fixed-ratio / no-op strategies (used for bound-violation accounting).
+  virtual double theta() const { return -1.0; }
+
+  /// rho_I: return true to discard the arriving event unprocessed.
+  /// Implementations must count drops via DropEvent().
+  virtual bool FilterEvent(const Event& event) = 0;
+
+  /// Called after every stream event (processed or dropped) with the
+  /// current smoothed latency mu (cost units) and the event time. This is
+  /// where rho_S runs.
+  virtual void AfterEvent(Timestamp now, double mu) = 0;
+
+  /// Binds the engine whose state the strategy sheds. Must be called
+  /// before the run starts.
+  virtual void Bind(Engine* engine) { engine_ = engine; }
+
+  /// Clears per-run counters (between experiment repetitions).
+  virtual void Reset() {
+    events_dropped_ = 0;
+    pms_shed_ = 0;
+  }
+
+  /// Input events discarded by rho_I so far.
+  uint64_t events_dropped() const { return events_dropped_; }
+  /// Partial matches (incl. witnesses) discarded by rho_S so far.
+  uint64_t pms_shed() const { return pms_shed_; }
+
+ protected:
+  /// Bookkeeping helper for rho_I implementations.
+  bool DropEvent() {
+    ++events_dropped_;
+    return true;
+  }
+  /// Bookkeeping helper for rho_S implementations.
+  void KillPm(PartialMatch* pm) {
+    if (pm->alive) {
+      engine_->store().Kill(pm);
+      ++pms_shed_;
+    }
+  }
+
+  Engine* engine_ = nullptr;
+  uint64_t events_dropped_ = 0;
+  uint64_t pms_shed_ = 0;
+};
+
+/// \brief The no-op strategy (ground-truth runs).
+class NoShedder : public Shedder {
+ public:
+  std::string Name() const override { return "None"; }
+  bool FilterEvent(const Event&) override { return false; }
+  void AfterEvent(Timestamp, double) override {}
+};
+
+/// \brief Shared trigger logic for latency-bound strategies: shedding
+/// fires when mu exceeds the bound theta, with a post-trigger delay of j
+/// events so the effect of shedding can materialize first (§IV-C).
+class OverloadTrigger {
+ public:
+  OverloadTrigger(double theta, uint64_t delay_events)
+      : theta_(theta), delay_events_(delay_events) {}
+
+  /// Returns the relative latency violation (mu - theta)/mu when shedding
+  /// should trigger now, or a negative value otherwise.
+  double Check(double mu) {
+    ++events_seen_;
+    if (mu <= theta_) return -1.0;
+    if (events_seen_ - last_trigger_ < delay_events_ && last_trigger_ != 0) {
+      return -1.0;
+    }
+    last_trigger_ = events_seen_;
+    return (mu - theta_) / mu;
+  }
+
+  double theta() const { return theta_; }
+  void Reset() {
+    events_seen_ = 0;
+    last_trigger_ = 0;
+  }
+
+ private:
+  double theta_;
+  uint64_t delay_events_;
+  uint64_t events_seen_ = 0;
+  uint64_t last_trigger_ = 0;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_SHED_SHEDDER_H_

@@ -1,0 +1,105 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/shed/shedding_set.h"
+
+#include <map>
+
+#include "src/opt/knapsack.h"
+
+namespace cepshed {
+
+namespace {
+
+// Per-witness bookkeeping cost charged as consumption (storage plus
+// amortized veto checks).
+constexpr double kWitnessOmega = 0.5;
+
+}  // namespace
+
+std::vector<SheddingSetItem> SelectSheddingSet(Engine* engine, const CostModel& model,
+                                               double violation, Timestamp now,
+                                               KnapsackMode mode) {
+  if (violation <= 0.0) return {};
+  if (violation > 0.999) violation = 0.999;
+
+  // Group live matches by (state, class, slice).
+  struct GroupKey {
+    int state;
+    int32_t cls;
+    int slice;
+    bool operator<(const GroupKey& o) const {
+      if (state != o.state) return state < o.state;
+      if (cls != o.cls) return cls < o.cls;
+      return slice < o.slice;
+    }
+  };
+  std::map<GroupKey, size_t> counts;
+  engine->store().ForEachAlive([&](PartialMatch* pm) {
+    int32_t cls = pm->class_label;
+    if (cls < 0) cls = 0;
+    const int slice = model.SliceOfAge(now - pm->start_ts);
+    ++counts[GroupKey{pm->state, cls, slice}];
+  });
+  std::vector<size_t> witness_counts(
+      static_cast<size_t>(engine->store().num_witness_buckets()), 0);
+  engine->store().ForEachAliveWitness(
+      [&](PartialMatch* pm) { ++witness_counts[static_cast<size_t>(pm->negated_elem)]; });
+
+  std::vector<SheddingSetItem> groups;
+  double total_plus = 0.0;
+  double total_minus = 0.0;
+  for (const auto& [key, n] : counts) {
+    SheddingSetItem item;
+    item.state = key.state;
+    item.cls = key.cls;
+    item.slice = key.slice;
+    item.pm_count = n;
+    item.delta_plus =
+        static_cast<double>(n) * model.Contribution(key.state, key.cls, key.slice);
+    item.delta_minus =
+        static_cast<double>(n) * model.Consumption(key.state, key.cls, key.slice);
+    total_plus += item.delta_plus;
+    total_minus += item.delta_minus;
+    groups.push_back(item);
+  }
+  for (size_t ne = 0; ne < witness_counts.size(); ++ne) {
+    if (witness_counts[ne] == 0) continue;
+    SheddingSetItem item;
+    item.is_witness_group = true;
+    item.negated_elem = static_cast<int>(ne);
+    item.pm_count = witness_counts[ne];
+    item.delta_plus = 0.0;  // witnesses never generate matches
+    item.delta_minus = static_cast<double>(witness_counts[ne]) * kWitnessOmega;
+    total_minus += item.delta_minus;
+    groups.push_back(item);
+  }
+  if (groups.empty() || total_minus <= 0.0) return {};
+
+  // Normalize to the relative shares of Eqs. (5) and (7).
+  std::vector<KnapsackItem> items;
+  items.reserve(groups.size());
+  for (auto& g : groups) {
+    g.delta_plus = total_plus > 0.0 ? g.delta_plus / total_plus : 0.0;
+    g.delta_minus /= total_minus;
+    items.push_back(KnapsackItem{g.delta_plus, g.delta_minus});
+  }
+
+  const std::vector<size_t> chosen =
+      mode == KnapsackMode::kDP ? SolveCoveringKnapsackDP(items, violation)
+                                : SolveCoveringKnapsackGreedy(items, violation);
+  std::vector<bool> in_selection(groups.size(), false);
+  for (size_t i : chosen) in_selection[i] = true;
+  // Zero-contribution groups are free under the objective (Eq. 8
+  // minimizes the Delta+ sum): among optimal solutions, prefer the one
+  // with maximal savings by always including them.
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].delta_plus <= 1e-12) in_selection[i] = true;
+  }
+  std::vector<SheddingSetItem> selected;
+  for (size_t i = 0; i < groups.size(); ++i) {
+    if (in_selection[i]) selected.push_back(groups[i]);
+  }
+  return selected;
+}
+
+}  // namespace cepshed

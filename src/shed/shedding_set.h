@@ -1,0 +1,46 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Shedding-set selection (§IV-B): group the live partial matches into
+// cost-model classes per (state, class, time slice), compute each group's
+// relative contribution Delta+ and consumption Delta-, and solve the
+// covering-knapsack problem
+//     minimize sum Delta+(D)  s.t.  sum Delta-(D) > (mu - theta)/mu
+// to decide what to shed. Negation witnesses form their own zero-
+// contribution groups, so a utility-driven shedder discards them first
+// (which is what produces the paper's Fig. 14 precision behaviour).
+
+#ifndef CEPSHED_SHED_SHEDDING_SET_H_
+#define CEPSHED_SHED_SHEDDING_SET_H_
+
+#include <vector>
+
+#include "src/cep/engine.h"
+#include "src/shed/cost_model.h"
+
+namespace cepshed {
+
+/// \brief Which knapsack solver selects the shedding set (§V-C).
+enum class KnapsackMode : int { kDP, kGreedy };
+
+/// \brief One selected group of partial matches.
+struct SheddingSetItem {
+  int state = -1;
+  int32_t cls = 0;
+  int slice = 0;
+  double delta_plus = 0.0;
+  double delta_minus = 0.0;
+  size_t pm_count = 0;
+  /// Witness group (negation state) instead of a regular class.
+  bool is_witness_group = false;
+  int negated_elem = -1;
+};
+
+/// \brief Computes the shedding set for the given relative latency
+/// violation over the engine's current live matches.
+std::vector<SheddingSetItem> SelectSheddingSet(Engine* engine, const CostModel& model,
+                                               double violation, Timestamp now,
+                                               KnapsackMode mode);
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_SHED_SHEDDING_SET_H_

@@ -1,0 +1,62 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/sketch/count_min.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cepshed {
+
+namespace {
+
+// 64-bit mix (SplitMix64 finalizer) applied to key ^ row seed.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(size_t width, size_t depth, uint64_t seed)
+    : width_(width == 0 ? 1 : width), depth_(depth == 0 ? 1 : depth) {
+  row_seeds_.resize(depth_);
+  uint64_t s = seed;
+  for (size_t r = 0; r < depth_; ++r) {
+    s += 0x9e3779b97f4a7c15ULL;
+    row_seeds_[r] = Mix(s);
+  }
+  cells_.assign(width_ * depth_, 0.0);
+}
+
+size_t CountMinSketch::CellIndex(size_t row, uint64_t key) const {
+  return row * width_ + static_cast<size_t>(Mix(key ^ row_seeds_[row]) % width_);
+}
+
+void CountMinSketch::Add(uint64_t key, double count) {
+  for (size_t r = 0; r < depth_; ++r) {
+    cells_[CellIndex(r, key)] += count;
+  }
+}
+
+double CountMinSketch::Estimate(uint64_t key) const {
+  double est = std::numeric_limits<double>::max();
+  for (size_t r = 0; r < depth_; ++r) {
+    est = std::min(est, cells_[CellIndex(r, key)]);
+  }
+  return est;
+}
+
+void CountMinSketch::Scale(double factor) {
+  for (double& c : cells_) c *= factor;
+}
+
+void CountMinSketch::Clear() { std::fill(cells_.begin(), cells_.end(), 0.0); }
+
+double CountMinSketch::TotalMass() const {
+  double total = 0.0;
+  for (size_t i = 0; i < width_; ++i) total += cells_[i];
+  return total;
+}
+
+}  // namespace cepshed

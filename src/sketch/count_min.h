@@ -1,0 +1,57 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Count-min sketch (Cormode & Muthukrishnan) over double-valued counts.
+// The online adaptation of the cost model maintains streaming contribution
+// and consumption increments per (state, class, time slice) in sketches
+// (§V-B: "adaptation is based on sketches for efficient streaming counts").
+
+#ifndef CEPSHED_SKETCH_COUNT_MIN_H_
+#define CEPSHED_SKETCH_COUNT_MIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cepshed {
+
+/// \brief A count-min sketch with conservative point estimates.
+///
+/// Uses double counters so fractional resource costs can be accumulated.
+/// Estimate() never underestimates the true count of a key (for
+/// non-negative increments).
+class CountMinSketch {
+ public:
+  /// `width` cells per row, `depth` independent rows.
+  CountMinSketch(size_t width, size_t depth, uint64_t seed = 0x5eed);
+
+  /// Adds `count` to `key`.
+  void Add(uint64_t key, double count = 1.0);
+
+  /// Point estimate for `key` (min over rows).
+  double Estimate(uint64_t key) const;
+
+  /// Multiplies every cell by `factor` — implements the paper's exponential
+  /// fold Gamma_new = (1-w) Gamma_old + w Gamma_incremented when combined
+  /// with a fresh increment sketch.
+  void Scale(double factor);
+
+  /// Zeroes all cells.
+  void Clear();
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+  /// Total mass added to row 0 (equal across rows for non-negative adds).
+  double TotalMass() const;
+
+ private:
+  size_t CellIndex(size_t row, uint64_t key) const;
+
+  size_t width_;
+  size_t depth_;
+  std::vector<uint64_t> row_seeds_;
+  std::vector<double> cells_;  // depth x width, row-major
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,43 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Exponentially weighted moving average, used for smoothed latency and the
+// paper's cost-model fold Gamma_new = (1-w) Gamma_old + w Gamma_incremented.
+
+#ifndef CEPSHED_SKETCH_EWMA_H_
+#define CEPSHED_SKETCH_EWMA_H_
+
+namespace cepshed {
+
+/// \brief Exponentially weighted moving average with weight `w` on the
+/// newest observation.
+class Ewma {
+ public:
+  explicit Ewma(double w = 0.5) : w_(w) {}
+
+  /// Folds in one observation.
+  void Add(double x) {
+    if (!initialized_) {
+      value_ = x;
+      initialized_ = true;
+    } else {
+      value_ = (1.0 - w_) * value_ + w_ * x;
+    }
+  }
+
+  /// The current average (0 before any observation).
+  double value() const { return value_; }
+  bool initialized() const { return initialized_; }
+  void Reset() {
+    value_ = 0.0;
+    initialized_ = false;
+  }
+
+ private:
+  double w_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_SKETCH_EWMA_H_

@@ -1,0 +1,45 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// The P^2 (piecewise-parabolic) streaming quantile estimator of Jain &
+// Chlamtac (1985). Used for the 95th/99th-percentile latency bounds of the
+// paper's experiments and for quantile-threshold input shedding.
+
+#ifndef CEPSHED_SKETCH_P2_QUANTILE_H_
+#define CEPSHED_SKETCH_P2_QUANTILE_H_
+
+#include <cstddef>
+
+namespace cepshed {
+
+/// \brief Streaming estimator of a single quantile in O(1) space.
+class P2Quantile {
+ public:
+  /// `q` in (0, 1), e.g. 0.95 for the 95th percentile.
+  explicit P2Quantile(double q);
+
+  /// Folds in one observation.
+  void Add(double x);
+
+  /// Current estimate (exact until five observations are seen).
+  double Value() const;
+
+  /// Observations seen.
+  size_t Count() const { return count_; }
+
+  void Reset();
+
+ private:
+  double Parabolic(int i, double d) const;
+  double Linear(int i, double d) const;
+
+  double q_;
+  double heights_[5];
+  double positions_[5];
+  double desired_[5];
+  double increments_[5];
+  size_t count_ = 0;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_SKETCH_P2_QUANTILE_H_

@@ -1,0 +1,127 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/workload/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace cepshed {
+
+Status WriteCsv(const EventStream& stream, std::ostream* out) {
+  const Schema& schema = stream.schema();
+  *out << "type,timestamp";
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    *out << "," << schema.attribute(static_cast<int>(a)).name;
+  }
+  *out << "\n";
+  for (const EventPtr& e : stream) {
+    *out << schema.EventTypeName(e->type()) << "," << e->timestamp();
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const Value& v = e->attr(static_cast<int>(a));
+      *out << ",";
+      if (!v.is_null()) *out << v.ToString();
+    }
+    *out << "\n";
+  }
+  if (!out->good()) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const EventStream& stream, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::InvalidArgument("cannot open " + path);
+  return WriteCsv(stream, &out);
+}
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+
+}  // namespace
+
+Result<EventStream> ReadCsv(const Schema& schema, std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::InvalidArgument("CSV input is empty");
+  }
+  const std::vector<std::string> header = SplitLine(line);
+  if (header.size() != 2 + schema.num_attributes() || header[0] != "type" ||
+      header[1] != "timestamp") {
+    return Status::InvalidArgument("CSV header does not match the schema");
+  }
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    if (header[a + 2] != schema.attribute(static_cast<int>(a)).name) {
+      return Status::InvalidArgument("CSV column '" + header[a + 2] +
+                                     "' does not match attribute '" +
+                                     schema.attribute(static_cast<int>(a)).name + "'");
+    }
+  }
+
+  EventStream stream(&schema);
+  size_t line_no = 1;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const std::vector<std::string> cells = SplitLine(line);
+    if (cells.size() != header.size()) {
+      return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                ": wrong number of cells");
+    }
+    const int type = schema.EventTypeId(cells[0]);
+    if (type < 0) {
+      return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                ": unknown type '" + cells[0] + "'");
+    }
+    Timestamp ts;
+    try {
+      ts = std::stoll(cells[1]);
+    } catch (...) {
+      return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                ": bad timestamp '" + cells[1] + "'");
+    }
+    std::vector<Value> attrs(schema.num_attributes());
+    for (size_t a = 0; a < schema.num_attributes(); ++a) {
+      const std::string& cell = cells[a + 2];
+      if (cell.empty()) continue;
+      switch (schema.attribute(static_cast<int>(a)).type) {
+        case ValueType::kInt:
+          try {
+            attrs[a] = Value(static_cast<int64_t>(std::stoll(cell)));
+          } catch (...) {
+            return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                      ": bad int '" + cell + "'");
+          }
+          break;
+        case ValueType::kDouble:
+          try {
+            attrs[a] = Value(std::stod(cell));
+          } catch (...) {
+            return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                      ": bad double '" + cell + "'");
+          }
+          break;
+        default:
+          attrs[a] = Value(cell);
+          break;
+      }
+    }
+    CEPSHED_RETURN_NOT_OK(stream.Emit(type, ts, std::move(attrs)));
+  }
+  return stream;
+}
+
+Result<EventStream> ReadCsvFile(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::InvalidArgument("cannot open " + path);
+  return ReadCsv(schema, &in);
+}
+
+}  // namespace cepshed

@@ -1,0 +1,34 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// CSV import/export of event streams: lets users replay their own traces
+// (e.g., the real citibike trip data) through the engine, and lets the
+// examples persist generated workloads.
+//
+// Format: header `type,timestamp,<attr1>,<attr2>,...` (attributes in
+// schema order), one event per line, empty cells for null attributes.
+
+#ifndef CEPSHED_WORKLOAD_CSV_H_
+#define CEPSHED_WORKLOAD_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/cep/schema.h"
+#include "src/cep/stream.h"
+#include "src/common/result.h"
+
+namespace cepshed {
+
+/// Writes a stream as CSV.
+Status WriteCsv(const EventStream& stream, std::ostream* out);
+Status WriteCsvFile(const EventStream& stream, const std::string& path);
+
+/// Reads a CSV produced by WriteCsv (or hand-made with the same header)
+/// into a stream over `schema`. Attribute cells are parsed according to
+/// the schema's declared types.
+Result<EventStream> ReadCsv(const Schema& schema, std::istream* in);
+Result<EventStream> ReadCsvFile(const Schema& schema, const std::string& path);
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_WORKLOAD_CSV_H_

@@ -1,0 +1,99 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// The paper's evaluation queries (Listings 1-3 and Q1-Q4 of §VI-A),
+// expressed in the SASE-style surface syntax and parsed by the query
+// front end. Header-only so that benches and examples share one source of
+// truth.
+
+#ifndef CEPSHED_WORKLOAD_QUERIES_H_
+#define CEPSHED_WORKLOAD_QUERIES_H_
+
+#include <string>
+
+#include "src/cep/pattern.h"
+#include "src/common/result.h"
+#include "src/query/parser.h"
+
+namespace cepshed::queries {
+
+/// Q1 over DS1: SEQ(A a, B b, C c), ID-correlated, a.V + b.V = c.V.
+inline Result<Query> Q1(const std::string& window = "8ms") {
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a, B b, C c) "
+      "WHERE a.ID = b.ID AND a.ID = c.ID AND a.V + b.V = c.V "
+      "WITHIN " + window);
+  if (q.ok()) q->name = "Q1";
+  return q;
+}
+
+/// Q2 over DS1: Kleene closure with per-iteration correlation. The paper
+/// varies the Kleene limit to obtain pattern lengths 4-8 (§VI-D);
+/// `kleene_reps` is that limit.
+inline Result<Query> Q2(int kleene_reps = 1, const std::string& window = "1ms") {
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a, A+{1," + std::to_string(kleene_reps) + "} b[], B c, C d) "
+      "WHERE a.ID = b[i].ID AND a.ID = c.ID AND b[i].V = a.V AND a.V + c.V = d.V "
+      "WITHIN " + window);
+  if (q.ok()) q->name = "Q2";
+  return q;
+}
+
+/// Q3 over DS2: the Euclidean-distance query whose partial matches have
+/// heterogeneous resource costs (§VI-E).
+inline Result<Query> Q3(const std::string& window = "8ms") {
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a, B b, C c, D d) "
+      "WHERE a.ID = b.ID AND a.x >= b.v / 2 AND a.x <= b.v "
+      "AND a.y >= b.v / 2 AND a.y <= b.v "
+      "AND b.ID = c.ID AND c.ID = d.ID AND b.v = d.v "
+      "AND AVG(SQRT(a.x * a.x + a.y * a.y), SQRT(b.x * b.x + b.y * b.y)) <= c.v "
+      "WITHIN " + window);
+  if (q.ok()) q->name = "Q3";
+  return q;
+}
+
+/// Q4 over DS1: the non-monotonic query with a negated component (§VI-H).
+inline Result<Query> Q4(const std::string& window = "8ms") {
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a, !B b, C c) "
+      "WHERE a.ID = c.ID AND b.ID = a.ID AND a.V + b.V = c.V "
+      "WITHIN " + window);
+  if (q.ok()) q->name = "Q4";
+  return q;
+}
+
+/// Listing 1: citibike 'hot paths' — several subsequent trips of one bike,
+/// chained by station, ending at the hot stations {7,8,9}. The paper
+/// configures paths of at least five stations.
+inline Result<Query> CitibikeHotPaths(int min_path = 5, int max_path = 12,
+                                      const std::string& window = "1h") {
+  auto q = ParseQuery(
+      "PATTERN SEQ(BikeTrip+{" + std::to_string(min_path) + "," +
+      std::to_string(max_path) + "} a[], BikeTrip b) "
+      "WHERE a[i+1].bike = a[i].bike AND b.end IN {7,8,9} "
+      "AND a[last].bike = b.bike AND a[i+1].start = a[i].end "
+      "WITHIN " + window);
+  if (q.ok()) q->name = "citibike-hot-paths";
+  return q;
+}
+
+/// Listing 3: Google cluster task churn — a task is submitted, scheduled
+/// and evicted on one machine, rescheduled and evicted on another, then
+/// rescheduled on a third machine and fails; within 1h.
+inline Result<Query> GoogleTaskChurn(const std::string& window = "1h") {
+  auto q = ParseQuery(
+      "PATTERN SEQ(Submit su, Schedule sc1, Evict ev1, Schedule sc2, Evict ev2, "
+      "Schedule sc3, Fail fa) "
+      "WHERE su.task = sc1.task AND sc1.task = ev1.task AND ev1.task = sc2.task "
+      "AND sc2.task = ev2.task AND ev2.task = sc3.task AND sc3.task = fa.task "
+      "AND sc1.machine = ev1.machine AND sc2.machine = ev2.machine "
+      "AND sc2.machine != sc1.machine AND sc3.machine != sc2.machine "
+      "AND sc3.machine = fa.machine "
+      "WITHIN " + window);
+  if (q.ok()) q->name = "google-task-churn";
+  return q;
+}
+
+}  // namespace cepshed::queries
+
+#endif  // CEPSHED_WORKLOAD_QUERIES_H_

@@ -1,0 +1,149 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for the shedding controller (ShedRunner) and the hybrid
+// strategy's control behaviour.
+
+#include "src/shed/controller.h"
+
+#include <gtest/gtest.h>
+
+#include "src/shed/baselines.h"
+#include "src/shed/hybrid.h"
+#include "src/shed/offline_estimator.h"
+#include "src/workload/ds1.h"
+#include "src/workload/queries.h"
+
+namespace cepshed {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest() : schema_(MakeDs1Schema()) {}
+
+  EventStream MakeStream(uint64_t seed, size_t n = 6000) {
+    Ds1Options opts;
+    opts.num_events = n;
+    opts.seed = seed;
+    return GenerateDs1(schema_, opts);
+  }
+
+  std::shared_ptr<const Nfa> CompileQ1() {
+    auto nfa = Nfa::Compile(*queries::Q1(), &schema_);
+    EXPECT_TRUE(nfa.ok());
+    return *nfa;
+  }
+
+  Schema schema_;
+};
+
+TEST_F(ControllerTest, NoShedRunCountsEverything) {
+  auto nfa = CompileQ1();
+  Engine engine(nfa, EngineOptions{});
+  NoShedder none;
+  ShedRunner runner(&engine, &none, LatencyMonitor::Options{});
+  const EventStream stream = MakeStream(1);
+  const RunResult r = runner.Run(stream);
+  EXPECT_EQ(r.total_events, stream.size());
+  EXPECT_EQ(r.processed_events, stream.size());
+  EXPECT_EQ(r.dropped_events, 0u);
+  EXPECT_GT(r.avg_latency, 0.0);
+  EXPECT_GE(r.p95_latency, r.avg_latency * 0.1);
+  EXPECT_GE(r.p99_latency, r.p95_latency);
+  EXPECT_GT(r.wall_seconds, 0.0);
+}
+
+TEST_F(ControllerTest, DroppedEventsCostAlmostNothing) {
+  auto nfa = CompileQ1();
+  Engine engine(nfa, EngineOptions{});
+  RandomInputShedder drop_all(/*fraction=*/1.0, /*seed=*/1);
+  ShedRunner runner(&engine, &drop_all, LatencyMonitor::Options{});
+  const RunResult r = runner.Run(MakeStream(2));
+  EXPECT_EQ(r.dropped_events, r.total_events);
+  EXPECT_EQ(r.processed_events, 0u);
+  EXPECT_LE(r.avg_latency, ShedRunner::kDroppedEventCost + 1e-9);
+  EXPECT_TRUE(r.matches.empty());
+}
+
+TEST_F(ControllerTest, PmSeriesSampling) {
+  auto nfa = CompileQ1();
+  Engine engine(nfa, EngineOptions{});
+  NoShedder none;
+  ShedRunner runner(&engine, &none, LatencyMonitor::Options{});
+  const RunResult r = runner.Run(MakeStream(3, 1000), /*pm_sample_stride=*/100);
+  EXPECT_EQ(r.pm_series.size(), 10u);
+  EXPECT_EQ(r.pm_series_stride, 100u);
+  // The state fills up within the window.
+  EXPECT_GT(r.pm_series.back(), 0u);
+}
+
+TEST_F(ControllerTest, ViolationAccountingAgainstTheta) {
+  auto nfa = CompileQ1();
+  Engine engine(nfa, EngineOptions{});
+  // A strategy that never sheds but advertises an unreachable bound: every
+  // post-warmup event violates.
+  class Advertiser : public NoShedder {
+   public:
+    double theta() const override { return 1e-6; }
+  };
+  Advertiser shedder;
+  LatencyMonitor::Options lat;
+  lat.window = 100;
+  ShedRunner runner(&engine, &shedder, lat);
+  const RunResult r = runner.Run(MakeStream(4, 2000));
+  EXPECT_EQ(r.bound_checked, 2000u - 99u);
+  EXPECT_EQ(r.bound_violations, r.bound_checked);
+}
+
+TEST_F(ControllerTest, HybridReleasesFiltersAfterRecovery) {
+  auto nfa = CompileQ1();
+  auto stats = EstimateOffline(nfa, MakeStream(5, 10000), 4, true);
+  ASSERT_TRUE(stats.ok());
+  CostModel model(nfa, CostModelOptions{});
+  Rng rng(1);
+  ASSERT_TRUE(model.Train(*stats, &rng).ok());
+
+  HybridOptions opts;
+  opts.theta = 1e9;  // never violated
+  HybridShedder shedder(&model, opts);
+  Engine engine(nfa, EngineOptions{});
+  shedder.Bind(&engine);
+  std::vector<Match> out;
+  const EventStream stream = MakeStream(6, 2000);
+  for (const EventPtr& e : stream) {
+    ASSERT_FALSE(shedder.FilterEvent(*e));  // never active without violation
+    engine.Process(e, &out);
+    shedder.AfterEvent(e->timestamp(), 1.0);
+  }
+  EXPECT_EQ(shedder.pms_shed(), 0u);
+  EXPECT_EQ(shedder.triggers(), 0u);
+  EXPECT_FALSE(shedder.input_filter_active());
+}
+
+TEST_F(ControllerTest, HybridTriggersUnderViolation) {
+  auto nfa = CompileQ1();
+  auto stats = EstimateOffline(nfa, MakeStream(7, 10000), 4, true);
+  ASSERT_TRUE(stats.ok());
+  CostModel model(nfa, CostModelOptions{});
+  Rng rng(2);
+  ASSERT_TRUE(model.Train(*stats, &rng).ok());
+
+  HybridOptions opts;
+  opts.theta = 1.0;  // always violated
+  opts.trigger_delay = 100;
+  HybridShedder shedder(&model, opts);
+  Engine engine(nfa, EngineOptions{});
+  engine.set_classifier([&](const PartialMatch& pm) { return model.Classify(pm); });
+  shedder.Bind(&engine);
+  std::vector<Match> out;
+  const EventStream stream = MakeStream(8, 2000);
+  for (const EventPtr& e : stream) {
+    (void)shedder.FilterEvent(*e);
+    engine.Process(e, &out);
+    shedder.AfterEvent(e->timestamp(), /*mu=*/100.0);
+  }
+  EXPECT_GT(shedder.triggers(), 5u);
+  EXPECT_GT(shedder.pms_shed() + shedder.events_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace cepshed

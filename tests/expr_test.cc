@@ -1,0 +1,238 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for the predicate expression AST: evaluation semantics, null
+// propagation, selector resolution, analysis helpers.
+
+#include "src/cep/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/cep/pattern.h"
+#include "tests/test_util.h"
+
+namespace cepshed {
+namespace {
+
+using testing::MakeAbcdSchema;
+using testing::MakeEvent;
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest() : schema_(MakeAbcdSchema()) {
+    elements_ = {
+        {"a", "A", 0, false, false, 1, 1},
+        {"b", "B", 1, true, false, 1, 100},
+        {"c", "C", 2, false, false, 1, 1},
+    };
+  }
+
+  // Builds a context with a bound to one event and b bound to `b_events`.
+  void Bind(EvalContext* ctx, const EventPtr& a, const std::vector<EventPtr>& bs) {
+    a_store_ = {a};
+    b_store_ = bs;
+    ctx->num_elements = 3;
+    ctx->bindings[0] = {a_store_.data(), 1};
+    ctx->bindings[1] = {b_store_.data(), static_cast<uint32_t>(b_store_.size())};
+  }
+
+  ExprPtr Resolved(ExprPtr e) {
+    EXPECT_TRUE(e->Resolve(elements_, schema_).ok());
+    return e;
+  }
+
+  Schema schema_;
+  std::vector<PatternElement> elements_;
+  std::vector<EventPtr> a_store_;
+  std::vector<EventPtr> b_store_;
+};
+
+TEST_F(ExprTest, LiteralEvaluatesToItself) {
+  EvalContext ctx;
+  EXPECT_EQ(Expr::Literal(Value(7))->Eval(ctx, nullptr).AsInt(), 7);
+  EXPECT_DOUBLE_EQ(Expr::Literal(Value(2.5))->Eval(ctx, nullptr).AsDouble(), 2.5);
+}
+
+TEST_F(ExprTest, ArithmeticIntAndDouble) {
+  EvalContext ctx;
+  auto lit = [](int64_t v) { return Expr::Literal(Value(v)); };
+  EXPECT_EQ(Expr::Binary(BinOp::kAdd, lit(2), lit(3))->Eval(ctx, nullptr).AsInt(), 5);
+  EXPECT_EQ(Expr::Binary(BinOp::kSub, lit(2), lit(3))->Eval(ctx, nullptr).AsInt(), -1);
+  EXPECT_EQ(Expr::Binary(BinOp::kMul, lit(4), lit(3))->Eval(ctx, nullptr).AsInt(), 12);
+  EXPECT_EQ(Expr::Binary(BinOp::kDiv, lit(7), lit(2))->Eval(ctx, nullptr).AsInt(), 3);
+  EXPECT_EQ(Expr::Binary(BinOp::kMod, lit(7), lit(2))->Eval(ctx, nullptr).AsInt(), 1);
+  EXPECT_DOUBLE_EQ(Expr::Binary(BinOp::kDiv, Expr::Literal(Value(7.0)), lit(2))
+                       ->Eval(ctx, nullptr)
+                       .AsDouble(),
+                   3.5);
+}
+
+TEST_F(ExprTest, DivisionByZeroIsNull) {
+  EvalContext ctx;
+  auto lit = [](int64_t v) { return Expr::Literal(Value(v)); };
+  EXPECT_TRUE(Expr::Binary(BinOp::kDiv, lit(1), lit(0))->Eval(ctx, nullptr).is_null());
+  EXPECT_TRUE(Expr::Binary(BinOp::kMod, lit(1), lit(0))->Eval(ctx, nullptr).is_null());
+}
+
+TEST_F(ExprTest, NullPropagatesThroughArithmetic) {
+  EvalContext ctx;
+  auto e = Expr::Binary(BinOp::kAdd, Expr::Literal(Value()), Expr::Literal(Value(1)));
+  EXPECT_TRUE(e->Eval(ctx, nullptr).is_null());
+  EXPECT_FALSE(e->EvalBool(ctx, nullptr));
+}
+
+TEST_F(ExprTest, Comparisons) {
+  EvalContext ctx;
+  auto lit = [](int64_t v) { return Expr::Literal(Value(v)); };
+  EXPECT_TRUE(Expr::Compare(CmpOp::kEq, lit(2), lit(2))->EvalBool(ctx, nullptr));
+  EXPECT_TRUE(Expr::Compare(CmpOp::kNe, lit(2), lit(3))->EvalBool(ctx, nullptr));
+  EXPECT_TRUE(Expr::Compare(CmpOp::kLt, lit(2), lit(3))->EvalBool(ctx, nullptr));
+  EXPECT_TRUE(Expr::Compare(CmpOp::kLe, lit(3), lit(3))->EvalBool(ctx, nullptr));
+  EXPECT_TRUE(Expr::Compare(CmpOp::kGt, lit(4), lit(3))->EvalBool(ctx, nullptr));
+  EXPECT_TRUE(Expr::Compare(CmpOp::kGe, lit(3), lit(3))->EvalBool(ctx, nullptr));
+  EXPECT_FALSE(Expr::Compare(CmpOp::kEq, lit(2), lit(3))->EvalBool(ctx, nullptr));
+}
+
+TEST_F(ExprTest, BooleanConnectives) {
+  EvalContext ctx;
+  auto t = Expr::Literal(Value(1));
+  auto f = Expr::Literal(Value(0));
+  EXPECT_TRUE(Expr::And({t, t})->EvalBool(ctx, nullptr));
+  EXPECT_FALSE(Expr::And({t, f})->EvalBool(ctx, nullptr));
+  EXPECT_TRUE(Expr::Or({f, t})->EvalBool(ctx, nullptr));
+  EXPECT_FALSE(Expr::Or({f, f})->EvalBool(ctx, nullptr));
+  EXPECT_TRUE(Expr::Not(f)->EvalBool(ctx, nullptr));
+}
+
+TEST_F(ExprTest, SqrtAndAvgN) {
+  EvalContext ctx;
+  EXPECT_DOUBLE_EQ(
+      Expr::Func(FuncKind::kSqrt, Expr::Literal(Value(16)))->Eval(ctx, nullptr).ToDouble(),
+      4.0);
+  EXPECT_TRUE(Expr::Func(FuncKind::kSqrt, Expr::Literal(Value(-1)))
+                  ->Eval(ctx, nullptr)
+                  .is_null());
+  EXPECT_DOUBLE_EQ(Expr::AvgN({Expr::Literal(Value(2)), Expr::Literal(Value(4))})
+                       ->Eval(ctx, nullptr)
+                       .AsDouble(),
+                   3.0);
+}
+
+TEST_F(ExprTest, SqrtCostsMoreThanAddition) {
+  EvalContext ctx;
+  double sqrt_cost = 0.0;
+  double add_cost = 0.0;
+  Expr::Func(FuncKind::kSqrt, Expr::Literal(Value(4)))->Eval(ctx, &sqrt_cost);
+  Expr::Binary(BinOp::kAdd, Expr::Literal(Value(1)), Expr::Literal(Value(2)))
+      ->Eval(ctx, &add_cost);
+  EXPECT_GT(sqrt_cost, add_cost);
+}
+
+TEST_F(ExprTest, InSetMembership) {
+  EvalContext ctx;
+  auto e = Expr::InSet(Expr::Literal(Value(8)), {Value(7), Value(8), Value(9)});
+  EXPECT_TRUE(e->EvalBool(ctx, nullptr));
+  auto e2 = Expr::InSet(Expr::Literal(Value(5)), {Value(7), Value(8), Value(9)});
+  EXPECT_FALSE(e2->EvalBool(ctx, nullptr));
+}
+
+TEST_F(ExprTest, AttrRefSelectorsOnBoundElements) {
+  EvalContext ctx;
+  auto a = MakeEvent(schema_, "A", 0, 0, /*id=*/1, /*v=*/10);
+  auto b1 = MakeEvent(schema_, "B", 1, 1, 2, 20);
+  auto b2 = MakeEvent(schema_, "B", 2, 2, 3, 30);
+  Bind(&ctx, a, {b1, b2});
+
+  auto val = [&](ExprPtr e) { return Resolved(e)->Eval(ctx, nullptr).AsInt(); };
+  EXPECT_EQ(val(Expr::Attr("a", RefSelector::kSingle, "V")), 10);
+  EXPECT_EQ(val(Expr::Attr("b", RefSelector::kFirst, "V")), 20);
+  EXPECT_EQ(val(Expr::Attr("b", RefSelector::kLast, "V")), 30);
+  // Plain reference to a Kleene variable resolves to its latest binding.
+  EXPECT_EQ(val(Expr::Attr("b", RefSelector::kSingle, "V")), 30);
+}
+
+TEST_F(ExprTest, IterSelectorsAgainstCurrentEvent) {
+  EvalContext ctx;
+  auto a = MakeEvent(schema_, "A", 0, 0, 1, 10);
+  auto b1 = MakeEvent(schema_, "B", 1, 1, 2, 20);
+  Bind(&ctx, a, {b1});
+  auto current = MakeEvent(schema_, "B", 2, 2, 3, 30);
+  ctx.current = current.get();
+  ctx.current_elem = 1;
+
+  auto prev = Resolved(Expr::Attr("b", RefSelector::kIterPrev, "V"));
+  auto curr = Resolved(Expr::Attr("b", RefSelector::kIterCurr, "V"));
+  EXPECT_EQ(prev->Eval(ctx, nullptr).AsInt(), 20);
+  EXPECT_EQ(curr->Eval(ctx, nullptr).AsInt(), 30);
+}
+
+TEST_F(ExprTest, AggregatesOverKleeneBinding) {
+  EvalContext ctx;
+  auto a = MakeEvent(schema_, "A", 0, 0, 1, 10);
+  auto b1 = MakeEvent(schema_, "B", 1, 1, 2, 20);
+  auto b2 = MakeEvent(schema_, "B", 2, 2, 3, 40);
+  Bind(&ctx, a, {b1, b2});
+
+  auto agg = [&](AggKind k) {
+    return Resolved(Expr::Aggregate(k, "b", "V"))->Eval(ctx, nullptr).ToDouble();
+  };
+  EXPECT_DOUBLE_EQ(agg(AggKind::kAvg), 30.0);
+  EXPECT_DOUBLE_EQ(agg(AggKind::kSum), 60.0);
+  EXPECT_DOUBLE_EQ(agg(AggKind::kMin), 20.0);
+  EXPECT_DOUBLE_EQ(agg(AggKind::kMax), 40.0);
+  EXPECT_DOUBLE_EQ(agg(AggKind::kCount), 2.0);
+}
+
+TEST_F(ExprTest, ResolveRejectsUnknownNames) {
+  auto bad_var = Expr::Attr("z", RefSelector::kSingle, "V");
+  EXPECT_FALSE(bad_var->Resolve(elements_, schema_).ok());
+  auto bad_attr = Expr::Attr("a", RefSelector::kSingle, "nope");
+  EXPECT_FALSE(bad_attr->Resolve(elements_, schema_).ok());
+}
+
+TEST_F(ExprTest, ResolveRejectsIterOnNonKleene) {
+  auto e = Expr::Attr("a", RefSelector::kIterPrev, "V");
+  EXPECT_FALSE(e->Resolve(elements_, schema_).ok());
+}
+
+TEST_F(ExprTest, ResolveRejectsAggregateOnNonKleene) {
+  auto e = Expr::Aggregate(AggKind::kAvg, "a", "V");
+  EXPECT_FALSE(e->Resolve(elements_, schema_).ok());
+}
+
+TEST_F(ExprTest, AnalysisHelpers) {
+  auto e = Resolved(Expr::Compare(CmpOp::kEq, Expr::Attr("a", RefSelector::kSingle, "ID"),
+                                  Expr::Attr("c", RefSelector::kSingle, "ID")));
+  EXPECT_EQ(e->MaxElemRef(), 2);
+  EXPECT_TRUE(e->RefsElem(0));
+  EXPECT_FALSE(e->RefsElem(1));
+  EXPECT_FALSE(e->HasIterPrevRef(1));
+
+  auto iter = Resolved(Expr::Compare(CmpOp::kEq, Expr::Attr("b", RefSelector::kIterCurr, "V"),
+                                     Expr::Attr("b", RefSelector::kIterPrev, "V")));
+  EXPECT_TRUE(iter->HasIterPrevRef(1));
+}
+
+TEST_F(ExprTest, CloneReplacingSelectorRewritesOnlyTarget) {
+  auto e = Resolved(Expr::Compare(CmpOp::kEq, Expr::Attr("b", RefSelector::kIterPrev, "V"),
+                                  Expr::Attr("a", RefSelector::kSingle, "V")));
+  auto clone = e->CloneReplacingSelector(1, RefSelector::kIterPrev, RefSelector::kLast);
+  std::vector<const Expr*> refs;
+  clone->CollectAttrRefs(&refs);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0]->selector(), RefSelector::kLast);
+  EXPECT_EQ(refs[1]->selector(), RefSelector::kSingle);
+  // Original untouched.
+  EXPECT_TRUE(e->HasIterPrevRef(1));
+}
+
+TEST_F(ExprTest, ToStringRendersReadably) {
+  auto e = Expr::Compare(
+      CmpOp::kEq,
+      Expr::Binary(BinOp::kAdd, Expr::Attr("a", RefSelector::kSingle, "V"),
+                   Expr::Attr("b", RefSelector::kSingle, "V")),
+      Expr::Attr("c", RefSelector::kSingle, "V"));
+  EXPECT_EQ(e->ToString(), "(a.V+b.V)=c.V");
+}
+
+}  // namespace
+}  // namespace cepshed

@@ -1,0 +1,110 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Unit and property tests for the covering-knapsack solvers: the DP must
+// match the brute-force oracle, the greedy must stay feasible.
+
+#include "src/opt/knapsack.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace cepshed {
+namespace {
+
+TEST(KnapsackTest, EmptyItemsInfeasible) {
+  EXPECT_TRUE(SolveCoveringKnapsackDP({}, 0.5).empty());
+  EXPECT_TRUE(SolveCoveringKnapsackGreedy({}, 0.5).empty());
+}
+
+TEST(KnapsackTest, InfeasibleWhenTotalWeightTooSmall) {
+  std::vector<KnapsackItem> items = {{1.0, 0.2}, {1.0, 0.2}};
+  EXPECT_TRUE(SolveCoveringKnapsackDP(items, 0.5).empty());
+  EXPECT_TRUE(SolveCoveringKnapsackGreedy(items, 0.5).empty());
+}
+
+TEST(KnapsackTest, PicksCheapestCoveringItem) {
+  // Item 1 covers alone at value 1; item 0 covers alone at value 5.
+  std::vector<KnapsackItem> items = {{5.0, 0.6}, {1.0, 0.6}};
+  const auto dp = SolveCoveringKnapsackDP(items, 0.5);
+  ASSERT_EQ(dp.size(), 1u);
+  EXPECT_EQ(dp[0], 1u);
+}
+
+TEST(KnapsackTest, ZeroValueItemsAreFree) {
+  std::vector<KnapsackItem> items = {{0.0, 0.3}, {0.0, 0.3}, {10.0, 0.9}};
+  const auto dp = SolveCoveringKnapsackDP(items, 0.5);
+  EXPECT_GT(TotalWeight(items, dp), 0.5);
+  EXPECT_DOUBLE_EQ(TotalValue(items, dp), 0.0);
+}
+
+TEST(KnapsackTest, GreedySelectsByRatio) {
+  std::vector<KnapsackItem> items = {
+      {1.0, 0.10},   // ratio 10
+      {0.1, 0.30},   // ratio 0.33  <- best
+      {0.5, 0.25},   // ratio 2
+  };
+  const auto sel = SolveCoveringKnapsackGreedy(items, 0.29);
+  ASSERT_EQ(sel.size(), 1u);
+  EXPECT_EQ(sel[0], 1u);
+}
+
+class KnapsackPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KnapsackPropertyTest, DpMatchesBruteForceOptimum) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.UniformInt(1, 12));
+  std::vector<KnapsackItem> items;
+  double total_weight = 0.0;
+  for (int i = 0; i < n; ++i) {
+    KnapsackItem item;
+    item.value = rng.UniformDouble(0, 1);
+    item.weight = rng.UniformDouble(0.01, 0.3);
+    total_weight += item.weight;
+    items.push_back(item);
+  }
+  const double threshold = rng.UniformDouble(0, total_weight * 0.9);
+
+  const auto brute = SolveCoveringKnapsackBrute(items, threshold);
+  const auto dp = SolveCoveringKnapsackDP(items, threshold, /*grid=*/4096);
+  if (brute.empty()) {
+    EXPECT_TRUE(dp.empty());
+    return;
+  }
+  ASSERT_FALSE(dp.empty());
+  EXPECT_GT(TotalWeight(items, dp), threshold);
+  // The DP optimum may differ slightly from the exact optimum due to the
+  // weight grid; allow a small tolerance.
+  EXPECT_LE(TotalValue(items, dp), TotalValue(items, brute) + 0.05);
+}
+
+TEST_P(KnapsackPropertyTest, GreedyIsFeasibleAndNoBetterThanBrute) {
+  Rng rng(GetParam() + 1000);
+  const int n = static_cast<int>(rng.UniformInt(1, 12));
+  std::vector<KnapsackItem> items;
+  double total_weight = 0.0;
+  for (int i = 0; i < n; ++i) {
+    KnapsackItem item;
+    item.value = rng.UniformDouble(0, 1);
+    item.weight = rng.UniformDouble(0.01, 0.3);
+    total_weight += item.weight;
+    items.push_back(item);
+  }
+  const double threshold = rng.UniformDouble(0, total_weight * 0.9);
+
+  const auto brute = SolveCoveringKnapsackBrute(items, threshold);
+  const auto greedy = SolveCoveringKnapsackGreedy(items, threshold);
+  if (brute.empty()) {
+    EXPECT_TRUE(greedy.empty());
+    return;
+  }
+  ASSERT_FALSE(greedy.empty());
+  EXPECT_GT(TotalWeight(items, greedy), threshold);
+  EXPECT_GE(TotalValue(items, greedy) + 1e-12, TotalValue(items, brute));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, KnapsackPropertyTest,
+                         ::testing::Range<uint64_t>(1, 40));
+
+}  // namespace
+}  // namespace cepshed

@@ -1,0 +1,240 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for the ML substrate: k-means, gap statistic, decision tree,
+// regression tree.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+#include "src/ml/decision_tree.h"
+#include "src/ml/gap_statistic.h"
+#include "src/ml/kmeans.h"
+#include "src/ml/regression_tree.h"
+
+namespace cepshed {
+namespace {
+
+// Three well-separated 2D blobs.
+std::vector<std::vector<double>> MakeBlobs(Rng* rng, int per_blob = 60) {
+  std::vector<std::vector<double>> points;
+  const double centers[3][2] = {{0, 0}, {10, 0}, {5, 10}};
+  for (const auto& c : centers) {
+    for (int i = 0; i < per_blob; ++i) {
+      points.push_back({c[0] + rng->Normal(0, 0.5), c[1] + rng->Normal(0, 0.5)});
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  Rng rng(1);
+  auto points = MakeBlobs(&rng);
+  auto result = KMeans(points, 3, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->centroids.size(), 3u);
+  // All points of one blob share a label.
+  for (int blob = 0; blob < 3; ++blob) {
+    const int label = result->labels[static_cast<size_t>(blob * 60)];
+    for (int i = 0; i < 60; ++i) {
+      EXPECT_EQ(result->labels[static_cast<size_t>(blob * 60 + i)], label);
+    }
+  }
+  EXPECT_LT(result->inertia, 200.0);
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  Rng rng(2);
+  std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+  auto result = KMeans(points, 10, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->centroids.size(), 2u);
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  Rng rng(3);
+  EXPECT_FALSE(KMeans({}, 2, &rng).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, 0, &rng).ok());
+  EXPECT_FALSE(KMeans({{1.0}, {1.0, 2.0}}, 1, &rng).ok());
+}
+
+TEST(KMeansTest, WeightedPullsCentroidTowardHeavyPoint) {
+  Rng rng(4);
+  // Two points, one with 99x the weight; k=1 centroid must sit close to it.
+  std::vector<std::vector<double>> points = {{0.0}, {10.0}};
+  auto result = KMeansWeighted(points, {99.0, 1.0}, 1, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->centroids[0][0], 1.0);
+}
+
+TEST(GapStatisticTest, FindsThreeBlobs) {
+  Rng rng(5);
+  auto points = MakeBlobs(&rng);
+  GapStatisticOptions opts;
+  opts.k_min = 1;
+  opts.k_max = 6;
+  auto result = EstimateClusters(points, opts, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->best_k, 2);
+  EXPECT_LE(result->best_k, 4);
+}
+
+TEST(GapStatisticTest, SingleBlobYieldsOneCluster) {
+  Rng rng(6);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 100; ++i) {
+    points.push_back({rng.Normal(0, 1), rng.Normal(0, 1)});
+  }
+  GapStatisticOptions opts;
+  opts.k_min = 1;
+  opts.k_max = 5;
+  auto result = EstimateClusters(points, opts, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->best_k, 2);
+}
+
+TEST(DecisionTreeTest, LearnsAxisAlignedBoundary) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.UniformDouble(0, 10);
+    const double b = rng.UniformDouble(0, 10);
+    x.push_back({a, b});
+    y.push_back(a + b <= 10.0 ? 0 : 1);
+  }
+  DecisionTree tree;
+  DecisionTree::Options opts;
+  opts.max_depth = 8;
+  ASSERT_TRUE(tree.Fit(x, y, opts).ok());
+  EXPECT_GT(tree.training_accuracy(), 0.95);
+  EXPECT_EQ(tree.Predict({1.0, 1.0}), 0);
+  EXPECT_EQ(tree.Predict({9.0, 9.0}), 1);
+}
+
+TEST(DecisionTreeTest, DepthIsBounded) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    x.push_back({rng.UniformDouble(0, 1)});
+    y.push_back(static_cast<int>(rng.UniformInt(0, 3)));
+  }
+  DecisionTree tree;
+  DecisionTree::Options opts;
+  opts.max_depth = 3;
+  ASSERT_TRUE(tree.Fit(x, y, opts).ok());
+  EXPECT_LE(tree.Depth(), 4);  // depth counts nodes on path incl. leaf
+}
+
+TEST(DecisionTreeTest, PathsToClassAreConsistentWithPredict) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 100; ++i) {
+    const double v = static_cast<double>(i);
+    x.push_back({v});
+    y.push_back(v < 50 ? 0 : 1);
+  }
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Fit(x, y, DecisionTree::Options{}).ok());
+  const auto paths = tree.PathsToClass(0);
+  ASSERT_FALSE(paths.empty());
+  // A point satisfying a class-0 path must predict class 0.
+  for (const auto& path : paths) {
+    double probe = 25.0;
+    bool satisfied = true;
+    for (const auto& cond : path) {
+      satisfied &= cond.less_equal ? probe <= cond.threshold : probe > cond.threshold;
+    }
+    if (satisfied) {
+      EXPECT_EQ(tree.Predict({probe}), 0);
+    }
+  }
+}
+
+TEST(DecisionTreeTest, RejectsBadInput) {
+  DecisionTree tree;
+  EXPECT_FALSE(tree.Fit({}, {}, DecisionTree::Options{}).ok());
+  EXPECT_FALSE(tree.Fit({{1.0}}, {0, 1}, DecisionTree::Options{}).ok());
+  EXPECT_FALSE(tree.Fit({{1.0}}, {-1}, DecisionTree::Options{}).ok());
+}
+
+TEST(RegressionTreeTest, RecoversPiecewiseMeans) {
+  std::vector<std::vector<double>> x;
+  std::vector<std::vector<double>> y;
+  Rng rng(9);
+  for (int i = 0; i < 600; ++i) {
+    const double a = rng.UniformDouble(0, 10);
+    x.push_back({a});
+    y.push_back({a < 5 ? 100.0 : 200.0});
+  }
+  RegressionTree tree;
+  RegressionTree::Options opts;
+  opts.min_samples_leaf = 20;
+  ASSERT_TRUE(tree.Fit(x, y, opts).ok());
+  EXPECT_NEAR(tree.Predict({2.0})[0], 100.0, 1.0);
+  EXPECT_NEAR(tree.Predict({8.0})[0], 200.0, 1.0);
+}
+
+TEST(RegressionTreeTest, IgnoresIrrelevantFeature) {
+  std::vector<std::vector<double>> x;
+  std::vector<std::vector<double>> y;
+  Rng rng(10);
+  for (int i = 0; i < 800; ++i) {
+    const double useful = rng.UniformDouble(0, 10);
+    const double noise = rng.UniformDouble(0, 10);
+    x.push_back({noise, useful});
+    y.push_back({useful < 5 ? 1.0 : 2.0});
+  }
+  RegressionTree tree;
+  RegressionTree::Options opts;
+  opts.max_depth = 2;
+  opts.min_samples_leaf = 50;
+  ASSERT_TRUE(tree.Fit(x, y, opts).ok());
+  // With a single split available, it must pick the informative feature:
+  // leaves separated by the useful dimension.
+  EXPECT_NEAR(tree.Predict({0.0, 2.0})[0], 1.0, 0.2);
+  EXPECT_NEAR(tree.Predict({9.9, 8.0})[0], 2.0, 0.2);
+}
+
+TEST(RegressionTreeTest, MultiTargetLeavesCarryBothMeans) {
+  std::vector<std::vector<double>> x;
+  std::vector<std::vector<double>> y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = static_cast<double>(i % 2);
+    x.push_back({a});
+    y.push_back({a * 10.0, 5.0 - a * 5.0});
+  }
+  RegressionTree tree;
+  RegressionTree::Options opts;
+  opts.min_samples_leaf = 10;
+  ASSERT_TRUE(tree.Fit(x, y, opts).ok());
+  const auto& lo = tree.Predict({0.0});
+  const auto& hi = tree.Predict({1.0});
+  EXPECT_NEAR(lo[0], 0.0, 0.01);
+  EXPECT_NEAR(lo[1], 5.0, 0.01);
+  EXPECT_NEAR(hi[0], 10.0, 0.01);
+  EXPECT_NEAR(hi[1], 0.0, 0.01);
+}
+
+TEST(RegressionTreeTest, TrainingLeavesMatchPredictLeaf) {
+  std::vector<std::vector<double>> x;
+  std::vector<std::vector<double>> y;
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.UniformDouble(0, 10);
+    x.push_back({a});
+    y.push_back({a});
+  }
+  RegressionTree tree;
+  RegressionTree::Options opts;
+  opts.min_samples_leaf = 10;
+  ASSERT_TRUE(tree.Fit(x, y, opts).ok());
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_EQ(tree.PredictLeaf(x[i]), tree.training_leaves()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace cepshed

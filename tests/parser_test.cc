@@ -1,0 +1,193 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for the SASE-style query language front end.
+
+#include "src/query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/query/lexer.h"
+#include "src/workload/citibike.h"
+#include "src/workload/ds1.h"
+#include "src/workload/ds2.h"
+#include "src/workload/google_trace.h"
+#include "src/workload/queries.h"
+
+namespace cepshed {
+namespace {
+
+TEST(LexerTest, TokenizesOperatorsAndLiterals) {
+  auto tokens = Tokenize("a.V + 3 <= 4.5 AND x != 'str'");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds[0], TokenKind::kIdent);
+  EXPECT_EQ(kinds[1], TokenKind::kDot);
+  EXPECT_EQ(kinds[2], TokenKind::kIdent);
+  EXPECT_EQ(kinds[3], TokenKind::kPlus);
+  EXPECT_EQ(kinds[4], TokenKind::kInt);
+  EXPECT_EQ(kinds[5], TokenKind::kLe);
+  EXPECT_EQ(kinds[6], TokenKind::kDouble);
+  EXPECT_EQ(kinds[8], TokenKind::kIdent);
+  EXPECT_EQ(kinds[9], TokenKind::kNe);
+  EXPECT_EQ(kinds[10], TokenKind::kString);
+}
+
+TEST(LexerTest, UnicodeOperators) {
+  auto tokens = Tokenize("¬B ∈ ≤ ≥ ≠");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kBang);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kIn);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kGe);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kNe);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = Tokenize("a -- comment\nb // other\nc");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 4u);  // a b c END
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Tokenize("a # b").ok());
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+}
+
+TEST(ParserTest, ParsesSimpleSequence) {
+  auto q = ParseQuery("PATTERN SEQ(A a, B b) WHERE a.ID = b.ID WITHIN 5ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->elements.size(), 2u);
+  EXPECT_EQ(q->elements[0].event_type, "A");
+  EXPECT_EQ(q->elements[0].variable, "a");
+  EXPECT_FALSE(q->elements[0].kleene);
+  EXPECT_EQ(q->predicates.size(), 1u);
+  EXPECT_EQ(q->window, Millis(5));
+}
+
+TEST(ParserTest, ParsesKleeneWithBounds) {
+  auto q = ParseQuery("PATTERN SEQ(A+{2,5} a[], B b) WITHIN 1ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->elements[0].kleene);
+  EXPECT_EQ(q->elements[0].min_reps, 2);
+  EXPECT_EQ(q->elements[0].max_reps, 5);
+}
+
+TEST(ParserTest, ParsesUnboundedKleene) {
+  auto q = ParseQuery("PATTERN SEQ(A+ a[], B b) WITHIN 1ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->elements[0].kleene);
+  EXPECT_EQ(q->elements[0].min_reps, 1);
+}
+
+TEST(ParserTest, ParsesNegation) {
+  auto q = ParseQuery("PATTERN SEQ(A a, !B b, C c) WHERE a.ID=b.ID WITHIN 1ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->elements[1].negated);
+  auto q2 = ParseQuery("PATTERN SEQ(A a, NOT B b, C c) WITHIN 1ms");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_TRUE(q2->elements[1].negated);
+}
+
+TEST(ParserTest, ParsesIterationSelectors) {
+  auto q = ParseQuery(
+      "PATTERN SEQ(T+ a[], T b) "
+      "WHERE a[i+1].s = a[i].e AND a[last].k = b.k AND a[first].s = 0 "
+      "WITHIN 1h");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->predicates.size(), 3u);
+  EXPECT_EQ(q->predicates[0]->ToString(), "a[i+1].s=a[i].e");
+}
+
+TEST(ParserTest, ParsesInSet) {
+  auto q = ParseQuery("PATTERN SEQ(T a) WHERE a.end IN {7,8,9} WITHIN 1h");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->predicates[0]->kind(), ExprKind::kInSet);
+}
+
+TEST(ParserTest, ParsesAggregatesAndFunctions) {
+  auto q = ParseQuery(
+      "PATTERN SEQ(A+ a[], B b) "
+      "WHERE AVG(a[].V) >= 4 AND SUM(a[].V) < 100 AND SQRT(b.V) > 1 "
+      "AND AVG(SQRT(b.V * b.V), b.V) <= 10 "
+      "WITHIN 2ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->predicates.size(), 4u);
+}
+
+TEST(ParserTest, DurationUnits) {
+  EXPECT_EQ(ParseQuery("PATTERN SEQ(A a) WITHIN 5us")->window, 5);
+  EXPECT_EQ(ParseQuery("PATTERN SEQ(A a) WITHIN 5ms")->window, Millis(5));
+  EXPECT_EQ(ParseQuery("PATTERN SEQ(A a) WITHIN 5s")->window, Seconds(5));
+  EXPECT_EQ(ParseQuery("PATTERN SEQ(A a) WITHIN 5min")->window, Minutes(5));
+  EXPECT_EQ(ParseQuery("PATTERN SEQ(A a) WITHIN 2h")->window, Hours(2));
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto q = ParseQuery("PATTERN SEQ(A a) WHERE a.V + 2 * 3 = 7 WITHIN 1ms");
+  ASSERT_TRUE(q.ok());
+  // 2*3 binds tighter: (a.V + (2*3)) = 7.
+  EXPECT_EQ(q->predicates[0]->ToString(), "(a.V+(2*3))=7");
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(ParseQuery("SEQ(A a) WITHIN 1ms").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ() WITHIN 1ms").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) WITHIN").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) WITHIN 5 parsecs").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) WHERE WITHIN 1ms").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) WITHIN 1ms trailing").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a[]) WITHIN 1ms").ok());  // [] without +
+}
+
+// The paper's queries all parse and validate against their schemas.
+
+TEST(PaperQueriesTest, Q1Validates) {
+  const Schema schema = MakeDs1Schema();
+  auto q = queries::Q1();
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->Validate(schema).ok());
+}
+
+TEST(PaperQueriesTest, Q2Validates) {
+  const Schema schema = MakeDs1Schema();
+  auto q = queries::Q2(3);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->Validate(schema).ok());
+  EXPECT_EQ(q->elements[1].max_reps, 3);
+}
+
+TEST(PaperQueriesTest, Q3Validates) {
+  const Schema schema = MakeDs2Schema();
+  auto q = queries::Q3();
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->Validate(schema).ok());
+}
+
+TEST(PaperQueriesTest, Q4ValidatesAndIsNegated) {
+  const Schema schema = MakeDs1Schema();
+  auto q = queries::Q4();
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->Validate(schema).ok());
+  EXPECT_TRUE(q->elements[1].negated);
+}
+
+TEST(PaperQueriesTest, CitibikeHotPathsValidates) {
+  const Schema schema = MakeCitibikeSchema();
+  auto q = queries::CitibikeHotPaths(5);
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->Validate(schema).ok());
+  EXPECT_EQ(q->elements[0].min_reps, 5);
+  EXPECT_EQ(q->window, Hours(1));
+}
+
+TEST(PaperQueriesTest, GoogleTaskChurnValidates) {
+  const Schema schema = MakeGoogleTraceSchema();
+  auto q = queries::GoogleTaskChurn();
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(q->Validate(schema).ok());
+  EXPECT_EQ(q->elements.size(), 7u);
+}
+
+}  // namespace
+}  // namespace cepshed

@@ -1,0 +1,171 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Tests of the selective event-selection policies (§III-A): semantics of
+// skip-till-next-match and strict contiguity, and the monotonicity
+// violation the paper names them for — under a selective policy, dropping
+// an input event can CREATE a match that exhaustive evaluation of the full
+// stream would not produce.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cep/engine.h"
+#include "src/cep/nfa.h"
+#include "src/query/parser.h"
+#include "src/workload/ds1.h"
+#include "tests/test_util.h"
+
+namespace cepshed {
+namespace {
+
+using testing::MakeAbcdSchema;
+using testing::MakeEvent;
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest() : schema_(MakeAbcdSchema()) {}
+
+  EventPtr Ev(const std::string& type, Timestamp ts, int64_t id, int64_t v) {
+    return MakeEvent(schema_, type, ts, seq_++, id, v);
+  }
+
+  std::vector<Match> Run(const Query& query, const std::vector<EventPtr>& events) {
+    auto nfa = Nfa::Compile(query, &schema_);
+    EXPECT_TRUE(nfa.ok()) << nfa.status();
+    Engine engine(*nfa, EngineOptions{});
+    std::vector<Match> out;
+    for (const EventPtr& e : events) engine.Process(e, &out);
+    return out;
+  }
+
+  Query MakeAb(SelectionPolicy policy) {
+    Query q;
+    q.elements = {
+        {"a", "A", -1, false, false, 1, 1},
+        {"b", "B", -1, false, false, 1, 1},
+    };
+    q.predicates.push_back(Expr::Compare(CmpOp::kEq,
+                                         Expr::Attr("a", RefSelector::kSingle, "ID"),
+                                         Expr::Attr("b", RefSelector::kSingle, "ID")));
+    q.window = Millis(8);
+    q.policy = policy;
+    return q;
+  }
+
+  Schema schema_;
+  uint64_t seq_ = 0;
+};
+
+TEST_F(PolicyTest, ParserAcceptsPolicyClause) {
+  auto q = ParseQuery("PATTERN SEQ(A a, B b) POLICY next WITHIN 1ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->policy, SelectionPolicy::kSkipTillNextMatch);
+  auto q2 = ParseQuery("PATTERN SEQ(A a, B b) POLICY strict WITHIN 1ms");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->policy, SelectionPolicy::kStrictContiguity);
+  auto q3 = ParseQuery("PATTERN SEQ(A a, B b) WITHIN 1ms");
+  ASSERT_TRUE(q3.ok());
+  EXPECT_EQ(q3->policy, SelectionPolicy::kSkipTillAnyMatch);
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) POLICY sideways WITHIN 1ms").ok());
+}
+
+TEST_F(PolicyTest, SkipTillNextMatchTakesFirstViableEvent) {
+  // One A, two matching Bs: STAM yields 2 matches, STNM exactly 1 (the
+  // first B consumes the partial match).
+  std::vector<EventPtr> events = {Ev("A", 0, 1, 1), Ev("B", 1, 1, 1), Ev("B", 2, 1, 1)};
+  EXPECT_EQ(Run(MakeAb(SelectionPolicy::kSkipTillAnyMatch), events).size(), 2u);
+  seq_ = 0;
+  events = {Ev("A", 0, 1, 1), Ev("B", 1, 1, 1), Ev("B", 2, 1, 1)};
+  auto stnm = Run(MakeAb(SelectionPolicy::kSkipTillNextMatch), events);
+  ASSERT_EQ(stnm.size(), 1u);
+  EXPECT_EQ(stnm[0].events[1]->seq(), 1u);  // the first B
+}
+
+TEST_F(PolicyTest, SkipTillNextMatchStillSkipsIrrelevantEvents) {
+  // A, then a non-matching B (different ID), then a matching B: the
+  // irrelevant event is skipped, the match completes.
+  std::vector<EventPtr> events = {Ev("A", 0, 1, 1), Ev("B", 1, 2, 1), Ev("B", 2, 1, 1)};
+  auto matches = Run(MakeAb(SelectionPolicy::kSkipTillNextMatch), events);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].events[1]->seq(), 2u);
+}
+
+TEST_F(PolicyTest, StrictContiguityRequiresAdjacency) {
+  // A directly followed by a matching B: match.
+  std::vector<EventPtr> events = {Ev("A", 0, 1, 1), Ev("B", 1, 1, 1)};
+  EXPECT_EQ(Run(MakeAb(SelectionPolicy::kStrictContiguity), events).size(), 1u);
+  // An interleaved C kills the pattern instance.
+  seq_ = 0;
+  events = {Ev("A", 0, 1, 1), Ev("C", 1, 1, 1), Ev("B", 2, 1, 1)};
+  EXPECT_TRUE(Run(MakeAb(SelectionPolicy::kStrictContiguity), events).empty());
+}
+
+TEST_F(PolicyTest, StrictContiguityKleeneRuns) {
+  // SEQ(A+ a[], B b) strict: only stream-contiguous runs of As directly
+  // followed by B.
+  Query q;
+  q.elements = {
+      {"a", "A", -1, true, false, 1, 10},
+      {"b", "B", -1, false, false, 1, 1},
+  };
+  q.window = Millis(8);
+  q.policy = SelectionPolicy::kStrictContiguity;
+  std::vector<EventPtr> events = {
+      Ev("A", 0, 1, 1), Ev("A", 1, 1, 1), Ev("B", 2, 1, 1),
+  };
+  // Contiguous suffix runs: {a1,a2} and {a2} both end adjacent to B.
+  auto matches = Run(q, events);
+  EXPECT_EQ(matches.size(), 2u);
+
+  seq_ = 0;
+  events = {Ev("A", 0, 1, 1), Ev("C", 1, 1, 1), Ev("A", 2, 1, 1), Ev("B", 3, 1, 1)};
+  // The C breaks the first A's run; only {a2} survives.
+  auto broken = Run(q, events);
+  EXPECT_EQ(broken.size(), 1u);
+}
+
+TEST_F(PolicyTest, SelectivePolicyViolatesStreamMonotonicity) {
+  // The paper's §III-A counter-example: under skip-till-next-match,
+  // removing an input event changes WHICH event a match takes, creating a
+  // match the full stream would not produce.
+  // Query: SEQ(A a, B b) WHERE a.ID=b.ID AND b.V=2 is false for the first
+  // B — use value predicate on b: a match on the full stream binds b1 and
+  // dies; without b1 it binds b2.
+  Query q = MakeAb(SelectionPolicy::kSkipTillNextMatch);
+  std::vector<EventPtr> full = {Ev("A", 0, 1, 1), Ev("B", 1, 1, 1), Ev("B", 2, 1, 2)};
+  const auto full_matches = Run(q, full);
+  std::set<std::string> full_keys;
+  for (const auto& m : full_matches) full_keys.insert(m.Key());
+
+  // Project away the first B (input shedding).
+  std::vector<EventPtr> projected = {full[0], full[2]};
+  const auto projected_matches = Run(q, projected);
+  ASSERT_EQ(projected_matches.size(), 1u);
+  // The projected run produced a match (a, b2) that the full run did not.
+  EXPECT_EQ(full_keys.count(projected_matches[0].Key()), 0u)
+      << "expected a monotonicity violation under the selective policy";
+}
+
+TEST_F(PolicyTest, ExhaustivePolicyIsMonotoneOnSameExample) {
+  Query q = MakeAb(SelectionPolicy::kSkipTillAnyMatch);
+  std::vector<EventPtr> full = {Ev("A", 0, 1, 1), Ev("B", 1, 1, 1), Ev("B", 2, 1, 2)};
+  const auto full_matches = Run(q, full);
+  std::set<std::string> full_keys;
+  for (const auto& m : full_matches) full_keys.insert(m.Key());
+  std::vector<EventPtr> projected = {full[0], full[2]};
+  for (const auto& m : Run(q, projected)) {
+    EXPECT_EQ(full_keys.count(m.Key()), 1u);
+  }
+}
+
+TEST_F(PolicyTest, PolicyRoundTripsThroughToString) {
+  auto q = ParseQuery("PATTERN SEQ(A+{2,5} a[], B b) POLICY strict WITHIN 1ms");
+  ASSERT_TRUE(q.ok());
+  const std::string text = q->ToString();
+  EXPECT_NE(text.find("POLICY strict"), std::string::npos);
+  EXPECT_NE(text.find("A+{2,5}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cepshed

@@ -1,0 +1,179 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Property-based tests of the paper's formal foundations (§III-A):
+//  - monotonicity in the stream: evaluating over a projection of the
+//    stream (input shedding) yields a subset of the original matches;
+//  - monotonicity in the partial matches: removing partial matches (state
+//    shedding) yields a subset of the complete matches;
+//  - join-index transparency: the engine with and without indexes
+//    produces identical match sets;
+//  - the false-positive behaviour of non-monotonic (negation) queries.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cep/engine.h"
+#include "src/cep/nfa.h"
+#include "src/workload/ds1.h"
+#include "src/workload/queries.h"
+#include "tests/test_util.h"
+
+namespace cepshed {
+namespace {
+
+std::set<std::string> MatchKeys(const std::vector<Match>& matches) {
+  std::set<std::string> keys;
+  for (const Match& m : matches) keys.insert(m.Key());
+  return keys;
+}
+
+std::vector<Match> RunStream(const std::shared_ptr<const Nfa>& nfa,
+                             const std::vector<EventPtr>& events,
+                             EngineOptions opts = {}) {
+  Engine engine(nfa, opts);
+  std::vector<Match> out;
+  for (const EventPtr& e : events) engine.Process(e, &out);
+  return out;
+}
+
+class MonotonicityTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  MonotonicityTest() : schema_(MakeDs1Schema()) {}
+
+  std::vector<EventPtr> MakeStream(uint64_t seed, size_t n = 600) {
+    Ds1Options opts;
+    opts.num_events = n;
+    opts.event_gap = 5;
+    opts.seed = seed;
+    const EventStream stream = GenerateDs1(schema_, opts);
+    return {stream.begin(), stream.end()};
+  }
+
+  Schema schema_;
+};
+
+TEST_P(MonotonicityTest, StreamProjectionYieldsMatchSubsetQ1) {
+  auto nfa = Nfa::Compile(*queries::Q1("4ms"), &schema_);
+  ASSERT_TRUE(nfa.ok());
+  const auto events = MakeStream(GetParam());
+  const auto full = MatchKeys(RunStream(*nfa, events));
+
+  // Drop every third event (an order-preserving projection).
+  std::vector<EventPtr> projected;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i % 3 != 0) projected.push_back(events[i]);
+  }
+  const auto reduced = MatchKeys(RunStream(*nfa, projected));
+  for (const auto& key : reduced) {
+    EXPECT_TRUE(full.count(key) > 0) << "projection created a new match";
+  }
+  EXPECT_LE(reduced.size(), full.size());
+}
+
+TEST_P(MonotonicityTest, StreamProjectionYieldsMatchSubsetKleene) {
+  auto nfa = Nfa::Compile(*queries::Q2(4, "2ms"), &schema_);
+  ASSERT_TRUE(nfa.ok());
+  const auto events = MakeStream(GetParam() + 77);
+  const auto full = MatchKeys(RunStream(*nfa, events));
+
+  Rng rng(GetParam());
+  std::vector<EventPtr> projected;
+  for (const auto& e : events) {
+    if (!rng.Bernoulli(0.3)) projected.push_back(e);
+  }
+  const auto reduced = MatchKeys(RunStream(*nfa, projected));
+  for (const auto& key : reduced) {
+    EXPECT_TRUE(full.count(key) > 0) << "projection created a new match";
+  }
+}
+
+TEST_P(MonotonicityTest, StateSheddingYieldsMatchSubset) {
+  auto nfa = Nfa::Compile(*queries::Q1("4ms"), &schema_);
+  ASSERT_TRUE(nfa.ok());
+  const auto events = MakeStream(GetParam() + 1234);
+  const auto full = MatchKeys(RunStream(*nfa, events));
+
+  // Kill a random subset of partial matches after every event.
+  Engine engine(*nfa, EngineOptions{});
+  Rng rng(GetParam());
+  std::vector<Match> out;
+  for (const EventPtr& e : events) {
+    engine.Process(e, &out);
+    engine.store().ForEachAlive([&](PartialMatch* pm) {
+      if (rng.Bernoulli(0.2)) engine.store().Kill(pm);
+    });
+  }
+  const auto reduced = MatchKeys(out);
+  for (const auto& key : reduced) {
+    EXPECT_TRUE(full.count(key) > 0) << "state shedding created a new match";
+  }
+  EXPECT_LT(reduced.size(), full.size());
+}
+
+TEST_P(MonotonicityTest, IndexOnOffProduceIdenticalMatches) {
+  for (const auto& query :
+       {*queries::Q1("4ms"), *queries::Q2(3, "2ms"), *queries::Q4("4ms")}) {
+    auto nfa = Nfa::Compile(query, &schema_);
+    ASSERT_TRUE(nfa.ok());
+    const auto events = MakeStream(GetParam() + 555);
+    EngineOptions on;
+    on.use_join_index = true;
+    EngineOptions expr_keys = on;
+    expr_keys.index_expression_keys = true;
+    EngineOptions off;
+    off.use_join_index = false;
+    const auto a = MatchKeys(RunStream(*nfa, events, on));
+    const auto b = MatchKeys(RunStream(*nfa, events, off));
+    const auto c = MatchKeys(RunStream(*nfa, events, expr_keys));
+    EXPECT_EQ(a, b) << query.name;
+    EXPECT_EQ(a, c) << query.name;
+  }
+}
+
+TEST_P(MonotonicityTest, CompactionPreservesMatches) {
+  auto nfa = Nfa::Compile(*queries::Q1("4ms"), &schema_);
+  ASSERT_TRUE(nfa.ok());
+  const auto events = MakeStream(GetParam() + 999);
+
+  EngineOptions eager;
+  eager.evict_interval = 8;
+  eager.compact_min_dead = 1;
+  eager.compact_dead_fraction = 0.0;
+  EngineOptions lazy;
+  lazy.evict_interval = 512;
+  lazy.compact_min_dead = 1u << 30;
+
+  const auto a = MatchKeys(RunStream(*nfa, events, eager));
+  const auto b = MatchKeys(RunStream(*nfa, events, lazy));
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(MonotonicityTest, NegationSheddingOnlyAddsFalsePositives) {
+  auto nfa = Nfa::Compile(*queries::Q4("4ms"), &schema_);
+  ASSERT_TRUE(nfa.ok());
+  const auto events = MakeStream(GetParam() + 321);
+  const auto truth = MatchKeys(RunStream(*nfa, events));
+
+  // Shed witnesses only: every true match must still be found (recall 1);
+  // extra matches may appear (precision < 1) — the paper's Fig. 14.
+  Engine engine(*nfa, EngineOptions{});
+  Rng rng(GetParam());
+  std::vector<Match> out;
+  for (const EventPtr& e : events) {
+    engine.Process(e, &out);
+    engine.store().ForEachAliveWitness([&](PartialMatch* pm) {
+      if (rng.Bernoulli(0.5)) engine.store().Kill(pm);
+    });
+  }
+  const auto shed = MatchKeys(out);
+  for (const auto& key : truth) {
+    EXPECT_TRUE(shed.count(key) > 0) << "witness shedding lost a true match";
+  }
+  EXPECT_GE(shed.size(), truth.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest, ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace cepshed

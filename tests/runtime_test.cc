@@ -1,0 +1,249 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for the runtime pieces: latency monitor, partial-match store,
+// metrics, NFA compilation details.
+
+#include <gtest/gtest.h>
+
+#include "src/cep/engine.h"
+#include "src/cep/nfa.h"
+#include "src/cep/partial_match.h"
+#include "src/runtime/latency_monitor.h"
+#include "src/runtime/metrics.h"
+#include "src/workload/citibike.h"
+#include "src/workload/ds1.h"
+#include "src/query/parser.h"
+#include "src/workload/queries.h"
+#include "tests/test_util.h"
+
+namespace cepshed {
+namespace {
+
+TEST(LatencyMonitorTest, SlidingAverage) {
+  LatencyMonitor::Options opts;
+  opts.stat = LatencyStat::kAverage;
+  opts.window = 4;
+  LatencyMonitor monitor(opts);
+  monitor.Record(1);
+  monitor.Record(2);
+  monitor.Record(3);
+  monitor.Record(4);
+  EXPECT_DOUBLE_EQ(monitor.Current(), 2.5);
+  monitor.Record(5);  // evicts the 1
+  EXPECT_DOUBLE_EQ(monitor.Current(), 3.5);
+}
+
+TEST(LatencyMonitorTest, OverallAverageIsExact) {
+  LatencyMonitor monitor;
+  for (int i = 1; i <= 100; ++i) monitor.Record(i);
+  EXPECT_DOUBLE_EQ(monitor.OverallAverage(), 50.5);
+}
+
+TEST(LatencyMonitorTest, PercentileTracksWindow) {
+  LatencyMonitor::Options opts;
+  opts.stat = LatencyStat::kP95;
+  opts.window = 100;
+  opts.refresh_every = 1;
+  LatencyMonitor monitor(opts);
+  for (int i = 1; i <= 100; ++i) monitor.Record(i);
+  EXPECT_NEAR(monitor.Current(), 95.0, 2.0);
+  // A burst of large values shifts the percentile up.
+  for (int i = 0; i < 50; ++i) monitor.Record(1000);
+  EXPECT_GE(monitor.Current(), 900.0);
+}
+
+TEST(LatencyMonitorTest, ResetClears) {
+  LatencyMonitor monitor;
+  monitor.Record(10);
+  monitor.Reset();
+  EXPECT_EQ(monitor.Count(), 0u);
+  EXPECT_DOUBLE_EQ(monitor.Current(), 0.0);
+}
+
+TEST(PartialMatchStoreTest, CountsAliveAndDead) {
+  PartialMatchStore store(3, 3);
+  auto pm = std::make_unique<PartialMatch>();
+  pm->state = 1;
+  pm->start_ts = 0;
+  PartialMatch* raw = store.Add(std::move(pm));
+  EXPECT_EQ(store.NumAlive(), 1u);
+  store.Kill(raw);
+  store.Kill(raw);  // idempotent
+  EXPECT_EQ(store.NumAlive(), 0u);
+  EXPECT_EQ(store.NumDead(), 1u);
+  store.Compact();
+  EXPECT_EQ(store.NumDead(), 0u);
+  EXPECT_TRUE(store.bucket(1).empty());
+}
+
+TEST(PartialMatchStoreTest, EvictExpired) {
+  PartialMatchStore store(2, 2);
+  for (int i = 0; i < 5; ++i) {
+    auto pm = std::make_unique<PartialMatch>();
+    pm->state = 0;
+    pm->start_ts = i * 100;
+    store.Add(std::move(pm));
+  }
+  // Window 250 at now=500: PMs with start_ts < 250 expire (0,100,200).
+  EXPECT_EQ(store.EvictExpired(500, 250), 3u);
+  EXPECT_EQ(store.NumAlive(), 2u);
+}
+
+TEST(PartialMatchStoreTest, WitnessesTrackedSeparately) {
+  PartialMatchStore store(2, 3);
+  auto w = std::make_unique<PartialMatch>();
+  w->negated_elem = 1;
+  w->start_ts = 0;
+  PartialMatch* raw = store.AddWitness(std::move(w));
+  EXPECT_EQ(store.NumAliveWitnesses(), 1u);
+  EXPECT_EQ(store.NumAlive(), 0u);
+  EXPECT_TRUE(raw->is_witness);
+  size_t seen = 0;
+  store.ForEachAliveWitness([&](PartialMatch*) { ++seen; });
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(MetricsTest, RecallAndPrecision) {
+  Schema schema = MakeDs1Schema();
+  auto ev = [&](uint64_t seq) {
+    return std::make_shared<Event>(0, static_cast<Timestamp>(seq), seq,
+                                   std::vector<Value>{Value(1), Value(1)});
+  };
+  Match m1;
+  m1.events = {ev(1), ev(2)};
+  m1.slot_end = {1, 2};
+  m1.detected_at = 2;
+  Match m2;
+  m2.events = {ev(3), ev(4)};
+  m2.slot_end = {1, 2};
+  m2.detected_at = 4;
+  Match fake;
+  fake.events = {ev(9), ev(10)};
+  fake.slot_end = {1, 2};
+  fake.detected_at = 10;
+
+  GroundTruth truth(std::vector<Match>{m1, m2});
+  const auto q = ComputeQuality({m1, fake}, truth);
+  EXPECT_DOUBLE_EQ(q.recall, 0.5);
+  EXPECT_DOUBLE_EQ(q.precision, 0.5);
+  EXPECT_EQ(q.true_positives, 1u);
+  EXPECT_EQ(q.false_positives, 1u);
+
+  const auto range = ComputeQualityInRange({m1, m2}, truth, 0, 3);
+  EXPECT_EQ(range.truth_size, 1u);  // only m1 detected before ts 3
+  EXPECT_DOUBLE_EQ(range.recall, 1.0);
+}
+
+TEST(MetricsTest, EmptyEdgeCases) {
+  GroundTruth empty;
+  const auto q = ComputeQuality({}, empty);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+}
+
+TEST(NfaTest, Q1CompilesWithExpectedStructure) {
+  Schema schema = MakeDs1Schema();
+  auto nfa = Nfa::Compile(*queries::Q1(), &schema);
+  ASSERT_TRUE(nfa.ok()) << nfa.status();
+  EXPECT_EQ((*nfa)->num_states(), 3);
+  // b and c have ID-equality join keys on bare attributes.
+  EXPECT_TRUE((*nfa)->state(1).fill_index.valid());
+  EXPECT_FALSE((*nfa)->state(1).fill_index.expression_key);
+  EXPECT_TRUE((*nfa)->state(2).fill_index.valid());
+  // Predicates anchored: none at state 0, one at state 1, two at state 2.
+  EXPECT_EQ((*nfa)->state(0).bind_preds.size(), 0u);
+  EXPECT_EQ((*nfa)->state(1).bind_preds.size(), 1u);
+  EXPECT_EQ((*nfa)->state(2).bind_preds.size(), 2u);
+  // Predictor attributes: only V — ID is a pure cross-element join key
+  // (value-agnostic, excluded to keep the classifiers from memorizing
+  // individual ids).
+  ASSERT_EQ((*nfa)->PredicateAttrs().size(), 1u);
+  EXPECT_EQ((*nfa)->PredicateAttrs()[0], schema.AttributeIndex("V"));
+}
+
+TEST(NfaTest, KleeneIterationPredicatesSplit) {
+  Schema schema = MakeCitibikeSchema();
+  auto nfa = Nfa::Compile(*queries::CitibikeHotPaths(2, 5), &schema);
+  ASSERT_TRUE(nfa.ok()) << nfa.status();
+  const NfaState& kleene = (*nfa)->state(0);
+  EXPECT_TRUE(kleene.kleene);
+  EXPECT_EQ(kleene.min_reps, 2);
+  EXPECT_EQ(kleene.max_reps, 5);
+  // a[i+1].bike=a[i].bike and a[i+1].start=a[i].end are iteration preds.
+  EXPECT_EQ(kleene.iter_preds.size(), 2u);
+  // The extension index keys on the previous trip's attribute.
+  EXPECT_TRUE(kleene.extend_index.valid());
+}
+
+TEST(NfaTest, NegationSpecsForQ4) {
+  Schema schema = MakeDs1Schema();
+  auto nfa = Nfa::Compile(*queries::Q4(), &schema);
+  ASSERT_TRUE(nfa.ok()) << nfa.status();
+  ASSERT_EQ((*nfa)->negations().size(), 1u);
+  const NegationSpec& neg = (*nfa)->negations()[0];
+  EXPECT_EQ(neg.pattern_elem, 1);
+  EXPECT_EQ(neg.prev_state, 0);
+  EXPECT_EQ(neg.next_state, 1);
+  // Both b-referencing predicates attach to the negation.
+  EXPECT_EQ(neg.preds.size(), 2u);
+  // The NFA itself has only the two positive states.
+  EXPECT_EQ((*nfa)->num_states(), 2);
+}
+
+TEST(NfaTest, RejectsNegationAtPatternEdge) {
+  Schema schema = MakeDs1Schema();
+  auto q = ParseQuery("PATTERN SEQ(!A a, B b) WITHIN 1ms");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(Nfa::Compile(*q, &schema).ok());
+}
+
+TEST(NfaTest, EventOnlyPredicateFlag) {
+  Schema schema = MakeCitibikeSchema();
+  auto nfa = Nfa::Compile(*queries::CitibikeHotPaths(2, 5), &schema);
+  ASSERT_TRUE(nfa.ok());
+  // b.end IN {7,8,9} is evaluable on the event alone.
+  bool found_event_only = false;
+  for (const auto* cp : (*nfa)->state(1).bind_preds) {
+    if (cp->event_only) found_event_only = true;
+  }
+  EXPECT_TRUE(found_event_only);
+}
+
+TEST(CountWindowTest, ParserAcceptsEventsWindow) {
+  auto q = ParseQuery("PATTERN SEQ(A a, B b) WITHIN 1000 EVENTS");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->count_window, 1000u);
+  EXPECT_GT(q->window, 0);
+}
+
+TEST(CountWindowTest, EngineExpiresBySequenceDistance) {
+  Schema schema = MakeDs1Schema();
+  auto q = ParseQuery("PATTERN SEQ(A a, B b) WHERE a.ID = b.ID WITHIN 3 EVENTS");
+  ASSERT_TRUE(q.ok());
+  auto nfa = Nfa::Compile(*q, &schema);
+  ASSERT_TRUE(nfa.ok());
+  Engine engine(*nfa, EngineOptions{});
+  std::vector<Match> out;
+  auto ev = [&](const char* type, uint64_t seq) {
+    std::vector<Value> attrs(schema.num_attributes());
+    attrs[0] = Value(1);
+    attrs[1] = Value(1);
+    // Identical timestamps: only the sequence distance can expire matches.
+    return std::make_shared<Event>(schema.EventTypeId(type), 0, seq, attrs);
+  };
+  engine.Process(ev("A", 0), &out);
+  engine.Process(ev("C", 1), &out);
+  engine.Process(ev("C", 2), &out);
+  engine.Process(ev("B", 3), &out);  // span 3 events: still inside
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  engine.Process(ev("A", 4), &out);
+  engine.Process(ev("C", 5), &out);
+  engine.Process(ev("C", 6), &out);
+  engine.Process(ev("C", 7), &out);
+  engine.Process(ev("B", 8), &out);  // span 4 events: expired
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace cepshed

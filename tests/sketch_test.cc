@@ -1,0 +1,123 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for the sketch substrate: count-min, EWMA, P^2 quantile.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sketch/count_min.h"
+#include "src/sketch/ewma.h"
+#include "src/sketch/p2_quantile.h"
+
+namespace cepshed {
+namespace {
+
+TEST(CountMinTest, NeverUnderestimates) {
+  CountMinSketch sketch(256, 4);
+  Rng rng(1);
+  std::vector<std::pair<uint64_t, double>> truth;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t key = static_cast<uint64_t>(rng.UniformInt(0, 10000));
+    const double count = static_cast<double>(rng.UniformInt(1, 10));
+    sketch.Add(key, count);
+    truth.push_back({key, count});
+  }
+  // Aggregate per key.
+  std::map<uint64_t, double> agg;
+  for (auto& [k, c] : truth) agg[k] += c;
+  for (auto& [k, c] : agg) {
+    EXPECT_GE(sketch.Estimate(k) + 1e-9, c);
+  }
+}
+
+TEST(CountMinTest, AccurateForFewKeys) {
+  CountMinSketch sketch(1024, 4);
+  for (uint64_t k = 0; k < 10; ++k) sketch.Add(k, static_cast<double>(k + 1));
+  for (uint64_t k = 0; k < 10; ++k) {
+    EXPECT_DOUBLE_EQ(sketch.Estimate(k), static_cast<double>(k + 1));
+  }
+  EXPECT_DOUBLE_EQ(sketch.Estimate(999), 0.0);
+}
+
+TEST(CountMinTest, ScaleAndClear) {
+  CountMinSketch sketch(64, 3);
+  sketch.Add(7, 10.0);
+  sketch.Scale(0.5);
+  EXPECT_DOUBLE_EQ(sketch.Estimate(7), 5.0);
+  sketch.Clear();
+  EXPECT_DOUBLE_EQ(sketch.Estimate(7), 0.0);
+}
+
+TEST(EwmaTest, FirstObservationInitializes) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, FoldsWithWeight) {
+  Ewma e(0.5);
+  e.Add(10.0);
+  e.Add(20.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);  // 0.5*10 + 0.5*20
+  e.Add(15.0);
+  EXPECT_DOUBLE_EQ(e.value(), 15.0);
+}
+
+TEST(EwmaTest, ResetForgets) {
+  Ewma e(0.3);
+  e.Add(5.0);
+  e.Reset();
+  EXPECT_FALSE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value(), 0.0);
+}
+
+TEST(P2QuantileTest, ExactForFewSamples) {
+  P2Quantile q(0.5);
+  q.Add(3.0);
+  q.Add(1.0);
+  q.Add(2.0);
+  EXPECT_DOUBLE_EQ(q.Value(), 2.0);
+}
+
+class P2QuantileParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2QuantileParamTest, ApproximatesUniformQuantile) {
+  const double target = GetParam();
+  P2Quantile estimator(target);
+  Rng rng(42);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.UniformDouble(0, 100);
+    estimator.Add(v);
+    all.push_back(v);
+  }
+  std::sort(all.begin(), all.end());
+  const double exact = all[static_cast<size_t>(target * (all.size() - 1))];
+  EXPECT_NEAR(estimator.Value(), exact, 2.5);
+}
+
+TEST_P(P2QuantileParamTest, ApproximatesExponentialQuantile) {
+  const double target = GetParam();
+  P2Quantile estimator(target);
+  Rng rng(43);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.Exponential(0.1);
+    estimator.Add(v);
+    all.push_back(v);
+  }
+  std::sort(all.begin(), all.end());
+  const double exact = all[static_cast<size_t>(target * (all.size() - 1))];
+  // Heavier tail: allow 10% relative error.
+  EXPECT_NEAR(estimator.Value(), exact, std::max(1.0, exact * 0.1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2QuantileParamTest,
+                         ::testing::Values(0.5, 0.9, 0.95, 0.99));
+
+}  // namespace
+}  // namespace cepshed

@@ -1,0 +1,81 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Shared helpers for the test suites: a small ABCD schema (the shape of the
+// paper's dataset DS1) and query/event builders.
+
+#ifndef CEPSHED_TESTS_TEST_UTIL_H_
+#define CEPSHED_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cep/engine.h"
+#include "src/cep/event.h"
+#include "src/cep/nfa.h"
+#include "src/cep/pattern.h"
+#include "src/cep/schema.h"
+#include "src/cep/stream.h"
+
+namespace cepshed::testing {
+
+/// Builds the DS1-shaped schema: types A,B,C,D; attributes ID, V.
+inline Schema MakeAbcdSchema() {
+  Schema schema;
+  for (const char* t : {"A", "B", "C", "D"}) {
+    auto r = schema.AddEventType(t);
+    (void)r;
+  }
+  (void)schema.AddAttribute("ID", ValueType::kInt);
+  (void)schema.AddAttribute("V", ValueType::kInt);
+  return schema;
+}
+
+/// Shorthand event constructor for the ABCD schema.
+inline EventPtr MakeEvent(const Schema& schema, const std::string& type, Timestamp ts,
+                          uint64_t seq, int64_t id, int64_t v) {
+  std::vector<Value> attrs(schema.num_attributes());
+  attrs[static_cast<size_t>(schema.AttributeIndex("ID"))] = Value(id);
+  attrs[static_cast<size_t>(schema.AttributeIndex("V"))] = Value(v);
+  return std::make_shared<Event>(schema.EventTypeId(type), ts, seq, std::move(attrs));
+}
+
+/// Runs a stream through a fresh engine built for `query`; returns matches.
+inline std::vector<Match> RunAll(const Schema& schema, Query query,
+                                 const std::vector<EventPtr>& events,
+                                 EngineOptions options = {}) {
+  auto nfa = Nfa::Compile(std::move(query), &schema);
+  if (!nfa.ok()) return {};
+  Engine engine(*nfa, options);
+  std::vector<Match> out;
+  for (const EventPtr& e : events) engine.Process(e, &out);
+  return out;
+}
+
+/// SEQ(A a, B b, C c) WHERE a.ID=b.ID AND a.ID=c.ID AND a.V+b.V=c.V
+/// WITHIN `window` — the paper's Q1.
+inline Query MakeQ1(Duration window = Millis(8)) {
+  Query q;
+  q.name = "Q1";
+  q.elements = {
+      {"a", "A", -1, false, false, 1, 1},
+      {"b", "B", -1, false, false, 1, 1},
+      {"c", "C", -1, false, false, 1, 1},
+  };
+  using E = Expr;
+  q.predicates.push_back(E::Compare(CmpOp::kEq, E::Attr("a", RefSelector::kSingle, "ID"),
+                                    E::Attr("b", RefSelector::kSingle, "ID")));
+  q.predicates.push_back(E::Compare(CmpOp::kEq, E::Attr("a", RefSelector::kSingle, "ID"),
+                                    E::Attr("c", RefSelector::kSingle, "ID")));
+  q.predicates.push_back(E::Compare(
+      CmpOp::kEq,
+      E::Binary(BinOp::kAdd, E::Attr("a", RefSelector::kSingle, "V"),
+                E::Attr("b", RefSelector::kSingle, "V")),
+      E::Attr("c", RefSelector::kSingle, "V")));
+  q.window = window;
+  return q;
+}
+
+}  // namespace cepshed::testing
+
+#endif  // CEPSHED_TESTS_TEST_UTIL_H_

@@ -1,0 +1,263 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// cepshed_cli: evaluate a SASE-style query over a CSV event trace, with
+// optional hybrid load shedding under a latency bound.
+//
+//   cepshed_cli --schema schema.txt --query query.sase --input trace.csv
+//               [--train historic.csv --strategy hybrid --bound 0.5
+//                --stat avg|p95|p99] [--matches out.csv] [--pm-series]
+//
+// Schema file format (one declaration per line, '#' comments):
+//   type BikeTrip
+//   attr bike int
+//   attr start int
+//   attr end int
+//
+// The input/train CSVs use the same format WriteCsv produces:
+//   type,timestamp,<attr1>,<attr2>,...
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/runtime/experiment.h"
+#include "src/query/parser.h"
+#include "src/workload/csv.h"
+
+using namespace cepshed;
+
+namespace {
+
+struct CliArgs {
+  std::string schema_path;
+  std::string query_path;
+  std::string input_path;
+  std::string train_path;
+  std::string matches_path;
+  std::string strategy = "none";
+  std::string stat = "avg";
+  double bound = 0.5;
+  bool pm_series = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: cepshed_cli --schema FILE --query FILE --input FILE\n"
+               "                   [--train FILE] [--strategy none|ri|si|rs|ss|hybrid]\n"
+               "                   [--bound FRACTION] [--stat avg|p95|p99]\n"
+               "                   [--matches FILE] [--pm-series]\n");
+}
+
+Result<CliArgs> ParseArgs(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) return Status::InvalidArgument(flag + " needs a value");
+      return std::string(argv[++i]);
+    };
+    if (flag == "--schema") {
+      CEPSHED_ASSIGN_OR_RETURN(args.schema_path, next());
+    } else if (flag == "--query") {
+      CEPSHED_ASSIGN_OR_RETURN(args.query_path, next());
+    } else if (flag == "--input") {
+      CEPSHED_ASSIGN_OR_RETURN(args.input_path, next());
+    } else if (flag == "--train") {
+      CEPSHED_ASSIGN_OR_RETURN(args.train_path, next());
+    } else if (flag == "--matches") {
+      CEPSHED_ASSIGN_OR_RETURN(args.matches_path, next());
+    } else if (flag == "--strategy") {
+      CEPSHED_ASSIGN_OR_RETURN(args.strategy, next());
+    } else if (flag == "--stat") {
+      CEPSHED_ASSIGN_OR_RETURN(args.stat, next());
+    } else if (flag == "--bound") {
+      std::string v;
+      CEPSHED_ASSIGN_OR_RETURN(v, next());
+      args.bound = std::stod(v);
+    } else if (flag == "--pm-series") {
+      args.pm_series = true;
+    } else if (flag == "--help" || flag == "-h") {
+      Usage();
+      std::exit(0);
+    } else {
+      return Status::InvalidArgument("unknown flag " + flag);
+    }
+  }
+  if (args.schema_path.empty() || args.query_path.empty() || args.input_path.empty()) {
+    return Status::InvalidArgument("--schema, --query, and --input are required");
+  }
+  return args;
+}
+
+Result<Schema> LoadSchema(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::InvalidArgument("cannot open " + path);
+  Schema schema;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ss(line);
+    std::string kind;
+    if (!(ss >> kind) || kind[0] == '#') continue;
+    if (kind == "type") {
+      std::string name;
+      if (!(ss >> name)) return Status::ParseError("schema line " + std::to_string(line_no));
+      CEPSHED_RETURN_NOT_OK(schema.AddEventType(name).status());
+    } else if (kind == "attr") {
+      std::string name;
+      std::string type;
+      if (!(ss >> name >> type)) {
+        return Status::ParseError("schema line " + std::to_string(line_no));
+      }
+      ValueType vt;
+      if (type == "int") {
+        vt = ValueType::kInt;
+      } else if (type == "double") {
+        vt = ValueType::kDouble;
+      } else if (type == "string") {
+        vt = ValueType::kString;
+      } else {
+        return Status::ParseError("schema line " + std::to_string(line_no) +
+                                  ": unknown attribute type '" + type + "'");
+      }
+      CEPSHED_RETURN_NOT_OK(schema.AddAttribute(name, vt).status());
+    } else {
+      return Status::ParseError("schema line " + std::to_string(line_no) +
+                                ": expected 'type' or 'attr'");
+    }
+  }
+  return schema;
+}
+
+Result<std::string> LoadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::InvalidArgument("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteMatches(const std::vector<Match>& matches, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::InvalidArgument("cannot open " + path);
+  out << "match,detected_at,event_seqs\n";
+  for (size_t i = 0; i < matches.size(); ++i) {
+    out << i << "," << matches[i].detected_at << ",";
+    for (size_t j = 0; j < matches[i].events.size(); ++j) {
+      if (j > 0) out << ":";
+      out << matches[i].events[j]->seq();
+    }
+    out << "\n";
+  }
+  return Status::OK();
+}
+
+Status Run(const CliArgs& args) {
+  CEPSHED_ASSIGN_OR_RETURN(Schema schema, LoadSchema(args.schema_path));
+  CEPSHED_ASSIGN_OR_RETURN(std::string query_text, LoadFile(args.query_path));
+  CEPSHED_ASSIGN_OR_RETURN(Query query, ParseQuery(query_text));
+  CEPSHED_ASSIGN_OR_RETURN(EventStream input, ReadCsvFile(schema, args.input_path));
+  std::printf("query:  %s\n", query.ToString().c_str());
+  std::printf("input:  %zu events from %s\n", input.size(), args.input_path.c_str());
+
+  if (args.strategy == "none") {
+    CEPSHED_ASSIGN_OR_RETURN(auto nfa, Nfa::Compile(query, &schema));
+    Engine engine(nfa, EngineOptions{});
+    std::vector<Match> matches;
+    const size_t stride = args.pm_series ? std::max<size_t>(1, input.size() / 50) : 0;
+    for (size_t i = 0; i < input.size(); ++i) {
+      engine.Process(input[i], &matches);
+      if (stride > 0 && i % stride == 0) {
+        std::printf("pm-series,%zu,%zu\n", i, engine.NumPartialMatches());
+      }
+    }
+    std::printf("matches: %zu  (peak state: %zu partial matches)\n", matches.size(),
+                engine.stats().peak_pms);
+    if (!args.matches_path.empty()) {
+      CEPSHED_RETURN_NOT_OK(WriteMatches(matches, args.matches_path));
+      std::printf("wrote %s\n", args.matches_path.c_str());
+    }
+    return Status::OK();
+  }
+
+  if (args.train_path.empty()) {
+    return Status::InvalidArgument("--strategy requires --train (historic data for the "
+                                   "cost model and ground truth calibration)");
+  }
+  CEPSHED_ASSIGN_OR_RETURN(EventStream train, ReadCsvFile(schema, args.train_path));
+
+  StrategyKind kind;
+  if (args.strategy == "ri") {
+    kind = StrategyKind::kRI;
+  } else if (args.strategy == "si") {
+    kind = StrategyKind::kSI;
+  } else if (args.strategy == "rs") {
+    kind = StrategyKind::kRS;
+  } else if (args.strategy == "ss") {
+    kind = StrategyKind::kSS;
+  } else if (args.strategy == "hybrid") {
+    kind = StrategyKind::kHybrid;
+  } else {
+    return Status::InvalidArgument("unknown strategy " + args.strategy);
+  }
+  LatencyStat stat;
+  if (args.stat == "avg") {
+    stat = LatencyStat::kAverage;
+  } else if (args.stat == "p95") {
+    stat = LatencyStat::kP95;
+  } else if (args.stat == "p99") {
+    stat = LatencyStat::kP99;
+  } else {
+    return Status::InvalidArgument("unknown stat " + args.stat);
+  }
+
+  ExperimentHarness harness(&schema, query, HarnessOptions{});
+  CEPSHED_RETURN_NOT_OK(harness.Prepare(train, input));
+  std::printf("trained cost model in %.2fs; exhaustive: %zu matches, %s latency %.1f\n",
+              harness.model().train_seconds(), harness.truth().size(), args.stat.c_str(),
+              harness.BaselineLatency(stat));
+
+  const ExperimentResult r =
+      harness.RunBound(kind, args.bound, stat,
+                       args.pm_series ? std::max<size_t>(1, input.size() / 50) : 0);
+  std::printf("strategy %s @ bound %.2f:\n", r.name.c_str(), args.bound);
+  std::printf("  recall      %.2f%%\n", 100.0 * r.quality.recall);
+  std::printf("  precision   %.2f%%\n", 100.0 * r.quality.precision);
+  std::printf("  throughput  %.0f events/s\n", r.throughput_eps);
+  std::printf("  dropped     %llu events (%.1f%%)\n",
+              static_cast<unsigned long long>(r.raw.dropped_events),
+              100.0 * r.shed_event_ratio);
+  std::printf("  shed        %llu partial matches (%.1f%%)\n",
+              static_cast<unsigned long long>(r.raw.shed_pms), 100.0 * r.shed_pm_ratio);
+  std::printf("  violations  %.1f%% of bound checks\n", 100.0 * r.bound_violation_ratio);
+  if (args.pm_series) {
+    for (size_t i = 0; i < r.raw.pm_series.size(); ++i) {
+      std::printf("pm-series,%zu,%zu\n", i * r.raw.pm_series_stride, r.raw.pm_series[i]);
+    }
+  }
+  if (!args.matches_path.empty()) {
+    CEPSHED_RETURN_NOT_OK(WriteMatches(r.raw.matches, args.matches_path));
+    std::printf("wrote %s\n", args.matches_path.c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
+    Usage();
+    return 2;
+  }
+  const Status st = Run(*args);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

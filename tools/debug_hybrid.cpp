@@ -1,0 +1,187 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Developer diagnostic: dumps the trained cost model (classes, estimates,
+// classifier accuracy) and traces the hybrid strategy's shedding sets on
+// DS1/Q1. Not part of the benchmark suite.
+
+#include <cstdio>
+
+#include "src/runtime/experiment.h"
+#include "src/shed/hybrid.h"
+#include "src/workload/ds1.h"
+#include "src/workload/queries.h"
+
+using namespace cepshed;
+
+int main() {
+  const Schema schema = MakeDs1Schema();
+  Ds1Options gen;
+  gen.num_events = 30000;
+  gen.seed = 11;
+  const EventStream train = GenerateDs1(schema, gen);
+  gen.seed = 12;
+  const EventStream test = GenerateDs1(schema, gen);
+
+  auto query = queries::Q1("8ms");
+  HarnessOptions opts;
+  opts.cost_model.fixed_k_per_state = {8, 8, 8};
+  ExperimentHarness harness(&schema, *query, opts);
+  Status st = harness.Prepare(train, test);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  const CostModel& model = harness.model();
+  const OfflineStats& off = harness.offline();
+  std::printf("offline: %zu records, %zu matches, replay %.2fs\n", off.records.size(),
+              off.num_matches, off.replay_seconds);
+  for (int s = 0; s < model.num_states(); ++s) {
+    std::printf("state %d: %d classes, pm_tree leaves %zu, event tree acc %.3f\n",
+                s, model.NumClasses(s), model.pm_tree(s).num_leaves(),
+                model.event_tree(s).training_accuracy());
+    for (int c = 0; c < model.NumClasses(s); ++c) {
+      std::printf("  class %d:", c);
+      for (int sl = 0; sl < model.num_slices(); ++sl) {
+        std::printf(" [sl%d C+=%.3f C-=%.3f]", sl, model.Contribution(s, c, sl),
+                    model.Consumption(s, c, sl));
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\nbaseline avg latency: %.1f\n", harness.BaselineLatency());
+
+  // Manual hybrid run with trigger tracing.
+  CostModel run_model = model;
+  auto nfa = harness.nfa();
+  Engine engine(nfa, opts.engine);
+  engine.set_classifier(
+      [&](const PartialMatch& pm) { return run_model.Classify(pm); });
+  engine.set_pm_created_hook([&](const PartialMatch& pm, const PartialMatch* parent) {
+    run_model.OnPmCreated(pm, parent, pm.last_ts);
+  });
+  engine.set_match_hook([&](const Match& m, const PartialMatch* parent) {
+    run_model.OnMatch(m, parent, m.detected_at);
+  });
+
+  HybridOptions hopts;
+  hopts.theta = 0.5 * harness.BaselineLatency();
+  hopts.trigger_delay = 200;
+  HybridShedder shedder(&run_model, hopts);
+  shedder.Bind(&engine);
+
+  LatencyMonitor monitor(opts.latency);
+  std::vector<Match> matches;
+  size_t triggers_seen = 0;
+  uint64_t dropped = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const EventPtr& e = test[i];
+    double cost;
+    if (shedder.FilterEvent(*e)) {
+      cost = 0.05;
+      ++dropped;
+    } else {
+      cost = engine.Process(e, &matches);
+    }
+    monitor.Record(cost);
+    const uint64_t before = shedder.triggers();
+    shedder.AfterEvent(e->timestamp(), monitor.Current());
+    if (shedder.triggers() != before && triggers_seen < 8) {
+      ++triggers_seen;
+      const double mu = monitor.Current();
+      std::printf("trigger @%zu mu=%.1f violation=%.2f alive=%zu shed_so_far=%llu "
+                  "input_active=%d\n",
+                  i, mu, (mu - hopts.theta) / mu, engine.NumPartialMatches(),
+                  static_cast<unsigned long long>(shedder.pms_shed()),
+                  shedder.input_filter_active() ? 1 : 0);
+      const auto set = SelectSheddingSet(&engine, run_model,
+                                         (mu - hopts.theta) / mu,
+                                         e->timestamp(), KnapsackMode::kDP);
+      for (const auto& item : set) {
+        std::printf("   shed item: state=%d cls=%d slice=%d d+=%.4f d-=%.4f n=%zu\n",
+                    item.state, item.cls, item.slice, item.delta_plus,
+                    item.delta_minus, item.pm_count);
+      }
+    }
+  }
+  std::printf("\nfinal: matches=%zu truth=%zu dropped=%llu shed_pms=%llu triggers=%llu\n",
+              matches.size(), harness.truth().size(),
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(shedder.pms_shed()),
+              static_cast<unsigned long long>(shedder.triggers()));
+
+  // Oracle: kill every provably worthless state-2 partial match
+  // (a.V + b.V > 10 can never equal any c.V) right after creation.
+  {
+    class OracleShedder : public Shedder {
+     public:
+      explicit OracleShedder(int v_attr) : v_attr_(v_attr) {}
+      std::string Name() const override { return "Oracle"; }
+      bool FilterEvent(const Event&) override { return false; }
+      void AfterEvent(Timestamp, double) override {
+        engine_->store().ForEachAlive([&](PartialMatch* pm) {
+          if (pm->state != 2) return;
+          const int64_t sum = pm->events[0]->attr(v_attr_).AsInt() +
+                              pm->events[1]->attr(v_attr_).AsInt();
+          if (sum > 10) KillPm(pm);
+        });
+      }
+     private:
+      int v_attr_;
+    };
+    Engine oracle_engine(nfa, opts.engine);
+    OracleShedder oracle(schema.AttributeIndex("V"));
+    ShedRunner runner(&oracle_engine, &oracle, opts.latency);
+    RunResult rr = runner.Run(test);
+    const auto q = ComputeQuality(rr.matches, harness.truth());
+    std::printf("Oracle     recall=%5.1f%% shed=%llu avg_lat=%.0f (baseline %.0f)\n",
+                100 * q.recall, static_cast<unsigned long long>(oracle.pms_shed()),
+                rr.avg_latency, harness.BaselineLatency());
+  }
+
+  for (StrategyKind kind : {StrategyKind::kHyI, StrategyKind::kHyS, StrategyKind::kHybrid}) {
+    const ExperimentResult r = harness.RunBound(kind, 0.5);
+    std::printf("%-10s recall=%5.1f%% dropped=%llu (%.1f%%) shed=%llu (%.1f%%) avg_lat=%.0f\n",
+                r.name.c_str(), 100 * r.quality.recall,
+                static_cast<unsigned long long>(r.raw.dropped_events),
+                100 * r.shed_event_ratio,
+                static_cast<unsigned long long>(r.raw.shed_pms),
+                100 * r.shed_pm_ratio, r.avg_latency);
+  }
+
+  // Zero-only state shedding ablation: how much latency do the
+  // zero-contribution classes buy, and is killing them really lossless?
+  for (bool adapt : {true, false}) {
+    CostModel zmodel = model;
+    if (!adapt) {
+      // Freeze the trained estimates to isolate adaptation effects.
+      CostModelOptions frozen = opts.cost_model;
+      frozen.enable_online_adaptation = false;
+      CostModel fresh(nfa, frozen);
+      Rng r2(99);
+      (void)fresh.Train(harness.offline(), &r2);
+      zmodel = fresh;
+    }
+    HybridOptions zopts;
+    zopts.theta = 0.5 * harness.BaselineLatency();
+    zopts.enable_input = false;
+    zopts.state_zero_only = true;
+    HybridShedder zshedder(&zmodel, zopts);
+    Engine zengine(nfa, opts.engine);
+    zengine.set_classifier([&](const PartialMatch& pm) { return zmodel.Classify(pm); });
+    zengine.set_pm_created_hook([&](const PartialMatch& pm, const PartialMatch* parent) {
+      zmodel.OnPmCreated(pm, parent, pm.last_ts);
+    });
+    zengine.set_match_hook([&](const Match& m, const PartialMatch* parent) {
+      zmodel.OnMatch(m, parent, m.detected_at);
+    });
+    ShedRunner zrunner(&zengine, &zshedder, opts.latency);
+    RunResult rr = zrunner.Run(test);
+    const auto q = ComputeQuality(rr.matches, harness.truth());
+    std::printf("ZeroOnly(adapt=%d) recall=%5.1f%% shed=%llu avg_lat=%.0f\n",
+                adapt ? 1 : 0, 100 * q.recall,
+                static_cast<unsigned long long>(zshedder.pms_shed()), rr.avg_latency);
+  }
+  return 0;
+}
