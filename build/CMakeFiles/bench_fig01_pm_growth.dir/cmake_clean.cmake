@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_pm_growth.dir/bench/bench_fig01_pm_growth.cpp.o"
+  "CMakeFiles/bench_fig01_pm_growth.dir/bench/bench_fig01_pm_growth.cpp.o.d"
+  "bench/bench_fig01_pm_growth"
+  "bench/bench_fig01_pm_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_pm_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_latency_bounds.dir/bench/bench_fig04_latency_bounds.cpp.o"
+  "CMakeFiles/bench_fig04_latency_bounds.dir/bench/bench_fig04_latency_bounds.cpp.o.d"
+  "bench/bench_fig04_latency_bounds"
+  "bench/bench_fig04_latency_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_latency_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_hybrid_details.dir/bench/bench_fig05_hybrid_details.cpp.o"
+  "CMakeFiles/bench_fig05_hybrid_details.dir/bench/bench_fig05_hybrid_details.cpp.o.d"
+  "bench/bench_fig05_hybrid_details"
+  "bench/bench_fig05_hybrid_details.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_hybrid_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_pattern_length.dir/bench/bench_fig09_pattern_length.cpp.o"
+  "CMakeFiles/bench_fig09_pattern_length.dir/bench/bench_fig09_pattern_length.cpp.o.d"
+  "bench/bench_fig09_pattern_length"
+  "bench/bench_fig09_pattern_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_pattern_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_time_slices.dir/bench/bench_fig10_time_slices.cpp.o"
+  "CMakeFiles/bench_fig10_time_slices.dir/bench/bench_fig10_time_slices.cpp.o.d"
+  "bench/bench_fig10_time_slices"
+  "bench/bench_fig10_time_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_time_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

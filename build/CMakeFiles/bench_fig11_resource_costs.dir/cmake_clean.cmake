@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_resource_costs.dir/bench/bench_fig11_resource_costs.cpp.o"
+  "CMakeFiles/bench_fig11_resource_costs.dir/bench/bench_fig11_resource_costs.cpp.o.d"
+  "bench/bench_fig11_resource_costs"
+  "bench/bench_fig11_resource_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_resource_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_adaptivity.dir/bench/bench_fig12_adaptivity.cpp.o"
+  "CMakeFiles/bench_fig12_adaptivity.dir/bench/bench_fig12_adaptivity.cpp.o.d"
+  "bench/bench_fig12_adaptivity"
+  "bench/bench_fig12_adaptivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_adaptivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

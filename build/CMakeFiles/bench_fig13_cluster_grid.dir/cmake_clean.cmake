@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_cluster_grid.dir/bench/bench_fig13_cluster_grid.cpp.o"
+  "CMakeFiles/bench_fig13_cluster_grid.dir/bench/bench_fig13_cluster_grid.cpp.o.d"
+  "bench/bench_fig13_cluster_grid"
+  "bench/bench_fig13_cluster_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cluster_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

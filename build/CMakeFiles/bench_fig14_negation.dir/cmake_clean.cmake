@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_negation.dir/bench/bench_fig14_negation.cpp.o"
+  "CMakeFiles/bench_fig14_negation.dir/bench/bench_fig14_negation.cpp.o.d"
+  "bench/bench_fig14_negation"
+  "bench/bench_fig14_negation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_negation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

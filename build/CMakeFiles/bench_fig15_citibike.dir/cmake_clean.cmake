@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_citibike.dir/bench/bench_fig15_citibike.cpp.o"
+  "CMakeFiles/bench_fig15_citibike.dir/bench/bench_fig15_citibike.cpp.o.d"
+  "bench/bench_fig15_citibike"
+  "bench/bench_fig15_citibike.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_citibike.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

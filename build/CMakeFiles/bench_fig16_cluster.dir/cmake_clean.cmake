@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_cluster.dir/bench/bench_fig16_cluster.cpp.o"
+  "CMakeFiles/bench_fig16_cluster.dir/bench/bench_fig16_cluster.cpp.o.d"
+  "bench/bench_fig16_cluster"
+  "bench/bench_fig16_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cep/engine.cc" "src/CMakeFiles/cepshed.dir/cep/engine.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/cep/engine.cc.o.d"
+  "/root/repo/src/cep/event.cc" "src/CMakeFiles/cepshed.dir/cep/event.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/cep/event.cc.o.d"
+  "/root/repo/src/cep/expr.cc" "src/CMakeFiles/cepshed.dir/cep/expr.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/cep/expr.cc.o.d"
+  "/root/repo/src/cep/nfa.cc" "src/CMakeFiles/cepshed.dir/cep/nfa.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/cep/nfa.cc.o.d"
+  "/root/repo/src/cep/partial_match.cc" "src/CMakeFiles/cepshed.dir/cep/partial_match.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/cep/partial_match.cc.o.d"
+  "/root/repo/src/cep/pattern.cc" "src/CMakeFiles/cepshed.dir/cep/pattern.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/cep/pattern.cc.o.d"
+  "/root/repo/src/cep/schema.cc" "src/CMakeFiles/cepshed.dir/cep/schema.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/cep/schema.cc.o.d"
+  "/root/repo/src/cep/stream.cc" "src/CMakeFiles/cepshed.dir/cep/stream.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/cep/stream.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/cepshed.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/cepshed.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cepshed.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/common/status.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/cepshed.dir/common/value.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/common/value.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/CMakeFiles/cepshed.dir/ml/decision_tree.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/ml/decision_tree.cc.o.d"
+  "/root/repo/src/ml/gap_statistic.cc" "src/CMakeFiles/cepshed.dir/ml/gap_statistic.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/ml/gap_statistic.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/CMakeFiles/cepshed.dir/ml/kmeans.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/ml/kmeans.cc.o.d"
+  "/root/repo/src/ml/regression_tree.cc" "src/CMakeFiles/cepshed.dir/ml/regression_tree.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/ml/regression_tree.cc.o.d"
+  "/root/repo/src/opt/knapsack.cc" "src/CMakeFiles/cepshed.dir/opt/knapsack.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/opt/knapsack.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/CMakeFiles/cepshed.dir/query/lexer.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/query/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/cepshed.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/query/parser.cc.o.d"
+  "/root/repo/src/runtime/experiment.cc" "src/CMakeFiles/cepshed.dir/runtime/experiment.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/runtime/experiment.cc.o.d"
+  "/root/repo/src/runtime/latency_monitor.cc" "src/CMakeFiles/cepshed.dir/runtime/latency_monitor.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/runtime/latency_monitor.cc.o.d"
+  "/root/repo/src/runtime/metrics.cc" "src/CMakeFiles/cepshed.dir/runtime/metrics.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/runtime/metrics.cc.o.d"
+  "/root/repo/src/runtime/multi_query.cc" "src/CMakeFiles/cepshed.dir/runtime/multi_query.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/runtime/multi_query.cc.o.d"
+  "/root/repo/src/shed/baselines.cc" "src/CMakeFiles/cepshed.dir/shed/baselines.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shed/baselines.cc.o.d"
+  "/root/repo/src/shed/controller.cc" "src/CMakeFiles/cepshed.dir/shed/controller.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shed/controller.cc.o.d"
+  "/root/repo/src/shed/cost_model.cc" "src/CMakeFiles/cepshed.dir/shed/cost_model.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shed/cost_model.cc.o.d"
+  "/root/repo/src/shed/hybrid.cc" "src/CMakeFiles/cepshed.dir/shed/hybrid.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shed/hybrid.cc.o.d"
+  "/root/repo/src/shed/offline_estimator.cc" "src/CMakeFiles/cepshed.dir/shed/offline_estimator.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shed/offline_estimator.cc.o.d"
+  "/root/repo/src/shed/positional.cc" "src/CMakeFiles/cepshed.dir/shed/positional.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shed/positional.cc.o.d"
+  "/root/repo/src/shed/shedding_set.cc" "src/CMakeFiles/cepshed.dir/shed/shedding_set.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/shed/shedding_set.cc.o.d"
+  "/root/repo/src/sketch/count_min.cc" "src/CMakeFiles/cepshed.dir/sketch/count_min.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/sketch/count_min.cc.o.d"
+  "/root/repo/src/sketch/p2_quantile.cc" "src/CMakeFiles/cepshed.dir/sketch/p2_quantile.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/sketch/p2_quantile.cc.o.d"
+  "/root/repo/src/workload/citibike.cc" "src/CMakeFiles/cepshed.dir/workload/citibike.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/workload/citibike.cc.o.d"
+  "/root/repo/src/workload/csv.cc" "src/CMakeFiles/cepshed.dir/workload/csv.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/workload/csv.cc.o.d"
+  "/root/repo/src/workload/ds1.cc" "src/CMakeFiles/cepshed.dir/workload/ds1.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/workload/ds1.cc.o.d"
+  "/root/repo/src/workload/ds2.cc" "src/CMakeFiles/cepshed.dir/workload/ds2.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/workload/ds2.cc.o.d"
+  "/root/repo/src/workload/google_trace.cc" "src/CMakeFiles/cepshed.dir/workload/google_trace.cc.o" "gcc" "src/CMakeFiles/cepshed.dir/workload/google_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cepshed_cli.dir/cepshed_cli.cpp.o"
+  "CMakeFiles/cepshed_cli.dir/cepshed_cli.cpp.o.d"
+  "cepshed_cli"
+  "cepshed_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cepshed_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

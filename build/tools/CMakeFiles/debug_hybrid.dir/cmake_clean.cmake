@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_hybrid.dir/debug_hybrid.cpp.o"
+  "CMakeFiles/debug_hybrid.dir/debug_hybrid.cpp.o.d"
+  "debug_hybrid"
+  "debug_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
