@@ -85,6 +85,13 @@ struct EngineStats {
 ///  - the classifier hook assigns each new partial match its cost-model
 ///    class; the created/match hooks feed offline estimation and online
 ///    adaptation.
+///
+/// Thread confinement: an Engine owns all of its mutable state (store,
+/// indexes, stats, eval context, pending buffers) and holds only const
+/// shared references (the Nfa and, through events, the Schema), so one
+/// engine per thread needs no synchronization. This is what the sharded
+/// runtime (src/runtime/shard_runtime.h) relies on; keep any future caches
+/// either per-instance or immutable-after-construction.
 class Engine {
  public:
   Engine(std::shared_ptr<const Nfa> nfa, EngineOptions options);

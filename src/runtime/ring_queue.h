@@ -1,0 +1,170 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// A bounded lock-free ring queue (Vyukov's bounded MPMC design: one
+// sequence counter per slot) used as the per-shard event channel of the
+// sharded runtime. The runtime uses it in SPSC form — the router thread is
+// the only producer and the shard worker the only consumer — but the slot
+// sequencing makes every operation safe under arbitrary producer/consumer
+// counts, which is what the stress test exercises.
+//
+// Blocking semantics: Push spins (with yields) while the queue is full and
+// fails only once the queue is closed; Pop spins while the queue is empty
+// and fails once the queue is closed *and* drained, so a consumer always
+// sees every element pushed before Close().
+
+#ifndef CEPSHED_RUNTIME_RING_QUEUE_H_
+#define CEPSHED_RUNTIME_RING_QUEUE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cepshed {
+
+template <typename T>
+class RingQueue {
+ public:
+  /// Constructs a queue holding at most `capacity` elements (rounded up to
+  /// a power of two, minimum 2).
+  explicit RingQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_ = std::vector<Slot>(cap);
+    mask_ = cap - 1;
+    for (size_t i = 0; i < cap; ++i) {
+      slots_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  RingQueue(const RingQueue&) = delete;
+  RingQueue& operator=(const RingQueue&) = delete;
+
+  /// Non-blocking push; returns false when the queue is full or closed.
+  bool TryPush(T value) { return TryPushRef(value); }
+
+  /// Non-blocking pop; returns false when the queue is empty.
+  bool TryPop(T* out) {
+    size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const size_t seq = slot.sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          *out = std::move(slot.value);
+          slot.value = T();
+          slot.sequence.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty: slot not yet published by a producer
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Blocking push: spins/yields while full. Returns false iff the queue
+  /// was closed before the element could be enqueued.
+  bool Push(T value) {
+    // TryPushRef moves from `value` only on success, so a full-queue retry
+    // re-offers the original element rather than a moved-from husk.
+    Backoff backoff;
+    while (!TryPushRef(value)) {
+      if (closed_.load(std::memory_order_acquire)) return false;
+      backoff.Pause();
+    }
+    return true;
+  }
+
+  /// Blocking pop: spins/yields while empty. Returns false iff the queue
+  /// is closed and fully drained.
+  bool Pop(T* out) {
+    Backoff backoff;
+    while (!TryPop(out)) {
+      if (closed_.load(std::memory_order_acquire)) {
+        // Drain anything published between the last TryPop and the close.
+        return TryPop(out);
+      }
+      backoff.Pause();
+    }
+    return true;
+  }
+
+  /// Marks the queue closed: pending Pops drain the remaining elements and
+  /// then fail; Pushes fail immediately.
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Power-of-two slot count.
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Approximate occupancy (racy by nature; diagnostics only).
+  size_t SizeApprox() const {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  /// Push core; consumes `value` only when it actually lands in a slot.
+  bool TryPushRef(T& value) {
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (closed_.load(std::memory_order_relaxed)) return false;
+      Slot& slot = slots_[pos & mask_];
+      const size_t seq = slot.sequence.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full: slot still holds an unconsumed element
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  struct Slot {
+    std::atomic<size_t> sequence{0};
+    T value{};
+  };
+
+  /// Spin-then-yield backoff: short busy loops keep SPSC handoff latency
+  /// low; yielding keeps an oversubscribed box (more shards than cores)
+  /// from livelocking.
+  class Backoff {
+   public:
+    void Pause() {
+      if (++spins_ < 64) return;
+      std::this_thread::yield();
+    }
+
+   private:
+    int spins_ = 0;
+  };
+
+  static constexpr size_t kCacheLine = 64;
+
+  std::vector<Slot> slots_;
+  size_t mask_ = 0;
+  alignas(kCacheLine) std::atomic<size_t> head_{0};
+  alignas(kCacheLine) std::atomic<size_t> tail_{0};
+  alignas(kCacheLine) std::atomic<bool> closed_{false};
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_RUNTIME_RING_QUEUE_H_

@@ -1,0 +1,440 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/runtime/shard_runtime.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/runtime/ring_queue.h"
+#include "src/shed/controller.h"
+
+namespace cepshed {
+
+namespace {
+
+/// SplitMix64 finalizer: decorrelates Value::Hash before the modulo so
+/// that consecutive integer keys spread over all shards.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Flattens top-level conjunctions into individual predicates.
+void FlattenConjuncts(const Expr* e, std::vector<const Expr*>* out) {
+  if (e == nullptr) return;
+  if (e->kind() == ExprKind::kAnd) {
+    for (const ExprPtr& c : e->children()) FlattenConjuncts(c.get(), out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+struct UnionFind {
+  std::vector<int> parent;
+  explicit UnionFind(int n) : parent(static_cast<size_t>(n)) {
+    for (int i = 0; i < n; ++i) parent[static_cast<size_t>(i)] = i;
+  }
+  int Find(int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent[static_cast<size_t>(Find(a))] = Find(b); }
+};
+
+void SumStats(const EngineStats& in, EngineStats* out) {
+  out->events_processed += in.events_processed;
+  out->pms_created += in.pms_created;
+  out->witnesses_created += in.witnesses_created;
+  out->matches_emitted += in.matches_emitted;
+  out->matches_vetoed += in.matches_vetoed;
+  out->pms_evicted += in.pms_evicted;
+  out->predicate_evals += in.predicate_evals;
+  out->candidates_scanned += in.candidates_scanned;
+  out->index_probes += in.index_probes;
+  out->peak_pms += in.peak_pms;
+  out->total_cost += in.total_cost;
+}
+
+}  // namespace
+
+bool ShardRuntime::IsPartitionCorrelated(const Nfa& nfa, int attr) {
+  const Query& q = nfa.query();
+  const int n = static_cast<int>(q.elements.size());
+  if (attr < 0 || n == 0) return false;
+  if (n == 1) return true;
+
+  // Equality links on `attr` extracted from the WHERE conjuncts.
+  struct Link {
+    int e1;
+    RefSelector s1;
+    int e2;
+    RefSelector s2;
+  };
+  std::vector<Link> links;
+  /// Kleene elements whose iterations are chained equal on attr
+  /// (a[i+1].K = a[i].K): all bound events share one value.
+  std::vector<bool> self_chain(static_cast<size_t>(n), false);
+
+  std::vector<const Expr*> conjuncts;
+  for (const ExprPtr& p : q.predicates) FlattenConjuncts(p.get(), &conjuncts);
+  for (const Expr* c : conjuncts) {
+    if (c->kind() != ExprKind::kCompare || c->cmp_op() != CmpOp::kEq) continue;
+    const Expr* lhs = c->children()[0].get();
+    const Expr* rhs = c->children()[1].get();
+    if (lhs->kind() != ExprKind::kAttrRef || rhs->kind() != ExprKind::kAttrRef) continue;
+    if (lhs->attr_index() != attr || rhs->attr_index() != attr) continue;
+    const int e1 = lhs->elem_index();
+    const int e2 = rhs->elem_index();
+    if (e1 < 0 || e2 < 0) continue;
+    if (e1 == e2) {
+      const bool chain = (lhs->selector() == RefSelector::kIterPrev &&
+                          rhs->selector() == RefSelector::kIterCurr) ||
+                         (lhs->selector() == RefSelector::kIterCurr &&
+                          rhs->selector() == RefSelector::kIterPrev);
+      if (chain) self_chain[static_cast<size_t>(e1)] = true;
+    } else {
+      links.push_back({e1, lhs->selector(), e2, rhs->selector()});
+    }
+  }
+
+  // Uniformity: all events an element binds carry one attr value. Single-
+  // event elements (non-Kleene positives and negation witnesses) are
+  // trivially uniform; a Kleene element is uniform if its iterations are
+  // chained equal, or if a cross-element equality pins *every* iteration.
+  // That is the case for an x[i+1] reference (the event being bound,
+  // checked on each bind) and equally for a cross-element x[i] reference:
+  // the NFA compiler rewrites `x[i]` with no `x[i+1]` in the same
+  // predicate to the current event (`b[i].V = a.V` style, see
+  // nfa.cc), so it too is enforced per iteration. x[first]/x[last] pin
+  // only one edge of the binding and do not qualify.
+  std::vector<bool> uniform(static_cast<size_t>(n));
+  for (int e = 0; e < n; ++e) {
+    uniform[static_cast<size_t>(e)] =
+        !q.elements[static_cast<size_t>(e)].kleene || self_chain[static_cast<size_t>(e)];
+  }
+  const auto pins_every_iteration = [](RefSelector s) {
+    return s == RefSelector::kIterCurr || s == RefSelector::kIterPrev;
+  };
+  for (const Link& l : links) {
+    if (q.elements[static_cast<size_t>(l.e1)].kleene && pins_every_iteration(l.s1)) {
+      uniform[static_cast<size_t>(l.e1)] = true;
+    }
+    if (q.elements[static_cast<size_t>(l.e2)].kleene && pins_every_iteration(l.s2)) {
+      uniform[static_cast<size_t>(l.e2)] = true;
+    }
+  }
+  for (int e = 0; e < n; ++e) {
+    if (!uniform[static_cast<size_t>(e)]) return false;
+  }
+
+  // With all elements uniform, each equality link equates the elements'
+  // (single) attr values; the query is partition-correlated iff the links
+  // connect every element into one component.
+  UnionFind uf(n);
+  for (const Link& l : links) uf.Union(l.e1, l.e2);
+  const int root = uf.Find(0);
+  for (int e = 1; e < n; ++e) {
+    if (uf.Find(e) != root) return false;
+  }
+  return true;
+}
+
+Status ShardRuntime::ValidatePlan() const {
+  if (opts_.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (opts_.num_shards == 1 || opts_.skip_validation) return Status::OK();
+  const Query& q = nfa_->query();
+  if (opts_.routing == ShardRouting::kHashPartition) {
+    if (q.policy == SelectionPolicy::kStrictContiguity) {
+      return Status::InvalidArgument(
+          "strict contiguity depends on stream-adjacent events of every "
+          "partition; it cannot be hash-sharded");
+    }
+    if (opts_.partition_attr < 0) {
+      return Status::InvalidArgument("hash routing requires partition_attr");
+    }
+    if (!IsPartitionCorrelated(*nfa_, opts_.partition_attr)) {
+      return Status::InvalidArgument(
+          "query is not equality-correlated on the partition attribute; "
+          "hash sharding would change the match set");
+    }
+  } else {
+    if (q.policy != SelectionPolicy::kSkipTillAnyMatch) {
+      return Status::InvalidArgument(
+          "window-slice routing is only exact under skip-till-any-match");
+    }
+    if (q.count_window > 0) {
+      return Status::InvalidArgument(
+          "window-slice routing requires a time window (count windows are "
+          "anchored to absolute stream positions)");
+    }
+    if (q.window <= 0) {
+      return Status::InvalidArgument("window-slice routing requires a window");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardRuntime>> ShardRuntime::Create(
+    std::shared_ptr<const Nfa> nfa, ShardRuntimeOptions opts) {
+  std::unique_ptr<ShardRuntime> rt(new ShardRuntime(std::move(nfa), opts));
+  CEPSHED_RETURN_NOT_OK(rt->ValidatePlan());
+  return rt;
+}
+
+Duration ShardRuntime::SliceStride() const {
+  if (opts_.slice_stride > 0) return opts_.slice_stride;
+  return std::max<Duration>(1, nfa_->window());
+}
+
+int ShardRuntime::HashShardOf(const Event& event) const {
+  if (opts_.num_shards == 1) return 0;
+  const Value& v = event.attr(opts_.partition_attr);
+  // Null partition keys fail every equality predicate, so their events
+  // can only ever matter as state-0 creations; pin them to shard 0.
+  if (v.is_null()) return 0;
+  return static_cast<int>(Mix64(static_cast<uint64_t>(v.Hash())) %
+                          static_cast<uint64_t>(opts_.num_shards));
+}
+
+void ShardRuntime::RouteEvent(const Event& event, std::vector<int>* out) const {
+  out->clear();
+  if (opts_.num_shards == 1) {
+    out->push_back(0);
+    return;
+  }
+  if (opts_.routing == ShardRouting::kHashPartition) {
+    out->push_back(HashShardOf(event));
+    return;
+  }
+  // Window-slice: slice j covers event times [j*L, j*L + L + W); the event
+  // goes to the owner shard of every covering slice.
+  const Duration l = SliceStride();
+  const Duration w = nfa_->window();
+  const Timestamp t = event.timestamp();
+  const int64_t j_hi = FloorDiv(t, l);
+  const int64_t j_lo = std::max<int64_t>(0, FloorDiv(t - l - w, l) + 1);
+  for (int64_t j = j_lo; j <= j_hi; ++j) {
+    const int shard = static_cast<int>(j % opts_.num_shards);
+    if (std::find(out->begin(), out->end(), shard) == out->end()) {
+      out->push_back(shard);
+    }
+    if (static_cast<int>(out->size()) == opts_.num_shards) break;
+  }
+}
+
+/// All state one shard's worker touches. Engines, monitors, and shedders
+/// are confined to the owning worker thread between queue handoff points;
+/// the join at the end of Run publishes the results to the caller.
+struct ShardRuntime::ShardState {
+  std::unique_ptr<Engine> engine;
+  std::unique_ptr<Shedder> shedder;
+  LatencyMonitor monitor;
+  size_t monitor_window = 0;
+  std::vector<Match> matches;
+  ShardResult result;
+  std::unique_ptr<RingQueue<EventPtr>> queue;
+  /// Canonical-owner filter for window-slice routing (see Finish).
+  bool slice_filter = false;
+  int shard_id = 0;
+  int num_shards = 1;
+  Duration slice_stride = 0;
+
+  explicit ShardState(LatencyMonitor::Options latency)
+      : monitor(latency), monitor_window(latency.window) {}
+
+  void Consume(const EventPtr& event) {
+    ++result.events_routed;
+    double cost;
+    if (shedder != nullptr && shedder->FilterEvent(*event)) {
+      ++result.events_dropped;
+      cost = ShedRunner::kDroppedEventCost;
+    } else {
+      cost = engine->Process(event, &matches);
+      ++result.events_processed;
+    }
+    monitor.Record(cost);
+    if (shedder != nullptr) {
+      const double theta = shedder->theta();
+      if (theta > 0.0 && monitor.Count() >= monitor_window) {
+        ++result.bound_checked;
+        if (monitor.Current() > theta) ++result.bound_violations;
+      }
+      shedder->AfterEvent(event->timestamp(), monitor.Current());
+    }
+  }
+
+  void Finish() {
+    result.avg_latency = monitor.OverallAverage();
+    result.shed_pms = shedder != nullptr ? shedder->pms_shed() : 0;
+    result.stats = engine->stats();
+    if (slice_filter) FilterToOwnedSlices();
+  }
+
+  /// Window-slice routing: every match is kept only by its canonical
+  /// owner — the shard owning the slice of the match's first event, whose
+  /// coverage [j0*L, j0*L + L + W) provably contains the whole match and
+  /// every witness able to veto it. A shard owns several *disjoint*
+  /// coverage intervals (slices j, j+N, ...), so its engine can also form
+  /// phantom copies bridging the gap between two of them; such a copy may
+  /// miss the negation witnesses lying in the gap and must not be emitted.
+  void FilterToOwnedSlices() {
+    size_t kept = 0;
+    for (size_t i = 0; i < matches.size(); ++i) {
+      const Timestamp t0 = matches[i].events.front()->timestamp();
+      const int64_t j0 = FloorDiv(t0, slice_stride);
+      if (static_cast<int>(j0 % num_shards) == shard_id) {
+        if (kept != i) matches[kept] = std::move(matches[i]);
+        ++kept;
+      } else {
+        // A copy of a match owned (and correctly vetoed) elsewhere.
+        --result.stats.matches_emitted;
+      }
+    }
+    matches.resize(kept);
+  }
+};
+
+void ShardRuntime::Merge(std::vector<ShardState>* shards,
+                         ShardRunResult* result) const {
+  size_t total_matches = 0;
+  for (ShardState& s : *shards) {
+    result->shards.push_back(s.result);
+    SumStats(s.result.stats, &result->stats);
+    result->dropped_events += s.result.events_dropped;
+    result->shed_pms += s.result.shed_pms;
+    total_matches += s.matches.size();
+  }
+
+  // Deterministic total order independent of shard interleaving:
+  // (detection timestamp, event-sequence identity). Matches are already
+  // unique — hash routing assigns each one partition, and slice routing
+  // keeps each match only in its canonical owner shard (FilterToOwnedSlices).
+  struct Keyed {
+    Timestamp detected_at;
+    std::string key;
+    Match* match;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(total_matches);
+  for (ShardState& s : *shards) {
+    for (Match& m : s.matches) keyed.push_back({m.detected_at, m.Key(), &m});
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.detected_at != b.detected_at) return a.detected_at < b.detected_at;
+    return a.key < b.key;
+  });
+  result->matches.reserve(keyed.size());
+  for (const Keyed& k : keyed) result->matches.push_back(std::move(*k.match));
+}
+
+Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
+                                         const ShedderFactory& make_shedder) {
+  CEPSHED_RETURN_NOT_OK(ValidatePlan());
+  std::vector<ShardState> shards;
+  shards.reserve(static_cast<size_t>(opts_.num_shards));
+  for (int i = 0; i < opts_.num_shards; ++i) {
+    ShardState s(opts_.latency);
+    s.slice_filter = opts_.routing == ShardRouting::kWindowSlice;
+    s.shard_id = i;
+    s.num_shards = opts_.num_shards;
+    s.slice_stride = SliceStride();
+    s.engine = std::make_unique<Engine>(nfa_, opts_.engine);
+    if (make_shedder) {
+      s.shedder = make_shedder(i);
+      if (s.shedder != nullptr) s.shedder->Bind(s.engine.get());
+    }
+    s.queue = std::make_unique<RingQueue<EventPtr>>(opts_.queue_capacity);
+    shards.push_back(std::move(s));
+  }
+
+  ShardRunResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(shards.size());
+  for (ShardState& s : shards) {
+    workers.emplace_back([&s] {
+      EventPtr event;
+      while (s.queue->Pop(&event)) s.Consume(event);
+      s.Finish();
+    });
+  }
+
+  std::vector<int> targets;
+  for (const EventPtr& event : stream) {
+    ++result.total_events;
+    RouteEvent(*event, &targets);
+    for (int t : targets) {
+      shards[static_cast<size_t>(t)].queue->Push(event);
+      ++result.routed_events;
+    }
+  }
+  for (ShardState& s : shards) s.queue->Close();
+  for (std::thread& w : workers) w.join();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  Merge(&shards, &result);
+  return result;
+}
+
+Result<ShardRunResult> ShardRuntime::RunSequential(
+    const EventStream& stream, const ShedderFactory& make_shedder) {
+  CEPSHED_RETURN_NOT_OK(ValidatePlan());
+  std::vector<ShardState> shards;
+  shards.reserve(static_cast<size_t>(opts_.num_shards));
+  for (int i = 0; i < opts_.num_shards; ++i) {
+    ShardState s(opts_.latency);
+    s.slice_filter = opts_.routing == ShardRouting::kWindowSlice;
+    s.shard_id = i;
+    s.num_shards = opts_.num_shards;
+    s.slice_stride = SliceStride();
+    s.engine = std::make_unique<Engine>(nfa_, opts_.engine);
+    if (make_shedder) {
+      s.shedder = make_shedder(i);
+      if (s.shedder != nullptr) s.shedder->Bind(s.engine.get());
+    }
+    shards.push_back(std::move(s));
+  }
+
+  ShardRunResult result;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Materialize each shard's substream in routing order — exactly the
+  // sequence the parallel worker would pop from its queue.
+  std::vector<std::vector<EventPtr>> substreams(shards.size());
+  std::vector<int> targets;
+  for (const EventPtr& event : stream) {
+    ++result.total_events;
+    RouteEvent(*event, &targets);
+    for (int t : targets) {
+      substreams[static_cast<size_t>(t)].push_back(event);
+      ++result.routed_events;
+    }
+  }
+  for (size_t i = 0; i < shards.size(); ++i) {
+    for (const EventPtr& event : substreams[i]) shards[i].Consume(event);
+    shards[i].Finish();
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  Merge(&shards, &result);
+  return result;
+}
+
+}  // namespace cepshed

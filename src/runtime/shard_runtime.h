@@ -1,0 +1,174 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Partition-parallel execution: events are routed to N shards, each shard
+// runs one thread-confined Engine (plus its own LatencyMonitor and
+// Shedder) behind a bounded ring queue, and the per-shard outputs are
+// merged deterministically. Because the paper's shedding functions rho_I /
+// rho_S and the cost model Gamma+/Gamma- are per-event and per-partial-
+// match, sharding changes no shedding semantics: each shard adapts its own
+// throttle against its own latency signal.
+//
+// Two routing modes:
+//  - kHashPartition: shard = hash(event[partition_attr]) % N. Exact (the
+//    sharded match set equals the sequential engine's) when every pattern
+//    element — including negated ones — is equality-correlated on the
+//    partition attribute (see IsPartitionCorrelated), for the any-match
+//    and next-match policies. Strict contiguity is inherently global
+//    (survival depends on *adjacent* stream events of all partitions) and
+//    is rejected for N > 1.
+//  - kWindowSlice: the stream is cut into overlapping time slices of
+//    stride L covering [j*L, j*L + L + window); slice j is owned by shard
+//    j % N, so every event is replicated to at most 1 + ceil(window/L)
+//    shards. Any match spans at most `window`, hence lies entirely within
+//    the coverage of the slice containing its first event — as does every
+//    negation witness able to veto it. Each shard therefore keeps only the
+//    matches whose first-event slice it owns (the canonical owner); copies
+//    formed elsewhere are discarded before the merge. This makes slice
+//    routing exact for skip-till-any-match time-window queries including
+//    negation (selective policies and count windows are rejected: their
+//    semantics depend on the absolute stream, not the window contents).
+
+#ifndef CEPSHED_RUNTIME_SHARD_RUNTIME_H_
+#define CEPSHED_RUNTIME_SHARD_RUNTIME_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/cep/engine.h"
+#include "src/cep/nfa.h"
+#include "src/cep/stream.h"
+#include "src/common/result.h"
+#include "src/runtime/latency_monitor.h"
+#include "src/shed/shedder.h"
+
+namespace cepshed {
+
+/// \brief How events are assigned to shards.
+enum class ShardRouting : int {
+  kHashPartition = 0,  ///< hash of a partition attribute (exact for
+                       ///< partition-correlated queries)
+  kWindowSlice = 1,    ///< round-robin overlapping window slices (exact for
+                       ///< any-match time-window queries)
+};
+
+/// \brief Sharded-runtime configuration.
+struct ShardRuntimeOptions {
+  int num_shards = 1;
+  ShardRouting routing = ShardRouting::kHashPartition;
+  /// Schema attribute index events are hash-partitioned on (required for
+  /// kHashPartition with more than one shard).
+  int partition_attr = -1;
+  /// Slice stride L in microseconds for kWindowSlice; 0 = the query window
+  /// (duplication factor 2).
+  Duration slice_stride = 0;
+  /// Per-shard ring-queue capacity (rounded up to a power of two).
+  size_t queue_capacity = 4096;
+  /// Skip the static partition-correlation / policy validation (for tests
+  /// that deliberately run inexact plans).
+  bool skip_validation = false;
+  EngineOptions engine;
+  LatencyMonitor::Options latency;
+};
+
+/// \brief Per-shard outcome of one sharded run.
+struct ShardResult {
+  /// Events routed to this shard (slice routing counts replicas).
+  uint64_t events_routed = 0;
+  /// Events the shard's rho_I discarded.
+  uint64_t events_dropped = 0;
+  uint64_t events_processed = 0;
+  /// Partial matches the shard's rho_S discarded.
+  uint64_t shed_pms = 0;
+  /// Overall average per-event latency (cost units) of this shard.
+  double avg_latency = 0.0;
+  /// Bound-violation accounting against the shard shedder's theta.
+  uint64_t bound_violations = 0;
+  uint64_t bound_checked = 0;
+  EngineStats stats;
+};
+
+/// \brief Merged outcome of one sharded run.
+struct ShardRunResult {
+  /// All matches, ordered by (detection timestamp, event sequence numbers)
+  /// — a deterministic total order independent of shard interleaving.
+  /// Already unique: hash routing confines a match to one partition and
+  /// slice routing keeps each match only in its canonical owner shard.
+  std::vector<Match> matches;
+  /// Element-wise sum of the per-shard engine stats. peak_pms is the sum
+  /// of per-shard peaks: an upper bound on the true simultaneous global
+  /// state size (shards peak at different times).
+  EngineStats stats;
+  std::vector<ShardResult> shards;
+  uint64_t total_events = 0;
+  /// Queue pushes; exceeds total_events under slice routing (replicas).
+  uint64_t routed_events = 0;
+  uint64_t dropped_events = 0;
+  uint64_t shed_pms = 0;
+  double wall_seconds = 0.0;
+};
+
+/// \brief Runs one query over N shard-confined engines.
+class ShardRuntime {
+ public:
+  /// Creates one shedder per shard (called with the shard id before the
+  /// workers start; the shedder is bound to the shard's engine and used
+  /// only from that shard's thread). A null factory disables shedding.
+  using ShedderFactory = std::function<std::unique_ptr<Shedder>(int shard)>;
+
+  /// Validates the plan (unless opts.skip_validation) and builds the
+  /// runtime. The NFA is shared read-only by all shards.
+  static Result<std::unique_ptr<ShardRuntime>> Create(
+      std::shared_ptr<const Nfa> nfa, ShardRuntimeOptions opts);
+
+  /// Parallel execution: one worker thread per shard behind a bounded ring
+  /// queue; the calling thread routes. Engines are rebuilt per call, so a
+  /// runtime can be reused across streams.
+  Result<ShardRunResult> Run(const EventStream& stream,
+                             const ShedderFactory& make_shedder = {});
+
+  /// Reference execution of the *same* sharded plan on the calling thread,
+  /// shard by shard, with identical routing, engines, and shedders. The
+  /// differential harness compares Run against RunSequential byte for
+  /// byte: any divergence is nondeterminism introduced by the parallel
+  /// path itself.
+  Result<ShardRunResult> RunSequential(const EventStream& stream,
+                                       const ShedderFactory& make_shedder = {});
+
+  int num_shards() const { return opts_.num_shards; }
+  const ShardRuntimeOptions& options() const { return opts_; }
+
+  /// Hash-routing target of an event (kHashPartition).
+  int HashShardOf(const Event& event) const;
+
+  /// Appends the target shard ids of an event (deduplicated, increasing
+  /// slice order) to *out. Works for both routing modes.
+  void RouteEvent(const Event& event, std::vector<int>* out) const;
+
+  /// True when every pattern element (positive and negated) of the query
+  /// is equality-correlated on schema attribute `attr`, i.e. all events of
+  /// any match (and any witness able to veto it) carry one attribute
+  /// value. Under this condition hash partitioning on `attr` is exact for
+  /// the any-match and next-match policies.
+  static bool IsPartitionCorrelated(const Nfa& nfa, int attr);
+
+ private:
+  struct ShardState;
+
+  ShardRuntime(std::shared_ptr<const Nfa> nfa, ShardRuntimeOptions opts)
+      : nfa_(std::move(nfa)), opts_(opts) {}
+
+  Status ValidatePlan() const;
+  Duration SliceStride() const;
+
+  /// Merges per-shard matches/stats into `result` (sorts into the
+  /// deterministic total order, sums stats).
+  void Merge(std::vector<ShardState>* shards, ShardRunResult* result) const;
+
+  std::shared_ptr<const Nfa> nfa_;
+  ShardRuntimeOptions opts_;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_RUNTIME_SHARD_RUNTIME_H_

@@ -1,0 +1,500 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Sequential-equivalence differential harness for the sharded runtime.
+// Every seeded, generator-driven stream is replayed three ways:
+//
+//   1. the plain sequential engine (via ShedRunner) — the semantic ground
+//      truth f_Q of the paper;
+//   2. ShardRuntime::Run — N worker threads behind ring queues;
+//   3. ShardRuntime::RunSequential — the identical sharded plan replayed
+//      on one thread.
+//
+// For exact plans (hash routing over partition-correlated queries; window
+// slicing for any-match time-window queries) 1 and 2 must produce the same
+// match set and consistent stats; 2 and 3 must agree byte for byte — any
+// divergence there is nondeterminism introduced by the parallel path
+// itself. The grid covers queries × selection policies × shard counts
+// {1,2,4,8} × shedding on/off.
+//
+// Shedding runs use a content-hash shedder: rho_I drops an event iff a
+// hash of its stream sequence number falls under a threshold, and rho_S
+// kills a partial match iff a hash folded over its bound events' sequence
+// numbers does. Such decisions are pure functions of content, so they
+// commute with any partitioning — sharded-with-shedding must equal
+// sequential-with-shedding exactly.
+
+#include "src/runtime/shard_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cep/engine.h"
+#include "src/cep/nfa.h"
+#include "src/cep/stream.h"
+#include "src/query/parser.h"
+#include "src/shed/controller.h"
+#include "src/shed/shedder.h"
+#include "src/workload/ds1.h"
+#include "src/workload/google_trace.h"
+#include "src/workload/queries.h"
+
+namespace cepshed {
+namespace {
+
+constexpr int kShardCounts[] = {1, 2, 4, 8};
+
+uint64_t MixSeq(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic content-hash shedder (see file header). Decisions depend
+/// only on event sequence numbers, never on shard-local state, so N
+/// instances with the same seed behave as one global shedder.
+class HashDropShedder : public Shedder {
+ public:
+  HashDropShedder(uint64_t seed, double event_drop_frac, double pm_drop_frac)
+      : seed_(seed), event_cut_(Cut(event_drop_frac)), pm_cut_(Cut(pm_drop_frac)) {}
+
+  std::string Name() const override { return "HashDrop"; }
+
+  bool FilterEvent(const Event& event) override {
+    if (event_cut_ != 0 && MixSeq(seed_ ^ event.seq()) < event_cut_) {
+      return DropEvent();
+    }
+    return false;
+  }
+
+  void AfterEvent(Timestamp, double) override {
+    if (pm_cut_ == 0) return;
+    engine_->store().ForEachAlive([&](PartialMatch* pm) {
+      uint64_t h = seed_ ^ 0x5bf03635aca73f4cULL;
+      for (const EventPtr& e : pm->events) h = MixSeq(h ^ e->seq());
+      if (h < pm_cut_) KillPm(pm);
+    });
+  }
+
+ private:
+  static uint64_t Cut(double frac) {
+    if (frac <= 0.0) return 0;
+    return static_cast<uint64_t>(
+        frac * static_cast<double>(std::numeric_limits<uint64_t>::max()));
+  }
+
+  uint64_t seed_;
+  uint64_t event_cut_;
+  uint64_t pm_cut_;
+};
+
+constexpr uint64_t kShedSeed = 17;
+constexpr double kEventDropFrac = 0.12;
+constexpr double kPmDropFrac = 0.10;
+
+/// One cell of the differential grid.
+struct DiffConfig {
+  std::string name;
+  const Schema* schema = nullptr;
+  const EventStream* stream = nullptr;
+  Query query;
+  ShardRouting routing = ShardRouting::kHashPartition;
+  std::string partition_attr;  // resolved against `schema`
+  Duration slice_stride = 0;
+};
+
+/// Matches in the merge's canonical order: (detection time, identity).
+struct CanonMatch {
+  Timestamp ts;
+  std::string key;
+  bool operator==(const CanonMatch& o) const = default;
+  bool operator<(const CanonMatch& o) const {
+    if (ts != o.ts) return ts < o.ts;
+    return key < o.key;
+  }
+};
+
+std::vector<CanonMatch> Canon(const std::vector<Match>& matches) {
+  std::vector<CanonMatch> out;
+  out.reserve(matches.size());
+  for (const Match& m : matches) out.push_back({m.detected_at, m.Key()});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectStatsEqual(const EngineStats& a, const EngineStats& b) {
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.pms_created, b.pms_created);
+  EXPECT_EQ(a.witnesses_created, b.witnesses_created);
+  EXPECT_EQ(a.matches_emitted, b.matches_emitted);
+  EXPECT_EQ(a.matches_vetoed, b.matches_vetoed);
+  EXPECT_EQ(a.pms_evicted, b.pms_evicted);
+  EXPECT_EQ(a.predicate_evals, b.predicate_evals);
+  EXPECT_EQ(a.candidates_scanned, b.candidates_scanned);
+  EXPECT_EQ(a.index_probes, b.index_probes);
+  EXPECT_EQ(a.peak_pms, b.peak_pms);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+}
+
+/// Byte-for-byte equality of two sharded runs (everything but wall time).
+void ExpectRunsIdentical(const ShardRunResult& a, const ShardRunResult& b) {
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.routed_events, b.routed_events);
+  EXPECT_EQ(a.dropped_events, b.dropped_events);
+  EXPECT_EQ(a.shed_pms, b.shed_pms);
+  ExpectStatsEqual(a.stats, b.stats);
+
+  ASSERT_EQ(a.matches.size(), b.matches.size());
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].detected_at, b.matches[i].detected_at);
+    EXPECT_EQ(a.matches[i].Key(), b.matches[i].Key());
+  }
+
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (size_t i = 0; i < a.shards.size(); ++i) {
+    SCOPED_TRACE("shard " + std::to_string(i));
+    EXPECT_EQ(a.shards[i].events_routed, b.shards[i].events_routed);
+    EXPECT_EQ(a.shards[i].events_dropped, b.shards[i].events_dropped);
+    EXPECT_EQ(a.shards[i].events_processed, b.shards[i].events_processed);
+    EXPECT_EQ(a.shards[i].shed_pms, b.shards[i].shed_pms);
+    EXPECT_EQ(a.shards[i].avg_latency, b.shards[i].avg_latency);
+    ExpectStatsEqual(a.shards[i].stats, b.shards[i].stats);
+  }
+}
+
+/// Ground-truth run on one global engine with one (optional) shedder.
+RunResult SequentialReference(const std::shared_ptr<const Nfa>& nfa,
+                              const EventStream& stream, bool shed) {
+  Engine engine(nfa, EngineOptions{});
+  NoShedder none;
+  HashDropShedder drop(kShedSeed, kEventDropFrac, kPmDropFrac);
+  Shedder* shedder = shed ? static_cast<Shedder*>(&drop) : &none;
+  ShedRunner runner(&engine, shedder, LatencyMonitor::Options{});
+  return runner.Run(stream);
+}
+
+void RunDifferential(const DiffConfig& config) {
+  auto nfa = Nfa::Compile(config.query, config.schema);
+  ASSERT_TRUE(nfa.ok()) << nfa.status().message();
+
+  const int attr = config.partition_attr.empty()
+                       ? -1
+                       : config.schema->AttributeIndex(config.partition_attr);
+
+  for (const bool shed : {false, true}) {
+    const RunResult expected = SequentialReference(*nfa, *config.stream, shed);
+    // A degenerate reference would make the equivalence vacuous.
+    ASSERT_GT(expected.matches.size(), 0u)
+        << config.name << ": reference run produced no matches";
+    const std::vector<CanonMatch> expected_canon = Canon(expected.matches);
+
+    for (const int num_shards : kShardCounts) {
+      SCOPED_TRACE(config.name + " shards=" + std::to_string(num_shards) +
+                   (shed ? " shed" : " no-shed"));
+
+      ShardRuntimeOptions opts;
+      opts.num_shards = num_shards;
+      opts.routing = config.routing;
+      opts.partition_attr = attr;
+      opts.slice_stride = config.slice_stride;
+      auto runtime = ShardRuntime::Create(*nfa, opts);
+      ASSERT_TRUE(runtime.ok()) << runtime.status().message();
+
+      ShardRuntime::ShedderFactory factory;
+      if (shed) {
+        factory = [](int) {
+          return std::make_unique<HashDropShedder>(kShedSeed, kEventDropFrac,
+                                                   kPmDropFrac);
+        };
+      }
+
+      auto parallel = (*runtime)->Run(*config.stream, factory);
+      ASSERT_TRUE(parallel.ok()) << parallel.status().message();
+      auto replay = (*runtime)->RunSequential(*config.stream, factory);
+      ASSERT_TRUE(replay.ok()) << replay.status().message();
+
+      // (B) The parallel path is deterministic: Run == RunSequential.
+      ExpectRunsIdentical(*parallel, *replay);
+
+      // Routing accounting is consistent.
+      EXPECT_EQ(parallel->total_events, config.stream->size());
+      uint64_t routed = 0;
+      for (const ShardResult& s : parallel->shards) {
+        EXPECT_EQ(s.events_routed, s.events_processed + s.events_dropped);
+        routed += s.events_routed;
+      }
+      EXPECT_EQ(routed, parallel->routed_events);
+      if (config.routing == ShardRouting::kHashPartition) {
+        EXPECT_EQ(parallel->routed_events, config.stream->size());
+      } else {
+        EXPECT_GE(parallel->routed_events, config.stream->size());
+      }
+
+      // (A) The sharded plan is exact: same match set as the sequential
+      // engine, with or without (content-deterministic) shedding.
+      EXPECT_EQ(Canon(parallel->matches), expected_canon);
+      // The merge emits matches already in canonical order.
+      EXPECT_EQ(Canon(parallel->matches), Canon(std::vector<Match>(parallel->matches)));
+
+      if (config.routing == ShardRouting::kHashPartition) {
+        // Each event is processed exactly once, so summed engine counters
+        // must reproduce the global engine's.
+        EXPECT_EQ(parallel->stats.matches_emitted,
+                  expected.engine_stats.matches_emitted);
+        EXPECT_EQ(parallel->stats.pms_created, expected.engine_stats.pms_created);
+        EXPECT_EQ(parallel->stats.witnesses_created,
+                  expected.engine_stats.witnesses_created);
+        EXPECT_EQ(parallel->stats.events_processed,
+                  expected.engine_stats.events_processed);
+        EXPECT_EQ(parallel->dropped_events, expected.dropped_events);
+        EXPECT_EQ(parallel->shed_pms, expected.shed_pms);
+      } else {
+        // Slice routing replicates events, so raw counters differ; after
+        // dedup the emitted-match counter must still agree.
+        EXPECT_EQ(parallel->stats.matches_emitted,
+                  expected.engine_stats.matches_emitted);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures: seeded generator streams shared across the grid.
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ds1_schema_ = new Schema(MakeDs1Schema());
+    Ds1Options ds1;
+    ds1.num_events = 3000;
+    ds1.event_gap = 10;
+    ds1.seed = 7;
+    ds1_stream_ = new EventStream(GenerateDs1(*ds1_schema_, ds1));
+
+    google_schema_ = new Schema(MakeGoogleTraceSchema());
+    GoogleTraceOptions gt;
+    gt.num_events = 8000;
+    gt.seed = 4;
+    google_stream_ = new EventStream(GenerateGoogleTrace(*google_schema_, gt));
+  }
+
+  static void TearDownTestSuite() {
+    delete ds1_stream_;
+    delete ds1_schema_;
+    delete google_stream_;
+    delete google_schema_;
+  }
+
+  static Query ParseOrDie(const std::string& text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().message();
+    return *q;
+  }
+
+  /// A fully ID-correlated Kleene query (unlike the paper's Q2, whose last
+  /// element is only value-correlated and therefore not hash-shardable).
+  static Query CorrelatedKleene() {
+    return ParseOrDie(
+        "PATTERN SEQ(A a, A+{1,3} b[], B c, C d) "
+        "WHERE a.ID = b[i].ID AND a.ID = c.ID AND a.ID = d.ID "
+        "AND a.V + c.V = d.V WITHIN 2ms");
+  }
+
+  static DiffConfig Ds1Config(std::string name, Query query,
+                              ShardRouting routing = ShardRouting::kHashPartition) {
+    DiffConfig c;
+    c.name = std::move(name);
+    c.schema = ds1_schema_;
+    c.stream = ds1_stream_;
+    c.query = std::move(query);
+    c.routing = routing;
+    if (routing == ShardRouting::kHashPartition) c.partition_attr = "ID";
+    return c;
+  }
+
+  static Schema* ds1_schema_;
+  static EventStream* ds1_stream_;
+  static Schema* google_schema_;
+  static EventStream* google_stream_;
+};
+
+Schema* DifferentialTest::ds1_schema_ = nullptr;
+EventStream* DifferentialTest::ds1_stream_ = nullptr;
+Schema* DifferentialTest::google_schema_ = nullptr;
+EventStream* DifferentialTest::google_stream_ = nullptr;
+
+// --- hash partitioning, one test per (query, policy) grid row ---
+
+TEST_F(DifferentialTest, HashQ1AnyMatch) {
+  auto q = queries::Q1();
+  ASSERT_TRUE(q.ok());
+  RunDifferential(Ds1Config("Q1/any/hash", *q));
+}
+
+TEST_F(DifferentialTest, HashQ1NextMatch) {
+  auto q = queries::Q1();
+  ASSERT_TRUE(q.ok());
+  q->policy = SelectionPolicy::kSkipTillNextMatch;
+  RunDifferential(Ds1Config("Q1/next/hash", *q));
+}
+
+TEST_F(DifferentialTest, HashKleeneAnyMatch) {
+  RunDifferential(Ds1Config("Kleene/any/hash", CorrelatedKleene()));
+}
+
+TEST_F(DifferentialTest, HashKleeneNextMatch) {
+  Query q = CorrelatedKleene();
+  q.policy = SelectionPolicy::kSkipTillNextMatch;
+  RunDifferential(Ds1Config("Kleene/next/hash", q));
+}
+
+TEST_F(DifferentialTest, HashNegationAnyMatch) {
+  auto q = queries::Q4();
+  ASSERT_TRUE(q.ok());
+  RunDifferential(Ds1Config("Q4/any/hash", *q));
+}
+
+TEST_F(DifferentialTest, HashCountWindowAnyMatch) {
+  auto q = queries::Q1();
+  ASSERT_TRUE(q.ok());
+  // Count windows expire by absolute stream position, which events carry
+  // with them into the shards — hash plans stay exact.
+  q->count_window = 256;
+  RunDifferential(Ds1Config("Q1/count/any/hash", *q));
+}
+
+TEST_F(DifferentialTest, HashGoogleChurnAnyMatch) {
+  auto q = queries::GoogleTaskChurn();
+  ASSERT_TRUE(q.ok());
+  DiffConfig c;
+  c.name = "GoogleChurn/any/hash";
+  c.schema = google_schema_;
+  c.stream = google_stream_;
+  c.query = *q;
+  c.routing = ShardRouting::kHashPartition;
+  c.partition_attr = "task";
+  RunDifferential(c);
+}
+
+// --- window-slice routing ---
+
+TEST_F(DifferentialTest, SliceQ1AnyMatch) {
+  auto q = queries::Q1();
+  ASSERT_TRUE(q.ok());
+  DiffConfig c = Ds1Config("Q1/any/slice", *q, ShardRouting::kWindowSlice);
+  c.slice_stride = Millis(4);  // duplication factor 3
+  RunDifferential(c);
+}
+
+TEST_F(DifferentialTest, SliceKleeneAnyMatch) {
+  DiffConfig c =
+      Ds1Config("Kleene/any/slice", CorrelatedKleene(), ShardRouting::kWindowSlice);
+  c.slice_stride = Millis(1);
+  RunDifferential(c);
+}
+
+TEST_F(DifferentialTest, SliceNegationAnyMatch) {
+  auto q = queries::Q4();
+  ASSERT_TRUE(q.ok());
+  DiffConfig c = Ds1Config("Q4/any/slice", *q, ShardRouting::kWindowSlice);
+  c.slice_stride = Millis(4);
+  RunDifferential(c);
+}
+
+// ---------------------------------------------------------------------------
+// Static plan validation: inexact plans must be rejected, not silently run.
+
+class ShardPlanTest : public DifferentialTest {};
+
+TEST_F(ShardPlanTest, PartitionCorrelationAnalysis) {
+  const int id = ds1_schema_->AttributeIndex("ID");
+  const int v = ds1_schema_->AttributeIndex("V");
+
+  auto q1 = Nfa::Compile(*queries::Q1(), ds1_schema_);
+  ASSERT_TRUE(q1.ok());
+  EXPECT_TRUE(ShardRuntime::IsPartitionCorrelated(**q1, id));
+  // a.V + b.V = c.V is not an equality *correlation* on V.
+  EXPECT_FALSE(ShardRuntime::IsPartitionCorrelated(**q1, v));
+
+  // Q2's final element correlates on V only — not shardable on ID.
+  auto q2 = Nfa::Compile(*queries::Q2(2), ds1_schema_);
+  ASSERT_TRUE(q2.ok());
+  EXPECT_FALSE(ShardRuntime::IsPartitionCorrelated(**q2, id));
+
+  // The negated element of Q4 is correlated, so witnesses stay local.
+  auto q4 = Nfa::Compile(*queries::Q4(), ds1_schema_);
+  ASSERT_TRUE(q4.ok());
+  EXPECT_TRUE(ShardRuntime::IsPartitionCorrelated(**q4, id));
+
+  auto kleene = Nfa::Compile(CorrelatedKleene(), ds1_schema_);
+  ASSERT_TRUE(kleene.ok());
+  EXPECT_TRUE(ShardRuntime::IsPartitionCorrelated(**kleene, id));
+
+  auto churn = Nfa::Compile(*queries::GoogleTaskChurn(), google_schema_);
+  ASSERT_TRUE(churn.ok());
+  EXPECT_TRUE(ShardRuntime::IsPartitionCorrelated(
+      **churn, google_schema_->AttributeIndex("task")));
+  // Machines change across the churn chain: not a partition key.
+  EXPECT_FALSE(ShardRuntime::IsPartitionCorrelated(
+      **churn, google_schema_->AttributeIndex("machine")));
+}
+
+TEST_F(ShardPlanTest, RejectsInexactPlans) {
+  auto nfa = Nfa::Compile(*queries::Q1(), ds1_schema_);
+  ASSERT_TRUE(nfa.ok());
+
+  {  // hash routing without a partition attribute
+    ShardRuntimeOptions opts;
+    opts.num_shards = 4;
+    EXPECT_FALSE(ShardRuntime::Create(*nfa, opts).ok());
+  }
+  {  // hash routing on an uncorrelated attribute
+    ShardRuntimeOptions opts;
+    opts.num_shards = 4;
+    opts.partition_attr = ds1_schema_->AttributeIndex("V");
+    EXPECT_FALSE(ShardRuntime::Create(*nfa, opts).ok());
+  }
+  {  // strict contiguity is inherently global
+    Query q = *queries::Q1();
+    q.policy = SelectionPolicy::kStrictContiguity;
+    auto strict = Nfa::Compile(q, ds1_schema_);
+    ASSERT_TRUE(strict.ok());
+    ShardRuntimeOptions opts;
+    opts.num_shards = 2;
+    opts.partition_attr = ds1_schema_->AttributeIndex("ID");
+    EXPECT_FALSE(ShardRuntime::Create(*strict, opts).ok());
+  }
+  {  // slice routing under a selective policy
+    Query q = *queries::Q1();
+    q.policy = SelectionPolicy::kSkipTillNextMatch;
+    auto next = Nfa::Compile(q, ds1_schema_);
+    ASSERT_TRUE(next.ok());
+    ShardRuntimeOptions opts;
+    opts.num_shards = 2;
+    opts.routing = ShardRouting::kWindowSlice;
+    EXPECT_FALSE(ShardRuntime::Create(*next, opts).ok());
+  }
+  {  // slice routing with a count window
+    Query q = *queries::Q1();
+    q.count_window = 128;
+    auto count = Nfa::Compile(q, ds1_schema_);
+    ASSERT_TRUE(count.ok());
+    ShardRuntimeOptions opts;
+    opts.num_shards = 2;
+    opts.routing = ShardRouting::kWindowSlice;
+    EXPECT_FALSE(ShardRuntime::Create(*count, opts).ok());
+  }
+  {  // a single shard is always exact, whatever the plan
+    ShardRuntimeOptions opts;
+    opts.num_shards = 1;
+    EXPECT_TRUE(ShardRuntime::Create(*nfa, opts).ok());
+  }
+}
+
+}  // namespace
+}  // namespace cepshed

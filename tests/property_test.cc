@@ -11,10 +11,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstddef>
 #include <set>
+#include <vector>
 
 #include "src/cep/engine.h"
 #include "src/cep/nfa.h"
+#include "src/shed/cost_model.h"
+#include "src/shed/offline_estimator.h"
 #include "src/workload/ds1.h"
 #include "src/workload/queries.h"
 #include "tests/test_util.h"
@@ -174,6 +179,132 @@ TEST_P(MonotonicityTest, NegationSheddingOnlyAddsFalsePositives) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MonotonicityTest, ::testing::Range<uint64_t>(1, 13));
+
+/// Shedding monotonicity (the budget axis of the paper's Fig. 4/5): a
+/// deterministic utility ranking keeps *nested* event subsets as the
+/// budget grows, so — by stream-projection monotonicity — the match sets
+/// are nested too and recall never decreases with budget.
+class SheddingMonotonicityTest : public ::testing::Test {
+ protected:
+  SheddingMonotonicityTest() : schema_(MakeDs1Schema()) {}
+
+  EventStream MakeStream(uint64_t seed, size_t n) {
+    Ds1Options opts;
+    opts.num_events = n;
+    opts.event_gap = 5;
+    opts.seed = seed;
+    return GenerateDs1(schema_, opts);
+  }
+
+  /// Events of `stream` ranked by (utility desc, seq asc): a strict total
+  /// order, so the top-k prefix for a larger k contains the one for a
+  /// smaller k — kept sets are nested by construction.
+  std::vector<size_t> RankByUtility(const EventStream& stream,
+                                    const CostModel& model) {
+    std::vector<size_t> order(stream.size());
+    for (size_t i = 0; i < stream.size(); ++i) order[i] = i;
+    std::vector<double> utility(stream.size());
+    for (size_t i = 0; i < stream.size(); ++i) {
+      utility[i] = model.EventUtility(*stream[i]);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (utility[a] != utility[b]) return utility[a] > utility[b];
+      return a < b;
+    });
+    return order;
+  }
+
+  /// Keeps the `frac` highest-ranked events, preserving stream order.
+  std::vector<EventPtr> KeepTop(const EventStream& stream,
+                                const std::vector<size_t>& order, double frac) {
+    const size_t k = static_cast<size_t>(frac * static_cast<double>(stream.size()));
+    std::vector<bool> keep(stream.size(), false);
+    for (size_t i = 0; i < k; ++i) keep[order[i]] = true;
+    std::vector<EventPtr> kept;
+    kept.reserve(k);
+    for (size_t i = 0; i < stream.size(); ++i) {
+      if (keep[i]) kept.push_back(stream[i]);
+    }
+    return kept;
+  }
+
+  static double Recall(const std::set<std::string>& truth,
+                       const std::set<std::string>& found) {
+    if (truth.empty()) return 1.0;
+    size_t hit = 0;
+    for (const auto& key : truth) hit += found.count(key);
+    return static_cast<double>(hit) / static_cast<double>(truth.size());
+  }
+
+  Schema schema_;
+};
+
+TEST_F(SheddingMonotonicityTest, RecallNeverDecreasesWithBudget) {
+  auto nfa = Nfa::Compile(*queries::Q1("4ms"), &schema_);
+  ASSERT_TRUE(nfa.ok());
+
+  auto stats = EstimateOffline(*nfa, MakeStream(41, 8000), 4, true);
+  ASSERT_TRUE(stats.ok());
+  CostModel model(*nfa, CostModelOptions{});
+  Rng rng(5);
+  ASSERT_TRUE(model.Train(*stats, &rng).ok());
+
+  const EventStream stream = MakeStream(42, 3000);
+  const std::vector<size_t> order = RankByUtility(stream, model);
+  const auto truth =
+      MatchKeys(RunStream(*nfa, {stream.begin(), stream.end()}));
+  ASSERT_FALSE(truth.empty());
+
+  double prev_recall = -1.0;
+  std::set<std::string> prev_found;
+  for (const double frac : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const auto kept = KeepTop(stream, order, frac);
+    const auto found = MatchKeys(RunStream(*nfa, kept));
+    // Nested kept sets => nested match sets (projection monotonicity)...
+    for (const auto& key : prev_found) {
+      ASSERT_TRUE(found.count(key) > 0)
+          << "raising the budget to " << frac << " lost a match";
+    }
+    // ...=> recall is monotone non-decreasing in the budget.
+    const double recall = Recall(truth, found);
+    EXPECT_GE(recall, prev_recall) << "at budget " << frac;
+    prev_recall = recall;
+    prev_found = found;
+  }
+  // The full budget sheds nothing: recall 1 exactly.
+  EXPECT_EQ(prev_recall, 1.0);
+}
+
+TEST_F(SheddingMonotonicityTest, UtilityOrderBeatsInvertedOrder) {
+  auto nfa = Nfa::Compile(*queries::Q1("4ms"), &schema_);
+  ASSERT_TRUE(nfa.ok());
+
+  auto stats = EstimateOffline(*nfa, MakeStream(43, 8000), 4, true);
+  ASSERT_TRUE(stats.ok());
+  CostModel model(*nfa, CostModelOptions{});
+  Rng rng(6);
+  ASSERT_TRUE(model.Train(*stats, &rng).ok());
+
+  const EventStream stream = MakeStream(44, 3000);
+  const std::vector<size_t> order = RankByUtility(stream, model);
+  std::vector<size_t> inverted(order.rbegin(), order.rend());
+  const auto truth =
+      MatchKeys(RunStream(*nfa, {stream.begin(), stream.end()}));
+  ASSERT_FALSE(truth.empty());
+
+  // At the same budget, keeping the highest-utility 70% must recover more
+  // true matches than keeping the lowest-utility 70% — the learned utility
+  // is informative, not just a permutation. (A match needs all three of
+  // its correlated events kept, so budgets at or below 0.5 recover nothing
+  // under either order on this workload.)
+  const double frac = 0.7;
+  const double recall_best =
+      Recall(truth, MatchKeys(RunStream(*nfa, KeepTop(stream, order, frac))));
+  const double recall_worst =
+      Recall(truth, MatchKeys(RunStream(*nfa, KeepTop(stream, inverted, frac))));
+  EXPECT_GT(recall_best, recall_worst);
+  EXPECT_GT(recall_best, 0.5);
+}
 
 }  // namespace
 }  // namespace cepshed

@@ -6,6 +6,7 @@
 //   cepshed_cli --schema schema.txt --query query.sase --input trace.csv
 //               [--train historic.csv --strategy hybrid --bound 0.5
 //                --stat avg|p95|p99] [--matches out.csv] [--pm-series]
+//               [--shards N --partition ATTR | --shards N --slice-stride US]
 //
 // Schema file format (one declaration per line, '#' comments):
 //   type BikeTrip
@@ -23,6 +24,7 @@
 #include <string>
 
 #include "src/runtime/experiment.h"
+#include "src/runtime/shard_runtime.h"
 #include "src/query/parser.h"
 #include "src/workload/csv.h"
 
@@ -40,6 +42,9 @@ struct CliArgs {
   std::string stat = "avg";
   double bound = 0.5;
   bool pm_series = false;
+  int shards = 1;
+  std::string partition_attr;
+  long long slice_stride_us = 0;
 };
 
 void Usage() {
@@ -47,7 +52,8 @@ void Usage() {
                "usage: cepshed_cli --schema FILE --query FILE --input FILE\n"
                "                   [--train FILE] [--strategy none|ri|si|rs|ss|hybrid]\n"
                "                   [--bound FRACTION] [--stat avg|p95|p99]\n"
-               "                   [--matches FILE] [--pm-series]\n");
+               "                   [--matches FILE] [--pm-series]\n"
+               "                   [--shards N (--partition ATTR | --slice-stride US)]\n");
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -78,6 +84,20 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       args.bound = std::stod(v);
     } else if (flag == "--pm-series") {
       args.pm_series = true;
+    } else if (flag == "--shards") {
+      std::string v;
+      CEPSHED_ASSIGN_OR_RETURN(v, next());
+      args.shards = std::stoi(v);
+      if (args.shards < 1) return Status::InvalidArgument("--shards must be >= 1");
+    } else if (flag == "--partition") {
+      CEPSHED_ASSIGN_OR_RETURN(args.partition_attr, next());
+    } else if (flag == "--slice-stride") {
+      std::string v;
+      CEPSHED_ASSIGN_OR_RETURN(v, next());
+      args.slice_stride_us = std::stoll(v);
+      if (args.slice_stride_us <= 0) {
+        return Status::InvalidArgument("--slice-stride must be positive microseconds");
+      }
     } else if (flag == "--help" || flag == "-h") {
       Usage();
       std::exit(0);
@@ -162,6 +182,47 @@ Status Run(const CliArgs& args) {
   CEPSHED_ASSIGN_OR_RETURN(EventStream input, ReadCsvFile(schema, args.input_path));
   std::printf("query:  %s\n", query.ToString().c_str());
   std::printf("input:  %zu events from %s\n", input.size(), args.input_path.c_str());
+
+  if (args.shards > 1) {
+    if (args.strategy != "none") {
+      return Status::InvalidArgument(
+          "--shards currently applies to raw evaluation only (--strategy none); "
+          "sharded shedding runs through ShardRuntime's shedder factory");
+    }
+    CEPSHED_ASSIGN_OR_RETURN(auto nfa, Nfa::Compile(query, &schema));
+    ShardRuntimeOptions opts;
+    opts.num_shards = args.shards;
+    if (!args.partition_attr.empty()) {
+      opts.routing = ShardRouting::kHashPartition;
+      opts.partition_attr = schema.AttributeIndex(args.partition_attr);
+      if (opts.partition_attr < 0) {
+        return Status::InvalidArgument("unknown partition attribute " +
+                                       args.partition_attr);
+      }
+    } else if (args.slice_stride_us > 0) {
+      opts.routing = ShardRouting::kWindowSlice;
+      opts.slice_stride = static_cast<Duration>(args.slice_stride_us);
+    } else {
+      return Status::InvalidArgument(
+          "--shards needs a routing mode: --partition ATTR or --slice-stride US");
+    }
+    CEPSHED_ASSIGN_OR_RETURN(auto runtime, ShardRuntime::Create(nfa, opts));
+    CEPSHED_ASSIGN_OR_RETURN(ShardRunResult result, runtime->Run(input));
+    std::printf("shards: %d (%s routing)\n", args.shards,
+                opts.routing == ShardRouting::kHashPartition ? "hash" : "slice");
+    std::printf("matches: %zu in %.3fs\n", result.matches.size(), result.wall_seconds);
+    for (size_t i = 0; i < result.shards.size(); ++i) {
+      const ShardResult& s = result.shards[i];
+      std::printf("  shard %zu: routed %llu, processed %llu, peak state %zu\n", i,
+                  static_cast<unsigned long long>(s.events_routed),
+                  static_cast<unsigned long long>(s.events_processed), s.stats.peak_pms);
+    }
+    if (!args.matches_path.empty()) {
+      CEPSHED_RETURN_NOT_OK(WriteMatches(result.matches, args.matches_path));
+      std::printf("wrote %s\n", args.matches_path.c_str());
+    }
+    return Status::OK();
+  }
 
   if (args.strategy == "none") {
     CEPSHED_ASSIGN_OR_RETURN(auto nfa, Nfa::Compile(query, &schema));
