@@ -1,0 +1,142 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Overload-recovery benchmark: DS1/Q1 through the sharded runtime while a
+// deterministic fault schedule applies pressure, with and without the
+// overload guard. Three scenarios per shard count:
+//
+//   clean      no faults, guard off — the throughput/recall reference
+//   burst      a 40x cost burst mid-stream; guard on with a latency bound:
+//              measures what shedding costs in recall and buys in wall
+//              time, and whether the guard returns to normal
+//   death      a worker death mid-stream (restart budget 1): measures the
+//              recovery overhead and the bounded loss of the restart path
+//
+// Columns: scenario,shards,wall_s,eps,matches,recall,lost,guard_drops,
+// trims+evictions,restarts,final_level. Recall is against the clean run of
+// the same shard count.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/cep/nfa.h"
+#include "src/fault/fault_injector.h"
+#include "src/runtime/shard_runtime.h"
+
+namespace cepshed {
+namespace {
+
+struct Row {
+  double wall_s = 0.0;
+  double eps = 0.0;
+  size_t matches = 0;
+  uint64_t lost = 0;
+  uint64_t guard_drops = 0;
+  uint64_t guard_state_kills = 0;
+  uint64_t restarts = 0;
+  int final_level = 0;
+};
+
+Row RunOnce(const std::shared_ptr<const Nfa>& nfa, const EventStream& stream,
+            const ShardRuntimeOptions& opts) {
+  auto runtime = ShardRuntime::Create(nfa, opts);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "create: %s\n", runtime.status().ToString().c_str());
+    std::abort();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  auto result = (*runtime)->Run(stream);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  if (!result.ok()) {
+    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+    std::abort();
+  }
+  Row row;
+  row.wall_s = secs;
+  row.eps = static_cast<double>(stream.size()) / secs;
+  row.matches = result->matches.size();
+  row.lost = result->lost_events;
+  row.guard_drops = result->guard_input_drops;
+  row.guard_state_kills = result->guard_trims + result->guard_evictions;
+  row.restarts = result->worker_restarts;
+  for (const ShardResult& s : result->shards) {
+    row.final_level = std::max(row.final_level, s.guard_final_level);
+  }
+  return row;
+}
+
+void Print(const char* scenario, int shards, const Row& row, size_t clean_matches) {
+  const double recall =
+      clean_matches > 0
+          ? static_cast<double>(row.matches) / static_cast<double>(clean_matches)
+          : 1.0;
+  std::printf("%s,%d,%.3f,%.0f,%zu,%.3f,%llu,%llu,%llu,%llu,%s\n", scenario, shards,
+              row.wall_s, row.eps, row.matches, recall,
+              static_cast<unsigned long long>(row.lost),
+              static_cast<unsigned long long>(row.guard_drops),
+              static_cast<unsigned long long>(row.guard_state_kills),
+              static_cast<unsigned long long>(row.restarts),
+              GuardLevelName(static_cast<GuardLevel>(row.final_level)));
+}
+
+}  // namespace
+}  // namespace cepshed
+
+int main() {
+  using namespace cepshed;
+
+  Schema schema = MakeDs1Schema();
+  Ds1Options gen;
+  gen.num_events = 60000;
+  gen.event_gap = 10;
+  gen.seed = 7;
+  const EventStream stream = GenerateDs1(schema, gen);
+
+  auto query = queries::Q1();
+  if (!query.ok()) std::abort();
+  auto nfa = Nfa::Compile(*query, &schema);
+  if (!nfa.ok()) std::abort();
+
+  auto burst_faults =
+      FaultInjector::Parse("burst:at=20000,count=10000,factor=40", 7);
+  auto death_faults = FaultInjector::Parse("death:shard=0,at=10000", 7);
+  if (!burst_faults.ok() || !death_faults.ok()) std::abort();
+
+  bench::Header("Overload recovery", "DS1/Q1, 60k events, hash routing on ID",
+                "scenario,shards,wall_s,eps,matches,recall,lost,guard_drops,"
+                "state_kills,restarts,final_level");
+
+  for (const int shards : {1, 2, 4}) {
+    ShardRuntimeOptions base;
+    base.num_shards = shards;
+    base.partition_attr = schema.AttributeIndex("ID");
+
+    const Row clean = RunOnce(*nfa, stream, base);
+    Print("clean", shards, clean, clean.matches);
+
+    // Guard bound: twice the clean run's steady per-event cost.
+    double clean_mu = 0.0;
+    {
+      auto runtime = ShardRuntime::Create(*nfa, base);
+      auto r = (*runtime)->Run(stream);
+      for (const ShardResult& s : r->shards) clean_mu = std::max(clean_mu, s.avg_latency);
+    }
+
+    ShardRuntimeOptions burst = base;
+    burst.faults = &*burst_faults;
+    burst.guard.enabled = true;
+    burst.guard.theta = 2.0 * clean_mu;
+    burst.latency.window = 256;
+    Print("burst", shards, RunOnce(*nfa, stream, burst), clean.matches);
+
+    ShardRuntimeOptions death = base;
+    death.faults = &*death_faults;
+    death.max_worker_restarts = 1;
+    Print("death", shards, RunOnce(*nfa, stream, death), clean.matches);
+  }
+  return 0;
+}

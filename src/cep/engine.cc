@@ -414,6 +414,40 @@ void Engine::Vacuum(Timestamp now) {
   RebuildIndexes();
 }
 
+size_t Engine::ShedLowestUtility(size_t max_kill, size_t min_bytes_freed,
+                                 const PmUtilityFn& utility) {
+  if (max_kill == 0) return 0;
+  struct Candidate {
+    double utility;
+    PartialMatch* pm;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(store_.NumAlive());
+  store_.ForEachAlive([&](PartialMatch* pm) {
+    candidates.push_back(
+        {utility ? utility(*pm) : DefaultPmUtility(*pm), pm});
+  });
+  // Lowest utility first; among equals evict the newest (its peers have
+  // had longer to accumulate extensions, so the newest carries the least
+  // sunk work). The id tiebreak also makes the order fully deterministic.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.utility != b.utility) return a.utility < b.utility;
+              return a.pm->id > b.pm->id;
+            });
+  size_t killed = 0;
+  size_t bytes_freed = 0;
+  for (const Candidate& c : candidates) {
+    if (killed >= max_kill) break;
+    if (min_bytes_freed > 0 && bytes_freed >= min_bytes_freed) break;
+    bytes_freed += PartialMatchStore::ApproxBytes(*c.pm);
+    store_.Kill(c.pm);
+    ++killed;
+  }
+  stats_.pms_evicted += killed;
+  return killed;
+}
+
 void Engine::Reset() {
   store_.Clear();
   for (auto& idx : indexes_) {

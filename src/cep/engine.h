@@ -144,6 +144,34 @@ class Engine {
   using CreationFilter = std::function<bool(const PartialMatch&)>;
   void set_creation_filter(CreationFilter fn) { creation_filter_ = std::move(fn); }
 
+  /// Utility score of a partial match for emergency eviction ordering
+  /// (higher = keep longer). Typically bound to the cost model's
+  /// contribution estimate; see DefaultPmUtility for the untrained
+  /// fallback.
+  using PmUtilityFn = std::function<double(const PartialMatch&)>;
+
+  /// Untrained fallback utility: completion progress first (a match one
+  /// bind away from emitting embodies more sunk work and a higher
+  /// completion chance than a fresh one), bound-event count second.
+  static double DefaultPmUtility(const PartialMatch& pm) {
+    return static_cast<double>(pm.state) +
+           0.001 * static_cast<double>(pm.events.size());
+  }
+
+  /// Emergency state eviction for the overload guard: tombstones up to
+  /// `max_kill` live *regular* partial matches in increasing utility order
+  /// (ties broken newest-first), stopping early once `min_bytes_freed`
+  /// estimated bytes are reclaimed (0 = no byte goal). Negation witnesses
+  /// are never touched — killing a witness could un-veto a match and
+  /// invent results a fault-free run would not produce. A null `utility`
+  /// uses DefaultPmUtility. Returns the number killed (also counted in
+  /// stats().pms_evicted).
+  size_t ShedLowestUtility(size_t max_kill, size_t min_bytes_freed,
+                           const PmUtilityFn& utility = nullptr);
+
+  /// Estimated bytes held by live partial matches and witnesses.
+  size_t ApproxStateBytes() const { return store_.ApproxLiveBytes(); }
+
   /// Forces an expiry sweep + compaction + index rebuild now.
   void Vacuum(Timestamp now);
 

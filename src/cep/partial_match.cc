@@ -10,6 +10,7 @@ PartialMatchStore::PartialMatchStore(int num_states, int num_elements)
 
 PartialMatch* PartialMatchStore::Add(std::unique_ptr<PartialMatch> pm) {
   PartialMatch* raw = pm.get();
+  approx_live_bytes_ += ApproxBytes(*pm);
   buckets_[static_cast<size_t>(pm->state)].push_back(std::move(pm));
   ++num_alive_;
   return raw;
@@ -18,6 +19,7 @@ PartialMatch* PartialMatchStore::Add(std::unique_ptr<PartialMatch> pm) {
 PartialMatch* PartialMatchStore::AddWitness(std::unique_ptr<PartialMatch> pm) {
   PartialMatch* raw = pm.get();
   pm->is_witness = true;
+  approx_live_bytes_ += ApproxBytes(*pm);
   witness_buckets_[static_cast<size_t>(pm->negated_elem)].push_back(std::move(pm));
   ++num_alive_witnesses_;
   return raw;
@@ -27,6 +29,8 @@ void PartialMatchStore::Kill(PartialMatch* pm) {
   if (!pm->alive) return;
   pm->alive = false;
   ++num_dead_;
+  const size_t bytes = ApproxBytes(*pm);
+  approx_live_bytes_ -= bytes <= approx_live_bytes_ ? bytes : approx_live_bytes_;
   if (pm->is_witness) {
     --num_alive_witnesses_;
   } else {
@@ -91,6 +95,7 @@ void PartialMatchStore::Clear() {
   for (auto& bucket : buckets_) bucket.clear();
   for (auto& bucket : witness_buckets_) bucket.clear();
   num_alive_ = num_alive_witnesses_ = num_dead_ = 0;
+  approx_live_bytes_ = 0;
 }
 
 }  // namespace cepshed

@@ -110,6 +110,20 @@ class PartialMatchStore {
   /// Number of tombstoned entries awaiting compaction.
   size_t NumDead() const { return num_dead_; }
 
+  /// Deterministic per-match memory estimate (struct + event-pointer and
+  /// offset payload + allocator slack). Events themselves are shared with
+  /// the stream and not charged.
+  static size_t ApproxBytes(const PartialMatch& pm) {
+    return sizeof(PartialMatch) + pm.events.size() * sizeof(EventPtr) +
+           pm.slot_end.size() * sizeof(uint32_t) + kPerMatchOverheadBytes;
+  }
+
+  /// Estimated bytes held by live matches and witnesses — the memory
+  /// signal the overload guard enforces its budget against. O(1);
+  /// maintained incrementally by Add/AddWitness/Kill (matches are
+  /// immutable once stored, so the insert-time estimate stays exact).
+  size_t ApproxLiveBytes() const { return approx_live_bytes_; }
+
   /// Tombstones every live match (regular and witness) whose window has
   /// elapsed at `now`; returns the number evicted.
   size_t EvictExpired(Timestamp now, Duration window);
@@ -130,11 +144,15 @@ class PartialMatchStore {
   void Clear();
 
  private:
+  /// Unique-ptr indirection plus typical allocator rounding per entry.
+  static constexpr size_t kPerMatchOverheadBytes = 32;
+
   std::vector<Bucket> buckets_;
   std::vector<Bucket> witness_buckets_;
   size_t num_alive_ = 0;
   size_t num_alive_witnesses_ = 0;
   size_t num_dead_ = 0;
+  size_t approx_live_bytes_ = 0;
 };
 
 }  // namespace cepshed

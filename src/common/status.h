@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kInternal = 6,
   kParseError = 7,
   kResourceExhausted = 8,
+  kUnavailable = 9,
 };
 
 /// \brief Returns a short human-readable name for a StatusCode.
@@ -74,6 +75,11 @@ class Status {
   /// Returns a ResourceExhausted error.
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Returns an Unavailable error (a component died or timed out; the
+  /// operation may succeed after recovery).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the status is OK.

@@ -1,0 +1,211 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/fault/fault_injector.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace cepshed {
+
+namespace {
+
+Result<FaultKind> ParseKind(const std::string& name) {
+  if (name == "stall") return FaultKind::kStall;
+  if (name == "slow") return FaultKind::kSlowdown;
+  if (name == "burst") return FaultKind::kBurst;
+  if (name == "saturate") return FaultKind::kSaturate;
+  if (name == "skew") return FaultKind::kSkew;
+  if (name == "death") return FaultKind::kDeath;
+  return Status::ParseError("unknown fault kind '" + name + "'");
+}
+
+Result<int64_t> ParseInt(const std::string& entry, const std::string& value) {
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::ParseError("fault entry '" + entry + "': bad integer '" + value +
+                              "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<double> ParseDouble(const std::string& entry, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::ParseError("fault entry '" + entry + "': bad number '" + value +
+                              "'");
+  }
+  return v;
+}
+
+std::string Trim(const std::string& s) {
+  const size_t b = s.find_first_not_of(" \t\n\r");
+  if (b == std::string::npos) return "";
+  const size_t e = s.find_last_not_of(" \t\n\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStall:
+      return "stall";
+    case FaultKind::kSlowdown:
+      return "slow";
+    case FaultKind::kBurst:
+      return "burst";
+    case FaultKind::kSaturate:
+      return "saturate";
+    case FaultKind::kSkew:
+      return "skew";
+    case FaultKind::kDeath:
+      return "death";
+  }
+  return "unknown";
+}
+
+Result<FaultInjector> FaultInjector::Parse(const std::string& spec, uint64_t seed) {
+  FaultInjector injector;
+  injector.seed_ = seed;
+  std::istringstream entries(spec);
+  std::string entry;
+  while (std::getline(entries, entry, ';')) {
+    entry = Trim(entry);
+    if (entry.empty()) continue;
+    const size_t colon = entry.find(':');
+    FaultSpec fault;
+    const std::string kind_name = entry.substr(0, colon);
+    CEPSHED_ASSIGN_OR_RETURN(fault.kind, ParseKind(kind_name));
+
+    if (colon != std::string::npos) {
+      std::istringstream pairs(entry.substr(colon + 1));
+      std::string pair;
+      while (std::getline(pairs, pair, ',')) {
+        if (pair.empty()) continue;
+        const size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          return Status::ParseError("fault entry '" + entry + "': expected key=value, got '" +
+                                    pair + "'");
+        }
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        if (key == "shard") {
+          int64_t v;
+          CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
+          fault.shard = static_cast<int>(v);
+        } else if (key == "at") {
+          int64_t v;
+          CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
+          if (v < 0) return Status::ParseError("fault entry '" + entry + "': at must be >= 0");
+          fault.at = static_cast<uint64_t>(v);
+        } else if (key == "count") {
+          int64_t v;
+          CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
+          if (v <= 0) {
+            return Status::ParseError("fault entry '" + entry + "': count must be > 0");
+          }
+          fault.count = static_cast<uint64_t>(v);
+        } else if (key == "us") {
+          CEPSHED_ASSIGN_OR_RETURN(fault.micros, ParseInt(entry, value));
+        } else if (key == "ms") {
+          int64_t v;
+          CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
+          fault.micros = v * 1000;
+        } else if (key == "factor") {
+          CEPSHED_ASSIGN_OR_RETURN(fault.factor, ParseDouble(entry, value));
+          if (fault.factor <= 0.0) {
+            return Status::ParseError("fault entry '" + entry + "': factor must be > 0");
+          }
+        } else {
+          return Status::ParseError("fault entry '" + entry + "': unknown key '" + key +
+                                    "'");
+        }
+      }
+    }
+
+    switch (fault.kind) {
+      case FaultKind::kStall:
+      case FaultKind::kSlowdown:
+        if (fault.micros < 0) {
+          return Status::ParseError("fault entry '" + entry +
+                                    "': sleep duration must be >= 0");
+        }
+        break;
+      case FaultKind::kBurst:
+        if (fault.factor == 1.0) {
+          return Status::ParseError("fault entry '" + entry +
+                                    "': burst needs factor != 1");
+        }
+        break;
+      case FaultKind::kSaturate:
+      case FaultKind::kSkew:
+      case FaultKind::kDeath:
+        break;
+    }
+    injector.specs_.push_back(fault);
+  }
+  return injector;
+}
+
+ActiveFaults FaultInjector::OnConsume(int shard, uint64_t index) const {
+  ActiveFaults active;
+  for (const FaultSpec& f : specs_) {
+    if (f.shard != -1 && f.shard != shard) continue;
+    switch (f.kind) {
+      case FaultKind::kStall:
+        if (index == f.at) active.stall_us += f.micros;
+        break;
+      case FaultKind::kSlowdown:
+        if (index >= f.at && index < f.at + f.count) active.stall_us += f.micros;
+        break;
+      case FaultKind::kBurst:
+        if (index >= f.at && index < f.at + f.count) {
+          active.cost_multiplier *= f.factor;
+        }
+        break;
+      case FaultKind::kSkew:
+        if (index >= f.at && index < f.at + f.count) {
+          active.clock_skew_us += f.micros;
+        }
+        break;
+      case FaultKind::kDeath:
+        if (index == f.at) active.die = true;
+        break;
+      case FaultKind::kSaturate:
+        break;  // router-side, see SaturatePush
+    }
+  }
+  return active;
+}
+
+bool FaultInjector::SaturatePush(int shard, uint64_t seq) const {
+  for (const FaultSpec& f : specs_) {
+    if (f.kind != FaultKind::kSaturate) continue;
+    if (f.shard != -1 && f.shard != shard) continue;
+    if (seq >= f.at && seq < f.at + f.count) return true;
+  }
+  return false;
+}
+
+std::string FaultInjector::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& f = specs_[i];
+    if (i > 0) out << ";";
+    out << FaultKindName(f.kind) << ":shard=" << f.shard << ",at=" << f.at;
+    if (f.kind == FaultKind::kSlowdown || f.kind == FaultKind::kBurst ||
+        f.kind == FaultKind::kSaturate || f.kind == FaultKind::kSkew) {
+      out << ",count=" << f.count;
+    }
+    if (f.kind == FaultKind::kStall || f.kind == FaultKind::kSlowdown ||
+        f.kind == FaultKind::kSkew) {
+      out << ",us=" << f.micros;
+    }
+    if (f.kind == FaultKind::kBurst) out << ",factor=" << f.factor;
+  }
+  return out.str();
+}
+
+}  // namespace cepshed

@@ -1,0 +1,121 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Deterministic fault injection for the sharded runtime. A FaultInjector
+// holds a parsed schedule of faults, each anchored to an exact per-shard
+// event ordinal (or router-side stream sequence number), so a given
+// schedule reproduces the same fault at the same logical point on every
+// run — the chaos suite's properties are replayable from the schedule
+// alone. The injector itself is immutable after Parse: every query is a
+// pure function of (shard, event index), so N shard threads can consult
+// one instance without synchronization.
+//
+// Schedule DSL: semicolon-separated entries of the form
+//   kind:key=value,key=value
+// with kinds
+//   stall    - one-shot consumer sleep        (shard, at, ms)
+//   slow     - per-event consumer sleep       (shard, at, count, us)
+//   burst    - latency-cost multiplier window (shard, at, count, factor)
+//              simulating an arrival burst: each event appears `factor`
+//              times as expensive to the latency monitor, which is what a
+//              rate spike looks like to the shedding machinery
+//   saturate - router-side queue saturation   (shard, at, count): pushes
+//              of stream seq in [at, at+count) to the shard report full
+//   skew     - guard-clock skew window        (shard, at, count, us):
+//              the watchdog sees event time offset by `us` (negative =
+//              out-of-order timestamps); engine semantics are untouched
+//   death    - the shard's worker thread exits before consuming its
+//              at-th event (shard, at)
+// `shard=-1` (the default) applies the fault to every shard. `at` counts
+// consumed events of the shard for consumer-side faults and global stream
+// sequence numbers for `saturate`.
+//
+// Example: "stall:shard=0,at=200,ms=30;death:shard=1,at=500"
+
+#ifndef CEPSHED_FAULT_FAULT_INJECTOR_H_
+#define CEPSHED_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/time.h"
+
+namespace cepshed {
+
+/// \brief Kinds of injectable faults.
+enum class FaultKind : int {
+  kStall = 0,     ///< one-shot consumer sleep
+  kSlowdown = 1,  ///< per-event consumer sleep over a window
+  kBurst = 2,     ///< latency-cost multiplier over a window
+  kSaturate = 3,  ///< router-side queue saturation over a seq window
+  kSkew = 4,      ///< guard-clock skew over a window
+  kDeath = 5,     ///< worker-thread death at an event ordinal
+};
+
+/// Short DSL name of a fault kind ("stall", "death", ...).
+const char* FaultKindName(FaultKind kind);
+
+/// \brief One parsed schedule entry.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kStall;
+  /// Target shard, or -1 for all shards.
+  int shard = -1;
+  /// First affected event ordinal (consumed-event index of the shard, or
+  /// stream sequence number for kSaturate).
+  uint64_t at = 0;
+  /// Events affected for windowed kinds (kSlowdown/kBurst/kSaturate/kSkew).
+  uint64_t count = 1;
+  /// Sleep duration (kStall: total; kSlowdown: per event) or clock offset
+  /// (kSkew) in microseconds.
+  int64_t micros = 0;
+  /// Cost multiplier (kBurst).
+  double factor = 1.0;
+};
+
+/// \brief What the injector wants done before/while consuming one event.
+struct ActiveFaults {
+  /// Sleep this long before consuming (stall + slowdown contributions).
+  int64_t stall_us = 0;
+  /// Multiply the latency cost recorded for this event.
+  double cost_multiplier = 1.0;
+  /// Offset applied to the overload guard's event-time clock.
+  int64_t clock_skew_us = 0;
+  /// The worker must exit before consuming this event.
+  bool die = false;
+};
+
+/// \brief An immutable, seeded fault schedule (see file comment).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Parses the schedule DSL. Unknown kinds/keys and malformed numbers are
+  /// errors — a chaos schedule that silently no-ops is worse than one that
+  /// fails loudly. An empty spec yields an empty injector.
+  static Result<FaultInjector> Parse(const std::string& spec, uint64_t seed = 0);
+
+  /// Consumer-side faults for the shard's `index`-th consumed event.
+  ActiveFaults OnConsume(int shard, uint64_t index) const;
+
+  /// True when the router must treat a push of stream sequence `seq` to
+  /// `shard` as hitting a full queue.
+  bool SaturatePush(int shard, uint64_t seq) const;
+
+  bool empty() const { return specs_.empty(); }
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+  /// Schedule seed (also the default hash seed of guard drop decisions,
+  /// so one seed reproduces the whole degraded run).
+  uint64_t seed() const { return seed_; }
+
+  /// Canonical round-trippable rendering of the schedule.
+  std::string ToString() const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,204 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/runtime/overload_guard.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cepshed {
+
+namespace {
+
+// splitmix64 finalizer; same construction as the runtime's routing hash
+// but an independent instantiation so guard drops and shard routing never
+// correlate.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t RateToCut(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return UINT64_MAX;
+  return static_cast<uint64_t>(rate * 18446744073709551615.0);
+}
+
+}  // namespace
+
+const char* GuardLevelName(GuardLevel level) {
+  switch (level) {
+    case GuardLevel::kNormal:
+      return "normal";
+    case GuardLevel::kShedding:
+      return "shedding";
+    case GuardLevel::kPanic:
+      return "panic";
+    case GuardLevel::kEmergency:
+      return "emergency";
+  }
+  return "unknown";
+}
+
+OverloadGuard::OverloadGuard(Options options) : options_(options) {
+  if (options_.theta > 0.0) {
+    controller_.emplace(options_.theta, options_.trigger_delay);
+  }
+}
+
+bool OverloadGuard::ShouldDropInput(uint64_t seq) {
+  if (!options_.enabled || drop_cut_ == 0) return false;
+  if (drop_cut_ == UINT64_MAX || Mix64(options_.seed ^ seq) < drop_cut_) {
+    ++stats_.input_drops;
+    return true;
+  }
+  return false;
+}
+
+void OverloadGuard::Observe(double mu, size_t queue_size, size_t queue_capacity,
+                            Timestamp now) {
+  if (!options_.enabled) return;
+  (void)now;  // event time is accepted (and may be skewed/non-monotonic);
+              // all guard decisions key off event counts and signals.
+  ++stats_.events_observed;
+
+  const size_t bytes = engine_ != nullptr ? engine_->ApproxStateBytes() : 0;
+  stats_.peak_state_bytes = std::max(stats_.peak_state_bytes, bytes);
+
+  // Hard budget: an O(1) check every event, because a burst can blow the
+  // budget well inside a check interval.
+  if (options_.memory_budget_bytes > 0 && bytes > options_.memory_budget_bytes) {
+    ++stats_.budget_trips;
+    if (stats_.level != GuardLevel::kEmergency) SetLevel(GuardLevel::kEmergency);
+    hot_streak_ = 0;
+    cool_streak_ = 0;
+    EvictToBudget();
+  }
+
+  // The latency-bound controller adapts every event even though the ladder
+  // only moves at checks — mirrors how the baseline shedders run it. At
+  // kShedding the drop rate tracks it per event too.
+  if (controller_.has_value() && stats_.level >= GuardLevel::kShedding) {
+    controller_->Update(mu);
+    if (stats_.level == GuardLevel::kShedding) {
+      drop_rate_ = controller_->rate();
+      drop_cut_ = RateToCut(drop_rate_);
+    }
+  }
+
+  if (++since_check_ < options_.check_every) return;
+  since_check_ = 0;
+  const double fill =
+      queue_capacity > 0 ? static_cast<double>(queue_size) / static_cast<double>(queue_capacity)
+                         : 0.0;
+  Evaluate(mu, fill);
+}
+
+void OverloadGuard::Evaluate(double mu, double queue_fill) {
+  const size_t bytes = engine_ != nullptr ? engine_->ApproxStateBytes() : 0;
+  const double budget = static_cast<double>(options_.memory_budget_bytes);
+
+  const bool latency_hot = options_.theta > 0.0 && mu > options_.theta;
+  const bool latency_cool =
+      options_.theta <= 0.0 || mu <= options_.theta * options_.latency_hysteresis;
+  const bool queue_hot = queue_fill > options_.queue_high;
+  const bool queue_cool = queue_fill <= options_.queue_low;
+  const bool memory_hot =
+      budget > 0.0 && static_cast<double>(bytes) > budget * options_.memory_high;
+  const bool memory_cool =
+      budget <= 0.0 || static_cast<double>(bytes) <= budget * options_.memory_low;
+
+  const bool hot = latency_hot || queue_hot || memory_hot;
+  const bool cool = latency_cool && queue_cool && memory_cool;
+
+  if (hot) {
+    cool_streak_ = 0;
+    ++hot_streak_;
+    if (hot_streak_ >= options_.escalate_after && stats_.level != GuardLevel::kEmergency) {
+      SetLevel(static_cast<GuardLevel>(static_cast<int>(stats_.level) + 1));
+      hot_streak_ = 0;
+    }
+    // Already degraded and still hot: keep relieving state pressure.
+    if (stats_.level >= GuardLevel::kShedding) TrimState();
+    if (stats_.level == GuardLevel::kEmergency) EvictToBudget();
+  } else if (cool) {
+    hot_streak_ = 0;
+    ++cool_streak_;
+    if (cool_streak_ >= options_.recover_after && stats_.level != GuardLevel::kNormal) {
+      SetLevel(static_cast<GuardLevel>(static_cast<int>(stats_.level) - 1));
+      cool_streak_ = 0;
+    }
+  } else {
+    // Dead zone between the watermarks: neither streak advances, so a
+    // borderline signal holds the current rung instead of flapping.
+    hot_streak_ = 0;
+    cool_streak_ = 0;
+  }
+
+  UpdateDropRate(mu);
+}
+
+void OverloadGuard::SetLevel(GuardLevel level) {
+  if (level == stats_.level) return;
+  if (static_cast<int>(level) > static_cast<int>(stats_.level)) {
+    ++stats_.escalations;
+  } else {
+    ++stats_.de_escalations;
+  }
+  stats_.level = level;
+  stats_.peak_level = std::max(stats_.peak_level, level);
+  stats_.last_level_change_event = stats_.events_observed;
+  if (level == GuardLevel::kNormal && controller_.has_value()) controller_->Reset();
+}
+
+void OverloadGuard::UpdateDropRate(double mu) {
+  (void)mu;  // the controller was already fed this event's mu in Observe
+  double rate = 0.0;
+  switch (stats_.level) {
+    case GuardLevel::kNormal:
+      rate = 0.0;
+      break;
+    case GuardLevel::kShedding:
+      rate = controller_.has_value() ? controller_->rate() : options_.shedding_drop_rate;
+      break;
+    case GuardLevel::kPanic:
+    case GuardLevel::kEmergency:
+      rate = options_.panic_drop_rate;
+      break;
+  }
+  drop_rate_ = rate;
+  drop_cut_ = RateToCut(rate);
+}
+
+void OverloadGuard::EvictToBudget() {
+  if (engine_ == nullptr || options_.memory_budget_bytes == 0) return;
+  const size_t bytes = engine_->ApproxStateBytes();
+  const size_t target =
+      static_cast<size_t>(static_cast<double>(options_.memory_budget_bytes) * options_.memory_low);
+  if (bytes <= target) return;
+  const size_t killed =
+      engine_->ShedLowestUtility(engine_->NumPartialMatches(), bytes - target, utility_);
+  stats_.emergency_evictions += killed;
+}
+
+void OverloadGuard::TrimState() {
+  if (engine_ == nullptr || options_.trim_fraction <= 0.0) return;
+  const size_t alive = engine_->NumPartialMatches();
+  const size_t kill = static_cast<size_t>(
+      std::ceil(static_cast<double>(alive) * options_.trim_fraction));
+  if (kill == 0) return;
+  stats_.trims += engine_->ShedLowestUtility(kill, 0, utility_);
+}
+
+void OverloadGuard::Reset() {
+  if (controller_.has_value()) controller_->Reset();
+  drop_rate_ = 0.0;
+  drop_cut_ = 0;
+  hot_streak_ = 0;
+  cool_streak_ = 0;
+  since_check_ = 0;
+  stats_ = Stats{};
+}
+
+}  // namespace cepshed

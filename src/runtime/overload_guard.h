@@ -1,0 +1,173 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// The overload guard: a per-shard watchdog that turns *observed* overload
+// signals — latency-bound headroom, queue fill, and partial-match memory —
+// into a hysteresis degradation ladder:
+//
+//   normal ──► shedding ──► panic ──► emergency
+//     ▲            │           │          │
+//     └────────────┴───────────┴──────────┘  (stepwise recovery)
+//
+//   shedding   rho_I via the DropRateController (violation-proportional
+//              drop rate) plus periodic rho_S trims of the lowest-utility
+//              partial matches;
+//   panic      every droppable input event is discarded (the engine only
+//              pays the filter cost, so the latency signal can decay);
+//   emergency  utility-ordered partial-match eviction down to the
+//              low-watermark of the memory budget — degradation stays
+//              principled: the matches estimated least likely to
+//              contribute results die first, and negation witnesses are
+//              never touched (so degraded output stays a subset of the
+//              fault-free output).
+//
+// Escalation requires `escalate_after` consecutive hot checks and recovery
+// `recover_after` consecutive cool ones, with a dead zone between the hot
+// and cool thresholds — the ladder cannot flap on a boundary signal. The
+// memory budget additionally acts as a hard cap checked every event:
+// crossing it evicts immediately, whatever the ladder state.
+//
+// Drop decisions are a pure hash of (seed, event sequence number) at the
+// current rate, so a degraded run is reproducible given the same rate
+// trajectory, and shards with the same seed shed consistently.
+//
+// Thread confinement matches the shard runtime: one guard per shard,
+// driven only from that shard's consumer thread.
+
+#ifndef CEPSHED_RUNTIME_OVERLOAD_GUARD_H_
+#define CEPSHED_RUNTIME_OVERLOAD_GUARD_H_
+
+#include <cstdint>
+
+#include "src/cep/engine.h"
+#include "src/shed/baselines.h"
+
+namespace cepshed {
+
+/// \brief Rungs of the degradation ladder.
+enum class GuardLevel : int {
+  kNormal = 0,
+  kShedding = 1,
+  kPanic = 2,
+  kEmergency = 3,
+};
+
+/// Human-readable level name ("normal", "shedding", ...).
+const char* GuardLevelName(GuardLevel level);
+
+/// \brief Per-shard overload watchdog (see file comment).
+class OverloadGuard {
+ public:
+  struct Options {
+    /// Master switch; a disabled guard costs one branch per event.
+    bool enabled = false;
+    /// Latency bound theta in cost units; <= 0 disables the latency
+    /// signal (queue/memory pressure still drive the ladder).
+    double theta = 0.0;
+    /// Post-trigger delay of the drop-rate controller (events).
+    uint64_t trigger_delay = 256;
+    /// The latency signal cools only below hysteresis * theta.
+    double latency_hysteresis = 0.85;
+    /// Queue-fill fraction that reads as hot / cool.
+    double queue_high = 0.75;
+    double queue_low = 0.25;
+    /// Hard partial-match memory budget in bytes (0 = unlimited).
+    size_t memory_budget_bytes = 0;
+    /// Budget fraction that reads as hot / the eviction target.
+    double memory_high = 0.90;
+    double memory_low = 0.60;
+    /// Events between ladder evaluations (signals are sampled every
+    /// event; level moves only at checks).
+    uint64_t check_every = 32;
+    /// Consecutive hot checks before escalating one rung.
+    uint64_t escalate_after = 2;
+    /// Consecutive cool checks before recovering one rung.
+    uint64_t recover_after = 6;
+    /// Input-drop probability at kShedding when theta <= 0 (with a bound,
+    /// the DropRateController's violation-proportional rate is used).
+    double shedding_drop_rate = 0.5;
+    /// Input-drop probability at kPanic and kEmergency.
+    double panic_drop_rate = 1.0;
+    /// Fraction of live partial matches trimmed (lowest utility first) on
+    /// each hot check at kShedding and above.
+    double trim_fraction = 0.05;
+    /// Hash seed of the per-event drop decisions.
+    uint64_t seed = 0x6f76657264ULL;
+  };
+
+  /// Counters published per run (all monotonic except the level fields).
+  struct Stats {
+    uint64_t escalations = 0;
+    uint64_t de_escalations = 0;
+    /// rho_I drops decided by the guard.
+    uint64_t input_drops = 0;
+    /// Partial matches killed by shedding-level trims.
+    uint64_t trims = 0;
+    /// Partial matches killed by emergency / hard-budget evictions.
+    uint64_t emergency_evictions = 0;
+    /// Times the hard memory budget tripped mid-check-interval.
+    uint64_t budget_trips = 0;
+    /// High-water mark of the state-memory estimate.
+    size_t peak_state_bytes = 0;
+    GuardLevel level = GuardLevel::kNormal;
+    GuardLevel peak_level = GuardLevel::kNormal;
+    /// Observe() calls when the level last changed (recovery-time metric).
+    uint64_t last_level_change_event = 0;
+    uint64_t events_observed = 0;
+  };
+
+  explicit OverloadGuard(Options options);
+
+  /// Binds the engine whose state the guard may evict. Must be called
+  /// before the first Observe on a live stream.
+  void Attach(Engine* engine) { engine_ = engine; }
+
+  /// Optional principled eviction order (e.g. the cost model's
+  /// contribution estimate); default is Engine::DefaultPmUtility.
+  void set_utility(Engine::PmUtilityFn fn) { utility_ = std::move(fn); }
+
+  /// rho_I: true when the arriving event (identified by its stream
+  /// sequence number) must be discarded at the current ladder level.
+  bool ShouldDropInput(uint64_t seq);
+
+  /// Feeds one event's observations: the smoothed latency mu, the shard
+  /// queue occupancy, and the event-time clock (already skewed by any
+  /// injected fault; the guard tolerates non-monotonic values). Runs the
+  /// hard-budget check every event and the ladder evaluation every
+  /// check_every events.
+  void Observe(double mu, size_t queue_size, size_t queue_capacity, Timestamp now);
+
+  GuardLevel level() const { return stats_.level; }
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+  bool enabled() const { return options_.enabled; }
+  /// Current rho_I drop probability (diagnostics).
+  double drop_rate() const { return drop_rate_; }
+
+  /// Clears counters and returns to kNormal (between runs).
+  void Reset();
+
+ private:
+  void Evaluate(double mu, double queue_fill);
+  void SetLevel(GuardLevel level);
+  void UpdateDropRate(double mu);
+  /// Evicts down to memory_low * budget (hard-budget and emergency path).
+  void EvictToBudget();
+  /// Sheds trim_fraction of the live matches, lowest utility first.
+  void TrimState();
+
+  Options options_;
+  Engine* engine_ = nullptr;
+  Engine::PmUtilityFn utility_;
+  /// Violation-proportional rho_I rate when a latency bound is set.
+  std::optional<DropRateController> controller_;
+  double drop_rate_ = 0.0;
+  uint64_t drop_cut_ = 0;
+  uint64_t hot_streak_ = 0;
+  uint64_t cool_streak_ = 0;
+  uint64_t since_check_ = 0;
+  Stats stats_;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_RUNTIME_OVERLOAD_GUARD_H_

@@ -11,18 +11,35 @@
 // fails only once the queue is closed; Pop spins while the queue is empty
 // and fails once the queue is closed *and* drained, so a consumer always
 // sees every element pushed before Close().
+//
+// A plain blocking Push can spin forever when the consumer thread dies
+// without closing the queue. PushFor is the bounded variant: it gives up
+// after a deadline (or immediately once the queue is closed) so the
+// producer can check consumer liveness and recover instead of deadlocking
+// (the sharded runtime turns persistent unavailability into
+// Status::Unavailable).
 
 #ifndef CEPSHED_RUNTIME_RING_QUEUE_H_
 #define CEPSHED_RUNTIME_RING_QUEUE_H_
 
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace cepshed {
+
+/// \brief Outcome of a bounded-wait queue push.
+enum class QueuePushResult : int {
+  kOk = 0,       ///< element enqueued
+  kClosed = 1,   ///< queue closed before the element could be enqueued
+  kTimedOut = 2  ///< queue stayed full past the deadline (consumer stalled
+                 ///< or dead); the element was not consumed
+};
 
 template <typename T>
 class RingQueue {
@@ -72,14 +89,45 @@ class RingQueue {
   /// Blocking push: spins/yields while full. Returns false iff the queue
   /// was closed before the element could be enqueued.
   bool Push(T value) {
+    return PushFor(std::move(value), -1) == QueuePushResult::kOk;
+  }
+
+  /// Bounded-wait push (see PushForRef). Taking the element by value, a
+  /// kTimedOut/kClosed result leaves the caller's move-only payload
+  /// consumed; callers that must retry the *same* element use PushForRef.
+  QueuePushResult PushFor(T value, int64_t timeout_us) {
+    return PushForRef(value, timeout_us);
+  }
+
+  /// Bounded-wait push: spins/yields while full for at most `timeout_us`
+  /// microseconds (negative = forever). Moves from `value` only on kOk; on
+  /// kTimedOut the element was not enqueued and the caller still owns it —
+  /// typically it checks whether the consumer is alive and either retries
+  /// with the same element or abandons the queue.
+  QueuePushResult PushForRef(T& value, int64_t timeout_us) {
     // TryPushRef moves from `value` only on success, so a full-queue retry
     // re-offers the original element rather than a moved-from husk.
     Backoff backoff;
+    // The deadline is materialized lazily: the uncontended fast path never
+    // reads the clock.
+    std::chrono::steady_clock::time_point deadline{};
+    bool have_deadline = false;
+    int pauses = 0;
     while (!TryPushRef(value)) {
-      if (closed_.load(std::memory_order_acquire)) return false;
+      if (closed_.load(std::memory_order_acquire)) return QueuePushResult::kClosed;
+      if (timeout_us >= 0 && ++pauses >= kPausesPerClockCheck) {
+        pauses = 0;
+        const auto now = std::chrono::steady_clock::now();
+        if (!have_deadline) {
+          deadline = now + std::chrono::microseconds(timeout_us);
+          have_deadline = true;
+        } else if (now >= deadline) {
+          return QueuePushResult::kTimedOut;
+        }
+      }
       backoff.Pause();
     }
-    return true;
+    return QueuePushResult::kOk;
   }
 
   /// Blocking pop: spins/yields while empty. Returns false iff the queue
@@ -157,6 +205,10 @@ class RingQueue {
   };
 
   static constexpr size_t kCacheLine = 64;
+  /// Clock reads are amortized over this many backoff pauses; with the
+  /// 64-spin-then-yield backoff a check happens at least once per yield
+  /// cycle, keeping timeout precision within a few scheduler quanta.
+  static constexpr int kPausesPerClockCheck = 64;
 
   std::vector<Slot> slots_;
   size_t mask_ = 0;

@@ -3,6 +3,7 @@
 #include "src/runtime/shard_runtime.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -238,12 +239,18 @@ void ShardRuntime::RouteEvent(const Event& event, std::vector<int>* out) const {
   }
 }
 
-/// All state one shard's worker touches. Engines, monitors, and shedders
-/// are confined to the owning worker thread between queue handoff points;
-/// the join at the end of Run publishes the results to the caller.
+/// All state one shard's worker touches. Engines, monitors, shedders, and
+/// guards are confined to the owning worker thread between queue handoff
+/// points; the join at the end of Run publishes the results to the caller.
+/// The router additionally writes events_rejected (a member the worker
+/// never touches) and takes the shard over entirely once the worker thread
+/// has been observed dead and joined.
 struct ShardRuntime::ShardState {
   std::unique_ptr<Engine> engine;
   std::unique_ptr<Shedder> shedder;
+  std::unique_ptr<OverloadGuard> guard;
+  /// Not owned; null when no faults target this run.
+  const FaultInjector* faults = nullptr;
   LatencyMonitor monitor;
   size_t monitor_window = 0;
   std::vector<Match> matches;
@@ -254,21 +261,49 @@ struct ShardRuntime::ShardState {
   int shard_id = 0;
   int num_shards = 1;
   Duration slice_stride = 0;
+  /// Ordinal of the next event this shard consumes (fault anchor).
+  uint64_t consumed = 0;
+  /// Restarts spent so far (router-owned; compared to the budget).
+  int restarts = 0;
+  bool finished = false;
+  /// Worker-thread exit protocol: the worker sets clean_exit (after a
+  /// normal drain + Finish) and then worker_exited with release order; the
+  /// router reads worker_exited with acquire before touching anything else.
+  bool clean_exit = false;
+  std::atomic<bool> worker_exited{false};
+  std::thread worker;
 
   explicit ShardState(LatencyMonitor::Options latency)
       : monitor(latency), monitor_window(latency.window) {}
 
-  void Consume(const EventPtr& event) {
+  /// Handles one delivered event. Returns true when an injected death
+  /// fault fires: the event is counted lost and the caller must terminate
+  /// (or restart) the worker without further consumption.
+  bool Consume(const EventPtr& event) {
+    ActiveFaults injected;
+    if (faults != nullptr) injected = faults->OnConsume(shard_id, consumed);
+    ++consumed;
     ++result.events_routed;
+    if (injected.die) {
+      ++result.events_lost;
+      return true;
+    }
+    if (injected.stall_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(injected.stall_us));
+    }
     double cost;
-    if (shedder != nullptr && shedder->FilterEvent(*event)) {
+    if (guard != nullptr && guard->ShouldDropInput(event->seq())) {
+      // Guard rho_I: counted as a drop like any other input shedding.
+      ++result.events_dropped;
+      cost = ShedRunner::kDroppedEventCost;
+    } else if (shedder != nullptr && shedder->FilterEvent(*event)) {
       ++result.events_dropped;
       cost = ShedRunner::kDroppedEventCost;
     } else {
       cost = engine->Process(event, &matches);
       ++result.events_processed;
     }
-    monitor.Record(cost);
+    monitor.Record(cost * injected.cost_multiplier);
     if (shedder != nullptr) {
       const double theta = shedder->theta();
       if (theta > 0.0 && monitor.Count() >= monitor_window) {
@@ -277,11 +312,45 @@ struct ShardRuntime::ShardState {
       }
       shedder->AfterEvent(event->timestamp(), monitor.Current());
     }
+    if (guard != nullptr) {
+      guard->Observe(monitor.Current(), queue != nullptr ? queue->SizeApprox() : 0,
+                     queue != nullptr ? queue->capacity() : 0,
+                     event->timestamp() + injected.clock_skew_us);
+    }
+    return false;
+  }
+
+  /// Worker-thread body (also the entry point of a restarted worker).
+  void WorkerMain() {
+    EventPtr event;
+    while (queue->Pop(&event)) {
+      if (Consume(event)) {
+        // Simulated worker death: leave the queue open and Finish unrun;
+        // the router detects the exit and restarts or abandons the shard.
+        worker_exited.store(true, std::memory_order_release);
+        return;
+      }
+    }
+    Finish();
+    clean_exit = true;
+    worker_exited.store(true, std::memory_order_release);
   }
 
   void Finish() {
+    if (finished) return;
+    finished = true;
     result.avg_latency = monitor.OverallAverage();
     result.shed_pms = shedder != nullptr ? shedder->pms_shed() : 0;
+    if (guard != nullptr) {
+      const OverloadGuard::Stats& g = guard->stats();
+      result.guard_input_drops = g.input_drops;
+      result.guard_trims = g.trims;
+      result.guard_evictions = g.emergency_evictions;
+      result.guard_escalations = g.escalations;
+      result.guard_final_level = static_cast<int>(g.level);
+      result.guard_peak_level = static_cast<int>(g.peak_level);
+      result.guard_peak_state_bytes = g.peak_state_bytes;
+    }
     result.stats = engine->stats();
     if (slice_filter) FilterToOwnedSlices();
   }
@@ -310,14 +379,78 @@ struct ShardRuntime::ShardState {
   }
 };
 
-void ShardRuntime::Merge(std::vector<ShardState>* shards,
+void ShardRuntime::ReviveOrAbandon(ShardState* s) const {
+  s->worker.join();
+  if (s->clean_exit) return;  // normal drain raced the timeout; nothing to do
+  if (s->restarts < opts_.max_worker_restarts) {
+    ++s->restarts;
+    ++s->result.worker_restarts;
+    s->worker_exited.store(false, std::memory_order_relaxed);
+    // The restarted worker resumes the same queue and engine: only the
+    // death-poisoned event is lost, so recall degrades by exactly one
+    // event per death.
+    s->worker = std::thread(&ShardState::WorkerMain, s);
+  } else {
+    AbandonShard(s);
+  }
+}
+
+void ShardRuntime::AbandonShard(ShardState* s) const {
+  s->result.abandoned = true;
+  s->queue->Close();
+  EventPtr event;
+  while (s->queue->Pop(&event)) {
+    ++s->result.events_routed;
+    ++s->result.events_lost;
+  }
+  s->Finish();
+}
+
+void ShardRuntime::FinishDeadShard(ShardState* s) const {
+  bool draining;
+  if (s->restarts < opts_.max_worker_restarts) {
+    ++s->restarts;
+    ++s->result.worker_restarts;
+    draining = false;
+  } else {
+    s->result.abandoned = true;
+    draining = true;
+  }
+  EventPtr event;
+  while (s->queue->Pop(&event)) {
+    if (draining) {
+      ++s->result.events_routed;
+      ++s->result.events_lost;
+      continue;
+    }
+    if (s->Consume(event)) {
+      if (s->restarts < opts_.max_worker_restarts) {
+        ++s->restarts;
+        ++s->result.worker_restarts;
+      } else {
+        s->result.abandoned = true;
+        draining = true;
+      }
+    }
+  }
+  s->Finish();
+}
+
+void ShardRuntime::Merge(std::vector<std::unique_ptr<ShardState>>* shards,
                          ShardRunResult* result) const {
   size_t total_matches = 0;
-  for (ShardState& s : *shards) {
+  for (std::unique_ptr<ShardState>& sp : *shards) {
+    ShardState& s = *sp;
     result->shards.push_back(s.result);
     SumStats(s.result.stats, &result->stats);
     result->dropped_events += s.result.events_dropped;
     result->shed_pms += s.result.shed_pms;
+    result->lost_events += s.result.events_lost + s.result.events_rejected;
+    result->worker_restarts += s.result.worker_restarts;
+    if (s.result.abandoned) ++result->shards_abandoned;
+    result->guard_input_drops += s.result.guard_input_drops;
+    result->guard_trims += s.result.guard_trims;
+    result->guard_evictions += s.result.guard_evictions;
     total_matches += s.matches.size();
   }
 
@@ -332,8 +465,8 @@ void ShardRuntime::Merge(std::vector<ShardState>* shards,
   };
   std::vector<Keyed> keyed;
   keyed.reserve(total_matches);
-  for (ShardState& s : *shards) {
-    for (Match& m : s.matches) keyed.push_back({m.detected_at, m.Key(), &m});
+  for (std::unique_ptr<ShardState>& s : *shards) {
+    for (Match& m : s->matches) keyed.push_back({m.detected_at, m.Key(), &m});
   }
   std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
     if (a.detected_at != b.detected_at) return a.detected_at < b.detected_at;
@@ -346,33 +479,35 @@ void ShardRuntime::Merge(std::vector<ShardState>* shards,
 Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
                                          const ShedderFactory& make_shedder) {
   CEPSHED_RETURN_NOT_OK(ValidatePlan());
-  std::vector<ShardState> shards;
+  // An empty fault schedule costs nothing: the per-event hook stays null.
+  const FaultInjector* faults =
+      (opts_.faults != nullptr && !opts_.faults->empty()) ? opts_.faults : nullptr;
+  std::vector<std::unique_ptr<ShardState>> shards;
   shards.reserve(static_cast<size_t>(opts_.num_shards));
   for (int i = 0; i < opts_.num_shards; ++i) {
-    ShardState s(opts_.latency);
-    s.slice_filter = opts_.routing == ShardRouting::kWindowSlice;
-    s.shard_id = i;
-    s.num_shards = opts_.num_shards;
-    s.slice_stride = SliceStride();
-    s.engine = std::make_unique<Engine>(nfa_, opts_.engine);
+    auto s = std::make_unique<ShardState>(opts_.latency);
+    s->slice_filter = opts_.routing == ShardRouting::kWindowSlice;
+    s->shard_id = i;
+    s->num_shards = opts_.num_shards;
+    s->slice_stride = SliceStride();
+    s->faults = faults;
+    s->engine = std::make_unique<Engine>(nfa_, opts_.engine);
     if (make_shedder) {
-      s.shedder = make_shedder(i);
-      if (s.shedder != nullptr) s.shedder->Bind(s.engine.get());
+      s->shedder = make_shedder(i);
+      if (s->shedder != nullptr) s->shedder->Bind(s->engine.get());
     }
-    s.queue = std::make_unique<RingQueue<EventPtr>>(opts_.queue_capacity);
+    if (opts_.guard.enabled) {
+      s->guard = std::make_unique<OverloadGuard>(opts_.guard);
+      s->guard->Attach(s->engine.get());
+    }
+    s->queue = std::make_unique<RingQueue<EventPtr>>(opts_.queue_capacity);
     shards.push_back(std::move(s));
   }
 
   ShardRunResult result;
   const auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::thread> workers;
-  workers.reserve(shards.size());
-  for (ShardState& s : shards) {
-    workers.emplace_back([&s] {
-      EventPtr event;
-      while (s.queue->Pop(&event)) s.Consume(event);
-      s.Finish();
-    });
+  for (std::unique_ptr<ShardState>& s : shards) {
+    s->worker = std::thread(&ShardState::WorkerMain, s.get());
   }
 
   std::vector<int> targets;
@@ -380,34 +515,84 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
     ++result.total_events;
     RouteEvent(*event, &targets);
     for (int t : targets) {
-      shards[static_cast<size_t>(t)].queue->Push(event);
-      ++result.routed_events;
+      ShardState& s = *shards[static_cast<size_t>(t)];
+      if (s.result.abandoned) {
+        ++s.result.events_rejected;
+        continue;
+      }
+      if (faults != nullptr && faults->SaturatePush(t, event->seq())) {
+        ++s.result.events_rejected;
+        continue;
+      }
+      for (;;) {
+        const QueuePushResult r = s.queue->PushFor(event, opts_.push_timeout_us);
+        if (r == QueuePushResult::kOk) {
+          ++result.routed_events;
+          break;
+        }
+        if (r == QueuePushResult::kClosed) {
+          ++s.result.events_rejected;
+          break;
+        }
+        // Timed out on a full queue: either the consumer is merely slow
+        // (keep waiting) or its thread is gone (restart or abandon). This
+        // bounded-wait loop is what turns a dead shard into degraded
+        // recall instead of a deadlocked router.
+        if (s.worker_exited.load(std::memory_order_acquire)) {
+          ReviveOrAbandon(&s);
+          if (s.result.abandoned) {
+            ++s.result.events_rejected;
+            break;
+          }
+        }
+      }
     }
   }
-  for (ShardState& s : shards) s.queue->Close();
-  for (std::thread& w : workers) w.join();
+  for (std::unique_ptr<ShardState>& s : shards) s->queue->Close();
+  for (std::unique_ptr<ShardState>& s : shards) {
+    if (s->worker.joinable()) s->worker.join();
+  }
+  // Workers that died close enough to the end of the stream never stalled
+  // a push, so the router meets them here for the first time: resume their
+  // backlog inline (their restart) or drain it as lost.
+  for (std::unique_ptr<ShardState>& s : shards) {
+    if (s->clean_exit || s->result.abandoned) continue;
+    FinishDeadShard(s.get());
+  }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   Merge(&shards, &result);
+  if (result.shards_abandoned == opts_.num_shards && opts_.num_shards > 0 &&
+      result.total_events > 0) {
+    return Status::Unavailable(
+        "every shard worker died and exhausted its restart budget");
+  }
   return result;
 }
 
 Result<ShardRunResult> ShardRuntime::RunSequential(
     const EventStream& stream, const ShedderFactory& make_shedder) {
   CEPSHED_RETURN_NOT_OK(ValidatePlan());
-  std::vector<ShardState> shards;
+  const FaultInjector* faults =
+      (opts_.faults != nullptr && !opts_.faults->empty()) ? opts_.faults : nullptr;
+  std::vector<std::unique_ptr<ShardState>> shards;
   shards.reserve(static_cast<size_t>(opts_.num_shards));
   for (int i = 0; i < opts_.num_shards; ++i) {
-    ShardState s(opts_.latency);
-    s.slice_filter = opts_.routing == ShardRouting::kWindowSlice;
-    s.shard_id = i;
-    s.num_shards = opts_.num_shards;
-    s.slice_stride = SliceStride();
-    s.engine = std::make_unique<Engine>(nfa_, opts_.engine);
+    auto s = std::make_unique<ShardState>(opts_.latency);
+    s->slice_filter = opts_.routing == ShardRouting::kWindowSlice;
+    s->shard_id = i;
+    s->num_shards = opts_.num_shards;
+    s->slice_stride = SliceStride();
+    s->faults = faults;
+    s->engine = std::make_unique<Engine>(nfa_, opts_.engine);
     if (make_shedder) {
-      s.shedder = make_shedder(i);
-      if (s.shedder != nullptr) s.shedder->Bind(s.engine.get());
+      s->shedder = make_shedder(i);
+      if (s->shedder != nullptr) s->shedder->Bind(s->engine.get());
+    }
+    if (opts_.guard.enabled) {
+      s->guard = std::make_unique<OverloadGuard>(opts_.guard);
+      s->guard->Attach(s->engine.get());
     }
     shards.push_back(std::move(s));
   }
@@ -415,25 +600,55 @@ Result<ShardRunResult> ShardRuntime::RunSequential(
   ShardRunResult result;
   const auto t0 = std::chrono::steady_clock::now();
   // Materialize each shard's substream in routing order — exactly the
-  // sequence the parallel worker would pop from its queue.
+  // sequence the parallel worker would pop from its queue. Saturation
+  // faults refuse delivery here just as they refuse the parallel push.
   std::vector<std::vector<EventPtr>> substreams(shards.size());
   std::vector<int> targets;
   for (const EventPtr& event : stream) {
     ++result.total_events;
     RouteEvent(*event, &targets);
     for (int t : targets) {
+      if (faults != nullptr && faults->SaturatePush(t, event->seq())) {
+        ++shards[static_cast<size_t>(t)]->result.events_rejected;
+        continue;
+      }
       substreams[static_cast<size_t>(t)].push_back(event);
       ++result.routed_events;
     }
   }
   for (size_t i = 0; i < shards.size(); ++i) {
-    for (const EventPtr& event : substreams[i]) shards[i].Consume(event);
-    shards[i].Finish();
+    ShardState& s = *shards[i];
+    // Death faults mirror the parallel path: the poisoned event is lost,
+    // the shard "restarts" while its budget lasts, and afterwards the rest
+    // of its substream drains as lost.
+    bool draining = false;
+    for (const EventPtr& event : substreams[i]) {
+      if (draining) {
+        ++s.result.events_routed;
+        ++s.result.events_lost;
+        continue;
+      }
+      if (s.Consume(event)) {
+        if (s.restarts < opts_.max_worker_restarts) {
+          ++s.restarts;
+          ++s.result.worker_restarts;
+        } else {
+          s.result.abandoned = true;
+          draining = true;
+        }
+      }
+    }
+    s.Finish();
   }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   Merge(&shards, &result);
+  if (result.shards_abandoned == opts_.num_shards && opts_.num_shards > 0 &&
+      result.total_events > 0) {
+    return Status::Unavailable(
+        "every shard worker died and exhausted its restart budget");
+  }
   return result;
 }
 

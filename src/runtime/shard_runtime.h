@@ -16,6 +16,18 @@
 //    and next-match policies. Strict contiguity is inherently global
 //    (survival depends on *adjacent* stream events of all partitions) and
 //    is rejected for N > 1.
+// Overload & failure model: each shard may carry an OverloadGuard
+// (src/runtime/overload_guard.h) that watches its latency headroom, queue
+// fill, and partial-match memory and degrades it through shedding → panic
+// input drop → emergency state eviction, recovering once the pressure
+// clears. A FaultInjector (src/fault/fault_injector.h) can deterministically
+// stall, slow, saturate, skew, or kill shards; a dead worker thread is
+// detected by the router through bounded-wait pushes and restarted on the
+// same queue and engine, or — once its restart budget is spent — abandoned:
+// its backlog is counted as lost and the run completes with degraded recall
+// instead of deadlocking. Only when every shard has been abandoned does Run
+// fail, with Status::Unavailable.
+//
 //  - kWindowSlice: the stream is cut into overlapping time slices of
 //    stride L covering [j*L, j*L + L + window); slice j is owned by shard
 //    j % N, so every event is replicated to at most 1 + ceil(window/L)
@@ -39,7 +51,9 @@
 #include "src/cep/nfa.h"
 #include "src/cep/stream.h"
 #include "src/common/result.h"
+#include "src/fault/fault_injector.h"
 #include "src/runtime/latency_monitor.h"
+#include "src/runtime/overload_guard.h"
 #include "src/shed/shedder.h"
 
 namespace cepshed {
@@ -69,6 +83,22 @@ struct ShardRuntimeOptions {
   bool skip_validation = false;
   EngineOptions engine;
   LatencyMonitor::Options latency;
+  /// Per-shard overload guard (guard.enabled turns it on). Every shard
+  /// gets its own instance with these options; drop decisions hash the
+  /// globally unique event sequence numbers, so shards shed consistently.
+  OverloadGuard::Options guard;
+  /// Optional fault schedule (not owned, may be null; immutable and shared
+  /// read-only by all shards).
+  const FaultInjector* faults = nullptr;
+  /// How long a router push waits on a full shard queue before checking
+  /// consumer liveness (and restarting/abandoning a dead worker). Must be
+  /// positive for dead-shard detection; the push itself retries until the
+  /// queue accepts or the shard is abandoned.
+  int64_t push_timeout_us = 50'000;
+  /// Worker-death restarts granted per shard before it is abandoned
+  /// (abandonment loses the shard's unconsumed events, degrading recall;
+  /// the run itself always completes).
+  int max_worker_restarts = 1;
 };
 
 /// \brief Per-shard outcome of one sharded run.
@@ -85,6 +115,27 @@ struct ShardResult {
   /// Bound-violation accounting against the shard shedder's theta.
   uint64_t bound_violations = 0;
   uint64_t bound_checked = 0;
+  /// Events delivered to the shard but lost unprocessed — consumed by a
+  /// worker death or drained after abandonment. Included in events_routed:
+  /// events_routed == events_processed + events_dropped + events_lost.
+  uint64_t events_lost = 0;
+  /// Router-side refusals (saturation fault, abandoned shard, closed
+  /// queue); these never reached the queue and are NOT in events_routed.
+  uint64_t events_rejected = 0;
+  /// Times a dead worker thread was restarted on this shard.
+  uint64_t worker_restarts = 0;
+  /// The shard exhausted its restart budget; its tail of events was lost.
+  bool abandoned = false;
+  /// Overload-guard telemetry (all zero when the guard is disabled).
+  /// guard_input_drops is the subset of events_dropped decided by the
+  /// guard rather than the shard's shedder.
+  uint64_t guard_input_drops = 0;
+  uint64_t guard_trims = 0;
+  uint64_t guard_evictions = 0;
+  uint64_t guard_escalations = 0;
+  int guard_final_level = 0;
+  int guard_peak_level = 0;
+  size_t guard_peak_state_bytes = 0;
   EngineStats stats;
 };
 
@@ -105,6 +156,14 @@ struct ShardRunResult {
   uint64_t routed_events = 0;
   uint64_t dropped_events = 0;
   uint64_t shed_pms = 0;
+  /// Sum of per-shard events_lost + events_rejected: every routed-to event
+  /// that was neither processed nor deliberately dropped.
+  uint64_t lost_events = 0;
+  uint64_t worker_restarts = 0;
+  int shards_abandoned = 0;
+  uint64_t guard_input_drops = 0;
+  uint64_t guard_trims = 0;
+  uint64_t guard_evictions = 0;
   double wall_seconds = 0.0;
 };
 
@@ -161,9 +220,22 @@ class ShardRuntime {
   Status ValidatePlan() const;
   Duration SliceStride() const;
 
+  /// Router-side handling of a dead worker thread (detected by a push
+  /// timeout): join it, then either restart it on the same queue/engine or
+  /// abandon the shard once the restart budget is spent.
+  void ReviveOrAbandon(ShardState* s) const;
+  /// Marks the shard abandoned: closes its queue, drains the backlog as
+  /// lost events, and finalizes the shard's partial results.
+  void AbandonShard(ShardState* s) const;
+  /// Post-join recovery of a worker that died near the end of the stream
+  /// without the router noticing: consumes the shard's remaining queue
+  /// inline (this is its restart), honoring any further death faults.
+  void FinishDeadShard(ShardState* s) const;
+
   /// Merges per-shard matches/stats into `result` (sorts into the
   /// deterministic total order, sums stats).
-  void Merge(std::vector<ShardState>* shards, ShardRunResult* result) const;
+  void Merge(std::vector<std::unique_ptr<ShardState>>* shards,
+             ShardRunResult* result) const;
 
   std::shared_ptr<const Nfa> nfa_;
   ShardRuntimeOptions opts_;

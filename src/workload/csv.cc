@@ -4,6 +4,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 namespace cepshed {
@@ -45,9 +46,66 @@ std::vector<std::string> SplitLine(const std::string& line) {
   return cells;
 }
 
+/// Parses one data row into (type, ts, attrs). Any failure is returned as
+/// ParseError; the caller decides whether that fails the read or just
+/// skips the row.
+Status ParseRow(const Schema& schema, const std::vector<std::string>& cells,
+                size_t expected_cells, size_t line_no, int* type, Timestamp* ts,
+                std::vector<Value>* attrs) {
+  if (cells.size() != expected_cells) {
+    return Status::ParseError("CSV line " + std::to_string(line_no) +
+                              ": wrong number of cells");
+  }
+  *type = schema.EventTypeId(cells[0]);
+  if (*type < 0) {
+    return Status::ParseError("CSV line " + std::to_string(line_no) +
+                              ": unknown type '" + cells[0] + "'");
+  }
+  try {
+    size_t used = 0;
+    *ts = std::stoll(cells[1], &used);
+    if (used != cells[1].size()) throw std::invalid_argument(cells[1]);
+  } catch (...) {
+    return Status::ParseError("CSV line " + std::to_string(line_no) +
+                              ": bad timestamp '" + cells[1] + "'");
+  }
+  attrs->assign(schema.num_attributes(), Value());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const std::string& cell = cells[a + 2];
+    if (cell.empty()) continue;
+    switch (schema.attribute(static_cast<int>(a)).type) {
+      case ValueType::kInt:
+        try {
+          size_t used = 0;
+          (*attrs)[a] = Value(static_cast<int64_t>(std::stoll(cell, &used)));
+          if (used != cell.size()) throw std::invalid_argument(cell);
+        } catch (...) {
+          return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                    ": bad int '" + cell + "'");
+        }
+        break;
+      case ValueType::kDouble:
+        try {
+          size_t used = 0;
+          (*attrs)[a] = Value(std::stod(cell, &used));
+          if (used != cell.size()) throw std::invalid_argument(cell);
+        } catch (...) {
+          return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                    ": bad double '" + cell + "'");
+        }
+        break;
+      default:
+        (*attrs)[a] = Value(cell);
+        break;
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
-Result<EventStream> ReadCsv(const Schema& schema, std::istream* in) {
+Result<EventStream> ReadCsv(const Schema& schema, std::istream* in,
+                            const CsvReadOptions& options, CsvReadStats* stats) {
   std::string line;
   if (!std::getline(*in, line)) {
     return Status::InvalidArgument("CSV input is empty");
@@ -66,62 +124,34 @@ Result<EventStream> ReadCsv(const Schema& schema, std::istream* in) {
   }
 
   EventStream stream(&schema);
+  CsvReadStats local;
+  CsvReadStats* counters = stats != nullptr ? stats : &local;
   size_t line_no = 1;
   while (std::getline(*in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    const std::vector<std::string> cells = SplitLine(line);
-    if (cells.size() != header.size()) {
-      return Status::ParseError("CSV line " + std::to_string(line_no) +
-                                ": wrong number of cells");
+    ++counters->rows_read;
+    int type = -1;
+    Timestamp ts = 0;
+    std::vector<Value> attrs;
+    Status row = ParseRow(schema, SplitLine(line), header.size(), line_no, &type,
+                          &ts, &attrs);
+    // Emit can also reject the row (timestamps must be non-decreasing);
+    // that is a property of the row's data, handled like any parse error.
+    if (row.ok()) row = stream.Emit(type, ts, std::move(attrs));
+    if (!row.ok()) {
+      if (!options.lenient) return row;
+      ++counters->malformed_rows;
     }
-    const int type = schema.EventTypeId(cells[0]);
-    if (type < 0) {
-      return Status::ParseError("CSV line " + std::to_string(line_no) +
-                                ": unknown type '" + cells[0] + "'");
-    }
-    Timestamp ts;
-    try {
-      ts = std::stoll(cells[1]);
-    } catch (...) {
-      return Status::ParseError("CSV line " + std::to_string(line_no) +
-                                ": bad timestamp '" + cells[1] + "'");
-    }
-    std::vector<Value> attrs(schema.num_attributes());
-    for (size_t a = 0; a < schema.num_attributes(); ++a) {
-      const std::string& cell = cells[a + 2];
-      if (cell.empty()) continue;
-      switch (schema.attribute(static_cast<int>(a)).type) {
-        case ValueType::kInt:
-          try {
-            attrs[a] = Value(static_cast<int64_t>(std::stoll(cell)));
-          } catch (...) {
-            return Status::ParseError("CSV line " + std::to_string(line_no) +
-                                      ": bad int '" + cell + "'");
-          }
-          break;
-        case ValueType::kDouble:
-          try {
-            attrs[a] = Value(std::stod(cell));
-          } catch (...) {
-            return Status::ParseError("CSV line " + std::to_string(line_no) +
-                                      ": bad double '" + cell + "'");
-          }
-          break;
-        default:
-          attrs[a] = Value(cell);
-          break;
-      }
-    }
-    CEPSHED_RETURN_NOT_OK(stream.Emit(type, ts, std::move(attrs)));
   }
   return stream;
 }
 
-Result<EventStream> ReadCsvFile(const Schema& schema, const std::string& path) {
+Result<EventStream> ReadCsvFile(const Schema& schema, const std::string& path,
+                                const CsvReadOptions& options, CsvReadStats* stats) {
   std::ifstream in(path);
   if (!in.is_open()) return Status::InvalidArgument("cannot open " + path);
-  return ReadCsv(schema, &in);
+  return ReadCsv(schema, &in, options, stats);
 }
 
 }  // namespace cepshed

@@ -23,11 +23,35 @@ namespace cepshed {
 Status WriteCsv(const EventStream& stream, std::ostream* out);
 Status WriteCsvFile(const EventStream& stream, const std::string& path);
 
+/// Counters published by a CSV read.
+struct CsvReadStats {
+  /// Data rows consumed (header and blank lines excluded).
+  uint64_t rows_read = 0;
+  /// Rows skipped in lenient mode (wrong arity, unknown event type,
+  /// unparsable cell, or a timestamp the stream rejects).
+  uint64_t malformed_rows = 0;
+};
+
+struct CsvReadOptions {
+  /// Strict (the default) fails the whole read on the first malformed
+  /// row. Lenient skips such rows and counts them in
+  /// CsvReadStats::malformed_rows — real traces (citibike exports, the
+  /// google cluster dumps) routinely carry truncated or garbled lines,
+  /// and losing one row is the load-shedding-friendly answer. A header
+  /// that does not match the schema is a hard error in both modes: that
+  /// is the wrong file, not a bad row.
+  bool lenient = false;
+};
+
 /// Reads a CSV produced by WriteCsv (or hand-made with the same header)
 /// into a stream over `schema`. Attribute cells are parsed according to
-/// the schema's declared types.
-Result<EventStream> ReadCsv(const Schema& schema, std::istream* in);
-Result<EventStream> ReadCsvFile(const Schema& schema, const std::string& path);
+/// the schema's declared types. `stats` may be null.
+Result<EventStream> ReadCsv(const Schema& schema, std::istream* in,
+                            const CsvReadOptions& options = {},
+                            CsvReadStats* stats = nullptr);
+Result<EventStream> ReadCsvFile(const Schema& schema, const std::string& path,
+                                const CsvReadOptions& options = {},
+                                CsvReadStats* stats = nullptr);
 
 }  // namespace cepshed
 

@@ -1,0 +1,510 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Chaos suite: replays the differential harness's seeded DS1 stream through
+// the sharded runtime under injected faults (src/fault) and the overload
+// guard (src/runtime/overload_guard.h) and checks the degradation
+// contract:
+//
+//  - semantically benign faults (stall, slowdown, burst, skew — with the
+//    guard off) change *nothing*: the match set equals the fault-free one;
+//  - lossy faults (queue saturation, worker death) and guard shedding
+//    degrade the output to a *subset* of the fault-free match set, emitted
+//    in the same canonical (detected_at, key) order — faults may lose
+//    matches but never invent or reorder them;
+//  - every run completes (the ctest-level TIMEOUT catches deadlocks),
+//    accounting stays consistent (routed == processed + dropped + lost),
+//    and fault outcomes are reproducible: the same schedule produces the
+//    same result on every run, parallel or sequential;
+//  - a shard worker death is survived: restarted within budget (losing
+//    exactly the poisoned event) or abandoned (losing its tail), with the
+//    run degrading recall instead of failing — unless *every* shard is
+//    gone, which surfaces as Status::Unavailable;
+//  - the guard escalates under pressure, enforces the partial-match
+//    memory budget, and steps back down to normal once the faults clear.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cep/engine.h"
+#include "src/cep/nfa.h"
+#include "src/cep/stream.h"
+#include "src/fault/fault_injector.h"
+#include "src/runtime/overload_guard.h"
+#include "src/runtime/shard_runtime.h"
+#include "src/shed/controller.h"
+#include "src/shed/shedder.h"
+#include "src/workload/ds1.h"
+#include "src/workload/queries.h"
+
+namespace cepshed {
+namespace {
+
+constexpr int kShardCounts[] = {1, 2, 4, 8};
+
+struct CanonMatch {
+  Timestamp ts;
+  std::string key;
+  bool operator==(const CanonMatch& o) const = default;
+  bool operator<(const CanonMatch& o) const {
+    if (ts != o.ts) return ts < o.ts;
+    return key < o.key;
+  }
+};
+
+std::vector<CanonMatch> Canon(const std::vector<Match>& matches) {
+  std::vector<CanonMatch> out;
+  out.reserve(matches.size());
+  for (const Match& m : matches) out.push_back({m.detected_at, m.Key()});
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// The merge contract: matches arrive already in canonical order.
+void ExpectCanonicalOrder(const std::vector<Match>& matches) {
+  std::vector<CanonMatch> in_order;
+  in_order.reserve(matches.size());
+  for (const Match& m : matches) in_order.push_back({m.detected_at, m.Key()});
+  EXPECT_TRUE(std::is_sorted(in_order.begin(), in_order.end()))
+      << "merged matches are not in (detected_at, key) order";
+}
+
+/// Degraded runs lose matches, never invent them.
+void ExpectSubsetOf(const std::vector<Match>& degraded,
+                    const std::vector<CanonMatch>& reference_canon) {
+  const std::vector<CanonMatch> canon = Canon(degraded);
+  EXPECT_TRUE(std::includes(reference_canon.begin(), reference_canon.end(),
+                            canon.begin(), canon.end()))
+      << "degraded run produced a match absent from the fault-free run";
+}
+
+/// Per-shard and aggregate accounting that must survive any fault.
+void ExpectAccountingConsistent(const ShardRunResult& r) {
+  uint64_t routed = 0;
+  uint64_t handled = 0;
+  for (const ShardResult& s : r.shards) {
+    EXPECT_EQ(s.events_routed, s.events_processed + s.events_dropped + s.events_lost);
+    routed += s.events_routed;
+    handled += s.events_processed + s.events_dropped + s.events_lost +
+               s.events_rejected;
+  }
+  // Hash routing delivers each event to exactly one shard, so every stream
+  // event is processed, deliberately dropped, lost, or rejected — no event
+  // simply vanishes, however ugly the fault schedule.
+  EXPECT_EQ(handled, r.total_events);
+  // Every successfully pushed event is eventually consumed or drained.
+  EXPECT_EQ(routed, r.routed_events);
+}
+
+/// Everything that must be bit-identical between two runs of the same
+/// deterministic configuration (wall time excluded).
+void ExpectSameOutcome(const ShardRunResult& a, const ShardRunResult& b) {
+  EXPECT_EQ(Canon(a.matches), Canon(b.matches));
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.dropped_events, b.dropped_events);
+  EXPECT_EQ(a.lost_events, b.lost_events);
+  EXPECT_EQ(a.worker_restarts, b.worker_restarts);
+  EXPECT_EQ(a.shards_abandoned, b.shards_abandoned);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  for (size_t i = 0; i < a.shards.size(); ++i) {
+    SCOPED_TRACE("shard " + std::to_string(i));
+    EXPECT_EQ(a.shards[i].events_processed, b.shards[i].events_processed);
+    EXPECT_EQ(a.shards[i].events_dropped, b.shards[i].events_dropped);
+    EXPECT_EQ(a.shards[i].abandoned, b.shards[i].abandoned);
+  }
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    schema_ = new Schema(MakeDs1Schema());
+    Ds1Options ds1;
+    ds1.num_events = 3000;
+    ds1.event_gap = 10;
+    ds1.seed = 7;
+    stream_ = new EventStream(GenerateDs1(*schema_, ds1));
+
+    auto q = queries::Q1();
+    ASSERT_TRUE(q.ok());
+    auto nfa = Nfa::Compile(*q, schema_);
+    ASSERT_TRUE(nfa.ok()) << nfa.status().message();
+    nfa_ = new std::shared_ptr<const Nfa>(*nfa);
+
+    // Fault-free ground truth from the plain sequential engine.
+    Engine engine(*nfa_, EngineOptions{});
+    NoShedder none;
+    ShedRunner runner(&engine, &none, LatencyMonitor::Options{});
+    reference_ = new std::vector<CanonMatch>(Canon(runner.Run(*stream_).matches));
+    ASSERT_GT(reference_->size(), 0u) << "degenerate reference";
+  }
+
+  static void TearDownTestSuite() {
+    delete reference_;
+    delete nfa_;
+    delete stream_;
+    delete schema_;
+  }
+
+  static ShardRuntimeOptions BaseOptions(int num_shards) {
+    ShardRuntimeOptions opts;
+    opts.num_shards = num_shards;
+    opts.partition_attr = schema_->AttributeIndex("ID");
+    // Short enough that dead-worker detection happens within test budget.
+    opts.push_timeout_us = 5'000;
+    return opts;
+  }
+
+  static FaultInjector ParseFaults(const std::string& spec, uint64_t seed = 0) {
+    auto f = FaultInjector::Parse(spec, seed);
+    EXPECT_TRUE(f.ok()) << f.status().message();
+    return f.ok() ? *f : FaultInjector();
+  }
+
+  static Result<ShardRunResult> RunWith(const ShardRuntimeOptions& opts) {
+    auto runtime = ShardRuntime::Create(*nfa_, opts);
+    EXPECT_TRUE(runtime.ok()) << runtime.status().message();
+    return (*runtime)->Run(*stream_);
+  }
+
+  static Schema* schema_;
+  static EventStream* stream_;
+  static std::shared_ptr<const Nfa>* nfa_;
+  static std::vector<CanonMatch>* reference_;
+};
+
+Schema* ChaosTest::schema_ = nullptr;
+EventStream* ChaosTest::stream_ = nullptr;
+std::shared_ptr<const Nfa>* ChaosTest::nfa_ = nullptr;
+std::vector<CanonMatch>* ChaosTest::reference_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Schedule DSL.
+
+TEST(FaultDslTest, ParsesAndRoundTrips) {
+  auto f = FaultInjector::Parse(
+      "stall:shard=0,at=200,ms=30; slow:at=10,count=50,us=100;"
+      "burst:shard=1,at=5,count=20,factor=8.5;saturate:shard=2,at=7,count=3;"
+      "skew:at=0,count=10,us=-500;death:shard=1,at=500",
+      42);
+  ASSERT_TRUE(f.ok()) << f.status().message();
+  EXPECT_EQ(f->specs().size(), 6u);
+  EXPECT_EQ(f->seed(), 42u);
+  EXPECT_EQ(f->specs()[0].kind, FaultKind::kStall);
+  EXPECT_EQ(f->specs()[0].micros, 30'000);
+  EXPECT_EQ(f->specs()[4].micros, -500);
+  EXPECT_EQ(f->specs()[4].shard, -1);
+
+  // The canonical rendering reparses to the same schedule.
+  auto again = FaultInjector::Parse(f->ToString(), 42);
+  ASSERT_TRUE(again.ok()) << again.status().message();
+  EXPECT_EQ(again->ToString(), f->ToString());
+
+  auto empty = FaultInjector::Parse("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(FaultDslTest, RejectsMalformedSchedules) {
+  EXPECT_FALSE(FaultInjector::Parse("meteor:at=1").ok());
+  EXPECT_FALSE(FaultInjector::Parse("stall:when=1").ok());
+  EXPECT_FALSE(FaultInjector::Parse("stall:at=banana").ok());
+  EXPECT_FALSE(FaultInjector::Parse("stall:at=-3").ok());
+  EXPECT_FALSE(FaultInjector::Parse("stall:at").ok());
+  EXPECT_FALSE(FaultInjector::Parse("slow:at=1,count=0,us=5").ok());
+  EXPECT_FALSE(FaultInjector::Parse("slow:at=1,us=-5").ok());
+  EXPECT_FALSE(FaultInjector::Parse("burst:at=1,factor=0").ok());
+  EXPECT_FALSE(FaultInjector::Parse("burst:at=1,factor=1").ok());
+}
+
+TEST(FaultDslTest, QueriesAreAnchoredAndScoped) {
+  auto f = FaultInjector::Parse("death:shard=1,at=5;slow:at=2,count=3,us=40");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->OnConsume(1, 5).die);
+  EXPECT_FALSE(f->OnConsume(0, 5).die);  // scoped to shard 1
+  EXPECT_FALSE(f->OnConsume(1, 4).die);  // anchored to ordinal 5
+  EXPECT_EQ(f->OnConsume(3, 2).stall_us, 40);   // shard=-1 hits every shard
+  EXPECT_EQ(f->OnConsume(3, 4).stall_us, 40);   // window [2, 5)
+  EXPECT_EQ(f->OnConsume(3, 5).stall_us, 0);
+
+  auto sat = FaultInjector::Parse("saturate:shard=0,at=100,count=10");
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(sat->SaturatePush(0, 100));
+  EXPECT_TRUE(sat->SaturatePush(0, 109));
+  EXPECT_FALSE(sat->SaturatePush(0, 110));
+  EXPECT_FALSE(sat->SaturatePush(1, 100));
+}
+
+// ---------------------------------------------------------------------------
+// Benign faults: timing changes, semantics must not.
+
+TEST_F(ChaosTest, BenignFaultsPreserveTheMatchSet) {
+  const struct {
+    const char* name;
+    const char* spec;
+  } kBenign[] = {
+      {"stall", "stall:shard=0,at=100,ms=2"},
+      {"slowdown", "slow:at=50,count=100,us=20"},
+      {"burst", "burst:at=200,count=400,factor=25"},
+      {"skew", "skew:at=0,count=1000,us=-2000"},
+  };
+  for (const auto& fault : kBenign) {
+    const FaultInjector faults = ParseFaults(fault.spec);
+    for (const int num_shards : kShardCounts) {
+      SCOPED_TRACE(std::string(fault.name) + " shards=" + std::to_string(num_shards));
+      ShardRuntimeOptions opts = BaseOptions(num_shards);
+      opts.faults = &faults;
+      auto run = RunWith(opts);
+      ASSERT_TRUE(run.ok()) << run.status().message();
+      EXPECT_EQ(Canon(run->matches), *reference_);
+      ExpectCanonicalOrder(run->matches);
+      ExpectAccountingConsistent(*run);
+      EXPECT_EQ(run->lost_events, 0u);
+      EXPECT_EQ(run->worker_restarts, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lossy faults: bounded, deterministic degradation.
+
+TEST_F(ChaosTest, SaturationLosesExactlyTheRefusedWindow) {
+  const FaultInjector faults = ParseFaults("saturate:shard=0,at=300,count=200");
+  for (const int num_shards : kShardCounts) {
+    SCOPED_TRACE("shards=" + std::to_string(num_shards));
+    ShardRuntimeOptions opts = BaseOptions(num_shards);
+    opts.faults = &faults;
+    auto run = RunWith(opts);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_GT(run->lost_events, 0u);
+    // Only stream sequences [300, 500) routed to shard 0 can be refused.
+    EXPECT_LE(run->lost_events, 200u);
+    ExpectSubsetOf(run->matches, *reference_);
+    ExpectCanonicalOrder(run->matches);
+    ExpectAccountingConsistent(*run);
+
+    // Saturation is anchored to stream sequence numbers: replaying the
+    // schedule reproduces the loss exactly, in parallel and sequentially.
+    auto again = RunWith(opts);
+    ASSERT_TRUE(again.ok());
+    ExpectSameOutcome(*run, *again);
+    auto runtime = ShardRuntime::Create(*nfa_, opts);
+    ASSERT_TRUE(runtime.ok());
+    auto sequential = (*runtime)->RunSequential(*stream_);
+    ASSERT_TRUE(sequential.ok());
+    ExpectSameOutcome(*run, *sequential);
+  }
+}
+
+TEST_F(ChaosTest, WorkerDeathIsRestartedLosingOneEvent) {
+  const FaultInjector faults = ParseFaults("death:shard=0,at=50");
+  for (const int num_shards : kShardCounts) {
+    SCOPED_TRACE("shards=" + std::to_string(num_shards));
+    ShardRuntimeOptions opts = BaseOptions(num_shards);
+    opts.faults = &faults;
+    opts.max_worker_restarts = 1;
+    auto run = RunWith(opts);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_EQ(run->worker_restarts, 1u);
+    EXPECT_EQ(run->shards_abandoned, 0);
+    EXPECT_EQ(run->lost_events, 1u);  // exactly the poisoned event
+    ExpectSubsetOf(run->matches, *reference_);
+    ExpectCanonicalOrder(run->matches);
+    ExpectAccountingConsistent(*run);
+
+    auto again = RunWith(opts);
+    ASSERT_TRUE(again.ok());
+    ExpectSameOutcome(*run, *again);
+    auto runtime = ShardRuntime::Create(*nfa_, opts);
+    ASSERT_TRUE(runtime.ok());
+    auto sequential = (*runtime)->RunSequential(*stream_);
+    ASSERT_TRUE(sequential.ok());
+    ExpectSameOutcome(*run, *sequential);
+  }
+}
+
+TEST_F(ChaosTest, RepeatedDeathAbandonsTheShardButTheRunCompletes) {
+  const FaultInjector faults = ParseFaults("death:shard=0,at=50;death:shard=0,at=120");
+  for (const int num_shards : {2, 4, 8}) {
+    SCOPED_TRACE("shards=" + std::to_string(num_shards));
+    ShardRuntimeOptions opts = BaseOptions(num_shards);
+    opts.faults = &faults;
+    opts.max_worker_restarts = 1;
+    auto run = RunWith(opts);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_EQ(run->worker_restarts, 1u);
+    EXPECT_EQ(run->shards_abandoned, 1);
+    EXPECT_TRUE(run->shards[0].abandoned);
+    EXPECT_GT(run->lost_events, 1u);  // the tail of shard 0 is gone
+    // The surviving shards still deliver their share.
+    EXPECT_GT(run->matches.size(), 0u);
+    ExpectSubsetOf(run->matches, *reference_);
+    ExpectCanonicalOrder(run->matches);
+    ExpectAccountingConsistent(*run);
+
+    auto again = RunWith(opts);
+    ASSERT_TRUE(again.ok());
+    ExpectSameOutcome(*run, *again);
+    auto runtime = ShardRuntime::Create(*nfa_, opts);
+    ASSERT_TRUE(runtime.ok());
+    auto sequential = (*runtime)->RunSequential(*stream_);
+    ASSERT_TRUE(sequential.ok());
+    ExpectSameOutcome(*run, *sequential);
+  }
+}
+
+TEST_F(ChaosTest, EveryShardDeadIsUnavailableNotADeadlock) {
+  const FaultInjector faults = ParseFaults("death:at=0;death:at=1");
+  for (const int num_shards : {1, 2}) {
+    SCOPED_TRACE("shards=" + std::to_string(num_shards));
+    ShardRuntimeOptions opts = BaseOptions(num_shards);
+    opts.faults = &faults;
+    opts.max_worker_restarts = 1;
+    auto run = RunWith(opts);
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+
+    auto runtime = ShardRuntime::Create(*nfa_, opts);
+    ASSERT_TRUE(runtime.ok());
+    auto sequential = (*runtime)->RunSequential(*stream_);
+    ASSERT_FALSE(sequential.ok());
+    EXPECT_EQ(sequential.status().code(), StatusCode::kUnavailable);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Overload guard under fault pressure.
+
+ShardRuntimeOptions DeterministicGuardOptions(ShardRuntimeOptions opts) {
+  opts.guard.enabled = true;
+  // A short monitor window so mu tracks the burst (and its end) quickly.
+  opts.latency.window = 64;
+  opts.guard.trigger_delay = 16;
+  opts.guard.check_every = 16;
+  opts.guard.escalate_after = 2;
+  opts.guard.recover_after = 4;
+  // Neutralize the (timing-sensitive) queue signal: the run becomes a
+  // pure function of the schedule, reproducible bit for bit.
+  opts.guard.queue_high = 1.5;
+  opts.guard.queue_low = 1.0;
+  return opts;
+}
+
+TEST_F(ChaosTest, GuardEscalatesUnderBurstAndRecovers) {
+  // Baseline latency of this stream/query, from an undisturbed run.
+  auto baseline = RunWith(BaseOptions(1));
+  ASSERT_TRUE(baseline.ok());
+  const double base_mu = baseline->shards[0].avg_latency;
+  ASSERT_GT(base_mu, 0.0);
+
+  // The burst makes events 40x as expensive mid-stream, after the engine's
+  // per-event cost has reached its windowed steady state (early-stream
+  // events are much cheaper than the run average, so an early burst could
+  // stay under any theta derived from it). Theta sits at 2x the run
+  // average: far below the burst, comfortably above the steady state, so
+  // the guard must escalate during the burst and fully recover in the
+  // quiet tail.
+  const FaultInjector faults = ParseFaults("burst:at=1500,count=600,factor=40");
+  ShardRuntimeOptions opts = DeterministicGuardOptions(BaseOptions(1));
+  opts.faults = &faults;
+  opts.guard.theta = 2.0 * base_mu;
+  auto run = RunWith(opts);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+
+  const ShardResult& s = run->shards[0];
+  EXPECT_GT(s.guard_escalations, 0u);
+  EXPECT_GE(s.guard_peak_level, static_cast<int>(GuardLevel::kShedding));
+  // Recovery: pressure is long gone by end of stream.
+  EXPECT_EQ(s.guard_final_level, static_cast<int>(GuardLevel::kNormal));
+  EXPECT_GT(run->guard_input_drops, 0u);
+  EXPECT_GE(run->dropped_events, run->guard_input_drops);
+  ExpectSubsetOf(run->matches, *reference_);
+  ExpectCanonicalOrder(run->matches);
+  ExpectAccountingConsistent(*run);
+
+  // With the queue signal neutral the guard sees only deterministic
+  // inputs (cost-unit latency, engine memory): exact replayability, in
+  // parallel and sequentially, also across shard counts.
+  for (const int num_shards : {1, 2, 4}) {
+    SCOPED_TRACE("shards=" + std::to_string(num_shards));
+    ShardRuntimeOptions sharded = DeterministicGuardOptions(BaseOptions(num_shards));
+    sharded.faults = &faults;
+    sharded.guard.theta = 2.0 * base_mu;
+    auto first = RunWith(sharded);
+    ASSERT_TRUE(first.ok()) << first.status().message();
+    ExpectSubsetOf(first->matches, *reference_);
+    ExpectCanonicalOrder(first->matches);
+    ExpectAccountingConsistent(*first);
+    auto again = RunWith(sharded);
+    ASSERT_TRUE(again.ok());
+    ExpectSameOutcome(*first, *again);
+    auto runtime = ShardRuntime::Create(*nfa_, sharded);
+    ASSERT_TRUE(runtime.ok());
+    auto sequential = (*runtime)->RunSequential(*stream_);
+    ASSERT_TRUE(sequential.ok());
+    ExpectSameOutcome(*first, *sequential);
+  }
+}
+
+TEST_F(ChaosTest, GuardEnforcesThePartialMatchMemoryBudget) {
+  // Measure the natural state footprint, then budget a quarter of it.
+  const ShardRuntimeOptions probe = DeterministicGuardOptions(BaseOptions(1));
+  auto unbounded = RunWith(probe);
+  ASSERT_TRUE(unbounded.ok());
+  const size_t natural_peak = unbounded->shards[0].guard_peak_state_bytes;
+  ASSERT_GT(natural_peak, 0u);
+
+  ShardRuntimeOptions opts = probe;
+  opts.guard.memory_budget_bytes = natural_peak / 4;
+  auto run = RunWith(opts);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  // The ladder escalates off the memory watermark and relieves pressure
+  // with shedding-level trims; the hard per-event eviction backstops it.
+  // Either way, partial matches must have been killed for the budget...
+  EXPECT_GT(run->guard_trims + run->guard_evictions, 0u);
+  // ...and the state estimate must stay bounded, nowhere near the natural
+  // footprint.
+  EXPECT_LT(run->shards[0].guard_peak_state_bytes, natural_peak / 2);
+  ExpectSubsetOf(run->matches, *reference_);
+  ExpectCanonicalOrder(run->matches);
+  ExpectAccountingConsistent(*run);
+
+  auto again = RunWith(opts);
+  ASSERT_TRUE(again.ok());
+  ExpectSameOutcome(*run, *again);
+}
+
+// ---------------------------------------------------------------------------
+// Everything at once.
+
+TEST_F(ChaosTest, CombinedChaosStillDegradesGracefully) {
+  const FaultInjector faults = ParseFaults(
+      "stall:shard=0,at=100,ms=2;"
+      "slow:at=200,count=100,us=10;"
+      "burst:at=400,count=300,factor=30;"
+      "skew:at=500,count=200,us=-1500;"
+      "saturate:shard=0,at=900,count=100;"
+      "death:shard=0,at=100",
+      7);
+  for (const int num_shards : kShardCounts) {
+    SCOPED_TRACE("shards=" + std::to_string(num_shards));
+    ShardRuntimeOptions opts = BaseOptions(num_shards);
+    opts.faults = &faults;
+    opts.max_worker_restarts = 1;
+    opts.guard.enabled = true;
+    opts.guard.theta = 0.0;  // pressure arrives via queue + memory here
+    opts.guard.memory_budget_bytes = 1u << 20;
+    auto run = RunWith(opts);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_EQ(run->shards_abandoned, 0);
+    EXPECT_LE(run->worker_restarts, 1u);
+    ExpectSubsetOf(run->matches, *reference_);
+    ExpectCanonicalOrder(run->matches);
+    ExpectAccountingConsistent(*run);
+  }
+}
+
+}  // namespace
+}  // namespace cepshed

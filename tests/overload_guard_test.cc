@@ -1,0 +1,241 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for the OverloadGuard degradation ladder: hysteresis
+// (streaks, dead zone), hard memory budget, hash-drop determinism, and
+// the eviction contract (utility order, witnesses untouchable).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/cep/engine.h"
+#include "src/cep/nfa.h"
+#include "src/cep/stream.h"
+#include "src/runtime/overload_guard.h"
+#include "src/workload/ds1.h"
+#include "src/workload/queries.h"
+
+namespace cepshed {
+namespace {
+
+/// Ladder driven purely by the queue signal: theta off, memory off,
+/// every event is a check, short streaks.
+OverloadGuard::Options LadderOptions() {
+  OverloadGuard::Options o;
+  o.enabled = true;
+  o.theta = 0.0;
+  o.check_every = 1;
+  o.escalate_after = 2;
+  o.recover_after = 3;
+  o.shedding_drop_rate = 0.5;
+  return o;
+}
+
+void ObserveN(OverloadGuard* guard, int n, size_t queue_size) {
+  for (int i = 0; i < n; ++i) guard->Observe(0.0, queue_size, 100, 0);
+}
+
+TEST(OverloadGuardTest, DisabledGuardIsInert) {
+  OverloadGuard guard(OverloadGuard::Options{});
+  ASSERT_FALSE(guard.enabled());
+  ObserveN(&guard, 100, 100);  // queue 100% full
+  EXPECT_EQ(guard.level(), GuardLevel::kNormal);
+  EXPECT_FALSE(guard.ShouldDropInput(1));
+  EXPECT_EQ(guard.stats().events_observed, 0u);
+  EXPECT_EQ(guard.stats().input_drops, 0u);
+}
+
+TEST(OverloadGuardTest, EscalatesOneRungPerHotStreak) {
+  OverloadGuard guard(LadderOptions());
+  ObserveN(&guard, 1, 100);
+  EXPECT_EQ(guard.level(), GuardLevel::kNormal);  // streak of 1 < 2
+  ObserveN(&guard, 1, 100);
+  EXPECT_EQ(guard.level(), GuardLevel::kShedding);
+  ObserveN(&guard, 2, 100);
+  EXPECT_EQ(guard.level(), GuardLevel::kPanic);
+  ObserveN(&guard, 2, 100);
+  EXPECT_EQ(guard.level(), GuardLevel::kEmergency);
+  ObserveN(&guard, 10, 100);  // the ladder tops out
+  EXPECT_EQ(guard.level(), GuardLevel::kEmergency);
+  EXPECT_EQ(guard.stats().escalations, 3u);
+  EXPECT_EQ(guard.stats().peak_level, GuardLevel::kEmergency);
+  EXPECT_EQ(guard.drop_rate(), 1.0);  // panic_drop_rate
+}
+
+TEST(OverloadGuardTest, RecoversStepwiseAfterCoolStreaks) {
+  OverloadGuard guard(LadderOptions());
+  ObserveN(&guard, 6, 100);  // up to emergency
+  ASSERT_EQ(guard.level(), GuardLevel::kEmergency);
+  ObserveN(&guard, 2, 0);
+  EXPECT_EQ(guard.level(), GuardLevel::kEmergency);  // streak of 2 < 3
+  ObserveN(&guard, 1, 0);
+  EXPECT_EQ(guard.level(), GuardLevel::kPanic);
+  ObserveN(&guard, 3, 0);
+  EXPECT_EQ(guard.level(), GuardLevel::kShedding);
+  ObserveN(&guard, 3, 0);
+  EXPECT_EQ(guard.level(), GuardLevel::kNormal);
+  EXPECT_EQ(guard.stats().de_escalations, 3u);
+  EXPECT_EQ(guard.drop_rate(), 0.0);
+  EXPECT_FALSE(guard.ShouldDropInput(42));
+}
+
+TEST(OverloadGuardTest, DeadZoneHoldsTheCurrentRung) {
+  OverloadGuard guard(LadderOptions());
+  ObserveN(&guard, 2, 100);
+  ASSERT_EQ(guard.level(), GuardLevel::kShedding);
+  const uint64_t esc = guard.stats().escalations;
+  // Fill 0.5 sits between queue_low=0.25 and queue_high=0.75: neither
+  // streak advances, however long the signal lingers there.
+  ObserveN(&guard, 500, 50);
+  EXPECT_EQ(guard.level(), GuardLevel::kShedding);
+  EXPECT_EQ(guard.stats().escalations, esc);
+  EXPECT_EQ(guard.stats().de_escalations, 0u);
+  // An interrupted cool streak restarts from zero.
+  ObserveN(&guard, 2, 0);
+  ObserveN(&guard, 1, 50);
+  ObserveN(&guard, 2, 0);
+  EXPECT_EQ(guard.level(), GuardLevel::kShedding);
+}
+
+TEST(OverloadGuardTest, PanicDropsEveryInput) {
+  OverloadGuard guard(LadderOptions());
+  ObserveN(&guard, 4, 100);
+  ASSERT_EQ(guard.level(), GuardLevel::kPanic);
+  for (uint64_t seq = 0; seq < 1000; ++seq) EXPECT_TRUE(guard.ShouldDropInput(seq));
+  EXPECT_EQ(guard.stats().input_drops, 1000u);
+}
+
+TEST(OverloadGuardTest, SheddingDropsAreAHashOfSeedAndSequence) {
+  OverloadGuard::Options options = LadderOptions();
+  options.shedding_drop_rate = 0.5;
+  OverloadGuard a(options);
+  OverloadGuard b(options);
+  ObserveN(&a, 2, 100);
+  ObserveN(&b, 2, 100);
+  ASSERT_EQ(a.level(), GuardLevel::kShedding);
+  ASSERT_EQ(b.level(), GuardLevel::kShedding);
+  uint64_t drops = 0;
+  for (uint64_t seq = 0; seq < 10000; ++seq) {
+    const bool drop = a.ShouldDropInput(seq);
+    EXPECT_EQ(drop, b.ShouldDropInput(seq)) << "seq " << seq;
+    drops += drop ? 1 : 0;
+  }
+  // An unbiased hash at rate 0.5 stays well inside (0.4, 0.6) over 10k.
+  EXPECT_GT(drops, 4000u);
+  EXPECT_LT(drops, 6000u);
+}
+
+TEST(OverloadGuardTest, ResetReturnsToNormal) {
+  OverloadGuard guard(LadderOptions());
+  ObserveN(&guard, 6, 100);
+  ASSERT_EQ(guard.level(), GuardLevel::kEmergency);
+  guard.Reset();
+  EXPECT_EQ(guard.level(), GuardLevel::kNormal);
+  EXPECT_EQ(guard.drop_rate(), 0.0);
+  EXPECT_EQ(guard.stats().escalations, 0u);
+  EXPECT_FALSE(guard.ShouldDropInput(7));
+}
+
+// ---------------------------------------------------------------------------
+// Engine-backed behavior: budget enforcement and the eviction contract.
+
+class GuardEvictionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakeDs1Schema();
+    Ds1Options ds1;
+    ds1.num_events = 2000;
+    ds1.event_gap = 10;
+    ds1.seed = 11;
+    stream_ = std::make_unique<EventStream>(GenerateDs1(schema_, ds1));
+  }
+
+  std::shared_ptr<const Nfa> CompileOrDie(const Result<Query>& q) {
+    EXPECT_TRUE(q.ok());
+    auto nfa = Nfa::Compile(*q, &schema_);
+    EXPECT_TRUE(nfa.ok()) << nfa.status().message();
+    return *nfa;
+  }
+
+  Schema schema_;
+  std::unique_ptr<EventStream> stream_;
+};
+
+TEST_F(GuardEvictionTest, HardBudgetIsEnforcedEveryEvent) {
+  Engine engine(CompileOrDie(queries::Q1()), EngineOptions{});
+
+  // Find the natural peak first, then replay against a quarter of it.
+  size_t natural_peak = 0;
+  std::vector<Match> sink;
+  for (const EventPtr& e : *stream_) {
+    engine.Process(e, &sink);
+    natural_peak = std::max(natural_peak, engine.ApproxStateBytes());
+  }
+  ASSERT_GT(natural_peak, 0u);
+
+  Engine bounded(CompileOrDie(queries::Q1()), EngineOptions{});
+  OverloadGuard::Options options;
+  options.enabled = true;
+  options.memory_budget_bytes = natural_peak / 4;
+  options.check_every = 1u << 30;  // ladder checks out of the picture
+  OverloadGuard guard(options);
+  guard.Attach(&bounded);
+
+  sink.clear();
+  for (const EventPtr& e : *stream_) {
+    bounded.Process(e, &sink);
+    guard.Observe(0.0, 0, 0, e->timestamp());
+    // The hard cap runs every event: state never *stays* over budget.
+    ASSERT_LE(bounded.ApproxStateBytes(), options.memory_budget_bytes);
+  }
+  EXPECT_GT(guard.stats().budget_trips, 0u);
+  EXPECT_GT(guard.stats().emergency_evictions, 0u);
+  EXPECT_EQ(guard.level(), GuardLevel::kEmergency);  // ladder never ran
+  EXPECT_GT(guard.stats().peak_state_bytes, options.memory_budget_bytes);
+  EXPECT_LE(guard.stats().peak_state_bytes, natural_peak);
+}
+
+TEST_F(GuardEvictionTest, EvictionFollowsTheUtilityOrder) {
+  Engine engine(CompileOrDie(queries::Q1()), EngineOptions{});
+  std::vector<Match> sink;
+  for (size_t i = 0; i < stream_->size() && engine.NumPartialMatches() < 16; ++i) {
+    engine.Process((*stream_)[i], &sink);
+  }
+  ASSERT_GE(engine.NumPartialMatches(), 16u);
+
+  std::vector<uint64_t> ids;
+  engine.store().ForEachAlive([&](PartialMatch* pm) { ids.push_back(pm->id); });
+  std::sort(ids.begin(), ids.end());
+
+  // Utility = id, so the three lowest ids must die first.
+  const size_t killed = engine.ShedLowestUtility(
+      3, 0, [](const PartialMatch& pm) { return static_cast<double>(pm.id); });
+  EXPECT_EQ(killed, 3u);
+
+  std::vector<uint64_t> alive;
+  engine.store().ForEachAlive([&](PartialMatch* pm) { alive.push_back(pm->id); });
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(std::count(alive.begin(), alive.end(), ids[i]), 0)
+        << "lowest-utility pm " << ids[i] << " survived";
+  }
+  EXPECT_EQ(alive.size(), ids.size() - 3);
+}
+
+TEST_F(GuardEvictionTest, NegationWitnessesAreNeverEvicted) {
+  Engine engine(CompileOrDie(queries::Q4()), EngineOptions{});
+  std::vector<Match> sink;
+  for (const EventPtr& e : *stream_) engine.Process(e, &sink);
+  // Q4 carries a negated component, so the store holds witnesses.
+  ASSERT_GT(engine.NumWitnesses(), 0u);
+  const size_t witnesses = engine.NumWitnesses();
+
+  // The most aggressive eviction the guard can issue: kill everything.
+  engine.ShedLowestUtility(engine.NumPartialMatches(), 0);
+  EXPECT_EQ(engine.NumPartialMatches(), 0u);
+  EXPECT_EQ(engine.NumWitnesses(), witnesses);
+}
+
+}  // namespace
+}  // namespace cepshed

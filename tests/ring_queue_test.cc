@@ -135,6 +135,56 @@ TEST(RingQueueTest, BlockingPushRetriesPreserveMoveOnlyPayload) {
   for (int i = 0; i < kCount; ++i) ASSERT_EQ(received[static_cast<size_t>(i)], i);
 }
 
+TEST(RingQueueTest, PushForTimesOutOnAFullQueueWithoutConsumingTheValue) {
+  RingQueue<std::unique_ptr<int>> q(2);
+  ASSERT_TRUE(q.Push(std::make_unique<int>(0)));
+  ASSERT_TRUE(q.Push(std::make_unique<int>(1)));
+  // Nobody pops: the bounded wait must expire instead of spinning forever
+  // (the dead-consumer detection path of the sharded router)...
+  auto value = std::make_unique<int>(2);
+  EXPECT_EQ(q.PushForRef(value, 2000), QueuePushResult::kTimedOut);
+  // ...and a failed push must not have moved from the argument, so the
+  // caller can retry with the same element.
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(*value, 2);
+
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_EQ(*out, 0);
+  EXPECT_EQ(q.PushForRef(value, 2000), QueuePushResult::kOk);
+  EXPECT_EQ(value, nullptr);  // consumed on success
+}
+
+TEST(RingQueueTest, PushForReportsClosedImmediately) {
+  RingQueue<int> q(4);
+  q.Close();
+  EXPECT_EQ(q.PushFor(7, 2000), QueuePushResult::kClosed);
+  // Also when the queue fills up and is closed mid-wait.
+  RingQueue<int> full(2);
+  ASSERT_TRUE(full.Push(1));
+  ASSERT_TRUE(full.Push(2));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    full.Close();
+  });
+  EXPECT_EQ(full.PushFor(3, -1), QueuePushResult::kClosed);  // unbounded wait
+  closer.join();
+}
+
+TEST(RingQueueTest, PushForSucceedsOnceAConsumerFreesASlot) {
+  RingQueue<int> q(2);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    int out = -1;
+    ASSERT_TRUE(q.Pop(&out));
+  });
+  // Generous deadline: the push lands as soon as the pop frees a slot.
+  EXPECT_EQ(q.PushFor(3, 5'000'000), QueuePushResult::kOk);
+  consumer.join();
+}
+
 TEST(RingQueueTest, MpmcStressLosesNothing) {
   constexpr int kProducers = 4;
   constexpr int kConsumers = 3;

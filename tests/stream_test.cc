@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <unordered_map>
 
@@ -95,6 +96,68 @@ TEST(CsvTest, RejectsWrongHeader) {
   Schema schema = MakeDs1Schema();
   std::stringstream buffer("nope,header\n");
   EXPECT_FALSE(ReadCsv(schema, &buffer).ok());
+  // A wrong header is a hard error even in lenient mode: the file is the
+  // wrong shape, not a stream with some bad rows.
+  std::stringstream again("nope,header\n");
+  CsvReadOptions lenient;
+  lenient.lenient = true;
+  EXPECT_FALSE(ReadCsv(schema, &again, lenient).ok());
+}
+
+// One well-formed DS1 CSV with every malformed-row class in the middle:
+// wrong arity, unknown type, unparsable timestamp, trailing garbage on an
+// int, and a timestamp regression.
+constexpr char kDirtyCsv[] =
+    "type,timestamp,ID,V\n"
+    "A,10,1,2\n"
+    "A,20,1\n"           // wrong number of cells
+    "Z,30,1,2\n"         // unknown event type
+    "B,banana,1,2\n"     // bad timestamp
+    "B,40,1,2x\n"        // trailing garbage on an int attribute
+    "C,50,3,4\n"
+    "C,5,3,4\n"          // timestamp goes backwards
+    "D,60,5,6\n";
+
+TEST(CsvTest, StrictModeFailsOnTheFirstMalformedRow) {
+  Schema schema = MakeDs1Schema();
+  std::stringstream buffer(kDirtyCsv);
+  auto read = ReadCsv(schema, &buffer);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, LenientModeSkipsAndCountsMalformedRows) {
+  Schema schema = MakeDs1Schema();
+  std::stringstream buffer(kDirtyCsv);
+  CsvReadOptions options;
+  options.lenient = true;
+  CsvReadStats stats;
+  auto read = ReadCsv(schema, &buffer, options, &stats);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(stats.rows_read, 8u);
+  EXPECT_EQ(stats.malformed_rows, 5u);
+  ASSERT_EQ(read->size(), 3u);
+  EXPECT_EQ((*read)[0]->timestamp(), 10);
+  EXPECT_EQ((*read)[1]->timestamp(), 50);
+  EXPECT_EQ((*read)[2]->timestamp(), 60);
+}
+
+TEST(CsvTest, WorkloadLoadersAreLenient) {
+  const std::string path = ::testing::TempDir() + "/cepshed_dirty_ds1.csv";
+  {
+    std::ofstream out(path);
+    out << kDirtyCsv;
+  }
+  Schema schema = MakeDs1Schema();
+  CsvReadStats stats;
+  auto read = LoadDs1Csv(schema, path, &stats);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->size(), 3u);
+  EXPECT_EQ(stats.malformed_rows, 5u);
+  // The stats pointer is optional.
+  auto again = LoadDs1Csv(schema, path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->size(), 3u);
 }
 
 TEST(Ds1Test, DeterministicPerSeed) {

@@ -7,6 +7,17 @@
 //               [--train historic.csv --strategy hybrid --bound 0.5
 //                --stat avg|p95|p99] [--matches out.csv] [--pm-series]
 //               [--shards N --partition ATTR | --shards N --slice-stride US]
+//               [--lenient]
+//               [--fault-schedule SPEC --fault-seed N]
+//               [--guard-theta COST --memory-budget-mb MB]
+//
+// --lenient skips malformed input rows (counted and reported) instead of
+// failing the load. The fault/guard flags apply to the sharded path:
+// --fault-schedule replays a deterministic fault schedule (see
+// src/fault/fault_injector.h for the DSL, e.g.
+// "burst:at=1000,count=500,factor=30;death:shard=0,at=2000"), and either
+// --guard-theta (latency bound, cost units) or --memory-budget-mb
+// (partial-match state cap per shard) arms the per-shard overload guard.
 //
 // Schema file format (one declaration per line, '#' comments):
 //   type BikeTrip
@@ -45,6 +56,11 @@ struct CliArgs {
   int shards = 1;
   std::string partition_attr;
   long long slice_stride_us = 0;
+  bool lenient = false;
+  std::string fault_schedule;
+  unsigned long long fault_seed = 0;
+  double guard_theta = 0.0;
+  double memory_budget_mb = 0.0;
 };
 
 void Usage() {
@@ -53,7 +69,9 @@ void Usage() {
                "                   [--train FILE] [--strategy none|ri|si|rs|ss|hybrid]\n"
                "                   [--bound FRACTION] [--stat avg|p95|p99]\n"
                "                   [--matches FILE] [--pm-series]\n"
-               "                   [--shards N (--partition ATTR | --slice-stride US)]\n");
+               "                   [--shards N (--partition ATTR | --slice-stride US)]\n"
+               "                   [--lenient] [--fault-schedule SPEC] [--fault-seed N]\n"
+               "                   [--guard-theta COST] [--memory-budget-mb MB]\n");
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -97,6 +115,28 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       args.slice_stride_us = std::stoll(v);
       if (args.slice_stride_us <= 0) {
         return Status::InvalidArgument("--slice-stride must be positive microseconds");
+      }
+    } else if (flag == "--lenient") {
+      args.lenient = true;
+    } else if (flag == "--fault-schedule") {
+      CEPSHED_ASSIGN_OR_RETURN(args.fault_schedule, next());
+    } else if (flag == "--fault-seed") {
+      std::string v;
+      CEPSHED_ASSIGN_OR_RETURN(v, next());
+      args.fault_seed = std::stoull(v);
+    } else if (flag == "--guard-theta") {
+      std::string v;
+      CEPSHED_ASSIGN_OR_RETURN(v, next());
+      args.guard_theta = std::stod(v);
+      if (args.guard_theta <= 0.0) {
+        return Status::InvalidArgument("--guard-theta must be positive cost units");
+      }
+    } else if (flag == "--memory-budget-mb") {
+      std::string v;
+      CEPSHED_ASSIGN_OR_RETURN(v, next());
+      args.memory_budget_mb = std::stod(v);
+      if (args.memory_budget_mb <= 0.0) {
+        return Status::InvalidArgument("--memory-budget-mb must be positive");
       }
     } else if (flag == "--help" || flag == "-h") {
       Usage();
@@ -179,9 +219,25 @@ Status Run(const CliArgs& args) {
   CEPSHED_ASSIGN_OR_RETURN(Schema schema, LoadSchema(args.schema_path));
   CEPSHED_ASSIGN_OR_RETURN(std::string query_text, LoadFile(args.query_path));
   CEPSHED_ASSIGN_OR_RETURN(Query query, ParseQuery(query_text));
-  CEPSHED_ASSIGN_OR_RETURN(EventStream input, ReadCsvFile(schema, args.input_path));
+  CsvReadOptions read_options;
+  read_options.lenient = args.lenient;
+  CsvReadStats read_stats;
+  CEPSHED_ASSIGN_OR_RETURN(EventStream input,
+                           ReadCsvFile(schema, args.input_path, read_options, &read_stats));
   std::printf("query:  %s\n", query.ToString().c_str());
-  std::printf("input:  %zu events from %s\n", input.size(), args.input_path.c_str());
+  std::printf("input:  %zu events from %s", input.size(), args.input_path.c_str());
+  if (read_stats.malformed_rows > 0) {
+    std::printf("  (%llu malformed rows skipped)",
+                static_cast<unsigned long long>(read_stats.malformed_rows));
+  }
+  std::printf("\n");
+
+  const bool wants_guard = args.guard_theta > 0.0 || args.memory_budget_mb > 0.0;
+  if ((!args.fault_schedule.empty() || wants_guard) && args.shards <= 1) {
+    return Status::InvalidArgument(
+        "--fault-schedule / --guard-theta / --memory-budget-mb apply to the "
+        "sharded path; add --shards N with a routing mode");
+  }
 
   if (args.shards > 1) {
     if (args.strategy != "none") {
@@ -206,6 +262,23 @@ Status Run(const CliArgs& args) {
       return Status::InvalidArgument(
           "--shards needs a routing mode: --partition ATTR or --slice-stride US");
     }
+    FaultInjector faults;
+    if (!args.fault_schedule.empty()) {
+      CEPSHED_ASSIGN_OR_RETURN(faults,
+                               FaultInjector::Parse(args.fault_schedule, args.fault_seed));
+      opts.faults = &faults;
+      std::printf("faults: %s (seed %llu)\n", faults.ToString().c_str(),
+                  static_cast<unsigned long long>(faults.seed()));
+    }
+    if (wants_guard) {
+      opts.guard.enabled = true;
+      opts.guard.theta = args.guard_theta;
+      opts.guard.memory_budget_bytes =
+          static_cast<size_t>(args.memory_budget_mb * 1024.0 * 1024.0);
+      opts.guard.seed = args.fault_seed != 0 ? args.fault_seed : opts.guard.seed;
+      std::printf("guard:  theta %.2f, memory budget %.1f MB\n", args.guard_theta,
+                  args.memory_budget_mb);
+    }
     CEPSHED_ASSIGN_OR_RETURN(auto runtime, ShardRuntime::Create(nfa, opts));
     CEPSHED_ASSIGN_OR_RETURN(ShardRunResult result, runtime->Run(input));
     std::printf("shards: %d (%s routing)\n", args.shards,
@@ -213,9 +286,32 @@ Status Run(const CliArgs& args) {
     std::printf("matches: %zu in %.3fs\n", result.matches.size(), result.wall_seconds);
     for (size_t i = 0; i < result.shards.size(); ++i) {
       const ShardResult& s = result.shards[i];
-      std::printf("  shard %zu: routed %llu, processed %llu, peak state %zu\n", i,
+      std::printf("  shard %zu: routed %llu, processed %llu, peak state %zu", i,
                   static_cast<unsigned long long>(s.events_routed),
                   static_cast<unsigned long long>(s.events_processed), s.stats.peak_pms);
+      if (s.worker_restarts > 0 || s.abandoned) {
+        std::printf(", restarts %llu%s",
+                    static_cast<unsigned long long>(s.worker_restarts),
+                    s.abandoned ? ", ABANDONED" : "");
+      }
+      if (opts.guard.enabled) {
+        std::printf(", guard peak %s",
+                    GuardLevelName(static_cast<GuardLevel>(s.guard_peak_level)));
+      }
+      std::printf("\n");
+    }
+    if (result.lost_events > 0 || result.worker_restarts > 0 ||
+        result.shards_abandoned > 0) {
+      std::printf("degraded: lost %llu events, %llu worker restarts, %d shards abandoned\n",
+                  static_cast<unsigned long long>(result.lost_events),
+                  static_cast<unsigned long long>(result.worker_restarts),
+                  result.shards_abandoned);
+    }
+    if (opts.guard.enabled) {
+      std::printf("guard:  dropped %llu events, trimmed %llu + evicted %llu partial matches\n",
+                  static_cast<unsigned long long>(result.guard_input_drops),
+                  static_cast<unsigned long long>(result.guard_trims),
+                  static_cast<unsigned long long>(result.guard_evictions));
     }
     if (!args.matches_path.empty()) {
       CEPSHED_RETURN_NOT_OK(WriteMatches(result.matches, args.matches_path));
@@ -248,7 +344,8 @@ Status Run(const CliArgs& args) {
     return Status::InvalidArgument("--strategy requires --train (historic data for the "
                                    "cost model and ground truth calibration)");
   }
-  CEPSHED_ASSIGN_OR_RETURN(EventStream train, ReadCsvFile(schema, args.train_path));
+  CEPSHED_ASSIGN_OR_RETURN(EventStream train,
+                           ReadCsvFile(schema, args.train_path, read_options));
 
   StrategyKind kind;
   if (args.strategy == "ri") {
