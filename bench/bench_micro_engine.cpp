@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "src/cep/engine.h"
+#include "src/obs/metrics.h"
 #include "src/query/parser.h"
 #include "src/workload/ds1.h"
 #include "src/workload/queries.h"
@@ -32,6 +33,43 @@ void BM_EngineQ1(benchmark::State& state) {
                           static_cast<int64_t>(stream.size()));
 }
 BENCHMARK(BM_EngineQ1)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// BM_EngineQ1 with the full per-event obs record path enabled — exactly
+/// what ShedRunner/ShardState add per event: two counters, the cost
+/// histogram, and the matches-emitted delta. The CI overhead gate compares
+/// this against BM_EngineQ1 (same Arg) and fails above 5%.
+void BM_EngineQ1Metrics(benchmark::State& state) {
+  const Schema schema = MakeDs1Schema();
+  Ds1Options gen;
+  gen.num_events = 20000;
+  const EventStream stream = GenerateDs1(schema, gen);
+  auto nfa = Nfa::Compile(*queries::Q1("4ms"), &schema);
+  EngineOptions opts;
+  opts.use_join_index = state.range(0) != 0;
+  obs::MetricsRegistry registry;
+  registry.EnsureShards(1);
+  obs::ShardObs* obs = registry.shard(0);
+  for (auto _ : state) {
+    Engine engine(*nfa, opts);
+    std::vector<Match> out;
+    size_t matches_seen = 0;
+    for (const EventPtr& e : stream) {
+      const double cost = engine.Process(e, &out);
+      obs->events_routed.Add();
+      obs->events_processed.Add();
+      obs->event_cost.Record(cost);
+      if (out.size() != matches_seen) {
+        obs->matches_emitted.Add(out.size() - matches_seen);
+        matches_seen = out.size();
+      }
+    }
+    benchmark::DoNotOptimize(out.size());
+    benchmark::DoNotOptimize(obs->events_processed.Load());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_EngineQ1Metrics)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_EngineQ2Kleene(benchmark::State& state) {
   const Schema schema = MakeDs1Schema();

@@ -20,6 +20,7 @@
 
 #include "bench/bench_util.h"
 #include "src/cep/nfa.h"
+#include "src/obs/export.h"
 #include "src/runtime/shard_runtime.h"
 
 namespace cepshed {
@@ -54,6 +55,8 @@ void RunCase(const std::string& name, const Schema& schema,
     opts.routing = routing;
     opts.partition_attr = partition_attr;
     opts.slice_stride = slice_stride;
+    obs::MetricsRegistry registry;
+    opts.metrics = &registry;
     auto runtime = ShardRuntime::Create(*nfa, opts);
     if (!runtime.ok()) {
       std::fprintf(stderr, "%s shards=%d: %s\n", name.c_str(), shards,
@@ -61,8 +64,21 @@ void RunCase(const std::string& name, const Schema& schema,
       continue;
     }
     auto parallel = (*runtime)->Run(stream);
+    // Snapshot before the replay: the registry is shared by both runs, so
+    // this captures the parallel run alone.
+    const obs::RegistrySnapshot snap = registry.Snapshot();
     auto replay = (*runtime)->RunSequential(stream);
     if (!parallel.ok() || !replay.ok()) std::abort();
+    std::printf("# obs %s shards=%d: routed=%llu processed=%llu "
+                "queue_waits=%llu cost_p99=%.3f\n",
+                name.c_str(), shards,
+                static_cast<unsigned long long>(snap.total.events_routed),
+                static_cast<unsigned long long>(snap.total.events_processed),
+                static_cast<unsigned long long>(snap.total.queue_push_timeouts),
+                snap.total.event_cost.Quantile(0.99));
+    if (const char* path = std::getenv("CEPSHED_METRICS_OUT")) {
+      obs::WriteMetricsFile(path, snap);  // last case wins
+    }
     const double par_eps = static_cast<double>(stream.size()) / parallel->wall_seconds;
     const double seq_eps = static_cast<double>(stream.size()) / replay->wall_seconds;
     std::printf("%s,sharded,%d,%.0f,%.2f,%zu\n", name.c_str(), shards, par_eps,

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI gate: metrics record-path overhead on the engine hot loop.
+
+Reads a google-benchmark JSON file containing BM_EngineQ1/N and
+BM_EngineQ1Metrics/N (aggregate or raw repetitions), compares the
+per-arg minimum real_time of the metrics-on arm against the metrics-off
+baseline, and fails when the overhead exceeds the threshold. Minimum is
+used rather than mean/median: it is the statistic least sensitive to
+noisy-neighbour drift on shared CI runners.
+
+Usage: check_metrics_overhead.py BENCH_JSON [--max-overhead-pct 5.0]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def collect(benchmarks):
+    """Map (family, arg) -> min real_time over repetitions."""
+    best = {}
+    for b in benchmarks:
+        # Skip aggregate rows other than min-like ones; raw rows have
+        # run_type "iteration". Accept both raw rows and "_mean"/"_median"
+        # aggregates, keeping the smallest value seen per series.
+        name = b["name"]
+        m = re.match(r"^(BM_EngineQ1(?:Metrics)?)/(\d+)(?:_(\w+))?$", name)
+        if not m:
+            continue
+        family, arg, agg = m.group(1), int(m.group(2)), m.group(3)
+        if agg in ("stddev", "cv"):
+            continue
+        key = (family, arg)
+        t = float(b["real_time"])
+        if key not in best or t < best[key]:
+            best[key] = t
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("--max-overhead-pct", type=float, default=5.0)
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        data = json.load(f)
+    best = collect(data.get("benchmarks", []))
+
+    failed = False
+    checked = 0
+    for (family, arg), base in sorted(best.items()):
+        if family != "BM_EngineQ1":
+            continue
+        metrics = best.get(("BM_EngineQ1Metrics", arg))
+        if metrics is None:
+            print(f"warning: no BM_EngineQ1Metrics/{arg} row", file=sys.stderr)
+            continue
+        checked += 1
+        pct = (metrics / base - 1.0) * 100.0
+        verdict = "OK" if pct <= args.max_overhead_pct else "FAIL"
+        print(f"arg={arg}: baseline={base:.3f} metrics={metrics:.3f} "
+              f"overhead={pct:+.2f}% [{verdict}]")
+        if pct > args.max_overhead_pct:
+            failed = True
+
+    if checked == 0:
+        print("error: no comparable benchmark pairs found", file=sys.stderr)
+        return 2
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// The shed-decision audit ring: a fixed-capacity, lock-free trail of the
+// most recent shedding and degradation decisions — who shed what, which
+// class, at what observed latency mu. Each slot is an independent seqlock
+// of relaxed/acq-rel atomic words, so a single writer (the shard worker)
+// never blocks and concurrent readers (the router, the exporter) either
+// get a consistent entry or detect the overwrite and skip it. Recording
+// allocates nothing; one entry is five atomic stores.
+
+#ifndef CEPSHED_OBS_AUDIT_RING_H_
+#define CEPSHED_OBS_AUDIT_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace cepshed {
+namespace obs {
+
+/// \brief What kind of decision an audit entry records.
+enum class AuditKind : uint8_t {
+  kDropEvent = 0,        ///< rho_I: input event discarded by a shedder
+  kKillPm = 1,           ///< rho_S: partial match tombstoned
+  kGuardTransition = 2,  ///< overload-guard ladder level change
+  kGuardDrop = 3,        ///< rho_I decided by the overload guard
+};
+
+const char* AuditKindName(AuditKind kind);
+
+/// \brief One decoded audit entry.
+struct AuditEntry {
+  uint64_t index = 0;      ///< global decision ordinal (monotonic per ring)
+  int64_t timestamp = 0;   ///< event-time microseconds of the decision
+  AuditKind kind = AuditKind::kDropEvent;
+  uint8_t shard = 0;
+  int32_t class_label = 0;  ///< event/pm class, or guard from|to<<8
+  double mu = 0.0;          ///< smoothed latency at decision time
+  uint64_t detail = 0;      ///< event seq / pms killed / transition count
+};
+
+/// \brief Lock-free bounded trail of the most recent decisions.
+class AuditRing {
+ public:
+  static constexpr size_t kCapacity = 1024;  // power of two
+
+  /// Records one decision (single writer per ring).
+  void Record(AuditKind kind, uint8_t shard, int64_t timestamp,
+              int32_t class_label, double mu, uint64_t detail) {
+    const uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[idx & (kCapacity - 1)];
+    // Per-slot seqlock: odd marks "being written", the final even value
+    // encodes the entry ordinal so readers can detect overwrites.
+    s.seq.store(2 * idx + 1, std::memory_order_relaxed);
+    s.timestamp.store(timestamp, std::memory_order_relaxed);
+    s.packed.store(Pack(kind, shard, class_label), std::memory_order_relaxed);
+    s.mu_bits.store(BitsOf(mu), std::memory_order_relaxed);
+    s.detail.store(detail, std::memory_order_relaxed);
+    s.seq.store(2 * idx + 2, std::memory_order_release);
+  }
+
+  /// Decisions recorded so far (>= entries retained).
+  uint64_t TotalRecorded() const { return next_.load(std::memory_order_relaxed); }
+
+  /// Returns the retained entries in decision order, skipping any slot
+  /// overwritten mid-read.
+  std::vector<AuditEntry> Snapshot() const {
+    std::vector<AuditEntry> out;
+    const uint64_t total = TotalRecorded();
+    const uint64_t first = total > kCapacity ? total - kCapacity : 0;
+    out.reserve(static_cast<size_t>(total - first));
+    for (uint64_t idx = first; idx < total; ++idx) {
+      const Slot& s = slots_[idx & (kCapacity - 1)];
+      const uint64_t seq_before = s.seq.load(std::memory_order_acquire);
+      if (seq_before != 2 * idx + 2) continue;  // overwritten or in flight
+      AuditEntry e;
+      e.index = idx;
+      e.timestamp = s.timestamp.load(std::memory_order_relaxed);
+      const uint64_t packed = s.packed.load(std::memory_order_relaxed);
+      e.mu = DoubleOf(s.mu_bits.load(std::memory_order_relaxed));
+      e.detail = s.detail.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != seq_before) continue;
+      e.kind = static_cast<AuditKind>(packed & 0xff);
+      e.shard = static_cast<uint8_t>((packed >> 8) & 0xff);
+      e.class_label = static_cast<int32_t>(packed >> 32);
+      out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<int64_t> timestamp{0};
+    std::atomic<uint64_t> packed{0};
+    std::atomic<uint64_t> mu_bits{0};
+    std::atomic<uint64_t> detail{0};
+  };
+
+  static uint64_t Pack(AuditKind kind, uint8_t shard, int32_t class_label) {
+    return static_cast<uint64_t>(static_cast<uint8_t>(kind)) |
+           (static_cast<uint64_t>(shard) << 8) |
+           (static_cast<uint64_t>(static_cast<uint32_t>(class_label)) << 32);
+  }
+  static uint64_t BitsOf(double v) {
+    uint64_t bits;
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return bits;
+  }
+  static double DoubleOf(uint64_t bits) {
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Slot slots_[kCapacity];
+  std::atomic<uint64_t> next_{0};
+};
+
+inline const char* AuditKindName(AuditKind kind) {
+  switch (kind) {
+    case AuditKind::kDropEvent:
+      return "drop_event";
+    case AuditKind::kKillPm:
+      return "kill_pm";
+    case AuditKind::kGuardTransition:
+      return "guard_transition";
+    case AuditKind::kGuardDrop:
+      return "guard_drop";
+  }
+  return "unknown";
+}
+
+}  // namespace obs
+}  // namespace cepshed
+
+#endif  // CEPSHED_OBS_AUDIT_RING_H_

@@ -1,0 +1,221 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cepshed {
+namespace obs {
+namespace {
+
+void AppendNumber(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out->append(buf);
+}
+
+void AppendCounterSeries(std::string* out, const char* name, const char* help,
+                         const RegistrySnapshot& snap,
+                         uint64_t ShardObsSnapshot::*field) {
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(name).append(" counter\n");
+  char buf[160];
+  for (size_t i = 0; i < snap.shards.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s{shard=\"%zu\"} %" PRIu64 "\n", name, i,
+                  snap.shards[i].*field);
+    out->append(buf);
+  }
+}
+
+void AppendHistogram(std::string* out, const char* name, const char* help,
+                     const RegistrySnapshot& snap,
+                     HistogramSnapshot ShardObsSnapshot::*field) {
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(name).append(" histogram\n");
+  char buf[200];
+  for (size_t i = 0; i < snap.shards.size(); ++i) {
+    const HistogramSnapshot& h = snap.shards[i].*field;
+    uint64_t cumulative = 0;
+    // Sparse cumulative rendering: one `le` line per occupied bucket (its
+    // upper bound) plus the mandatory +Inf line.
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      std::snprintf(buf, sizeof(buf), "%s_bucket{shard=\"%zu\",le=\"%.9g\"} %" PRIu64 "\n",
+                    name, i, LogHistogram::BucketUpper(static_cast<int>(b)),
+                    cumulative);
+      out->append(buf);
+    }
+    std::snprintf(buf, sizeof(buf), "%s_bucket{shard=\"%zu\",le=\"+Inf\"} %" PRIu64 "\n",
+                  name, i, h.count);
+    out->append(buf);
+    std::snprintf(buf, sizeof(buf), "%s_sum{shard=\"%zu\"} ", name, i);
+    out->append(buf);
+    AppendNumber(out, h.sum);
+    out->append("\n");
+    std::snprintf(buf, sizeof(buf), "%s_count{shard=\"%zu\"} %" PRIu64 "\n", name, i,
+                  h.count);
+    out->append(buf);
+  }
+}
+
+void AppendJsonHistogram(std::ostringstream* out, const char* name,
+                         const HistogramSnapshot& h) {
+  *out << "\"" << name << "\":{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"max\":" << h.max << ",\"p50\":" << h.Quantile(0.50)
+       << ",\"p95\":" << h.Quantile(0.95) << ",\"p99\":" << h.Quantile(0.99)
+       << "}";
+}
+
+void AppendJsonShard(std::ostringstream* out, const ShardObsSnapshot& s) {
+  *out << "{\"events_routed\":" << s.events_routed
+       << ",\"events_processed\":" << s.events_processed
+       << ",\"events_dropped_shedder\":" << s.events_dropped_shedder
+       << ",\"events_dropped_guard\":" << s.events_dropped_guard
+       << ",\"events_lost\":" << s.events_lost
+       << ",\"matches_emitted\":" << s.matches_emitted
+       << ",\"pms_shed\":" << s.pms_shed
+       << ",\"shed_triggers\":" << s.shed_triggers
+       << ",\"knapsack_solves\":" << s.knapsack_solves
+       << ",\"guard_transitions\":" << s.guard_transitions
+       << ",\"queue_push_timeouts\":" << s.queue_push_timeouts
+       << ",\"guard_level\":" << s.guard_level << ",\"shed_by_class\":[";
+  for (int c = 0; c < ShardObs::kNumClasses; ++c) {
+    if (c > 0) *out << ",";
+    *out << s.shed_by_class[c];
+  }
+  *out << "],";
+  AppendJsonHistogram(out, "event_cost", s.event_cost);
+  *out << ",";
+  AppendJsonHistogram(out, "queue_wait_us", s.queue_wait_us);
+  *out << ",";
+  AppendJsonHistogram(out, "shed_trigger_us", s.shed_trigger_us);
+  *out << ",";
+  AppendJsonHistogram(out, "knapsack_us", s.knapsack_us);
+  *out << ",\"audit\":[";
+  for (size_t i = 0; i < s.audit.size(); ++i) {
+    const AuditEntry& e = s.audit[i];
+    if (i > 0) *out << ",";
+    *out << "{\"index\":" << e.index << ",\"timestamp\":" << e.timestamp
+         << ",\"kind\":\"" << AuditKindName(e.kind)
+         << "\",\"shard\":" << static_cast<int>(e.shard)
+         << ",\"class\":" << e.class_label << ",\"mu\":" << e.mu
+         << ",\"detail\":" << e.detail << "}";
+  }
+  *out << "]}";
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const RegistrySnapshot& snap) {
+  std::string out;
+  out.reserve(16 * 1024);
+  AppendCounterSeries(&out, "cepshed_events_routed_total",
+                      "Events delivered to the shard",
+                      snap, &ShardObsSnapshot::events_routed);
+  AppendCounterSeries(&out, "cepshed_events_processed_total",
+                      "Events the engine fully processed", snap,
+                      &ShardObsSnapshot::events_processed);
+  AppendCounterSeries(&out, "cepshed_events_dropped_shedder_total",
+                      "Events discarded by the shedding strategy (rho_I)", snap,
+                      &ShardObsSnapshot::events_dropped_shedder);
+  AppendCounterSeries(&out, "cepshed_events_dropped_guard_total",
+                      "Events discarded by the overload guard", snap,
+                      &ShardObsSnapshot::events_dropped_guard);
+  AppendCounterSeries(&out, "cepshed_events_lost_total",
+                      "Events lost to worker death or abandonment", snap,
+                      &ShardObsSnapshot::events_lost);
+  AppendCounterSeries(&out, "cepshed_matches_emitted_total",
+                      "Complete matches emitted", snap,
+                      &ShardObsSnapshot::matches_emitted);
+  AppendCounterSeries(&out, "cepshed_pms_shed_total",
+                      "Partial matches discarded by rho_S", snap,
+                      &ShardObsSnapshot::pms_shed);
+  AppendCounterSeries(&out, "cepshed_shed_triggers_total",
+                      "Shedder re-plan activations", snap,
+                      &ShardObsSnapshot::shed_triggers);
+  AppendCounterSeries(&out, "cepshed_knapsack_solves_total",
+                      "Knapsack shedding-set solves", snap,
+                      &ShardObsSnapshot::knapsack_solves);
+  AppendCounterSeries(&out, "cepshed_guard_transitions_total",
+                      "Overload-guard ladder level changes", snap,
+                      &ShardObsSnapshot::guard_transitions);
+  AppendCounterSeries(&out, "cepshed_queue_push_timeouts_total",
+                      "Router pushes that timed out on a full shard queue", snap,
+                      &ShardObsSnapshot::queue_push_timeouts);
+
+  out.append(
+      "# HELP cepshed_shed_by_class_total Shed decisions per event/pm class\n"
+      "# TYPE cepshed_shed_by_class_total counter\n");
+  char buf[160];
+  for (size_t i = 0; i < snap.shards.size(); ++i) {
+    for (int c = 0; c < ShardObs::kNumClasses; ++c) {
+      std::snprintf(buf, sizeof(buf),
+                    "cepshed_shed_by_class_total{shard=\"%zu\",class=\"%d\"} %" PRIu64
+                    "\n",
+                    i, c, snap.shards[i].shed_by_class[c]);
+      out.append(buf);
+    }
+  }
+
+  out.append(
+      "# HELP cepshed_guard_level Current overload-guard ladder level\n"
+      "# TYPE cepshed_guard_level gauge\n");
+  for (size_t i = 0; i < snap.shards.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "cepshed_guard_level{shard=\"%zu\"} %" PRId64 "\n",
+                  i, snap.shards[i].guard_level);
+    out.append(buf);
+  }
+
+  AppendHistogram(&out, "cepshed_event_cost",
+                  "Per-event engine latency in cost units", snap,
+                  &ShardObsSnapshot::event_cost);
+  AppendHistogram(&out, "cepshed_queue_wait_microseconds",
+                  "Router wait on a full shard queue", snap,
+                  &ShardObsSnapshot::queue_wait_us);
+  AppendHistogram(&out, "cepshed_shed_trigger_microseconds",
+                  "Wall-clock duration of shedder re-plans", snap,
+                  &ShardObsSnapshot::shed_trigger_us);
+  AppendHistogram(&out, "cepshed_knapsack_microseconds",
+                  "Wall-clock duration of knapsack solves", snap,
+                  &ShardObsSnapshot::knapsack_us);
+
+  out.append(
+      "# HELP cepshed_audit_entries_total Shed/guard decisions recorded in "
+      "the audit ring\n"
+      "# TYPE cepshed_audit_entries_total counter\n");
+  for (size_t i = 0; i < snap.shards.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "cepshed_audit_entries_total{shard=\"%zu\"} %zu\n",
+                  i, snap.shards[i].audit.size());
+    out.append(buf);
+  }
+  return out;
+}
+
+std::string RenderJson(const RegistrySnapshot& snap) {
+  std::ostringstream out;
+  out << "{\"shards\":[";
+  for (size_t i = 0; i < snap.shards.size(); ++i) {
+    if (i > 0) out << ",";
+    AppendJsonShard(&out, snap.shards[i]);
+  }
+  out << "],\"total\":";
+  AppendJsonShard(&out, snap.total);
+  out << "}";
+  return out.str();
+}
+
+bool WriteMetricsFile(const std::string& path, const RegistrySnapshot& snap) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  file << (json ? RenderJson(snap) : RenderPrometheus(snap));
+  return static_cast<bool>(file);
+}
+
+}  // namespace obs
+}  // namespace cepshed

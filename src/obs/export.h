@@ -1,0 +1,32 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Text exporters for a metrics snapshot: the Prometheus exposition format
+// (per-shard series under a `shard` label, histograms as cumulative `le`
+// buckets) and a JSON document (which additionally carries the decoded
+// shed-decision audit trail). See DESIGN.md §3.3 for the metric and label
+// scheme.
+
+#ifndef CEPSHED_OBS_EXPORT_H_
+#define CEPSHED_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+
+namespace cepshed {
+namespace obs {
+
+/// Renders the snapshot in the Prometheus text exposition format.
+std::string RenderPrometheus(const RegistrySnapshot& snap);
+
+/// Renders the snapshot (including the audit trail) as a JSON document.
+std::string RenderJson(const RegistrySnapshot& snap);
+
+/// Writes `RenderPrometheus` or `RenderJson` output to `path`, chosen by
+/// the file extension (".json" selects JSON). Returns false on I/O error.
+bool WriteMetricsFile(const std::string& path, const RegistrySnapshot& snap);
+
+}  // namespace obs
+}  // namespace cepshed
+
+#endif  // CEPSHED_OBS_EXPORT_H_

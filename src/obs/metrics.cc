@@ -1,0 +1,142 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+namespace cepshed {
+namespace obs {
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  const double clamped = std::min(std::max(q, 0.0), 1.0);
+  uint64_t rank = static_cast<uint64_t>(clamped * static_cast<double>(count - 1)) + 1;
+  uint64_t cumulative = 0;
+  for (int i = 0; i < LogHistogram::kNumBuckets; ++i) {
+    cumulative += buckets[static_cast<size_t>(i)];
+    if (cumulative >= rank) {
+      // Geometric bucket midpoint; cap at the observed max so the top
+      // bucket cannot report beyond any recorded value.
+      const double mid =
+          std::sqrt(LogHistogram::BucketLower(i) * LogHistogram::BucketUpper(i));
+      return max > 0.0 ? std::min(mid, max) : mid;
+    }
+  }
+  return max;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (buckets.empty()) buckets.assign(LogHistogram::kNumBuckets, 0);
+  for (size_t i = 0; i < other.buckets.size(); ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+HistogramSnapshot LogHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[static_cast<size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[static_cast<size_t>(i)];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = DoubleOf(max_bits_.load(std::memory_order_relaxed));
+  return snap;
+}
+
+void LogHistogram::Reset() {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_bits_.store(0, std::memory_order_relaxed);
+}
+
+double LogHistogram::BucketLower(int idx) {
+  const int octave = idx / kSubBuckets;
+  const int sub = idx % kSubBuckets;
+  // Bucket [lower, upper) spans mantissa [0.5 + sub/64, 0.5 + (sub+1)/64)
+  // at exponent kMinExp + octave + 1 (see BucketIndex).
+  const double mant = 0.5 + static_cast<double>(sub) / (2.0 * kSubBuckets);
+  return std::ldexp(mant, kMinExp + octave + 1);
+}
+
+double LogHistogram::BucketUpper(int idx) {
+  const int octave = idx / kSubBuckets;
+  const int sub = idx % kSubBuckets;
+  const double mant = 0.5 + static_cast<double>(sub + 1) / (2.0 * kSubBuckets);
+  return std::ldexp(mant, kMinExp + octave + 1);
+}
+
+ShardObsSnapshot SnapshotShard(const ShardObs& o) {
+  ShardObsSnapshot s;
+  s.events_routed = o.events_routed.Load();
+  s.events_processed = o.events_processed.Load();
+  s.events_dropped_shedder = o.events_dropped_shedder.Load();
+  s.events_dropped_guard = o.events_dropped_guard.Load();
+  s.events_lost = o.events_lost.Load();
+  s.matches_emitted = o.matches_emitted.Load();
+  s.pms_shed = o.pms_shed.Load();
+  s.shed_triggers = o.shed_triggers.Load();
+  s.knapsack_solves = o.knapsack_solves.Load();
+  s.guard_transitions = o.guard_transitions.Load();
+  s.queue_push_timeouts = o.queue_push_timeouts.Load();
+  for (int c = 0; c < ShardObs::kNumClasses; ++c) {
+    s.shed_by_class[c] = o.shed_by_class[c].Load();
+  }
+  s.guard_level = o.guard_level.Load();
+  s.event_cost = o.event_cost.Snapshot();
+  s.queue_wait_us = o.queue_wait_us.Snapshot();
+  s.shed_trigger_us = o.shed_trigger_us.Snapshot();
+  s.knapsack_us = o.knapsack_us.Snapshot();
+  s.audit = o.audit.Snapshot();
+  return s;
+}
+
+void ShardObsSnapshot::Merge(const ShardObsSnapshot& other) {
+  events_routed += other.events_routed;
+  events_processed += other.events_processed;
+  events_dropped_shedder += other.events_dropped_shedder;
+  events_dropped_guard += other.events_dropped_guard;
+  events_lost += other.events_lost;
+  matches_emitted += other.matches_emitted;
+  pms_shed += other.pms_shed;
+  shed_triggers += other.shed_triggers;
+  knapsack_solves += other.knapsack_solves;
+  guard_transitions += other.guard_transitions;
+  queue_push_timeouts += other.queue_push_timeouts;
+  for (int c = 0; c < ShardObs::kNumClasses; ++c) {
+    shed_by_class[c] += other.shed_by_class[c];
+  }
+  guard_level = std::max(guard_level, other.guard_level);
+  event_cost.Merge(other.event_cost);
+  queue_wait_us.Merge(other.queue_wait_us);
+  shed_trigger_us.Merge(other.shed_trigger_us);
+  knapsack_us.Merge(other.knapsack_us);
+  audit.insert(audit.end(), other.audit.begin(), other.audit.end());
+  std::stable_sort(audit.begin(), audit.end(),
+                   [](const AuditEntry& a, const AuditEntry& b) {
+                     if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+                     if (a.shard != b.shard) return a.shard < b.shard;
+                     return a.index < b.index;
+                   });
+}
+
+RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  snap.shards.reserve(shards_.size());
+  for (const std::unique_ptr<ShardObs>& s : shards_) {
+    snap.shards.push_back(SnapshotShard(*s));
+  }
+  snap.total.event_cost.buckets.assign(LogHistogram::kNumBuckets, 0);
+  snap.total.queue_wait_us.buckets.assign(LogHistogram::kNumBuckets, 0);
+  snap.total.shed_trigger_us.buckets.assign(LogHistogram::kNumBuckets, 0);
+  snap.total.knapsack_us.buckets.assign(LogHistogram::kNumBuckets, 0);
+  for (const ShardObsSnapshot& s : snap.shards) snap.total.Merge(s);
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace cepshed

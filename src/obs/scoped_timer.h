@@ -1,0 +1,41 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// RAII wall-clock trace hook: times a scope and records the elapsed
+// microseconds into a LogHistogram on destruction. A null histogram makes
+// the timer a no-op without reading the clock, so instrumented call sites
+// cost one branch when observability is off.
+
+#ifndef CEPSHED_OBS_SCOPED_TIMER_H_
+#define CEPSHED_OBS_SCOPED_TIMER_H_
+
+#include <chrono>
+
+#include "src/obs/metrics.h"
+
+namespace cepshed {
+namespace obs {
+
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(LogHistogram* hist) : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimerUs() {
+    if (hist_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->Record(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  LogHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace cepshed
+
+#endif  // CEPSHED_OBS_SCOPED_TIMER_H_

@@ -85,6 +85,10 @@ ExperimentResult ExperimentHarness::RunWith(Shedder* shedder, CostModel* model,
     });
   }
   ShedRunner runner(&engine, shedder, options_.latency);
+  if (options_.metrics != nullptr) {
+    options_.metrics->EnsureShards(1);
+    runner.set_obs(options_.metrics->shard(0));
+  }
   ExperimentResult result;
   result.name = shedder->Name();
   result.raw = runner.Run(test_, pm_sample_stride);

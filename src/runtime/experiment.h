@@ -14,6 +14,7 @@
 
 #include "src/cep/engine.h"
 #include "src/cep/nfa.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/latency_monitor.h"
 #include "src/runtime/metrics.h"
 #include "src/shed/controller.h"
@@ -56,6 +57,10 @@ struct HarnessOptions {
   uint64_t state_shed_period = 500;
   KnapsackMode solver = KnapsackMode::kDP;
   uint64_t seed = 7;
+  /// Optional observability registry (not owned, may be null). Harness
+  /// runs are single-engine, so every strategy run records into slot 0:
+  /// per-event counters, the cost histogram, shed-decision audit entries.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// \brief Outcome of one strategy run.

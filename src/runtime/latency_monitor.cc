@@ -26,6 +26,14 @@ void LatencyMonitor::Record(double latency) {
   ++count_;
 
   if (options_.stat == LatencyStat::kAverage) {
+    // The incremental add/subtract accumulates floating-point error over
+    // millions of records; re-sum the ring exactly once per window's worth
+    // of records to keep the drift bounded.
+    if (++since_refresh_ >= options_.window) {
+      since_refresh_ = 0;
+      window_sum_ = 0.0;
+      for (size_t i = 0; i < filled_; ++i) window_sum_ += ring_[i];
+    }
     current_ = window_sum_ / static_cast<double>(filled_);
     return;
   }

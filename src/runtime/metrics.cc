@@ -39,8 +39,17 @@ QualityMetrics ComputeQualityInRange(const std::vector<Match>& found,
   for (const Match& m : found) {
     if (m.detected_at < t_begin || m.detected_at >= t_end) continue;
     ++q.found;
+    // A true positive must correspond to a truth entry *in this bucket*:
+    // under shedding-induced detection delay a match can be found in a later
+    // bucket than the truth detected it in, and counting it against this
+    // bucket's truth_size would let recall exceed 1.
     if (truth.Contains(m.Key())) {
-      ++q.true_positives;
+      const Timestamp truth_ts = truth.DetectedAt(m.Key());
+      if (truth_ts >= t_begin && truth_ts < t_end) {
+        ++q.true_positives;
+      } else {
+        ++q.false_positives;
+      }
     } else {
       ++q.false_positives;
     }

@@ -72,9 +72,12 @@ Result<MultiQueryResult> MultiQueryRunner::Run(const EventStream& stream, double
     std::unique_ptr<CostModel> model;
     std::unique_ptr<HybridShedder> shedder;
     std::unique_ptr<LatencyMonitor> monitor;
+    obs::ShardObs* obs = nullptr;
+    size_t obs_matches_seen = 0;
     double total_cost = 0.0;
   };
   std::vector<PerQuery> running(queries_.size());
+  if (metrics_ != nullptr) metrics_->EnsureShards(static_cast<int>(queries_.size()));
   MultiQueryResult result;
   result.queries.resize(queries_.size());
 
@@ -101,6 +104,12 @@ Result<MultiQueryResult> MultiQueryRunner::Run(const EventStream& stream, double
       query_run.shedder = std::make_unique<HybridShedder>(model, opts);
       query_run.shedder->Bind(query_run.engine.get());
     }
+    if (metrics_ != nullptr) {
+      query_run.obs = metrics_->shard(static_cast<int>(q));
+      if (query_run.shedder != nullptr) {
+        query_run.shedder->set_obs(query_run.obs, static_cast<int>(q));
+      }
+    }
     query_run.monitor = std::make_unique<LatencyMonitor>();
     if (queries_[q].query.name.empty()) {
       result.queries[q].name = "q";
@@ -118,6 +127,18 @@ Result<MultiQueryResult> MultiQueryRunner::Run(const EventStream& stream, double
         cost = 0.05;
       } else {
         cost = query_run.engine->Process(event, &result.queries[q].matches);
+        if (query_run.obs != nullptr) {
+          query_run.obs->events_processed.Add();
+          const size_t n = result.queries[q].matches.size();
+          if (n != query_run.obs_matches_seen) {
+            query_run.obs->matches_emitted.Add(n - query_run.obs_matches_seen);
+            query_run.obs_matches_seen = n;
+          }
+        }
+      }
+      if (query_run.obs != nullptr) {
+        query_run.obs->events_routed.Add();
+        query_run.obs->event_cost.Record(cost);
       }
       query_run.monitor->Record(cost);
       query_run.total_cost += cost;

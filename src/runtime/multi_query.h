@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/cep/engine.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/latency_monitor.h"
 #include "src/runtime/metrics.h"
 #include "src/shed/cost_model.h"
@@ -69,6 +70,11 @@ class MultiQueryRunner {
   /// Training-stream average per-event cost of one query (post-Prepare).
   double BaselineCost(size_t q) const { return baseline_cost_[q]; }
 
+  /// Attaches an observability registry (optional; not owned): each query
+  /// then records into its own slot — slot q for query q — so the exported
+  /// "shard" label identifies the query.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   const Schema* schema_;
   std::vector<WeightedQuery> queries_;
@@ -79,6 +85,7 @@ class MultiQueryRunner {
   std::vector<std::unique_ptr<CostModel>> models_;
   std::vector<std::vector<double>> utility_samples_;
   std::vector<double> baseline_cost_;
+  obs::MetricsRegistry* metrics_ = nullptr;
   bool prepared_ = false;
 };
 

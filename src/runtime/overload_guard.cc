@@ -59,8 +59,11 @@ bool OverloadGuard::ShouldDropInput(uint64_t seq) {
 void OverloadGuard::Observe(double mu, size_t queue_size, size_t queue_capacity,
                             Timestamp now) {
   if (!options_.enabled) return;
-  (void)now;  // event time is accepted (and may be skewed/non-monotonic);
-              // all guard decisions key off event counts and signals.
+  // Event time is accepted (and may be skewed/non-monotonic); all guard
+  // decisions key off event counts and signals. It is kept, with mu, as
+  // audit context for ladder transitions.
+  last_mu_ = mu;
+  last_now_ = now;
   ++stats_.events_observed;
 
   const size_t bytes = engine_ != nullptr ? engine_->ApproxStateBytes() : 0;
@@ -145,6 +148,16 @@ void OverloadGuard::SetLevel(GuardLevel level) {
     ++stats_.escalations;
   } else {
     ++stats_.de_escalations;
+  }
+  if (obs_ != nullptr) {
+    obs_->guard_transitions.Add();
+    obs_->guard_level.Set(static_cast<int64_t>(level));
+    // class_label packs from|to<<8; detail is the transition ordinal.
+    obs_->audit.Record(obs::AuditKind::kGuardTransition,
+                       static_cast<uint8_t>(obs_shard_), last_now_,
+                       static_cast<int32_t>(stats_.level) |
+                           (static_cast<int32_t>(level) << 8),
+                       last_mu_, stats_.escalations + stats_.de_escalations);
   }
   stats_.level = level;
   stats_.peak_level = std::max(stats_.peak_level, level);

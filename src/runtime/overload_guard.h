@@ -39,6 +39,7 @@
 #include <cstdint>
 
 #include "src/cep/engine.h"
+#include "src/obs/metrics.h"
 #include "src/shed/baselines.h"
 
 namespace cepshed {
@@ -143,6 +144,14 @@ class OverloadGuard {
   /// Current rho_I drop probability (diagnostics).
   double drop_rate() const { return drop_rate_; }
 
+  /// Attaches the shard's observability sink (optional; not owned). Ladder
+  /// transitions are then counted, mirrored into the guard-level gauge,
+  /// and recorded in the shed-decision audit ring.
+  void set_obs(obs::ShardObs* o, int shard_id = 0) {
+    obs_ = o;
+    obs_shard_ = shard_id;
+  }
+
   /// Clears counters and returns to kNormal (between runs).
   void Reset();
 
@@ -157,6 +166,11 @@ class OverloadGuard {
 
   Options options_;
   Engine* engine_ = nullptr;
+  obs::ShardObs* obs_ = nullptr;
+  int obs_shard_ = 0;
+  /// Last Observe context (audit trail for SetLevel transitions).
+  double last_mu_ = 0.0;
+  Timestamp last_now_ = 0;
   Engine::PmUtilityFn utility_;
   /// Violation-proportional rho_I rate when a latency bound is set.
   std::optional<DropRateController> controller_;

@@ -249,6 +249,10 @@ struct ShardRuntime::ShardState {
   std::unique_ptr<Engine> engine;
   std::unique_ptr<Shedder> shedder;
   std::unique_ptr<OverloadGuard> guard;
+  /// Observability slot of this shard (not owned; null = disabled).
+  obs::ShardObs* obs = nullptr;
+  /// Matches already counted into obs->matches_emitted.
+  size_t obs_matches_seen = 0;
   /// Not owned; null when no faults target this run.
   const FaultInjector* faults = nullptr;
   LatencyMonitor monitor;
@@ -284,8 +288,10 @@ struct ShardRuntime::ShardState {
     if (faults != nullptr) injected = faults->OnConsume(shard_id, consumed);
     ++consumed;
     ++result.events_routed;
+    if (obs != nullptr) obs->events_routed.Add();
     if (injected.die) {
       ++result.events_lost;
+      if (obs != nullptr) obs->events_lost.Add();
       return true;
     }
     if (injected.stall_us > 0) {
@@ -296,13 +302,27 @@ struct ShardRuntime::ShardState {
       // Guard rho_I: counted as a drop like any other input shedding.
       ++result.events_dropped;
       cost = ShedRunner::kDroppedEventCost;
+      if (obs != nullptr) {
+        obs->events_dropped_guard.Add();
+        obs->audit.Record(obs::AuditKind::kGuardDrop,
+                          static_cast<uint8_t>(shard_id), event->timestamp(),
+                          -1, monitor.Current(), event->seq());
+      }
     } else if (shedder != nullptr && shedder->FilterEvent(*event)) {
       ++result.events_dropped;
       cost = ShedRunner::kDroppedEventCost;
     } else {
       cost = engine->Process(event, &matches);
       ++result.events_processed;
+      if (obs != nullptr) {
+        obs->events_processed.Add();
+        if (matches.size() != obs_matches_seen) {
+          obs->matches_emitted.Add(matches.size() - obs_matches_seen);
+          obs_matches_seen = matches.size();
+        }
+      }
     }
+    if (obs != nullptr) obs->event_cost.Record(cost * injected.cost_multiplier);
     monitor.Record(cost * injected.cost_multiplier);
     if (shedder != nullptr) {
       const double theta = shedder->theta();
@@ -402,6 +422,10 @@ void ShardRuntime::AbandonShard(ShardState* s) const {
   while (s->queue->Pop(&event)) {
     ++s->result.events_routed;
     ++s->result.events_lost;
+    if (s->obs != nullptr) {
+      s->obs->events_routed.Add();
+      s->obs->events_lost.Add();
+    }
   }
   s->Finish();
 }
@@ -421,6 +445,10 @@ void ShardRuntime::FinishDeadShard(ShardState* s) const {
     if (draining) {
       ++s->result.events_routed;
       ++s->result.events_lost;
+      if (s->obs != nullptr) {
+        s->obs->events_routed.Add();
+        s->obs->events_lost.Add();
+      }
       continue;
     }
     if (s->Consume(event)) {
@@ -484,6 +512,9 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
       (opts_.faults != nullptr && !opts_.faults->empty()) ? opts_.faults : nullptr;
   std::vector<std::unique_ptr<ShardState>> shards;
   shards.reserve(static_cast<size_t>(opts_.num_shards));
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->EnsureShards(opts_.num_shards);
+  }
   for (int i = 0; i < opts_.num_shards; ++i) {
     auto s = std::make_unique<ShardState>(opts_.latency);
     s->slice_filter = opts_.routing == ShardRouting::kWindowSlice;
@@ -491,14 +522,19 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
     s->num_shards = opts_.num_shards;
     s->slice_stride = SliceStride();
     s->faults = faults;
+    if (opts_.metrics != nullptr) s->obs = opts_.metrics->shard(i);
     s->engine = std::make_unique<Engine>(nfa_, opts_.engine);
     if (make_shedder) {
       s->shedder = make_shedder(i);
-      if (s->shedder != nullptr) s->shedder->Bind(s->engine.get());
+      if (s->shedder != nullptr) {
+        s->shedder->Bind(s->engine.get());
+        if (s->obs != nullptr) s->shedder->set_obs(s->obs, i);
+      }
     }
     if (opts_.guard.enabled) {
       s->guard = std::make_unique<OverloadGuard>(opts_.guard);
       s->guard->Attach(s->engine.get());
+      if (s->obs != nullptr) s->guard->set_obs(s->obs, i);
     }
     s->queue = std::make_unique<RingQueue<EventPtr>>(opts_.queue_capacity);
     shards.push_back(std::move(s));
@@ -524,8 +560,17 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
         ++s.result.events_rejected;
         continue;
       }
+      // Queue-wait is timed only once a push has actually blocked past the
+      // first timeout: the uncontended fast path stays clock-free.
+      bool waited = false;
+      std::chrono::steady_clock::time_point wait_start;
       for (;;) {
         const QueuePushResult r = s.queue->PushFor(event, opts_.push_timeout_us);
+        if (r != QueuePushResult::kTimedOut && waited && s.obs != nullptr) {
+          s.obs->queue_wait_us.Record(std::chrono::duration<double, std::micro>(
+                                          std::chrono::steady_clock::now() - wait_start)
+                                          .count());
+        }
         if (r == QueuePushResult::kOk) {
           ++result.routed_events;
           break;
@@ -533,6 +578,11 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
         if (r == QueuePushResult::kClosed) {
           ++s.result.events_rejected;
           break;
+        }
+        if (!waited) {
+          waited = true;
+          wait_start = std::chrono::steady_clock::now();
+          if (s.obs != nullptr) s.obs->queue_push_timeouts.Add();
         }
         // Timed out on a full queue: either the consumer is merely slow
         // (keep waiting) or its thread is gone (restart or abandon). This
@@ -578,6 +628,9 @@ Result<ShardRunResult> ShardRuntime::RunSequential(
       (opts_.faults != nullptr && !opts_.faults->empty()) ? opts_.faults : nullptr;
   std::vector<std::unique_ptr<ShardState>> shards;
   shards.reserve(static_cast<size_t>(opts_.num_shards));
+  if (opts_.metrics != nullptr) {
+    opts_.metrics->EnsureShards(opts_.num_shards);
+  }
   for (int i = 0; i < opts_.num_shards; ++i) {
     auto s = std::make_unique<ShardState>(opts_.latency);
     s->slice_filter = opts_.routing == ShardRouting::kWindowSlice;
@@ -585,14 +638,19 @@ Result<ShardRunResult> ShardRuntime::RunSequential(
     s->num_shards = opts_.num_shards;
     s->slice_stride = SliceStride();
     s->faults = faults;
+    if (opts_.metrics != nullptr) s->obs = opts_.metrics->shard(i);
     s->engine = std::make_unique<Engine>(nfa_, opts_.engine);
     if (make_shedder) {
       s->shedder = make_shedder(i);
-      if (s->shedder != nullptr) s->shedder->Bind(s->engine.get());
+      if (s->shedder != nullptr) {
+        s->shedder->Bind(s->engine.get());
+        if (s->obs != nullptr) s->shedder->set_obs(s->obs, i);
+      }
     }
     if (opts_.guard.enabled) {
       s->guard = std::make_unique<OverloadGuard>(opts_.guard);
       s->guard->Attach(s->engine.get());
+      if (s->obs != nullptr) s->guard->set_obs(s->obs, i);
     }
     shards.push_back(std::move(s));
   }
@@ -626,6 +684,10 @@ Result<ShardRunResult> ShardRuntime::RunSequential(
       if (draining) {
         ++s.result.events_routed;
         ++s.result.events_lost;
+        if (s.obs != nullptr) {
+          s.obs->events_routed.Add();
+          s.obs->events_lost.Add();
+        }
         continue;
       }
       if (s.Consume(event)) {

@@ -52,6 +52,7 @@
 #include "src/cep/stream.h"
 #include "src/common/result.h"
 #include "src/fault/fault_injector.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/latency_monitor.h"
 #include "src/runtime/overload_guard.h"
 #include "src/shed/shedder.h"
@@ -90,6 +91,11 @@ struct ShardRuntimeOptions {
   /// Optional fault schedule (not owned, may be null; immutable and shared
   /// read-only by all shards).
   const FaultInjector* faults = nullptr;
+  /// Optional observability registry (not owned, may be null). The runtime
+  /// grows it to num_shards slots before workers start; each shard then
+  /// records into its own slot lock-free, and the router/exporter read
+  /// mergeable snapshots at any time.
+  obs::MetricsRegistry* metrics = nullptr;
   /// How long a router push waits on a full shard queue before checking
   /// consumer liveness (and restarting/abandoning a dead worker). Must be
   /// positive for dead-shard detection; the push itself retries until the

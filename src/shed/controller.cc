@@ -19,8 +19,10 @@ RunResult ShedRunner::Run(const EventStream& stream, size_t pm_sample_stride) {
   std::vector<double> latencies;
   latencies.reserve(stream.size());
 
+  if (obs_ != nullptr) shedder_->set_obs(obs_);
   const auto t0 = std::chrono::steady_clock::now();
   size_t since_sample = 0;
+  size_t matches_seen = 0;
   for (const EventPtr& event : stream) {
     ++result.total_events;
     double cost;
@@ -30,6 +32,15 @@ RunResult ShedRunner::Run(const EventStream& stream, size_t pm_sample_stride) {
     } else {
       cost = engine_->Process(event, &result.matches);
       ++result.processed_events;
+      if (obs_ != nullptr) obs_->events_processed.Add();
+    }
+    if (obs_ != nullptr) {
+      obs_->events_routed.Add();
+      obs_->event_cost.Record(cost);
+      if (result.matches.size() != matches_seen) {
+        obs_->matches_emitted.Add(result.matches.size() - matches_seen);
+        matches_seen = result.matches.size();
+      }
     }
     monitor.Record(cost);
     latencies.push_back(cost);

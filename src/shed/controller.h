@@ -57,10 +57,16 @@ class ShedRunner {
   /// event is not processed at all" — only the filter runs).
   static constexpr double kDroppedEventCost = 0.05;
 
+  /// Attaches an observability sink (optional; not owned): the runner then
+  /// records per-event counters and the cost histogram, and wires the sink
+  /// into the shedder's drop/kill audit hooks.
+  void set_obs(obs::ShardObs* o) { obs_ = o; }
+
  private:
   Engine* engine_;
   Shedder* shedder_;
   LatencyMonitor::Options latency_options_;
+  obs::ShardObs* obs_ = nullptr;
 };
 
 }  // namespace cepshed

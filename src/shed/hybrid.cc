@@ -2,6 +2,8 @@
 
 #include "src/shed/hybrid.h"
 
+#include "src/obs/scoped_timer.h"
+
 #include <algorithm>
 #include <map>
 #include <tuple>
@@ -40,6 +42,12 @@ void HybridShedder::Bind(Engine* engine) {
         return false;  // exploration: keep a sample of the "worthless" class
       }
       ++pms_shed_;
+      if (obs_ != nullptr) {
+        // Standing-filter discards are consequences of the last trigger's
+        // decision: counted per class, but not re-audited one by one.
+        obs_->pms_shed.Add();
+        obs_->CountShedClass(cls);
+      }
       return true;
     });
   }
@@ -54,12 +62,13 @@ bool HybridShedder::FilterEvent(const Event& event) {
     if (options_.exploration > 0.0 && rng_.Bernoulli(options_.exploration)) {
       return false;  // exploration: admit a sample of "worthless" events
     }
-    return DropEvent();
+    return DropEvent(-1, last_mu_, event.seq(), event.timestamp());
   }
   return false;
 }
 
 void HybridShedder::AfterEvent(Timestamp now, double mu) {
+  last_mu_ = mu;
   model_->MaybeFold(now, engine_);
   if (mu <= options_.hysteresis * options_.theta) {
     // Comfortably within the bound: rho_I stops (§IV-C) and escalation
@@ -78,6 +87,9 @@ void HybridShedder::AfterEvent(Timestamp now, double mu) {
   const double violation = trigger_.Check(mu);
   if (violation <= 0.0) return;
   ++triggers_;
+  obs::ScopedTimerUs trigger_timer(obs_ != nullptr ? &obs_->shed_trigger_us
+                                                   : nullptr);
+  if (obs_ != nullptr) obs_->shed_triggers.Add();
   // State shedding alone is not bringing the latency down: escalate the
   // input filter one utility class at a time; back off when improving.
   if (last_violation_ > 0.0 && violation >= 0.8 * last_violation_) {
@@ -87,8 +99,13 @@ void HybridShedder::AfterEvent(Timestamp now, double mu) {
   }
   last_violation_ = violation;
 
-  const std::vector<SheddingSetItem> shed_set =
-      SelectSheddingSet(engine_, *model_, violation, now, options_.solver);
+  std::vector<SheddingSetItem> shed_set;
+  {
+    obs::ScopedTimerUs knapsack_timer(obs_ != nullptr ? &obs_->knapsack_us
+                                                      : nullptr);
+    if (obs_ != nullptr) obs_->knapsack_solves.Add();
+    shed_set = SelectSheddingSet(engine_, *model_, violation, now, options_.solver);
+  }
   if (shed_set.empty()) return;
 
   if (options_.enable_state) {
@@ -149,15 +166,15 @@ void HybridShedder::AfterEvent(Timestamp now, double mu) {
       const int slice = model_->SliceOfAge(now - pm->start_ts);
       const std::tuple<int, int32_t, int> key{pm->state, cls, slice};
       if (zero_keys_.count(key) > 0) {
-        KillPm(pm);
+        KillPm(pm, mu, now);
       } else if (lossy_fraction_ > 0.0 && lossy_keys_.count(key) > 0 &&
                  rng_.Bernoulli(lossy_fraction_)) {
-        KillPm(pm);
+        KillPm(pm, mu, now);
       }
     });
     if (!kill_witnesses.empty()) {
       engine_->store().ForEachAliveWitness([&](PartialMatch* pm) {
-        if (kill_witnesses.count(pm->negated_elem) > 0) KillPm(pm);
+        if (kill_witnesses.count(pm->negated_elem) > 0) KillPm(pm, mu, now);
       });
     }
   }
@@ -224,7 +241,7 @@ HybridFixedStateShedder::HybridFixedStateShedder(const CostModel* model,
                                                  uint64_t seed)
     : model_(model), fraction_(fraction), period_(period == 0 ? 1 : period), rng_(seed) {}
 
-void HybridFixedStateShedder::AfterEvent(Timestamp now, double) {
+void HybridFixedStateShedder::AfterEvent(Timestamp now, double mu) {
   if (++events_seen_ % period_ != 0 || fraction_ <= 0.0) return;
 
   // Rank live (state, class, slice) groups by the recall lost per unit of
@@ -251,7 +268,7 @@ void HybridFixedStateShedder::AfterEvent(Timestamp now, double) {
   // Witnesses first: zero contribution.
   engine_->store().ForEachAliveWitness([&](PartialMatch* pm) {
     if (target == 0) return;
-    KillPm(pm);
+    KillPm(pm, mu, now);
     --target;
   });
   if (target == 0) return;
@@ -289,9 +306,9 @@ void HybridFixedStateShedder::AfterEvent(Timestamp now, double) {
     const std::tuple<int, int32_t, int> key{pm->state, cls,
                                             model_->SliceOfAge(now - pm->start_ts)};
     if (kill_keys.count(key) > 0) {
-      KillPm(pm);
+      KillPm(pm, mu, now);
     } else if (key == partial_key && rng_.Bernoulli(partial_prob)) {
-      KillPm(pm);
+      KillPm(pm, mu, now);
     }
   });
 }

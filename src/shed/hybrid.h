@@ -111,6 +111,9 @@ class HybridShedder : public Shedder {
   int escalation_level_ = 0;
   /// Kill probability applied to members of lossy_keys_ this trigger.
   double lossy_fraction_ = 1.0;
+  /// Smoothed latency of the last AfterEvent (audit context for drops
+  /// decided inside FilterEvent, which does not see mu).
+  double last_mu_ = 0.0;
   Rng rng_{1234};
 };
 

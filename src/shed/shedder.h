@@ -16,6 +16,7 @@
 #include <string>
 
 #include "src/cep/engine.h"
+#include "src/obs/metrics.h"
 
 namespace cepshed {
 
@@ -55,21 +56,45 @@ class Shedder {
   /// Partial matches (incl. witnesses) discarded by rho_S so far.
   uint64_t pms_shed() const { return pms_shed_; }
 
+  /// Attaches the shard's observability sink (optional; not owned). Drop
+  /// and kill decisions are then counted per class and recorded in the
+  /// shed-decision audit ring, tagged with `shard`.
+  void set_obs(obs::ShardObs* o, int shard = 0) {
+    obs_ = o;
+    obs_shard_ = static_cast<uint8_t>(shard);
+  }
+
  protected:
-  /// Bookkeeping helper for rho_I implementations.
-  bool DropEvent() {
+  /// Bookkeeping helper for rho_I implementations. `cls` is the event's
+  /// model class (negative = unclassified); `mu` the smoothed latency and
+  /// `seq`/`now` the event identity, for the audit trail.
+  bool DropEvent(int cls = -1, double mu = 0.0, uint64_t seq = 0,
+                 Timestamp now = 0) {
     ++events_dropped_;
+    if (obs_ != nullptr) {
+      obs_->events_dropped_shedder.Add();
+      obs_->CountShedClass(cls);
+      obs_->audit.Record(obs::AuditKind::kDropEvent, obs_shard_, now, cls, mu, seq);
+    }
     return true;
   }
   /// Bookkeeping helper for rho_S implementations.
-  void KillPm(PartialMatch* pm) {
+  void KillPm(PartialMatch* pm, double mu = 0.0, Timestamp now = 0) {
     if (pm->alive) {
       engine_->store().Kill(pm);
       ++pms_shed_;
+      if (obs_ != nullptr) {
+        obs_->pms_shed.Add();
+        obs_->CountShedClass(pm->class_label);
+        obs_->audit.Record(obs::AuditKind::kKillPm, obs_shard_, now,
+                           pm->class_label, mu, pm->events.size());
+      }
     }
   }
 
   Engine* engine_ = nullptr;
+  obs::ShardObs* obs_ = nullptr;
+  uint8_t obs_shard_ = 0;
   uint64_t events_dropped_ = 0;
   uint64_t pms_shed_ = 0;
 };

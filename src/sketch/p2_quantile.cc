@@ -24,6 +24,7 @@ void P2Quantile::Reset() {
   for (int i = 0; i < 5; ++i) {
     heights_[i] = 0;
     positions_[i] = i + 1;
+    evidence_[i] = MarkerEvidence{};
   }
 }
 
@@ -42,6 +43,64 @@ double P2Quantile::Linear(int i, double d) const {
   const int j = i + static_cast<int>(d);
   return heights_[i] + d * (heights_[j] - heights_[i]) /
                            (positions_[j] - positions_[i]);
+}
+
+void P2Quantile::ObserveEvidence(int i, double x) {
+  // An observation equal to the marker height means the marker sits on real
+  // data; any accumulated suspicion about it is void.
+  if (x == heights_[i]) {
+    evidence_[i] = MarkerEvidence{};
+    return;
+  }
+  MarkerEvidence& e = evidence_[i];
+  ++e.total;
+  if (x < heights_[i]) {
+    ++e.below;
+    if (e.lo_run > 0 && x == e.lo_value) {
+      ++e.lo_run;
+    } else {
+      e.lo_value = x;
+      e.lo_run = 1;
+    }
+  } else {
+    if (e.hi_run > 0 && x == e.hi_value) {
+      ++e.hi_run;
+    } else {
+      e.hi_value = x;
+      e.hi_run = 1;
+    }
+  }
+
+  // Only act once enough observations have landed near this marker that the
+  // empirical below-fraction is meaningful; extreme-quantile markers see
+  // interior observations rarely, so the floor scales with 1 / P(inside).
+  const double p_inside = increments_[i + 1] - increments_[i - 1];
+  const double n_min = std::max(64.0, 8.0 / std::max(p_inside, 1e-6));
+  if (static_cast<double>(e.total) < n_min) return;
+
+  const double frac_below =
+      static_cast<double>(e.below) / static_cast<double>(e.total);
+  const double se =
+      std::sqrt(std::max(increments_[i] * (1 - increments_[i]), 1e-12) /
+                static_cast<double>(e.total));
+  const size_t persist = std::max(static_cast<size_t>(n_min), count_ / 4);
+  const size_t above = e.total - e.below;
+
+  // Snap a starved marker onto a persistent atom: the empirical rank of the
+  // marker height is >3 sigma away from its target quantile, and (nearly)
+  // every observation on the heavy side is one identical value that has
+  // persisted for a quarter of the stream. Continuous streams never trip
+  // this (a run of bit-identical doubles has vanishing probability).
+  if (frac_below - increments_[i] > 3 * se && e.lo_run >= persist &&
+      e.lo_run >= static_cast<size_t>(0.9 * static_cast<double>(e.below))) {
+    heights_[i] = std::clamp(e.lo_value, heights_[i - 1], heights_[i + 1]);
+    evidence_[i] = MarkerEvidence{};
+  } else if (increments_[i] - frac_below > 3 * se && e.hi_run >= persist &&
+             e.hi_run >=
+                 static_cast<size_t>(0.9 * static_cast<double>(above))) {
+    heights_[i] = std::clamp(e.hi_value, heights_[i - 1], heights_[i + 1]);
+    evidence_[i] = MarkerEvidence{};
+  }
 }
 
 void P2Quantile::Add(double x) {
@@ -63,6 +122,21 @@ void P2Quantile::Add(double x) {
     while (k < 3 && x >= heights_[k + 1]) ++k;
   }
 
+  // Tie-aware cell selection: when `x` equals a run of tied marker heights,
+  // the textbook scan credits only the cell above the run, starving the tied
+  // markers' positions. Route the observation to the first tied marker whose
+  // position is behind its desired position instead.
+  if (x == heights_[k]) {
+    int first_tied = k;
+    while (first_tied > 0 && heights_[first_tied - 1] == x) --first_tied;
+    for (int j = first_tied; j <= k; ++j) {
+      if (desired_[j] > positions_[j]) {
+        k = j > 0 ? j - 1 : 0;
+        break;
+      }
+    }
+  }
+
   for (int i = k + 1; i < 5; ++i) positions_[i] += 1;
   for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
 
@@ -77,10 +151,16 @@ void P2Quantile::Add(double x) {
       } else {
         heights_[i] = Linear(i, sign);
       }
+      // The parabolic formula can produce non-monotone heights on degenerate
+      // marker spacings; clamping keeps the height vector a valid quantile
+      // staircase.
+      heights_[i] = std::clamp(heights_[i], heights_[i - 1], heights_[i + 1]);
       positions_[i] += sign;
     }
   }
   ++count_;
+
+  for (int i = 1; i <= 3; ++i) ObserveEvidence(i, x);
 }
 
 double P2Quantile::Value() const {

@@ -3,6 +3,16 @@
 // The P^2 (piecewise-parabolic) streaming quantile estimator of Jain &
 // Chlamtac (1985). Used for the 95th/99th-percentile latency bounds of the
 // paper's experiments and for quantile-threshold input shedding.
+//
+// The textbook algorithm assumes a continuous input distribution. CEP
+// latencies are deterministic cost units, i.e. *atomic* distributions, on
+// which the textbook marker updates degenerate: observations tied with a run
+// of equal marker heights all land in the highest tied cell, starving the
+// middle markers, and parabolic/linear interpolation then places marker
+// heights inside empty value gaps, so Value() can drift far from any
+// observed value. This implementation hardens the marker updates against
+// that failure mode (see Add) while remaining bit-identical to the textbook
+// algorithm on continuous streams.
 
 #ifndef CEPSHED_SKETCH_P2_QUANTILE_H_
 #define CEPSHED_SKETCH_P2_QUANTILE_H_
@@ -29,14 +39,29 @@ class P2Quantile {
   void Reset();
 
  private:
+  // Per-interior-marker evidence used to detect a persistent atom (a single
+  // value carrying nearly all probability mass on one side of the marker).
+  // `lo_run` / `hi_run` count the current run of *consecutive identical*
+  // observations below / at-or-above the marker height.
+  struct MarkerEvidence {
+    size_t total = 0;   // observations accumulated since last reset
+    size_t below = 0;   // of which strictly below heights_[i]
+    double lo_value = 0;
+    double hi_value = 0;
+    size_t lo_run = 0;
+    size_t hi_run = 0;
+  };
+
   double Parabolic(int i, double d) const;
   double Linear(int i, double d) const;
+  void ObserveEvidence(int i, double x);
 
   double q_;
   double heights_[5];
   double positions_[5];
   double desired_[5];
   double increments_[5];
+  MarkerEvidence evidence_[5];
   size_t count_ = 0;
 };
 

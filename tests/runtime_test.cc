@@ -52,6 +52,31 @@ TEST(LatencyMonitorTest, PercentileTracksWindow) {
   EXPECT_GE(monitor.Current(), 900.0);
 }
 
+TEST(LatencyMonitorTest, AverageResistsLongRunDrift) {
+  // Regression: the incremental window_sum_ add/subtract accumulates
+  // floating-point residue. While a 1e15 spike sits in the window every
+  // 0.1 added rounds to a multiple of 0.125, and that residue survives the
+  // spike's eviction; before the periodic exact recompute the reported
+  // average converged to ~0.125 instead of 0.1 (25% off).
+  LatencyMonitor::Options opts;
+  opts.stat = LatencyStat::kAverage;
+  opts.window = 1000;
+  LatencyMonitor monitor(opts);
+  std::vector<double> reference(opts.window, 0.0);
+  size_t ref_head = 0;
+  const size_t total = 2'000'000;
+  for (size_t i = 0; i < total; ++i) {
+    const double v = (i % 10'000 == 0) ? 1e15 : 0.1;
+    monitor.Record(v);
+    reference[ref_head] = v;
+    ref_head = (ref_head + 1) % opts.window;
+  }
+  double naive = 0.0;
+  for (double v : reference) naive += v;
+  naive /= static_cast<double>(opts.window);
+  EXPECT_NEAR(monitor.Current(), naive, 1e-6);
+}
+
 TEST(LatencyMonitorTest, ResetClears) {
   LatencyMonitor monitor;
   monitor.Record(10);
@@ -132,6 +157,43 @@ TEST(MetricsTest, RecallAndPrecision) {
   const auto range = ComputeQualityInRange({m1, m2}, truth, 0, 3);
   EXPECT_EQ(range.truth_size, 1u);  // only m1 detected before ts 3
   EXPECT_DOUBLE_EQ(range.recall, 1.0);
+}
+
+TEST(MetricsTest, BoundaryStraddlingMatchIsNotABucketTruePositive) {
+  // Regression: under shedding-induced detection delay a match can be found
+  // in a later bucket than the truth detected it in. It must count as a
+  // false positive for that bucket, not a true positive — otherwise
+  // true_positives can exceed truth_size and recall exceeds 1.0.
+  Schema schema = MakeDs1Schema();
+  auto ev = [&](uint64_t seq) {
+    return std::make_shared<Event>(0, static_cast<Timestamp>(seq), seq,
+                                   std::vector<Value>{Value(1), Value(1)});
+  };
+  Match m1;
+  m1.events = {ev(1), ev(2)};
+  m1.slot_end = {1, 2};
+  m1.detected_at = 2;  // truth: detected in bucket [0, 3)
+  Match m2;
+  m2.events = {ev(3), ev(4)};
+  m2.slot_end = {1, 2};
+  m2.detected_at = 4;  // truth: detected in bucket [3, 6)
+  GroundTruth truth(std::vector<Match>{m1, m2});
+
+  Match m1_delayed = m1;
+  m1_delayed.detected_at = 5;  // same match, found late, straddles boundary
+
+  const auto late = ComputeQualityInRange({m1_delayed, m2}, truth, 3, 6);
+  EXPECT_EQ(late.truth_size, 1u);  // only m2's truth detection is in range
+  EXPECT_EQ(late.true_positives, 1u);
+  EXPECT_EQ(late.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(late.recall, 1.0);  // pre-fix: 2.0
+  EXPECT_DOUBLE_EQ(late.precision, 0.5);
+
+  // The bucket the truth detection belongs to simply misses the match.
+  const auto early = ComputeQualityInRange({m1_delayed, m2}, truth, 0, 3);
+  EXPECT_EQ(early.truth_size, 1u);
+  EXPECT_EQ(early.true_positives, 0u);
+  EXPECT_DOUBLE_EQ(early.recall, 0.0);
 }
 
 TEST(MetricsTest, EmptyEdgeCases) {

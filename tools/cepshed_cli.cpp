@@ -10,6 +10,14 @@
 //               [--lenient]
 //               [--fault-schedule SPEC --fault-seed N]
 //               [--guard-theta COST --memory-budget-mb MB]
+//               [--metrics-out FILE[.json|.prom] --metrics-interval SEC]
+//
+// --metrics-out exports the run's observability snapshot (per-shard event
+// counters, shed counts by class, guard-level transitions, latency
+// histograms, and the shed-decision audit trail) as Prometheus text, or as
+// JSON when FILE ends in ".json". With --metrics-interval N the file is
+// additionally rewritten every N seconds while the run is in flight, so a
+// long run can be watched live (`watch cat metrics.prom`).
 //
 // --lenient skips malformed input rows (counted and reported) instead of
 // failing the load. The fault/guard flags apply to the sharded path:
@@ -28,12 +36,18 @@
 // The input/train CSVs use the same format WriteCsv produces:
 //   type,timestamp,<attr1>,<attr2>,...
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "src/obs/export.h"
 #include "src/runtime/experiment.h"
 #include "src/runtime/shard_runtime.h"
 #include "src/query/parser.h"
@@ -61,6 +75,8 @@ struct CliArgs {
   unsigned long long fault_seed = 0;
   double guard_theta = 0.0;
   double memory_budget_mb = 0.0;
+  std::string metrics_out;
+  double metrics_interval_sec = 0.0;
 };
 
 void Usage() {
@@ -71,7 +87,8 @@ void Usage() {
                "                   [--matches FILE] [--pm-series]\n"
                "                   [--shards N (--partition ATTR | --slice-stride US)]\n"
                "                   [--lenient] [--fault-schedule SPEC] [--fault-seed N]\n"
-               "                   [--guard-theta COST] [--memory-budget-mb MB]\n");
+               "                   [--guard-theta COST] [--memory-budget-mb MB]\n"
+               "                   [--metrics-out FILE] [--metrics-interval SEC]\n");
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -138,6 +155,15 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       if (args.memory_budget_mb <= 0.0) {
         return Status::InvalidArgument("--memory-budget-mb must be positive");
       }
+    } else if (flag == "--metrics-out") {
+      CEPSHED_ASSIGN_OR_RETURN(args.metrics_out, next());
+    } else if (flag == "--metrics-interval") {
+      std::string v;
+      CEPSHED_ASSIGN_OR_RETURN(v, next());
+      args.metrics_interval_sec = std::stod(v);
+      if (args.metrics_interval_sec <= 0.0) {
+        return Status::InvalidArgument("--metrics-interval must be positive seconds");
+      }
     } else if (flag == "--help" || flag == "-h") {
       Usage();
       std::exit(0);
@@ -147,6 +173,9 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
   }
   if (args.schema_path.empty() || args.query_path.empty() || args.input_path.empty()) {
     return Status::InvalidArgument("--schema, --query, and --input are required");
+  }
+  if (args.metrics_interval_sec > 0.0 && args.metrics_out.empty()) {
+    return Status::InvalidArgument("--metrics-interval requires --metrics-out");
   }
   return args;
 }
@@ -215,6 +244,52 @@ Status WriteMatches(const std::vector<Match>& matches, const std::string& path) 
   return Status::OK();
 }
 
+/// Owns the --metrics-out lifecycle: an optional background thread rewrites
+/// the snapshot file every interval while the run is in flight; Finish()
+/// (idempotent) stops it and writes the final snapshot.
+class MetricsExporter {
+ public:
+  MetricsExporter(obs::MetricsRegistry* registry, std::string path, double interval_sec)
+      : registry_(registry), path_(std::move(path)) {
+    if (interval_sec > 0.0) {
+      writer_ = std::thread([this, interval_sec] {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!cv_.wait_for(lock, std::chrono::duration<double>(interval_sec),
+                             [this] { return done_; })) {
+          obs::WriteMetricsFile(path_, registry_->Snapshot());
+        }
+      });
+    }
+  }
+  ~MetricsExporter() { Finish(); }
+
+  /// Returns false when the final write fails.
+  bool Finish() {
+    if (finished_) return last_write_ok_;
+    finished_ = true;
+    if (writer_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_ = true;
+      }
+      cv_.notify_all();
+      writer_.join();
+    }
+    last_write_ok_ = obs::WriteMetricsFile(path_, registry_->Snapshot());
+    return last_write_ok_;
+  }
+
+ private:
+  obs::MetricsRegistry* registry_;
+  std::string path_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  bool finished_ = false;
+  bool last_write_ok_ = false;
+  std::thread writer_;
+};
+
 Status Run(const CliArgs& args) {
   CEPSHED_ASSIGN_OR_RETURN(Schema schema, LoadSchema(args.schema_path));
   CEPSHED_ASSIGN_OR_RETURN(std::string query_text, LoadFile(args.query_path));
@@ -231,6 +306,21 @@ Status Run(const CliArgs& args) {
                 static_cast<unsigned long long>(read_stats.malformed_rows));
   }
   std::printf("\n");
+
+  obs::MetricsRegistry metrics;
+  std::unique_ptr<MetricsExporter> exporter;
+  if (!args.metrics_out.empty()) {
+    exporter = std::make_unique<MetricsExporter>(&metrics, args.metrics_out,
+                                                 args.metrics_interval_sec);
+  }
+  auto finish_metrics = [&]() -> Status {
+    if (exporter == nullptr) return Status::OK();
+    if (!exporter->Finish()) {
+      return Status::InvalidArgument("cannot write " + args.metrics_out);
+    }
+    std::printf("wrote %s\n", args.metrics_out.c_str());
+    return Status::OK();
+  };
 
   const bool wants_guard = args.guard_theta > 0.0 || args.memory_budget_mb > 0.0;
   if ((!args.fault_schedule.empty() || wants_guard) && args.shards <= 1) {
@@ -279,6 +369,7 @@ Status Run(const CliArgs& args) {
       std::printf("guard:  theta %.2f, memory budget %.1f MB\n", args.guard_theta,
                   args.memory_budget_mb);
     }
+    if (exporter != nullptr) opts.metrics = &metrics;
     CEPSHED_ASSIGN_OR_RETURN(auto runtime, ShardRuntime::Create(nfa, opts));
     CEPSHED_ASSIGN_OR_RETURN(ShardRunResult result, runtime->Run(input));
     std::printf("shards: %d (%s routing)\n", args.shards,
@@ -317,16 +408,31 @@ Status Run(const CliArgs& args) {
       CEPSHED_RETURN_NOT_OK(WriteMatches(result.matches, args.matches_path));
       std::printf("wrote %s\n", args.matches_path.c_str());
     }
-    return Status::OK();
+    return finish_metrics();
   }
 
   if (args.strategy == "none") {
     CEPSHED_ASSIGN_OR_RETURN(auto nfa, Nfa::Compile(query, &schema));
     Engine engine(nfa, EngineOptions{});
+    obs::ShardObs* obs = nullptr;
+    if (exporter != nullptr) {
+      metrics.EnsureShards(1);
+      obs = metrics.shard(0);
+    }
     std::vector<Match> matches;
+    size_t matches_seen = 0;
     const size_t stride = args.pm_series ? std::max<size_t>(1, input.size() / 50) : 0;
     for (size_t i = 0; i < input.size(); ++i) {
-      engine.Process(input[i], &matches);
+      const double cost = engine.Process(input[i], &matches);
+      if (obs != nullptr) {
+        obs->events_routed.Add();
+        obs->events_processed.Add();
+        obs->event_cost.Record(cost);
+        if (matches.size() != matches_seen) {
+          obs->matches_emitted.Add(matches.size() - matches_seen);
+          matches_seen = matches.size();
+        }
+      }
       if (stride > 0 && i % stride == 0) {
         std::printf("pm-series,%zu,%zu\n", i, engine.NumPartialMatches());
       }
@@ -337,7 +443,7 @@ Status Run(const CliArgs& args) {
       CEPSHED_RETURN_NOT_OK(WriteMatches(matches, args.matches_path));
       std::printf("wrote %s\n", args.matches_path.c_str());
     }
-    return Status::OK();
+    return finish_metrics();
   }
 
   if (args.train_path.empty()) {
@@ -372,7 +478,9 @@ Status Run(const CliArgs& args) {
     return Status::InvalidArgument("unknown stat " + args.stat);
   }
 
-  ExperimentHarness harness(&schema, query, HarnessOptions{});
+  HarnessOptions harness_options;
+  if (exporter != nullptr) harness_options.metrics = &metrics;
+  ExperimentHarness harness(&schema, query, harness_options);
   CEPSHED_RETURN_NOT_OK(harness.Prepare(train, input));
   std::printf("trained cost model in %.2fs; exhaustive: %zu matches, %s latency %.1f\n",
               harness.model().train_seconds(), harness.truth().size(), args.stat.c_str(),
@@ -400,7 +508,7 @@ Status Run(const CliArgs& args) {
     CEPSHED_RETURN_NOT_OK(WriteMatches(r.raw.matches, args.matches_path));
     std::printf("wrote %s\n", args.matches_path.c_str());
   }
-  return Status::OK();
+  return finish_metrics();
 }
 
 }  // namespace
