@@ -89,6 +89,66 @@ void BM_EngineQ2Kleene(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineQ2Kleene)->Arg(1)->Arg(3)->Arg(5)->Unit(benchmark::kMillisecond);
 
+/// Clone-path microbenchmark: bursts of same-ID A events drive a Kleene
+/// pattern under skip-till-any-match, so every event extends every open
+/// match — TryBind's clone path dominates. No completing B ever arrives
+/// (emission cost is absent) and bursts are separated by a full window so
+/// eviction clears the store between them. The arg is the Kleene cap,
+/// i.e. the chain length the workload reaches: with the shared-prefix
+/// representation a clone is O(1) in the parent length, so clones/sec
+/// should stay nearly flat as the cap grows; a flat-vector copy degrades
+/// linearly. scripts/check_clone_path.py gates on exactly that ratio.
+void BM_EngineKleeneClone(benchmark::State& state) {
+  const Schema schema = MakeDs1Schema();
+  const int reps = static_cast<int>(state.range(0));
+  // Every event anchors a fresh match and extends every open chain: event
+  // s carries ID=s and V=s+1, and the bare-attribute join keys
+  // (b[first].ID = a.V, b[i+1].ID = b[i].V) chain consecutive events, so
+  // each chain grows by exactly one binding per event until the Kleene
+  // cap. Keys are globally unique, so the hash-join probes are exact (no
+  // tombstone scanning) and per-event work is ~cap clones of parent
+  // lengths 1..cap — the clone path at real chain depth.
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a, A+{1," + std::to_string(reps) +
+      "} b[], B c) WHERE b[first].ID = a.V AND b[i+1].ID = b[i].V "
+      "AND a.ID = c.ID WITHIN 1ms");
+  auto nfa = Nfa::Compile(*q, &schema);
+  const int id_attr = schema.AttributeIndex("ID");
+  const int v_attr = schema.AttributeIndex("V");
+  std::vector<EventPtr> stream;
+  const uint64_t kEvents = 4000;
+  // Chains only grow while their anchor is inside the 1ms window, so the
+  // event spacing must leave room for `reps` extensions before expiry.
+  const Timestamp step = reps <= 64 ? 10 : 2;
+  for (uint64_t s = 0; s < kEvents; ++s) {
+    std::vector<Value> attrs(schema.num_attributes());
+    attrs[static_cast<size_t>(id_attr)] = Value(static_cast<int64_t>(s));
+    attrs[static_cast<size_t>(v_attr)] = Value(static_cast<int64_t>(s + 1));
+    stream.push_back(std::make_shared<Event>(
+        schema.EventTypeId("A"), static_cast<Timestamp>(s) * step, s,
+        std::move(attrs)));
+  }
+  uint64_t clones = 0;
+  for (auto _ : state) {
+    Engine engine(*nfa, EngineOptions{});
+    std::vector<Match> out;
+    for (const EventPtr& e : stream) engine.Process(e, &out);
+    clones = engine.stats().pms_created;
+    benchmark::DoNotOptimize(clones);
+  }
+  // Throughput in clones (not events), so arms with different caps and
+  // thus different fan-outs stay comparable.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(clones));
+  state.counters["pms_created"] = static_cast<double>(clones);
+}
+BENCHMARK(BM_EngineKleeneClone)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ParseQuery(benchmark::State& state) {
   const std::string text =
       "PATTERN SEQ(A a, A+{1,4} b[], B c, C d) "

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""CI gate: clone-path cost must not scale with match length.
+
+Reads a google-benchmark JSON file containing BM_EngineKleeneClone/<cap>
+rows (raw repetitions or aggregates). Each arm drives the same chained
+Kleene workload with a different chain-length cap, and throughput is
+reported in clones per second, so arms are directly comparable: with the
+shared-prefix (copy-on-write) match representation a clone is O(1) in the
+parent length and clones/sec stays roughly flat as the cap grows, while a
+flat-vector copy degrades linearly (measured ~5x from cap 4 to cap 256).
+
+The gate compares the longest-chain arm against the shortest-chain arm
+and fails when the ratio drops below the threshold. Per-arm maxima over
+repetitions are used: the statistic least sensitive to noisy-neighbour
+drift on shared CI runners.
+
+Usage: check_clone_path.py BENCH_JSON [--min-ratio 0.5]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def collect(benchmarks):
+    """Map cap -> max items_per_second (clones/sec) over repetitions."""
+    best = {}
+    for b in benchmarks:
+        m = re.match(r"^BM_EngineKleeneClone/(\d+)(?:_(\w+))?$", b["name"])
+        if not m:
+            continue
+        cap, agg = int(m.group(1)), m.group(2)
+        if agg in ("stddev", "cv"):
+            continue
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        ips = float(ips)
+        if cap not in best or ips > best[cap]:
+            best[cap] = ips
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("--min-ratio", type=float, default=0.5)
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        data = json.load(f)
+    best = collect(data.get("benchmarks", []))
+
+    if len(best) < 2:
+        print("error: need at least two BM_EngineKleeneClone arms",
+              file=sys.stderr)
+        return 2
+
+    caps = sorted(best)
+    for cap in caps:
+        print(f"cap={cap}: {best[cap] / 1e6:.3f}M clones/s")
+    short, long_ = caps[0], caps[-1]
+    ratio = best[long_] / best[short]
+    verdict = "OK" if ratio >= args.min_ratio else "FAIL"
+    print(f"clones/s at cap {long_} is {ratio:.2f}x of cap {short} "
+          f"(threshold {args.min_ratio:.2f}) [{verdict}]")
+    return 0 if ratio >= args.min_ratio else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

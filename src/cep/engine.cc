@@ -13,6 +13,22 @@ Engine::Engine(std::shared_ptr<const Nfa> nfa, EngineOptions options)
       store_(nfa_->num_states(), static_cast<int>(nfa_->query().elements.size())),
       indexes_(static_cast<size_t>(nfa_->num_states())) {
   ctx_.num_elements = static_cast<int>(nfa_->query().elements.size());
+  // Aggregates fold every bound event, so queries containing one keep the
+  // flatten-based evaluation context; everything else evaluates off the
+  // chain's slot edges without ever materializing the bindings.
+  for (int s = 0; s < nfa_->num_states() && !span_context_; ++s) {
+    const NfaState& st = nfa_->state(s);
+    auto any_agg = [](const std::vector<const CompiledPredicate*>& preds) {
+      for (const CompiledPredicate* cp : preds) {
+        if (cp->expr->HasAggregate()) return true;
+      }
+      return false;
+    };
+    span_context_ = any_agg(st.bind_preds) || any_agg(st.iter_preds) ||
+                    any_agg(st.close_preds) ||
+                    (st.fill_index.build_expr != nullptr &&
+                     st.fill_index.build_expr->HasAggregate());
+  }
   BuildIndexLayout();
 }
 
@@ -45,6 +61,17 @@ void Engine::BuildIndexLayout() {
   }
 }
 
+const std::vector<const Event*>& Engine::FlatEvents(const PartialMatch* pm) {
+  auto it = flat_cache_.find(pm->id);
+  if (it != flat_cache_.end() && it->second.size() == pm->Length()) {
+    return it->second;
+  }
+  if (flat_cache_.size() >= kFlatCacheMaxEntries) flat_cache_.clear();
+  std::vector<const Event*>& flat = flat_cache_[pm->id];
+  pm->FlattenTo(&flat);
+  return flat;
+}
+
 void Engine::FillContext(const PartialMatch* pm, const Event* current, int current_elem) {
   for (int e = 0; e < ctx_.num_elements; ++e) {
     ctx_.bindings[e] = ElemBinding{};
@@ -53,21 +80,52 @@ void Engine::FillContext(const PartialMatch* pm, const Event* current, int curre
   ctx_.current_elem = current_elem;
   ctx_.negated = nullptr;
   ctx_.negated_elem = -1;
-  if (pm == nullptr || pm->events.empty()) return;
+  if (pm == nullptr || pm->Length() == 0) return;
   const size_t closed = pm->slot_end.size();
-  uint32_t begin = 0;
-  for (size_t slot = 0; slot < closed; ++slot) {
-    const uint32_t end = pm->slot_end[slot];
-    const int elem = nfa_->ElemOfSlot(static_cast<int>(slot));
-    ctx_.bindings[elem] = ElemBinding{pm->events.data() + begin, end - begin};
-    begin = end;
+  const uint32_t total = pm->Length();
+  if (span_context_) {
+    // Aggregate query: materialize full spans from the flattened view.
+    const std::vector<const Event*>& flat = FlatEvents(pm);
+    uint32_t begin = 0;
+    for (size_t slot = 0; slot < closed; ++slot) {
+      const uint32_t end = pm->slot_end[slot];
+      const int elem = nfa_->ElemOfSlot(static_cast<int>(slot));
+      ctx_.bindings[elem] = ElemBinding{flat.data() + begin, end - begin};
+      begin = end;
+    }
+    if (begin < total) {
+      // Open (in-progress Kleene) component.
+      const int elem = nfa_->ElemOfSlot(static_cast<int>(closed));
+      ctx_.bindings[elem] = ElemBinding{flat.data() + begin, total - begin};
+    }
+    return;
   }
-  const uint32_t total = static_cast<uint32_t>(pm->events.size());
-  if (begin < total) {
-    // Open (in-progress Kleene) component.
-    const int elem = nfa_->ElemOfSlot(static_cast<int>(closed));
-    ctx_.bindings[elem] = ElemBinding{pm->events.data() + begin, total - begin};
+  // Edge form: predicates only ever read the first, last, or second-to-last
+  // event of a binding, all O(1) reachable from the chain via slot_start.
+  // Walk the slot segments newest-to-oldest — O(#slots), independent of the
+  // match length. Empty closed slots (zero-rep Kleene) have no segment and
+  // keep their zeroed binding.
+  const BindingNode* node = pm->tail();
+  auto fill_one = [&](int slot, uint32_t begin, uint32_t end) {
+    if (end == begin) return;
+    const BindingNode* first = node->slot_start;
+    ElemBinding& b = ctx_.bindings[nfa_->ElemOfSlot(slot)];
+    b.count = end - begin;
+    assert(b.count == node->depth - first->depth + 1);
+    b.first = first->event.get();
+    b.last = node->event.get();
+    if (b.count >= 2) b.prev_last = node->prev->event.get();
+    node = first->prev;
+  };
+  const uint32_t closed_end = closed == 0 ? 0 : pm->slot_end.back();
+  if (closed_end < total) {
+    fill_one(static_cast<int>(closed), closed_end, total);
   }
+  for (int slot = static_cast<int>(closed) - 1; slot >= 0; --slot) {
+    fill_one(slot, slot > 0 ? pm->slot_end[static_cast<size_t>(slot) - 1] : 0,
+             pm->slot_end[static_cast<size_t>(slot)]);
+  }
+  assert(node == nullptr);
 }
 
 bool Engine::EvalPreds(const std::vector<const CompiledPredicate*>& preds, double* cost) {
@@ -128,25 +186,25 @@ bool Engine::TryBind(PartialMatch* pm, int state, const EventPtr& event, bool is
   if (!EvalPreds(st.bind_preds, cost)) return false;
   if (is_extension && !EvalPreds(st.iter_preds, cost)) return false;
 
-  // Clone and bind.
+  // Clone and bind: the clone shares the parent's entire binding chain
+  // and adds exactly one node — O(1) regardless of match length. (The
+  // *virtual* cost formula below is unchanged: it models the engine the
+  // paper measures, and differential runs compare it exactly.)
   auto clone = std::make_unique<PartialMatch>();
   clone->id = next_pm_id_++;
   clone->parent_id = pm != nullptr ? pm->id : 0;
-  if (pm != nullptr) {
-    clone->events = pm->events;
-    clone->slot_end = pm->slot_end;
-  }
+  clone->ExtendFrom(&store_.arena(), pm, event, /*new_slot=*/!is_extension);
   if (is_proceed) {
-    clone->slot_end.push_back(static_cast<uint32_t>(clone->events.size()));
+    // The newly closed (Kleene) slot ends just before the event bound here.
+    clone->slot_end.push_back(clone->Length() - 1);
   }
-  clone->events.push_back(event);
   *cost += options_.costs.per_clone_base +
-           options_.costs.per_clone_event * static_cast<double>(clone->events.size());
+           options_.costs.per_clone_event * static_cast<double>(clone->Length());
 
   bool complete = false;
   bool store_clone = true;
   if (!st.kleene) {
-    clone->slot_end.push_back(static_cast<uint32_t>(clone->events.size()));
+    clone->CloseSlot();
     clone->state = state + 1;
     complete = clone->state == nfa_->num_states();
     store_clone = !complete;
@@ -166,8 +224,14 @@ bool Engine::TryBind(PartialMatch* pm, int state, const EventPtr& event, bool is
     const bool can_proceed = !trailing;
     store_clone = can_extend || can_proceed;
   }
-  clone->start_ts = clone->events.front()->timestamp();
-  clone->start_seq = clone->events.front()->seq();
+  if (pm != nullptr) {
+    // Same window anchor as the parent: the first bound event is shared.
+    clone->start_ts = pm->start_ts;
+    clone->start_seq = pm->start_seq;
+  } else {
+    clone->start_ts = event->timestamp();
+    clone->start_seq = event->seq();
+  }
   clone->last_ts = event->timestamp();
 
   if (complete) {
@@ -184,7 +248,7 @@ bool Engine::TryBind(PartialMatch* pm, int state, const EventPtr& event, bool is
 void Engine::EmitMatch(const PartialMatch& closed, const PartialMatch* parent,
                        const EventPtr& last_event, double* cost, std::vector<Match>* out) {
   Match match;
-  match.events = closed.events;
+  closed.FlattenTo(&match.events);
   match.slot_end = closed.slot_end;
   if (match.slot_end.size() < static_cast<size_t>(nfa_->num_states())) {
     match.slot_end.push_back(static_cast<uint32_t>(match.events.size()));
@@ -202,6 +266,7 @@ void Engine::EmitMatch(const PartialMatch& closed, const PartialMatch* parent,
 }
 
 bool Engine::IsVetoed(const Match& match, double* cost) {
+  bool scratch_filled = false;
   for (const NegationSpec& neg : nfa_->negations()) {
     // Veto interval: strictly between the last event of the preceding slot
     // and the first event of the following slot.
@@ -224,17 +289,23 @@ bool Engine::IsVetoed(const Match& match, double* cost) {
       *cost += options_.costs.per_witness_check;
       // Evaluate negation predicates with the witness standing in for the
       // negated component.
+      if (!scratch_filled) {
+        veto_scratch_.clear();
+        veto_scratch_.reserve(match.events.size());
+        for (const EventPtr& e : match.events) veto_scratch_.push_back(e.get());
+        scratch_filled = true;
+      }
       for (int e = 0; e < ctx_.num_elements; ++e) ctx_.bindings[e] = ElemBinding{};
       uint32_t begin = 0;
       for (size_t slot = 0; slot < match.slot_end.size(); ++slot) {
         const uint32_t end = match.slot_end[slot];
         const int elem = nfa_->ElemOfSlot(static_cast<int>(slot));
-        ctx_.bindings[elem] = ElemBinding{match.events.data() + begin, end - begin};
+        ctx_.bindings[elem] = ElemBinding{veto_scratch_.data() + begin, end - begin};
         begin = end;
       }
       ctx_.current = nullptr;
       ctx_.current_elem = -1;
-      ctx_.negated = w->events[0].get();
+      ctx_.negated = w->LastEvent();
       ctx_.negated_elem = neg.pattern_elem;
       bool all_pass = true;
       for (const CompiledPredicate* cp : neg.preds) {
@@ -382,7 +453,7 @@ double Engine::Process(const EventPtr& event, std::vector<Match>* out) {
     witness->state = 0;
     witness->is_witness = true;
     witness->negated_elem = neg_elem;
-    witness->events.push_back(event);
+    witness->ExtendFrom(&store_.arena(), nullptr, event);
     witness->start_ts = witness->last_ts = now;
     witness->start_seq = event->seq();
     cost += options_.costs.per_witness_store;
@@ -397,11 +468,12 @@ double Engine::Process(const EventPtr& event, std::vector<Match>* out) {
     // extended it (its newest clone carries the event's sequence number);
     // everything older dies.
     store_.ForEachAlive([&](PartialMatch* pm) {
-      if (pm->events.back()->seq() != event->seq()) store_.Kill(pm);
+      if (pm->LastEvent()->seq() != event->seq()) store_.Kill(pm);
     });
   }
 
   ++stats_.events_processed;
+  last_seq_ = seq;
   stats_.total_cost += cost;
   const size_t live = store_.NumAlive() + store_.NumAliveWitnesses();
   if (live > stats_.peak_pms) stats_.peak_pms = live;
@@ -409,7 +481,25 @@ double Engine::Process(const EventPtr& event, std::vector<Match>* out) {
 }
 
 void Engine::Vacuum(Timestamp now) {
-  stats_.pms_evicted += store_.EvictExpired(now, nfa_->window());
+  // Mirror the per-event sweep's window semantics. Count-window queries
+  // alias `window()` to the count, so the time-based EvictExpired would
+  // misread the count as a duration and evict matches that are still
+  // inside the count window (or keep ones that are out of it).
+  const uint64_t count_window = nfa_->query().count_window;
+  size_t evicted = 0;
+  if (count_window > 0) {
+    auto sweep = [&](PartialMatch* pm) {
+      if (pm->ExpiredByCount(last_seq_, count_window)) {
+        store_.Kill(pm);
+        ++evicted;
+      }
+    };
+    store_.ForEachAlive(sweep);
+    store_.ForEachAliveWitness(sweep);
+  } else {
+    evicted = store_.EvictExpired(now, nfa_->window());
+  }
+  stats_.pms_evicted += evicted;
   store_.Compact();
   RebuildIndexes();
 }
@@ -440,6 +530,10 @@ size_t Engine::ShedLowestUtility(size_t max_kill, size_t min_bytes_freed,
   for (const Candidate& c : candidates) {
     if (killed >= max_kill) break;
     if (min_bytes_freed > 0 && bytes_freed >= min_bytes_freed) break;
+    // Marginal estimate: only the chain suffix exclusively owned by this
+    // match counts (shared prefix nodes stay resident for its siblings).
+    // Killing a match can promote a sibling's prefix to exclusive, so the
+    // per-kill estimates self-correct as the loop proceeds.
     bytes_freed += PartialMatchStore::ApproxBytes(*c.pm);
     store_.Kill(c.pm);
     ++killed;
@@ -458,6 +552,9 @@ void Engine::Reset() {
   stats_ = EngineStats{};
   next_pm_id_ = 1;
   events_since_evict_ = 0;
+  last_seq_ = 0;
+  // Ids restart at 1, so stale flatten entries must not survive a reset.
+  flat_cache_.clear();
   pending_.clear();
   pending_parents_.clear();
 }

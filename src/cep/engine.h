@@ -155,7 +155,7 @@ class Engine {
   /// completion chance than a fresh one), bound-event count second.
   static double DefaultPmUtility(const PartialMatch& pm) {
     return static_cast<double>(pm.state) +
-           0.001 * static_cast<double>(pm.events.size());
+           0.001 * static_cast<double>(pm.Length());
   }
 
   /// Emergency state eviction for the overload guard: tombstones up to
@@ -172,7 +172,9 @@ class Engine {
   /// Estimated bytes held by live partial matches and witnesses.
   size_t ApproxStateBytes() const { return store_.ApproxLiveBytes(); }
 
-  /// Forces an expiry sweep + compaction + index rebuild now.
+  /// Forces an expiry sweep + compaction + index rebuild now. Uses the
+  /// query's count-based window when one is declared (matching the
+  /// per-event sweep) instead of misreading the count as a duration.
   void Vacuum(Timestamp now);
 
   /// Rebuilds the join indexes from the live store contents (required
@@ -217,6 +219,13 @@ class Engine {
   void FillContext(const PartialMatch* pm, const Event* current, int current_elem);
   bool EvalPreds(const std::vector<const CompiledPredicate*>& preds, double* cost);
 
+  /// The match's bindings in stream order, flattened once per match and
+  /// memoized. Binding chains are immutable after construction and match
+  /// ids are unique per engine lifetime, so a cache hit is always valid;
+  /// the cache is wholesale-cleared when it outgrows its bound and on
+  /// Reset(). Per-instance state — see the thread-confinement note above.
+  const std::vector<const Event*>& FlatEvents(const PartialMatch* pm);
+
   /// Tries to bind `event` into slot `state` of `pm` (pm may be at `state`
   /// or, for proceed transitions, at state-1). On success the clone is
   /// queued and any complete match emitted; returns whether the bind
@@ -237,7 +246,23 @@ class Engine {
   EngineStats stats_;
   uint64_t next_pm_id_ = 1;
   int events_since_evict_ = 0;
+  /// Sequence number of the latest processed event, so Vacuum can apply
+  /// count-window expiry with the same semantics as the per-event sweep.
+  uint64_t last_seq_ = 0;
   EvalContext ctx_;
+  /// True when the query contains an aggregate predicate: evaluation then
+  /// needs full event spans per binding, so FillContext materializes the
+  /// flattened view. All other queries evaluate off the chain's slot edges
+  /// in O(#slots) per candidate with no flatten at all.
+  bool span_context_ = false;
+  /// Flatten-on-demand cache: match id -> bindings in stream order (raw
+  /// pointers; the chain nodes own the events). Bounded by
+  /// kFlatCacheMaxEntries with wholesale clearing.
+  std::unordered_map<uint64_t, std::vector<const Event*>> flat_cache_;
+  static constexpr size_t kFlatCacheMaxEntries = 4096;
+  /// Scratch raw-pointer view of a complete match's events for negation
+  /// checks (ElemBinding spans raw pointers).
+  std::vector<const Event*> veto_scratch_;
   std::vector<std::unique_ptr<PartialMatch>> pending_;
   std::vector<const PartialMatch*> pending_parents_;
   PmClassifier classifier_;

@@ -192,10 +192,10 @@ Value Expr::EvalAttr(const EvalContext& ctx) const {
         return ctx.current->attr(attr_index_);
       case RefSelector::kIterPrev:
         if (b.count == 0) return Value();  // first iteration: see HasIterPrevRef
-        return b.events[b.count - 1]->attr(attr_index_);
+        return b.Last()->attr(attr_index_);
       case RefSelector::kFirst:
         if (b.count == 0) return ctx.current->attr(attr_index_);
-        return b.events[0]->attr(attr_index_);
+        return b.First()->attr(attr_index_);
     }
     return Value();
   }
@@ -203,13 +203,12 @@ Value Expr::EvalAttr(const EvalContext& ctx) const {
   switch (selector_) {
     case RefSelector::kSingle:
     case RefSelector::kFirst:
-      return b.events[0]->attr(attr_index_);
+      return b.First()->attr(attr_index_);
     case RefSelector::kLast:
     case RefSelector::kIterCurr:
-      return b.events[b.count - 1]->attr(attr_index_);
+      return b.Last()->attr(attr_index_);
     case RefSelector::kIterPrev:
-      return b.count >= 2 ? b.events[b.count - 2]->attr(attr_index_)
-                          : b.events[0]->attr(attr_index_);
+      return b.PrevLast()->attr(attr_index_);
   }
   return Value();
 }
@@ -387,6 +386,14 @@ bool Expr::RefsElem(int elem) const {
   }
   for (const Ptr& child : children_) {
     if (child->RefsElem(elem)) return true;
+  }
+  return false;
+}
+
+bool Expr::HasAggregate() const {
+  if (kind_ == ExprKind::kAggregate) return true;
+  for (const Ptr& child : children_) {
+    if (child->HasAggregate()) return true;
   }
   return false;
 }

@@ -53,9 +53,41 @@ enum class AggKind : int { kAvg, kSum, kMin, kMax, kCount };
 enum class RefSelector : int { kSingle, kIterPrev, kIterCurr, kFirst, kLast };
 
 /// \brief The events bound to one pattern element during evaluation.
+///
+/// Two forms, distinguished by which fields are set:
+///
+///  - *Edge form* (`first`/`last`/`prev_last` set, `events` null): what the
+///    engine fills on the hot path. Attribute selectors only ever read the
+///    first, last, or second-to-last event of a binding, and those are O(1)
+///    reachable from a shared-prefix chain — no flatten needed.
+///  - *Span form* (`events` set): a contiguous raw-pointer view over all
+///    bound events. Required by aggregates (AVG/SUM/... fold the whole
+///    binding) and used by callers that already hold a flat array (negation
+///    vetoes, tests). Raw pointers, not EventPtr: predicate evaluation must
+///    not pay shared_ptr refcount traffic per read.
+///
+/// The accessors below prefer the edge fields and fall back to the span, so
+/// either form evaluates identically.
 struct ElemBinding {
-  const EventPtr* events = nullptr;
+  const Event* const* events = nullptr;
   uint32_t count = 0;
+  const Event* first = nullptr;
+  const Event* last = nullptr;
+  /// Second-to-last bound event (only set when count >= 2).
+  const Event* prev_last = nullptr;
+
+  const Event* First() const {
+    if (first != nullptr) return first;
+    return count > 0 ? events[0] : nullptr;
+  }
+  const Event* Last() const {
+    if (last != nullptr) return last;
+    return count > 0 ? events[count - 1] : nullptr;
+  }
+  const Event* PrevLast() const {
+    if (count < 2) return First();
+    return prev_last != nullptr ? prev_last : events[count - 2];
+  }
 };
 
 /// \brief Evaluation context assembled by the engine per predicate check.
@@ -130,6 +162,11 @@ class Expr {
   /// True iff any node is an kIterPrev reference to the given element
   /// (such predicates are skipped on the first Kleene iteration).
   bool HasIterPrevRef(int elem) const;
+
+  /// True iff any node in the subtree is an aggregate. Aggregates fold the
+  /// whole binding, so the engine must materialize full event spans (the
+  /// edge-form EvalContext is not enough) for queries containing them.
+  bool HasAggregate() const;
 
   /// Collects all AttrRef nodes in the subtree (post-Resolve).
   void CollectAttrRefs(std::vector<const Expr*>* out) const;

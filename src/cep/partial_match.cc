@@ -10,7 +10,7 @@ PartialMatchStore::PartialMatchStore(int num_states, int num_elements)
 
 PartialMatch* PartialMatchStore::Add(std::unique_ptr<PartialMatch> pm) {
   PartialMatch* raw = pm.get();
-  approx_live_bytes_ += ApproxBytes(*pm);
+  fixed_live_bytes_ += FixedBytes(*pm);
   buckets_[static_cast<size_t>(pm->state)].push_back(std::move(pm));
   ++num_alive_;
   return raw;
@@ -19,7 +19,7 @@ PartialMatch* PartialMatchStore::Add(std::unique_ptr<PartialMatch> pm) {
 PartialMatch* PartialMatchStore::AddWitness(std::unique_ptr<PartialMatch> pm) {
   PartialMatch* raw = pm.get();
   pm->is_witness = true;
-  approx_live_bytes_ += ApproxBytes(*pm);
+  fixed_live_bytes_ += FixedBytes(*pm);
   witness_buckets_[static_cast<size_t>(pm->negated_elem)].push_back(std::move(pm));
   ++num_alive_witnesses_;
   return raw;
@@ -29,8 +29,12 @@ void PartialMatchStore::Kill(PartialMatch* pm) {
   if (!pm->alive) return;
   pm->alive = false;
   ++num_dead_;
-  const size_t bytes = ApproxBytes(*pm);
-  approx_live_bytes_ -= bytes <= approx_live_bytes_ ? bytes : approx_live_bytes_;
+  const size_t bytes = FixedBytes(*pm);
+  fixed_live_bytes_ -= bytes <= fixed_live_bytes_ ? bytes : fixed_live_bytes_;
+  // Release the chain now so the memory signal (and the arena's free
+  // list) reflect the kill immediately; Length()/slot_end stay readable
+  // for audit consumers that inspect a match after shedding it.
+  pm->ReleaseChain();
   if (pm->is_witness) {
     --num_alive_witnesses_;
   } else {
@@ -95,7 +99,7 @@ void PartialMatchStore::Clear() {
   for (auto& bucket : buckets_) bucket.clear();
   for (auto& bucket : witness_buckets_) bucket.clear();
   num_alive_ = num_alive_witnesses_ = num_dead_ = 0;
-  approx_live_bytes_ = 0;
+  fixed_live_bytes_ = 0;
 }
 
 }  // namespace cepshed

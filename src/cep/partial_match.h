@@ -3,10 +3,20 @@
 // Partial matches and their store — the *state* of CEP query evaluation
 // (P(k) in the paper). State-based load shedding operates directly on this
 // store; the cost model annotates each partial match with its class.
+//
+// Representation: bindings are stored as an immutable, arena-allocated
+// singly-linked chain (newest event first). Extending a match — the hot
+// path of Kleene and long-pattern evaluation — allocates exactly one node
+// and shares the entire parent prefix, so a clone is O(1) instead of the
+// O(L) vector copy a flat layout needs. Chains are reference-counted per
+// node: a node is freed only when no child chain and no PartialMatch tail
+// points at it, so evicting one match never invalidates the prefix of a
+// sibling.
 
 #ifndef CEPSHED_CEP_PARTIAL_MATCH_H_
 #define CEPSHED_CEP_PARTIAL_MATCH_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -17,13 +27,117 @@
 
 namespace cepshed {
 
+/// \brief One link of a shared-prefix binding chain.
+///
+/// `depth` is the 1-based length of the chain ending at this node, i.e.
+/// the node holds the event at flat index `depth - 1`. `refs` counts the
+/// owners: child nodes whose `prev` is this node, plus PartialMatch tails.
+struct BindingNode {
+  EventPtr event;
+  /// Previous binding in the chain; doubles as the free-list link while
+  /// the node is unallocated.
+  BindingNode* prev = nullptr;
+  /// First node of the pattern slot this binding belongs to (self when the
+  /// binding opened the slot). Slot boundaries are thereby O(1) reachable
+  /// from any node, so the engine can assemble an evaluation context by
+  /// jumping segment to segment — O(#slots) — instead of flattening the
+  /// whole chain, which is O(length) and was the hidden per-candidate cost
+  /// that a copy-on-write clone path otherwise re-pays at evaluation time.
+  const BindingNode* slot_start = nullptr;
+  uint32_t refs = 0;
+  uint32_t depth = 0;
+};
+
+/// \brief Block allocator + free list for BindingNode chains.
+///
+/// Nodes are handed out from fixed-size blocks and recycled through a free
+/// list; blocks are only released when the arena is destroyed, so freed
+/// nodes are immediately reusable capacity. Not thread-safe — each engine
+/// (and therefore each shard) owns its own arena, matching the engine's
+/// thread-confinement contract.
+class BindingArena {
+ public:
+  BindingArena() = default;
+  BindingArena(const BindingArena&) = delete;
+  BindingArena& operator=(const BindingArena&) = delete;
+
+  /// Allocates a node binding `event` after `prev` (nullptr = chain head)
+  /// and acquires a reference on `prev` on the new node's behalf. The
+  /// returned node starts with one reference, owned by the caller.
+  /// `new_slot` marks the binding as opening a fresh pattern slot (chain
+  /// heads always do); otherwise it continues `prev`'s slot.
+  BindingNode* Extend(BindingNode* prev, const EventPtr& event,
+                      bool new_slot = false) {
+    BindingNode* node = Allocate();
+    node->event = event;
+    node->prev = prev;
+    node->slot_start = (new_slot || prev == nullptr) ? node : prev->slot_start;
+    node->refs = 1;
+    node->depth = prev != nullptr ? prev->depth + 1 : 1;
+    if (prev != nullptr) ++prev->refs;
+    ++live_nodes_;
+    return node;
+  }
+
+  /// Releases one reference on `node`, cascading along the prefix: every
+  /// node whose reference count reaches zero is recycled and its `prev`
+  /// released in turn. Nodes still referenced by sibling chains survive.
+  void Unref(BindingNode* node) {
+    while (node != nullptr) {
+      assert(node->refs > 0);
+      if (--node->refs > 0) return;
+      BindingNode* prev = node->prev;
+      node->event.reset();  // drop the event share now, not at reuse
+      node->prev = free_list_;
+      free_list_ = node;
+      --live_nodes_;
+      node = prev;
+    }
+  }
+
+  /// Number of nodes currently referenced by some chain.
+  size_t live_nodes() const { return live_nodes_; }
+  /// Bytes attributed to live nodes. Each shared node is counted exactly
+  /// once no matter how many matches reference its prefix.
+  size_t LiveBytes() const { return live_nodes_ * sizeof(BindingNode); }
+  /// Bytes the arena holds from the allocator (blocks are retained for
+  /// reuse; this never shrinks).
+  size_t CapacityBytes() const {
+    return blocks_.size() * kBlockNodes * sizeof(BindingNode);
+  }
+
+ private:
+  static constexpr size_t kBlockNodes = 512;
+
+  BindingNode* Allocate() {
+    if (free_list_ != nullptr) {
+      BindingNode* node = free_list_;
+      free_list_ = node->prev;
+      return node;
+    }
+    if (next_in_block_ == kBlockNodes) {
+      blocks_.emplace_back(new BindingNode[kBlockNodes]);
+      next_in_block_ = 0;
+    }
+    return &blocks_.back()[next_in_block_++];
+  }
+
+  std::vector<std::unique_ptr<BindingNode[]>> blocks_;
+  BindingNode* free_list_ = nullptr;
+  size_t next_in_block_ = kBlockNodes;
+  size_t live_nodes_ = 0;
+};
+
 /// \brief One partial match: a prefix binding of the pattern's positive
 /// components, or a negation witness.
 ///
 /// Partial matches are immutable once stored: extending a match clones it
-/// (skip-till-any-match keeps the original). `alive` is a tombstone used by
+/// (skip-till-any-match keeps the original); the clone shares the parent's
+/// whole binding chain and adds one node. `alive` is a tombstone used by
 /// window eviction and state-based shedding; dead matches are reclaimed by
-/// the store's periodic compaction.
+/// the store's periodic compaction. Killing a match releases its chain
+/// immediately (the memory signal must drop when the shedder acts) but
+/// keeps `Length()` and `slot_end` readable for audit trails.
 struct PartialMatch {
   /// Unique id (monotonic per engine), used for lineage tracking.
   uint64_t id = 0;
@@ -32,11 +146,10 @@ struct PartialMatch {
   /// Index of the positive component currently being filled. Equals the
   /// NFA state of the match.
   int state = 0;
-  /// Events bound so far, grouped by positive slot.
-  std::vector<EventPtr> events;
-  /// Prefix end offsets into `events` per positive slot filled so far.
-  /// slot_end.size() == state for completed slots plus, for Kleene, the
-  /// in-progress slot is represented by events beyond slot_end.back().
+  /// Prefix end offsets (into the flattened binding order) per positive
+  /// slot filled so far. slot_end.size() == state for completed slots
+  /// plus, for Kleene, the in-progress slot is represented by bindings
+  /// beyond slot_end.back().
   std::vector<uint32_t> slot_end;
   /// Timestamp of the first bound event (window anchor).
   Timestamp start_ts = 0;
@@ -50,17 +163,125 @@ struct PartialMatch {
   bool is_witness = false;
   /// Pattern element index of the negated component (witnesses only).
   int negated_elem = -1;
+  /// Sequence number of the first bound event (count-window anchor).
+  uint64_t start_seq = 0;
+
+  PartialMatch() = default;
+  ~PartialMatch() { ReleaseChain(); }
+
+  // Chains are uniquely owned through the tail reference, so matches move
+  // but never copy.
+  PartialMatch(const PartialMatch&) = delete;
+  PartialMatch& operator=(const PartialMatch&) = delete;
+  PartialMatch(PartialMatch&& o) noexcept { *this = std::move(o); }
+  PartialMatch& operator=(PartialMatch&& o) noexcept {
+    if (this == &o) return *this;
+    ReleaseChain();
+    id = o.id;
+    parent_id = o.parent_id;
+    state = o.state;
+    slot_end = std::move(o.slot_end);
+    start_ts = o.start_ts;
+    last_ts = o.last_ts;
+    class_label = o.class_label;
+    alive = o.alive;
+    is_witness = o.is_witness;
+    negated_elem = o.negated_elem;
+    start_seq = o.start_seq;
+    tail_ = o.tail_;
+    length_ = o.length_;
+    arena_ = o.arena_;
+    o.tail_ = nullptr;
+    o.length_ = 0;
+    o.arena_ = nullptr;
+    return *this;
+  }
+
+  /// Newest node of the binding chain (nullptr when empty or released).
+  const BindingNode* tail() const { return tail_; }
+
+  /// Total number of bound events. Stays valid after ReleaseChain so dead
+  /// matches remain auditable.
+  uint32_t Length() const { return length_; }
 
   /// Events bound to the in-progress (Kleene) component.
   uint32_t OpenCount() const {
     const uint32_t closed = slot_end.empty() ? 0 : slot_end.back();
-    return static_cast<uint32_t>(events.size()) - closed;
+    return length_ - closed;
   }
-  /// Total number of bound events.
-  uint32_t Length() const { return static_cast<uint32_t>(events.size()); }
-  /// Sequence number of the first bound event (count-window anchor).
-  uint64_t start_seq = 0;
-  /// True if the match has aged out of the window at time `now`.
+
+  /// The latest bound event (nullptr for empty/released chains).
+  const Event* LastEvent() const {
+    return tail_ != nullptr ? tail_->event.get() : nullptr;
+  }
+
+  /// The event at flat index `index` — O(L - index) chain walk; meant for
+  /// diagnostics and tests, not the evaluation hot path (the engine keeps
+  /// a flattened view for that).
+  const Event* EventAt(uint32_t index) const {
+    const BindingNode* node = tail_;
+    while (node != nullptr && node->depth > index + 1) node = node->prev;
+    return node != nullptr ? node->event.get() : nullptr;
+  }
+
+  /// Appends `event` to this match's chain, sharing `parent`'s chain as
+  /// the prefix (parent may be nullptr for stream-created matches). Also
+  /// copies the parent's slot_end. O(1) in the parent length. `new_slot`
+  /// marks the event as opening a fresh pattern slot rather than extending
+  /// the parent's in-progress one.
+  void ExtendFrom(BindingArena* arena, const PartialMatch* parent,
+                  const EventPtr& event, bool new_slot = false) {
+    assert(tail_ == nullptr);
+    arena_ = arena;
+    BindingNode* base =
+        parent != nullptr ? parent->tail_ : nullptr;
+    tail_ = arena->Extend(base, event, new_slot);
+    length_ = (parent != nullptr ? parent->length_ : 0) + 1;
+    if (parent != nullptr) slot_end = parent->slot_end;
+  }
+
+  /// Appends one more event to this match's own chain (builders/tests).
+  void Append(BindingArena* arena, const EventPtr& event,
+              bool new_slot = false) {
+    arena_ = arena;
+    BindingNode* node = arena->Extend(tail_, event, new_slot);
+    if (tail_ != nullptr) arena->Unref(tail_);  // ownership moved to node
+    tail_ = node;
+    ++length_;
+  }
+
+  /// Marks the current slot complete at the current length.
+  void CloseSlot() { slot_end.push_back(length_); }
+
+  /// Writes the bound events in stream order into *out (resized to
+  /// Length()). The raw-pointer overload is the engine's flatten path; the
+  /// EventPtr overload is used when the result must own the events (match
+  /// emission).
+  void FlattenTo(std::vector<const Event*>* out) const {
+    out->resize(length_);
+    for (const BindingNode* n = tail_; n != nullptr; n = n->prev) {
+      (*out)[n->depth - 1] = n->event.get();
+    }
+  }
+  void FlattenTo(std::vector<EventPtr>* out) const {
+    out->resize(length_);
+    for (const BindingNode* n = tail_; n != nullptr; n = n->prev) {
+      (*out)[n->depth - 1] = n->event;
+    }
+  }
+
+  /// Releases this match's reference on its chain; shared prefix nodes
+  /// survive as long as any sibling still references them. Length() and
+  /// slot_end stay readable.
+  void ReleaseChain() {
+    if (tail_ != nullptr && arena_ != nullptr) arena_->Unref(tail_);
+    tail_ = nullptr;
+  }
+
+  /// True if the match has aged out of the window at time `now`. The
+  /// paper's WITHIN is inclusive: a completion exactly at the boundary
+  /// still matches, so expiry is strict (`>`); ExpiredByCount mirrors
+  /// this for count-based windows.
   bool Expired(Timestamp now, Duration window) const {
     return now - start_ts > window;
   }
@@ -69,6 +290,11 @@ struct PartialMatch {
   bool ExpiredByCount(uint64_t seq, uint64_t count_window) const {
     return seq - start_seq > count_window;
   }
+
+ private:
+  BindingNode* tail_ = nullptr;
+  uint32_t length_ = 0;
+  BindingArena* arena_ = nullptr;
 };
 
 /// \brief Buckets of partial matches per NFA state, plus negation
@@ -81,6 +307,11 @@ class PartialMatchStore {
   /// `num_elements` total pattern components (witness buckets are indexed
   /// by pattern element).
   PartialMatchStore(int num_states, int num_elements);
+
+  /// The arena all of this store's binding chains live in. Matches queued
+  /// for insertion must already allocate from this arena.
+  BindingArena& arena() { return arena_; }
+  const BindingArena& arena() const { return arena_; }
 
   /// Inserts a match into the bucket of its state; returns a stable pointer.
   PartialMatch* Add(std::unique_ptr<PartialMatch> pm);
@@ -100,7 +331,8 @@ class PartialMatchStore {
   }
   int num_witness_buckets() const { return static_cast<int>(witness_buckets_.size()); }
 
-  /// Tombstones a match (no-op if already dead).
+  /// Tombstones a match (no-op if already dead) and releases its binding
+  /// chain back to the arena; prefix nodes shared with siblings survive.
   void Kill(PartialMatch* pm);
 
   /// Number of live regular partial matches.
@@ -110,19 +342,39 @@ class PartialMatchStore {
   /// Number of tombstoned entries awaiting compaction.
   size_t NumDead() const { return num_dead_; }
 
-  /// Deterministic per-match memory estimate (struct + event-pointer and
-  /// offset payload + allocator slack). Events themselves are shared with
-  /// the stream and not charged.
+  /// Chain-independent footprint of one match: the struct itself, the
+  /// slot_end payload at its allocated *capacity* (vectors grow by
+  /// doubling; charging size() undercounts the real footprint), and
+  /// allocator slack. Events themselves are shared with the stream and
+  /// not charged.
+  static size_t FixedBytes(const PartialMatch& pm) {
+    return sizeof(PartialMatch) + pm.slot_end.capacity() * sizeof(uint32_t) +
+           kPerMatchOverheadBytes;
+  }
+
+  /// Deterministic *marginal* memory estimate of one match: FixedBytes
+  /// plus the exclusive suffix of its chain — the nodes that would return
+  /// to the arena if this match alone were killed. Shared prefix nodes
+  /// are charged to no single match (they are in ApproxLiveBytes once);
+  /// the shedder's kill loop self-corrects as siblings die and their
+  /// prefixes become exclusive.
   static size_t ApproxBytes(const PartialMatch& pm) {
-    return sizeof(PartialMatch) + pm.events.size() * sizeof(EventPtr) +
-           pm.slot_end.size() * sizeof(uint32_t) + kPerMatchOverheadBytes;
+    size_t exclusive = 0;
+    for (const BindingNode* n = pm.tail(); n != nullptr && n->refs == 1;
+         n = n->prev) {
+      ++exclusive;
+    }
+    return FixedBytes(pm) + exclusive * sizeof(BindingNode);
   }
 
   /// Estimated bytes held by live matches and witnesses — the memory
-  /// signal the overload guard enforces its budget against. O(1);
-  /// maintained incrementally by Add/AddWitness/Kill (matches are
-  /// immutable once stored, so the insert-time estimate stays exact).
-  size_t ApproxLiveBytes() const { return approx_live_bytes_; }
+  /// signal the overload guard enforces its budget against. O(1): the
+  /// fixed per-match part is maintained incrementally by
+  /// Add/AddWitness/Kill, and the arena counts every live chain node
+  /// exactly once regardless of prefix sharing.
+  size_t ApproxLiveBytes() const {
+    return fixed_live_bytes_ + arena_.LiveBytes();
+  }
 
   /// Tombstones every live match (regular and witness) whose window has
   /// elapsed at `now`; returns the number evicted.
@@ -135,24 +387,30 @@ class PartialMatchStore {
 
   /// Physically removes tombstoned matches. Pointers to dead matches become
   /// dangling; callers holding indexes must rebuild them (the engine does).
+  /// Pointers to live matches are never invalidated (unique_ptr
+  /// indirection keeps them stable across the bucket moves).
   void Compact();
 
   /// Fraction of dead entries, used to decide when to compact.
   double DeadFraction() const;
 
-  /// Kills everything (used between experiment runs).
+  /// Kills everything (used between experiment runs). Arena blocks are
+  /// retained as reusable capacity.
   void Clear();
 
  private:
   /// Unique-ptr indirection plus typical allocator rounding per entry.
   static constexpr size_t kPerMatchOverheadBytes = 32;
 
+  // Declared before the buckets: match destructors release chains into
+  // the arena, so the arena must outlive every bucket.
+  BindingArena arena_;
   std::vector<Bucket> buckets_;
   std::vector<Bucket> witness_buckets_;
   size_t num_alive_ = 0;
   size_t num_alive_witnesses_ = 0;
   size_t num_dead_ = 0;
-  size_t approx_live_bytes_ = 0;
+  size_t fixed_live_bytes_ = 0;
 };
 
 }  // namespace cepshed

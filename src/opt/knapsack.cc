@@ -40,8 +40,18 @@ std::vector<size_t> SolveCoveringKnapsackDP(const std::vector<KnapsackItem>& ite
   for (size_t i = 0; i < n; ++i) {
     w[i] = static_cast<int>(std::floor(items[i].weight * scale));
   }
-  // Strictly exceeding `threshold` on the grid: reach at least T.
-  const int target = static_cast<int>(std::floor(threshold * scale)) + 1;
+  // Grid targets for "strictly exceed threshold". Item weights round
+  // *down*, so a selection whose grid sum is t0 = ceil(threshold*scale)
+  // weighs at least threshold in real terms (and usually above it, since
+  // each item kept its rounding residue), while a grid sum of t0+1 weighs
+  // *strictly* above threshold no matter how the rounding fell. The old
+  // code used floor(threshold*scale)+1 as its only target, which equals
+  // t0+1 exactly when threshold*scale lands on a grid point (integral
+  // thresholds) — demanding one extra grid unit there and over-shedding
+  // at the boundary. Solve for both columns: take the t0 candidate when
+  // the exact re-check confirms it covers, else the guaranteed t0+1 one.
+  const int t0 = static_cast<int>(std::ceil(threshold * scale));
+  const int target = t0 + 1;
 
   const double kInf = std::numeric_limits<double>::max() / 4;
   const size_t cols = static_cast<size_t>(target) + 1;
@@ -73,20 +83,51 @@ std::vector<size_t> SolveCoveringKnapsackDP(const std::vector<KnapsackItem>& ite
       }
     }
   }
-  if (dp[n][static_cast<size_t>(target)] >= kInf) {
-    // Grid rounding made the covering infeasible; fall back to greedy.
-    return SolveCoveringKnapsackGreedy(items, threshold);
+  auto extract = [&](int column) {
+    std::vector<size_t> sel;
+    int t = column;
+    for (size_t i = n; i > 0; --i) {
+      if (take[i][static_cast<size_t>(t)]) sel.push_back(i - 1);
+      t = prev_t[i][static_cast<size_t>(t)];
+    }
+    std::reverse(sel.begin(), sel.end());
+    return sel;
+  };
+
+  // The t0 candidate covers only if its rounding residues push the real
+  // weight strictly past the threshold — verify exactly. The t0+1
+  // candidate covers by construction but may cost more value.
+  std::vector<size_t> best;
+  bool have_best = false;
+  if (dp[n][static_cast<size_t>(t0)] < kInf) {
+    std::vector<size_t> cand = extract(t0);
+    if (TotalWeight(items, cand) > threshold) {
+      best = std::move(cand);
+      have_best = true;
+    }
+  }
+  if (dp[n][static_cast<size_t>(target)] < kInf) {
+    std::vector<size_t> cand = extract(target);
+    if (TotalWeight(items, cand) > threshold &&
+        (!have_best || TotalValue(items, cand) < TotalValue(items, best))) {
+      best = std::move(cand);
+      have_best = true;
+    }
+  }
+  if (have_best) {
+    std::sort(best.begin(), best.end());
+    return best;
   }
 
+  // Neither column yielded a covering selection (rounding starved the
+  // grid); top up the fullest available selection with cheap items.
   std::vector<size_t> selection;
-  int t = target;
-  for (size_t i = n; i > 0; --i) {
-    if (take[i][static_cast<size_t>(t)]) selection.push_back(i - 1);
-    t = prev_t[i][static_cast<size_t>(t)];
-  }
-  std::reverse(selection.begin(), selection.end());
-  if (TotalWeight(items, selection) > threshold) {
-    return selection;
+  if (dp[n][static_cast<size_t>(target)] < kInf) {
+    selection = extract(target);
+  } else if (dp[n][static_cast<size_t>(t0)] < kInf) {
+    selection = extract(t0);
+  } else {
+    return SolveCoveringKnapsackGreedy(items, threshold);
   }
   // Weight rounding left the exact sum short of the threshold: top up
   // greedily with the cheapest remaining items.

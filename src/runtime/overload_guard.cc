@@ -186,6 +186,12 @@ void OverloadGuard::UpdateDropRate(double mu) {
 
 void OverloadGuard::EvictToBudget() {
   if (engine_ == nullptr || options_.memory_budget_bytes == 0) return;
+  // ApproxStateBytes counts each shared-prefix chain node exactly once,
+  // so the budget tracks real footprint even when thousands of matches
+  // share long prefixes. The eviction loop credits each kill with its
+  // *marginal* (exclusive-suffix) bytes — a shared node is only freed,
+  // and only credited, once its last referencing match dies — and the
+  // per-event budget check re-trips if one pass undershoots.
   const size_t bytes = engine_->ApproxStateBytes();
   const size_t target =
       static_cast<size_t>(static_cast<double>(options_.memory_budget_bytes) * options_.memory_low);

@@ -220,10 +220,40 @@ Status CostModel::Train(const OfflineStats& stats, Rng* rng) {
 }
 
 int32_t CostModel::Classify(const PartialMatch& pm) const {
-  if (!trained_ || pm.events.empty()) return 0;
-  const StateModel& sm = states_[static_cast<size_t>(pm.state)];
+  if (!trained_ || pm.Length() == 0) return 0;
+  return ClassifyFeatures(states_[static_cast<size_t>(pm.state)],
+                          ExtractStateFeatures(pm, *nfa_));
+}
+
+int32_t CostModel::ClassifyPrefix(const Match& match, int state) const {
+  if (!trained_ || state < 1 ||
+      static_cast<size_t>(state) > match.slot_end.size()) {
+    return 0;
+  }
+  // Features of the prefix partial match at `state`: the last event of
+  // each closed slot 0..state-1, with the (empty) in-progress slot left
+  // at the -1 sentinel — byte-identical to ExtractStateFeatures on the
+  // materialized prefix, without rebuilding a PartialMatch per ancestor.
+  const std::vector<int>& attrs = nfa_->PredicateAttrs();
+  const size_t per_event = attrs.size();
+  const size_t slots = static_cast<size_t>(state) + 1;
+  std::vector<float> features(slots * per_event, -1.0f);
+  uint32_t begin = 0;
+  for (size_t slot = 0; slot + 1 < slots; ++slot) {
+    const uint32_t end = match.slot_end[slot];
+    if (end > begin) {
+      const std::vector<float> ev = ExtractFeatures(*match.events[end - 1], *nfa_);
+      std::copy(ev.begin(), ev.end(),
+                features.begin() + static_cast<ptrdiff_t>(slot * per_event));
+    }
+    begin = end;
+  }
+  return ClassifyFeatures(states_[static_cast<size_t>(state)], features);
+}
+
+int32_t CostModel::ClassifyFeatures(const StateModel& sm,
+                                    const std::vector<float>& f) const {
   if (!sm.pm_tree.fitted()) return 0;
-  const std::vector<float> f = ExtractStateFeatures(pm, *nfa_);
   std::vector<double> fd(f.begin(), f.end());
   const int leaf = sm.pm_tree.PredictLeaf(fd);
   if (leaf < 0 || static_cast<size_t>(leaf) >= sm.class_of_leaf.size()) return 0;
@@ -333,16 +363,8 @@ void CostModel::OnMatch(const Match& match, const PartialMatch* parent, Timestam
   if (match.events.empty() || match.slot_end.empty()) return;
   const Timestamp start_ts = match.events.front()->timestamp();
   const int slice = SliceOfAge(now - start_ts);
-  PartialMatch prefix;
-  prefix.start_ts = start_ts;
   for (size_t j = 1; j < match.slot_end.size(); ++j) {
-    const uint32_t end = match.slot_end[j - 1];
-    prefix.state = static_cast<int>(j);
-    prefix.events.assign(match.events.begin(), match.events.begin() + end);
-    prefix.slot_end.assign(match.slot_end.begin(),
-                           match.slot_end.begin() + static_cast<ptrdiff_t>(j));
-    prefix.last_ts = match.events[end - 1]->timestamp();
-    const int32_t cls = Classify(prefix);
+    const int32_t cls = ClassifyPrefix(match, static_cast<int>(j));
     contrib_inc_.Add(SketchKey(static_cast<int>(j), cls, slice), 1.0);
   }
 }

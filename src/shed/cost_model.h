@@ -81,6 +81,12 @@ class CostModel {
   /// Classifies a partial match (used as the engine's classifier hook).
   int32_t Classify(const PartialMatch& pm) const;
 
+  /// Classifies the prefix of a complete match that was a partial match at
+  /// `state` (1..slot_end.size()): same features and tree as Classify on
+  /// the materialized prefix, but read directly off the match — the
+  /// online-adaptation path must not rebuild per-ancestor event vectors.
+  int32_t ClassifyPrefix(const Match& match, int state) const;
+
   /// Classifies an incoming event as the hypothetical partial match it
   /// would create/extend into `state` (used by the input filter rho_I).
   int32_t ClassifyEvent(const Event& event, int state) const;
@@ -158,6 +164,9 @@ class CostModel {
     /// cls * num_slices + slice -> maximum training contribution.
     std::vector<double> contrib_max;
   };
+
+  /// Shared tail of Classify/ClassifyPrefix: feature vector -> class.
+  int32_t ClassifyFeatures(const StateModel& sm, const std::vector<float>& f) const;
 
   size_t TableIndex(int32_t cls, int slice) const {
     return static_cast<size_t>(cls) * static_cast<size_t>(options_.num_time_slices) +

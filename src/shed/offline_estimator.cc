@@ -37,20 +37,27 @@ std::vector<float> ExtractFeatures(const Event& event, const Nfa& nfa) {
 std::vector<float> ExtractStateFeatures(const PartialMatch& pm, const Nfa& nfa) {
   const std::vector<int>& attrs = nfa.PredicateAttrs();
   const size_t per_event = attrs.size();
-  // Slots 0..state inclusive; the in-progress slot may be empty.
+  // Slots 0..state inclusive; the in-progress slot may be empty. Only the
+  // *last* event of each slot feeds the features, and slot ends are
+  // non-decreasing, so one reverse walk over the shared-prefix binding
+  // chain visits every needed node (depth d holds flat index d-1) without
+  // materializing the whole match.
   const size_t slots = static_cast<size_t>(pm.state) + 1;
   std::vector<float> features(slots * per_event, -1.0f);
-  uint32_t begin = 0;
-  for (size_t slot = 0; slot < slots; ++slot) {
-    const uint32_t end = slot < pm.slot_end.size()
-                             ? pm.slot_end[slot]
-                             : static_cast<uint32_t>(pm.events.size());
-    if (end > begin) {
-      const std::vector<float> ev = ExtractFeatures(*pm.events[end - 1], nfa);
-      std::copy(ev.begin(), ev.end(),
-                features.begin() + static_cast<ptrdiff_t>(slot * per_event));
-    }
-    begin = end;
+  const BindingNode* node = pm.tail();
+  for (size_t slot = slots; slot-- > 0;) {
+    const uint32_t end =
+        slot < pm.slot_end.size() ? pm.slot_end[slot] : pm.Length();
+    const uint32_t begin =
+        slot == 0 ? 0
+                  : (slot - 1 < pm.slot_end.size() ? pm.slot_end[slot - 1]
+                                                   : pm.Length());
+    if (end <= begin) continue;
+    while (node != nullptr && node->depth > end) node = node->prev;
+    if (node == nullptr) break;
+    const std::vector<float> ev = ExtractFeatures(*node->event, nfa);
+    std::copy(ev.begin(), ev.end(),
+              features.begin() + static_cast<ptrdiff_t>(slot * per_event));
   }
   return features;
 }
@@ -89,7 +96,7 @@ Result<OfflineStats> EstimateOffline(std::shared_ptr<const Nfa> nfa,
     rec.parent_id = parent != nullptr ? parent->id : 0;
     rec.state = pm.state;
     rec.features = ExtractStateFeatures(pm, *nfa);
-    rec.event_features = ExtractFeatures(*pm.events.back(), *nfa);
+    rec.event_features = ExtractFeatures(*pm.LastEvent(), *nfa);
     rec.contrib_by_slice.assign(static_cast<size_t>(num_slices), 0.0f);
     rec.consum_by_slice.assign(static_cast<size_t>(num_slices), 0.0f);
     rec.own_omega =

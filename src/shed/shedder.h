@@ -86,8 +86,9 @@ class Shedder {
       if (obs_ != nullptr) {
         obs_->pms_shed.Add();
         obs_->CountShedClass(pm->class_label);
+        // Length() stays valid after Kill released the binding chain.
         obs_->audit.Record(obs::AuditKind::kKillPm, obs_shard_, now,
-                           pm->class_label, mu, pm->events.size());
+                           pm->class_label, mu, pm->Length());
       }
     }
   }

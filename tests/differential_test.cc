@@ -75,8 +75,11 @@ class HashDropShedder : public Shedder {
   void AfterEvent(Timestamp, double) override {
     if (pm_cut_ == 0) return;
     engine_->store().ForEachAlive([&](PartialMatch* pm) {
+      // The hash folds event seqs in stream order, so flatten the chain
+      // first — walking it newest-first would change every decision.
+      pm->FlattenTo(&scratch_);
       uint64_t h = seed_ ^ 0x5bf03635aca73f4cULL;
-      for (const EventPtr& e : pm->events) h = MixSeq(h ^ e->seq());
+      for (const Event* e : scratch_) h = MixSeq(h ^ e->seq());
       if (h < pm_cut_) KillPm(pm);
     });
   }
@@ -91,6 +94,7 @@ class HashDropShedder : public Shedder {
   uint64_t seed_;
   uint64_t event_cut_;
   uint64_t pm_cut_;
+  std::vector<const Event*> scratch_;
 };
 
 constexpr uint64_t kShedSeed = 17;

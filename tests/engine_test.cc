@@ -10,6 +10,7 @@
 #include <set>
 
 #include "src/cep/nfa.h"
+#include "src/query/parser.h"
 #include "tests/test_util.h"
 
 namespace cepshed {
@@ -300,6 +301,65 @@ TEST_F(EngineTest, StatsCountCreatedAndEvicted) {
   engine.Process(Ev("A", 2000, 2, 2), &out);
   EXPECT_EQ(engine.stats().pms_evicted, 1u);
   EXPECT_EQ(engine.NumPartialMatches(), 1u);
+}
+
+TEST_F(EngineTest, SweepAndProbeCountAnEvictionOnce) {
+  // Regression audit of the two eviction call sites: the periodic sweep
+  // kills and counts an expired match; the hash-join probe then sees the
+  // same (now dead) match in the index. The probe must skip it via the
+  // tombstone *before* its own expiry check, or the eviction is counted
+  // twice in stats().pms_evicted.
+  auto nfa = Nfa::Compile(MakeQ1(Millis(1)), &schema_);
+  ASSERT_TRUE(nfa.ok());
+  EngineOptions opts;
+  opts.evict_interval = 1;
+  Engine engine(*nfa, opts);
+  std::vector<Match> out;
+  engine.Process(Ev("A", 0, 1, 2), &out);
+  // B with a matching ID probes the state-1 index where the expired A-match
+  // sits; the sweep (evict_interval=1) runs first in the same Process call.
+  engine.Process(Ev("B", 2000, 1, 3), &out);
+  EXPECT_EQ(engine.stats().pms_evicted, 1u);
+  EXPECT_EQ(engine.NumPartialMatches(), 0u);
+}
+
+TEST_F(EngineTest, VacuumAtExactWindowBoundaryKeepsMatchesCompletable) {
+  // WITHIN is inclusive (a completion exactly at the boundary matches), so
+  // eviction must be strict (`>`): a Vacuum at exactly start_ts + window
+  // may not kill the match that a same-timestamp completion would finish.
+  auto nfa = Nfa::Compile(MakeQ1(Millis(8)), &schema_);
+  ASSERT_TRUE(nfa.ok());
+  Engine engine(*nfa, EngineOptions{});
+  std::vector<Match> out;
+  engine.Process(Ev("A", 0, 1, 2), &out);
+  engine.Process(Ev("B", 10, 1, 3), &out);
+  engine.Vacuum(8000);
+  EXPECT_EQ(engine.stats().pms_evicted, 0u);
+  engine.Process(Ev("C", 8000, 1, 5), &out);
+  EXPECT_EQ(out.size(), 1u);
+  // One microsecond past the boundary the other pending prefix expires.
+  engine.Vacuum(8001);
+  EXPECT_GT(engine.stats().pms_evicted, 0u);
+}
+
+TEST_F(EngineTest, VacuumRespectsCountWindows) {
+  // Regression: count-window queries alias nfa->window() to the count, so
+  // the old Vacuum — which always ran the *time*-based EvictExpired — read
+  // "3 events" as "3 microseconds" and evicted matches that were well
+  // inside the count window whenever timestamps outpace sequence numbers.
+  auto q = ParseQuery("PATTERN SEQ(A a, B b) WHERE a.ID = b.ID WITHIN 3 EVENTS");
+  ASSERT_TRUE(q.ok());
+  auto nfa = Nfa::Compile(*q, &schema_);
+  ASSERT_TRUE(nfa.ok());
+  Engine engine(*nfa, EngineOptions{});
+  std::vector<Match> out;
+  engine.Process(Ev("A", 0, 1, 2), &out);
+  engine.Process(Ev("C", 1000, 9, 0), &out);   // advances the stream clock
+  engine.Process(Ev("C", 2000, 9, 0), &out);
+  engine.Vacuum(2000);  // seq distance 2 <= 3: must survive
+  EXPECT_EQ(engine.stats().pms_evicted, 0u);
+  engine.Process(Ev("B", 3000, 1, 3), &out);  // span 3 events: still inside
+  EXPECT_EQ(out.size(), 1u);
 }
 
 TEST_F(EngineTest, ResetClearsState) {

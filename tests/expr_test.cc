@@ -27,9 +27,14 @@ class ExprTest : public ::testing::Test {
   }
 
   // Builds a context with a bound to one event and b bound to `b_events`.
+  // The owners_ vector keeps the events alive; bindings span raw pointers,
+  // mirroring the engine's flattened view.
   void Bind(EvalContext* ctx, const EventPtr& a, const std::vector<EventPtr>& bs) {
-    a_store_ = {a};
-    b_store_ = bs;
+    owners_ = bs;
+    owners_.push_back(a);
+    a_store_ = {a.get()};
+    b_store_.clear();
+    for (const EventPtr& b : bs) b_store_.push_back(b.get());
     ctx->num_elements = 3;
     ctx->bindings[0] = {a_store_.data(), 1};
     ctx->bindings[1] = {b_store_.data(), static_cast<uint32_t>(b_store_.size())};
@@ -42,8 +47,9 @@ class ExprTest : public ::testing::Test {
 
   Schema schema_;
   std::vector<PatternElement> elements_;
-  std::vector<EventPtr> a_store_;
-  std::vector<EventPtr> b_store_;
+  std::vector<EventPtr> owners_;
+  std::vector<const Event*> a_store_;
+  std::vector<const Event*> b_store_;
 };
 
 TEST_F(ExprTest, LiteralEvaluatesToItself) {

@@ -49,6 +49,50 @@ TEST(KnapsackTest, GreedySelectsByRatio) {
   EXPECT_EQ(sel[0], 1u);
 }
 
+TEST(KnapsackTest, IntegralGridThresholdDoesNotOverShed) {
+  // Regression: the grid target was floor(threshold*scale)+1, which
+  // demands one extra grid unit whenever threshold*scale lands exactly on
+  // a grid point. Here grid=10 and total weight 10 (scale 1), so the
+  // threshold 5 is integral on the grid: item 0 alone (weight 5.5 > 5)
+  // covers at value 1, but the old target of 6 grid units forced item 1
+  // (value 10) into the selection as well — shedding 11x the recall loss
+  // the optimum needs.
+  std::vector<KnapsackItem> items = {{1.0, 5.5}, {10.0, 4.5}};
+  const auto dp = SolveCoveringKnapsackDP(items, 5.0, /*grid=*/10);
+  const auto brute = SolveCoveringKnapsackBrute(items, 5.0);
+  ASSERT_FALSE(dp.empty());
+  EXPECT_GT(TotalWeight(items, dp), 5.0);
+  EXPECT_DOUBLE_EQ(TotalValue(items, dp), TotalValue(items, brute));
+  EXPECT_DOUBLE_EQ(TotalValue(items, dp), 1.0);
+}
+
+TEST(KnapsackTest, NearIntegralThresholdStaysOptimal) {
+  // Just below the grid point the old and new targets agree; pin the
+  // behavior so the boundary fix cannot regress its neighborhood.
+  std::vector<KnapsackItem> items = {{1.0, 5.5}, {10.0, 4.5}};
+  const auto dp = SolveCoveringKnapsackDP(items, 4.999, /*grid=*/10);
+  ASSERT_FALSE(dp.empty());
+  EXPECT_GT(TotalWeight(items, dp), 4.999);
+  EXPECT_DOUBLE_EQ(TotalValue(items, dp), 1.0);
+}
+
+TEST(KnapsackTest, ExactGridWeightsSweepMatchesBruteForce) {
+  // Integer weights with scale 1 hit the other side of the boundary: a
+  // grid sum of exactly ceil(threshold) equals the threshold in real
+  // terms and must NOT count as covering (the contract is strict). The
+  // solver's second candidate column (one extra grid unit) makes the
+  // covering optimal without the greedy top-up distorting the value.
+  std::vector<KnapsackItem> items = {{3.0, 1.0}, {1.0, 2.0}, {100.0, 3.0}};
+  for (int t = 0; t <= 5; ++t) {
+    const auto dp = SolveCoveringKnapsackDP(items, t, /*grid=*/6);
+    const auto brute = SolveCoveringKnapsackBrute(items, t);
+    ASSERT_FALSE(dp.empty()) << "threshold " << t;
+    EXPECT_GT(TotalWeight(items, dp), t) << "threshold " << t;
+    EXPECT_DOUBLE_EQ(TotalValue(items, dp), TotalValue(items, brute))
+        << "threshold " << t;
+  }
+}
+
 class KnapsackPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(KnapsackPropertyTest, DpMatchesBruteForceOptimum) {

@@ -114,6 +114,79 @@ TEST(PartialMatchStoreTest, EvictExpired) {
   EXPECT_EQ(store.NumAlive(), 2u);
 }
 
+TEST(PartialMatchStoreTest, FixedBytesChargesSlotEndCapacityNotSize) {
+  // Regression: the old estimate charged slot_end.size() * sizeof(uint32_t).
+  // Vectors grow by doubling, so a match whose slot vector reserved 8 slots
+  // but filled 1 was under-counted by 28 bytes — across a million partial
+  // matches the guard's budget drifted tens of MB below the real footprint.
+  PartialMatch pm;
+  pm.slot_end.reserve(8);
+  pm.slot_end.push_back(0);
+  ASSERT_GE(pm.slot_end.capacity(), 8u);
+  const size_t bytes = PartialMatchStore::FixedBytes(pm);
+  EXPECT_GE(bytes, sizeof(PartialMatch) + 8 * sizeof(uint32_t));
+}
+
+TEST(PartialMatchStoreTest, LiveBytesCountsSharedPrefixOnce) {
+  PartialMatchStore store(3, 3);
+  const size_t empty_bytes = store.ApproxLiveBytes();
+
+  // A parent with a 6-event chain.
+  auto parent = std::make_unique<PartialMatch>();
+  for (uint64_t i = 0; i < 6; ++i) {
+    parent->Append(&store.arena(), std::make_shared<Event>(0, static_cast<Timestamp>(i), i, std::vector<Value>{}));
+  }
+  PartialMatch* p = store.Add(std::move(parent));
+  const size_t after_parent = store.ApproxLiveBytes();
+  EXPECT_EQ(store.arena().live_nodes(), 6u);
+
+  // Two children share the parent's whole chain: each adds exactly one
+  // arena node plus its own fixed footprint — not 7 nodes each.
+  for (int c = 0; c < 2; ++c) {
+    auto child = std::make_unique<PartialMatch>();
+    child->ExtendFrom(&store.arena(), p, std::make_shared<Event>(0, static_cast<Timestamp>(10 + c),
+                                              static_cast<uint64_t>(10 + c),
+                                              std::vector<Value>{}));
+    store.Add(std::move(child));
+  }
+  EXPECT_EQ(store.arena().live_nodes(), 8u);
+  const size_t per_child = (store.ApproxLiveBytes() - after_parent) / 2;
+  EXPECT_LE(per_child, PartialMatchStore::FixedBytes(*p) + 2 * sizeof(BindingNode));
+
+  // Killing everything returns the signal to the empty baseline.
+  store.ForEachAlive([&](PartialMatch* pm) { store.Kill(pm); });
+  EXPECT_EQ(store.arena().live_nodes(), 0u);
+  EXPECT_EQ(store.ApproxLiveBytes(), empty_bytes);
+}
+
+TEST(PartialMatchStoreTest, ApproxBytesIsMarginalUnderSharing) {
+  PartialMatchStore store(3, 3);
+  auto parent = std::make_unique<PartialMatch>();
+  for (uint64_t i = 0; i < 5; ++i) {
+    parent->Append(&store.arena(), std::make_shared<Event>(0, static_cast<Timestamp>(i), i, std::vector<Value>{}));
+  }
+  PartialMatch* p = store.Add(std::move(parent));
+  auto child = std::make_unique<PartialMatch>();
+  child->ExtendFrom(&store.arena(), p, std::make_shared<Event>(0, 9, 9, std::vector<Value>{}));
+  PartialMatch* c = store.Add(std::move(child));
+
+  // While the parent is alive its whole chain is shared with the child, so
+  // the child's marginal estimate covers only its one exclusive node.
+  EXPECT_EQ(PartialMatchStore::ApproxBytes(*c),
+            PartialMatchStore::FixedBytes(*c) + sizeof(BindingNode));
+  // The parent's tail is referenced by the child chain too: zero exclusive.
+  EXPECT_EQ(PartialMatchStore::ApproxBytes(*p), PartialMatchStore::FixedBytes(*p));
+
+  // Once the parent dies the prefix belongs to the child alone and its
+  // marginal estimate grows to the full chain — the shedder's kill loop
+  // sees the true reclaim for the last owner.
+  store.Kill(p);
+  EXPECT_EQ(PartialMatchStore::ApproxBytes(*c),
+            PartialMatchStore::FixedBytes(*c) + 6 * sizeof(BindingNode));
+  store.Kill(c);
+  EXPECT_EQ(store.arena().live_nodes(), 0u);
+}
+
 TEST(PartialMatchStoreTest, WitnessesTrackedSeparately) {
   PartialMatchStore store(2, 3);
   auto w = std::make_unique<PartialMatch>();

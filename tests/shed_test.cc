@@ -108,16 +108,16 @@ TEST_F(ShedTest, CostModelLearnsWorthlessClass) {
   // A state-2 partial match with a.V + b.V > 10 can never complete: its
   // class contribution estimate must be (near) zero. A match with
   // a.V + b.V = 4 is promising: clearly positive estimate.
+  BindingArena arena;  // outlives the matches built below
   auto make_pm = [&](int64_t av, int64_t bv) {
     PartialMatch pm;
     pm.state = 2;
-    pm.events = {
-        std::make_shared<Event>(schema_.EventTypeId("A"), 0, 0,
-                                std::vector<Value>{Value(1), Value(av)}),
-        std::make_shared<Event>(schema_.EventTypeId("B"), 1, 1,
-                                std::vector<Value>{Value(1), Value(bv)}),
-    };
-    pm.slot_end = {1, 2};
+    pm.Append(&arena, std::make_shared<Event>(schema_.EventTypeId("A"), 0, 0,
+                                              std::vector<Value>{Value(1), Value(av)}));
+    pm.CloseSlot();
+    pm.Append(&arena, std::make_shared<Event>(schema_.EventTypeId("B"), 1, 1,
+                                              std::vector<Value>{Value(1), Value(bv)}));
+    pm.CloseSlot();
     pm.start_ts = 0;
     pm.last_ts = 1;
     return pm;

@@ -1,0 +1,154 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Property tests for pointer stability and accounting of the shared-prefix
+// partial-match store. Shedders, the cost model, and the audit trail all
+// hold raw PartialMatch* across engine activity, so the store guarantees:
+//
+//  - a pointer to a *live* match is never invalidated by insertions,
+//    state-based shedding, window eviction, or compaction;
+//  - a killed match stays readable (Length, slot_end, tombstone) until the
+//    next compaction even though its binding chain returned to the arena;
+//  - the arena's live-node count always equals the number of distinct
+//    chain nodes reachable from live matches — shared prefixes are never
+//    double-counted and never freed while a sibling still needs them.
+//
+// The whole suite runs under AddressSanitizer in CI, so any stale read or
+// premature chain free fails loudly rather than by luck.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/cep/engine.h"
+#include "src/cep/nfa.h"
+#include "src/common/rng.h"
+#include "src/query/parser.h"
+#include "tests/test_util.h"
+
+namespace cepshed {
+namespace {
+
+using testing::MakeAbcdSchema;
+using testing::MakeEvent;
+
+// Collects every chain node reachable from live matches and witnesses and
+// cross-checks the arena's incremental accounting against it.
+void CheckArenaInvariant(Engine* engine) {
+  std::unordered_set<const BindingNode*> reachable;
+  auto walk = [&](PartialMatch* pm) {
+    for (const BindingNode* n = pm->tail(); n != nullptr; n = n->prev) {
+      if (!reachable.insert(n).second) break;  // shared prefix already seen
+    }
+  };
+  engine->store().ForEachAlive(walk);
+  engine->store().ForEachAliveWitness(walk);
+  ASSERT_EQ(reachable.size(), engine->store().arena().live_nodes());
+
+  size_t fixed = 0;
+  auto add_fixed = [&](PartialMatch* pm) {
+    fixed += PartialMatchStore::FixedBytes(*pm);
+  };
+  engine->store().ForEachAlive(add_fixed);
+  engine->store().ForEachAliveWitness(add_fixed);
+  ASSERT_EQ(engine->store().ApproxLiveBytes(),
+            fixed + reachable.size() * sizeof(BindingNode));
+}
+
+TEST(StoreStabilityTest, LivePointersSurviveSheddingEvictionAndCompaction) {
+  Schema schema = MakeAbcdSchema();
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a, A+{1,5} b[], B c) "
+      "WHERE a.ID = b[i].ID AND a.ID = c.ID WITHIN 4ms");
+  ASSERT_TRUE(q.ok());
+  auto nfa = Nfa::Compile(*q, &schema);
+  ASSERT_TRUE(nfa.ok()) << nfa.status();
+
+  EngineOptions opts;
+  opts.evict_interval = 7;          // frequent sweeps
+  opts.compact_min_dead = 4;        // frequent compactions
+  opts.compact_dead_fraction = 0.1;
+  Engine engine(*nfa, opts);
+
+  // Address of every match at creation, by id. For a live id the address
+  // must never change; entries whose match died are pruned (compaction is
+  // allowed to recycle those) and never dereferenced.
+  std::unordered_map<uint64_t, const PartialMatch*> created_at;
+  engine.set_pm_created_hook(
+      [&](const PartialMatch& pm, const PartialMatch*) { created_at[pm.id] = &pm; });
+
+  Rng rng(2026);
+  std::vector<Match> out;
+  Timestamp ts = 0;
+  for (int step = 0; step < 600; ++step) {
+    const uint64_t roll = rng.UniformInt(0, 9);
+    const char* type = roll < 7 ? "A" : (roll < 9 ? "B" : "C");
+    ts += rng.UniformInt(1, 300);
+    engine.Process(MakeEvent(schema, type, ts, static_cast<uint64_t>(step),
+                             static_cast<int64_t>(rng.UniformInt(1, 2)), 1),
+                   &out);
+
+    if (step % 13 == 5) engine.ShedLowestUtility(3, 0);
+    if (step % 71 == 17) engine.Vacuum(ts);
+
+    // Every live match must still sit exactly where it was created, with
+    // an internally consistent chain.
+    engine.store().ForEachAlive([&](PartialMatch* pm) {
+      auto it = created_at.find(pm->id);
+      ASSERT_NE(it, created_at.end());
+      ASSERT_EQ(it->second, pm);
+      uint32_t expect_depth = pm->Length();
+      for (const BindingNode* n = pm->tail(); n != nullptr; n = n->prev) {
+        ASSERT_EQ(n->depth, expect_depth--);
+        ASSERT_GE(n->refs, 1u);
+        ASSERT_NE(n->event, nullptr);
+      }
+      ASSERT_EQ(expect_depth, 0u);
+      if (!pm->slot_end.empty()) {
+        ASSERT_LE(pm->slot_end.back(), pm->Length());
+      }
+    });
+    CheckArenaInvariant(&engine);
+
+    if (step % 50 == 49) {
+      // Prune dead ids so the map never holds a pointer compaction could
+      // have recycled.
+      std::unordered_set<uint64_t> alive_ids;
+      engine.store().ForEachAlive(
+          [&](PartialMatch* pm) { alive_ids.insert(pm->id); });
+      for (auto it = created_at.begin(); it != created_at.end();) {
+        it = alive_ids.count(it->first) ? std::next(it) : created_at.erase(it);
+      }
+    }
+  }
+  EXPECT_GT(engine.stats().pms_created, 100u);
+}
+
+TEST(StoreStabilityTest, KilledMatchStaysAuditableUntilCompaction) {
+  Schema schema = MakeAbcdSchema();
+  auto nfa = Nfa::Compile(testing::MakeQ1(Millis(8)), &schema);
+  ASSERT_TRUE(nfa.ok());
+  Engine engine(*nfa, EngineOptions{});
+  std::vector<Match> out;
+  engine.Process(MakeEvent(schema, "A", 0, 0, 1, 2), &out);
+  engine.Process(MakeEvent(schema, "B", 10, 1, 1, 3), &out);
+
+  PartialMatch* target = nullptr;
+  engine.store().ForEachAlive([&](PartialMatch* pm) {
+    if (pm->Length() == 2) target = pm;
+  });
+  ASSERT_NE(target, nullptr);
+  const uint64_t id = target->id;
+
+  engine.store().Kill(target);
+  // The chain returned to the arena, but the audit surface is intact.
+  EXPECT_FALSE(target->alive);
+  EXPECT_EQ(target->id, id);
+  EXPECT_EQ(target->Length(), 2u);
+  EXPECT_EQ(target->slot_end.size(), 2u);
+  EXPECT_EQ(target->tail(), nullptr);
+  EXPECT_EQ(target->LastEvent(), nullptr);
+}
+
+}  // namespace
+}  // namespace cepshed

@@ -122,8 +122,8 @@ int main() {
       void AfterEvent(Timestamp, double) override {
         engine_->store().ForEachAlive([&](PartialMatch* pm) {
           if (pm->state != 2) return;
-          const int64_t sum = pm->events[0]->attr(v_attr_).AsInt() +
-                              pm->events[1]->attr(v_attr_).AsInt();
+          const int64_t sum = pm->EventAt(0)->attr(v_attr_).AsInt() +
+                              pm->EventAt(1)->attr(v_attr_).AsInt();
           if (sum > 10) KillPm(pm);
         });
       }
