@@ -7,13 +7,222 @@
 #include <benchmark/benchmark.h>
 
 #include "src/cep/engine.h"
+#include "src/cep/pred_vm.h"
+#include "src/common/rng.h"
 #include "src/obs/metrics.h"
 #include "src/query/parser.h"
 #include "src/workload/ds1.h"
+#include "src/workload/ds2.h"
 #include "src/workload/queries.h"
 
 namespace cepshed {
 namespace {
+
+/// Predicate-evaluation kernel shared by the BM_PredicateEval pair: Arg(0)
+/// walks the Expr trees (interpreter), Arg(1) runs the compiled bytecode.
+/// Each outer step replays `contexts` evaluation contexts; every context
+/// change invalidates the VM's load registers, exactly as Engine::
+/// FillContext does, so the measured VM includes its cache-maintenance
+/// cost. Items processed = predicate evaluations, so the reported rate is
+/// predicate-eval throughput (scripts/check_predicate_vm.py gates the /1
+/// vs /0 ratio in CI).
+void RunPredicateEvalBench(benchmark::State& state, const Nfa& nfa,
+                           const std::vector<EvalContext>& contexts) {
+  const bool use_vm = state.range(0) != 0;
+  // Only predicates the compiler accepts take part, in both arms — Q3's
+  // AVG-over-binding conjunct would run the interpreter either way and
+  // dilute the comparison.
+  std::vector<const CompiledPredicate*> preds;
+  for (int s = 0; s < nfa.num_states(); ++s) {
+    for (const CompiledPredicate* cp : nfa.state(s).bind_preds) {
+      if (cp->vm_program >= 0) preds.push_back(cp);
+    }
+    for (const CompiledPredicate* cp : nfa.state(s).iter_preds) {
+      if (cp->vm_program >= 0) preds.push_back(cp);
+    }
+  }
+  const PredVmModule& module = *nfa.vm_module();
+  PredVmContext vmc;
+  vmc.Prepare(module.num_loads());
+  double checksum = 0.0;
+  for (auto _ : state) {
+    for (const EvalContext& ctx : contexts) {
+      double cost = 0.0;
+      int passed = 0;
+      if (use_vm) {
+        vmc.Invalidate();
+        for (const CompiledPredicate* cp : preds) {
+          passed += module.EvalBool(cp->vm_program, ctx, &vmc, &cost) ? 1 : 0;
+        }
+      } else {
+        for (const CompiledPredicate* cp : preds) {
+          passed += cp->expr->EvalBool(ctx, &cost) ? 1 : 0;
+        }
+      }
+      checksum += cost + passed;
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(contexts.size()) *
+                          static_cast<int64_t>(preds.size()));
+  state.counters["preds"] = static_cast<double>(preds.size());
+}
+
+/// One query's predicate workload: its compiled NFA plus synthetic
+/// evaluation contexts (the events are kept alive by `owners`).
+struct PredWorkload {
+  std::shared_ptr<Nfa> nfa;
+  std::vector<EventPtr> owners;
+  std::vector<EvalContext> contexts;
+};
+
+/// Q1's integer predicate mix (equality joins + an arithmetic equality)
+/// over edge-form contexts: a and b bound, a C event under test.
+PredWorkload BuildQ1Workload() {
+  PredWorkload w;
+  const Schema schema = MakeDs1Schema();
+  w.nfa = *Nfa::Compile(*queries::Q1("4ms"), &schema);
+  Rng rng(7);
+  const size_t num_ctx = 256;
+  w.owners.reserve(num_ctx * 3);
+  w.contexts.resize(num_ctx);
+  for (EvalContext& ctx : w.contexts) {
+    ctx.num_elements = 3;
+    for (int e = 0; e < 3; ++e) {
+      std::vector<Value> attrs(schema.num_attributes());
+      attrs[0] = Value(rng.UniformInt(0, 4));   // ID: joins pass ~20%
+      attrs[1] = Value(rng.UniformInt(1, 10));  // V
+      w.owners.push_back(std::make_shared<Event>(e, 1, 0, std::move(attrs)));
+      if (e < 2) {
+        ElemBinding& b = ctx.bindings[e];
+        b.count = 1;
+        b.first = b.last = w.owners.back().get();
+      } else {
+        ctx.current = w.owners.back().get();
+        ctx.current_elem = 2;
+      }
+    }
+  }
+  return w;
+}
+
+/// Q3's double predicate mix (division, range comparisons, sqrt inside the
+/// n-ary AVG is excluded as an aggregate-free conjunct set) over DS2-shaped
+/// events: a, b, c bound, a D event under test.
+PredWorkload BuildQ3Workload() {
+  PredWorkload w;
+  const Schema schema = MakeDs2Schema();
+  w.nfa = *Nfa::Compile(*queries::Q3("8ms"), &schema);
+  Rng rng(11);
+  const size_t num_ctx = 256;
+  w.owners.reserve(num_ctx * 4);
+  w.contexts.resize(num_ctx);
+  for (EvalContext& ctx : w.contexts) {
+    ctx.num_elements = 4;
+    for (int e = 0; e < 4; ++e) {
+      std::vector<Value> attrs(schema.num_attributes());
+      attrs[0] = Value(static_cast<double>(rng.UniformInt(0, 4)));  // ID
+      attrs[1] = Value(rng.UniformDouble(0.0, 4.0));                // x
+      attrs[2] = Value(rng.UniformDouble(0.0, 4.0));                // y
+      attrs[3] = Value(rng.UniformDouble(0.0, 4.0));                // v
+      w.owners.push_back(std::make_shared<Event>(e, 1, 0, std::move(attrs)));
+      if (e < 3) {
+        ElemBinding& b = ctx.bindings[e];
+        b.count = 1;
+        b.first = b.last = w.owners.back().get();
+      } else {
+        ctx.current = w.owners.back().get();
+        ctx.current_elem = 3;
+      }
+    }
+  }
+  return w;
+}
+
+/// The paper-query predicate mix (Q1's integer joins + Q3's double
+/// arithmetic): the headline number the CI gate enforces.
+void BM_PredicateEval(benchmark::State& state) {
+  const PredWorkload q1 = BuildQ1Workload();
+  const PredWorkload q3 = BuildQ3Workload();
+  const bool use_vm = state.range(0) != 0;
+  std::vector<std::vector<const CompiledPredicate*>> preds(2);
+  const PredWorkload* workloads[] = {&q1, &q3};
+  PredVmContext vmcs[2];
+  int64_t items_per_iter = 0;
+  for (int w = 0; w < 2; ++w) {
+    const Nfa& nfa = *workloads[w]->nfa;
+    for (int s = 0; s < nfa.num_states(); ++s) {
+      for (const CompiledPredicate* cp : nfa.state(s).bind_preds) {
+        if (cp->vm_program >= 0) preds[w].push_back(cp);
+      }
+      for (const CompiledPredicate* cp : nfa.state(s).iter_preds) {
+        if (cp->vm_program >= 0) preds[w].push_back(cp);
+      }
+    }
+    vmcs[w].Prepare(nfa.vm_module()->num_loads());
+    items_per_iter += static_cast<int64_t>(workloads[w]->contexts.size()) *
+                      static_cast<int64_t>(preds[w].size());
+  }
+  double checksum = 0.0;
+  for (auto _ : state) {
+    for (int w = 0; w < 2; ++w) {
+      const PredVmModule& module = *workloads[w]->nfa->vm_module();
+      for (const EvalContext& ctx : workloads[w]->contexts) {
+        double cost = 0.0;
+        int passed = 0;
+        if (use_vm) {
+          vmcs[w].Invalidate();
+          for (const CompiledPredicate* cp : preds[w]) {
+            passed += module.EvalBool(cp->vm_program, ctx, &vmcs[w], &cost) ? 1 : 0;
+          }
+        } else {
+          for (const CompiledPredicate* cp : preds[w]) {
+            passed += cp->expr->EvalBool(ctx, &cost) ? 1 : 0;
+          }
+        }
+        checksum += cost + passed;
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          items_per_iter);
+}
+BENCHMARK(BM_PredicateEval)->Arg(0)->Arg(1);
+
+void BM_PredicateEvalQ1(benchmark::State& state) {
+  const PredWorkload w = BuildQ1Workload();
+  RunPredicateEvalBench(state, *w.nfa, w.contexts);
+}
+BENCHMARK(BM_PredicateEvalQ1)->Arg(0)->Arg(1);
+
+void BM_PredicateEvalQ3(benchmark::State& state) {
+  const PredWorkload w = BuildQ3Workload();
+  RunPredicateEvalBench(state, *w.nfa, w.contexts);
+}
+BENCHMARK(BM_PredicateEvalQ3)->Arg(0)->Arg(1);
+
+/// End-to-end engine pair for the same toggle: the whole Q1 pipeline with
+/// the interpreter (Arg 0) vs. the VM (Arg 1).
+void BM_EngineQ1PredVm(benchmark::State& state) {
+  const Schema schema = MakeDs1Schema();
+  Ds1Options gen;
+  gen.num_events = 20000;
+  const EventStream stream = GenerateDs1(schema, gen);
+  auto nfa = Nfa::Compile(*queries::Q1("4ms"), &schema);
+  EngineOptions opts;
+  opts.use_pred_vm = state.range(0) != 0;
+  for (auto _ : state) {
+    Engine engine(*nfa, opts);
+    std::vector<Match> out;
+    for (const EventPtr& e : stream) engine.Process(e, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_EngineQ1PredVm)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_EngineQ1(benchmark::State& state) {
   const Schema schema = MakeDs1Schema();

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""CI gate: the predicate bytecode VM must beat the tree interpreter.
+
+Reads a google-benchmark JSON file containing BM_PredicateEval*/{0,1}
+rows (raw repetitions or aggregates): /0 is the Expr-tree interpreter,
+/1 the compiled bytecode VM, both reporting predicate evaluations per
+second over identical workloads, so the /1 : /0 ratio is the VM speedup.
+
+Every pair found is gated (BM_PredicateEval is the paper-query predicate
+mix — the headline number; BM_PredicateEvalQ1/Q3 are the per-query
+breakdowns), and the run fails if any pair's speedup drops below the
+threshold. Per-arm maxima over repetitions are used: the statistic least
+sensitive to noisy-neighbour drift on shared CI runners.
+
+Usage: check_predicate_vm.py BENCH_JSON [--min-speedup 1.2]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def collect(benchmarks):
+    """Map benchmark base name -> {arg: max items_per_second}."""
+    best = {}
+    for b in benchmarks:
+        m = re.match(r"^(BM_PredicateEval\w*)/([01])(?:_(\w+))?$", b["name"])
+        if not m:
+            continue
+        name, arg, agg = m.group(1), int(m.group(2)), m.group(3)
+        if agg in ("stddev", "cv"):
+            continue
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        ips = float(ips)
+        arms = best.setdefault(name, {})
+        if arg not in arms or ips > arms[arg]:
+            arms[arg] = ips
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("--min-speedup", type=float, default=1.2)
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        data = json.load(f)
+    best = collect(data.get("benchmarks", []))
+
+    pairs = {n: arms for n, arms in best.items() if 0 in arms and 1 in arms}
+    if "BM_PredicateEval" not in pairs:
+        print("error: no complete BM_PredicateEval/{0,1} pair in input",
+              file=sys.stderr)
+        return 2
+
+    ok = True
+    for name in sorted(pairs):
+        interp, vm = pairs[name][0], pairs[name][1]
+        speedup = vm / interp
+        verdict = "OK" if speedup >= args.min_speedup else "FAIL"
+        if speedup < args.min_speedup:
+            ok = False
+        print(f"{name}: interpreter {interp / 1e6:.2f}M/s, "
+              f"VM {vm / 1e6:.2f}M/s -> {speedup:.2f}x "
+              f"(threshold {args.min_speedup:.2f}) [{verdict}]")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

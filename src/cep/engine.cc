@@ -29,6 +29,10 @@ Engine::Engine(std::shared_ptr<const Nfa> nfa, EngineOptions options)
                     (st.fill_index.build_expr != nullptr &&
                      st.fill_index.build_expr->HasAggregate());
   }
+  if (options_.use_pred_vm && nfa_->vm_module() != nullptr) {
+    vm_ = nfa_->vm_module().get();
+    vm_ctx_.Prepare(vm_->num_loads());
+  }
   BuildIndexLayout();
 }
 
@@ -73,6 +77,7 @@ const std::vector<const Event*>& Engine::FlatEvents(const PartialMatch* pm) {
 }
 
 void Engine::FillContext(const PartialMatch* pm, const Event* current, int current_elem) {
+  vm_ctx_.Invalidate();
   for (int e = 0; e < ctx_.num_elements; ++e) {
     ctx_.bindings[e] = ElemBinding{};
   }
@@ -131,7 +136,9 @@ void Engine::FillContext(const PartialMatch* pm, const Event* current, int curre
 bool Engine::EvalPreds(const std::vector<const CompiledPredicate*>& preds, double* cost) {
   for (const CompiledPredicate* cp : preds) {
     double pred_cost = 0.0;
-    const bool pass = cp->expr->EvalBool(ctx_, &pred_cost);
+    const bool pass = (vm_ != nullptr && cp->vm_program >= 0)
+                          ? vm_->EvalBool(cp->vm_program, ctx_, &vm_ctx_, &pred_cost)
+                          : cp->expr->EvalBool(ctx_, &pred_cost);
     *cost += pred_cost * options_.costs.pred_weight;
     ++stats_.predicate_evals;
     if (!pass) return false;
@@ -142,6 +149,9 @@ bool Engine::EvalPreds(const std::vector<const CompiledPredicate*>& preds, doubl
 Value Engine::BuildKey(const HashIndex& index, const PartialMatch& pm) {
   if (!index.enabled) return Value();
   FillContext(&pm, nullptr, -1);
+  if (vm_ != nullptr && index.spec->vm_build_program >= 0) {
+    return vm_->Eval(index.spec->vm_build_program, ctx_, &vm_ctx_, nullptr);
+  }
   return index.spec->build_expr->Eval(ctx_, nullptr);
 }
 
@@ -295,6 +305,9 @@ bool Engine::IsVetoed(const Match& match, double* cost) {
         for (const EventPtr& e : match.events) veto_scratch_.push_back(e.get());
         scratch_filled = true;
       }
+      // The context changes per witness without going through FillContext:
+      // drop the VM's cached attribute loads explicitly.
+      vm_ctx_.Invalidate();
       for (int e = 0; e < ctx_.num_elements; ++e) ctx_.bindings[e] = ElemBinding{};
       uint32_t begin = 0;
       for (size_t slot = 0; slot < match.slot_end.size(); ++slot) {
@@ -310,7 +323,10 @@ bool Engine::IsVetoed(const Match& match, double* cost) {
       bool all_pass = true;
       for (const CompiledPredicate* cp : neg.preds) {
         double pred_cost = 0.0;
-        const bool pass = cp->expr->EvalBool(ctx_, &pred_cost);
+        const bool pass =
+            (vm_ != nullptr && cp->vm_program >= 0)
+                ? vm_->EvalBool(cp->vm_program, ctx_, &vm_ctx_, &pred_cost)
+                : cp->expr->EvalBool(ctx_, &pred_cost);
         *cost += pred_cost * options_.costs.pred_weight;
         ++stats_.predicate_evals;
         if (!pass) {

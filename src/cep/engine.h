@@ -51,6 +51,11 @@ struct EngineOptions {
   /// attribute values only, and several experiments depend on expression
   /// predicates being evaluated per candidate match.
   bool index_expression_keys = false;
+  /// Evaluate compiled-bytecode predicates (src/cep/pred_vm.h) instead of
+  /// walking the Expr tree. Semantics and accounted cost units are
+  /// identical (fuzzed in expr_vm_test); predicates the compiler refuses
+  /// (aggregates) fall back to the interpreter per predicate either way.
+  bool use_pred_vm = true;
   /// Events between window-expiry sweeps.
   int evict_interval = 64;
   /// Compact the store once this fraction of entries is dead...
@@ -250,6 +255,11 @@ class Engine {
   /// count-window expiry with the same semantics as the per-event sweep.
   uint64_t last_seq_ = 0;
   EvalContext ctx_;
+  /// Compiled predicate programs (null when use_pred_vm is off); owned by
+  /// the shared Nfa. The register file vm_ctx_ is per-engine mutable state,
+  /// invalidated whenever ctx_ changes.
+  const PredVmModule* vm_ = nullptr;
+  PredVmContext vm_ctx_;
   /// True when the query contains an aggregate predicate: evaluation then
   /// needs full event spans per binding, so FillContext materializes the
   /// flattened view. All other queries evaluate off the chain's slot edges

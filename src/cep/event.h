@@ -18,6 +18,12 @@
 
 namespace cepshed {
 
+/// The shared null returned for out-of-range attribute reads. A namespace-
+/// scope inline constant: a function-local static would pay the thread-safe
+/// init-guard check on every Event::attr call, which is the engine's hottest
+/// read.
+inline const Value kNullValue{};
+
 /// \brief An immutable stream element.
 ///
 /// Events are shared between the stream buffer and partial matches via
@@ -38,8 +44,7 @@ class Event {
   uint64_t seq() const { return seq_; }
   /// The attribute value at the given schema index (null if out of range).
   const Value& attr(int index) const {
-    static const Value kNull;
-    if (index < 0 || static_cast<size_t>(index) >= attrs_.size()) return kNull;
+    if (index < 0 || static_cast<size_t>(index) >= attrs_.size()) return kNullValue;
     return attrs_[static_cast<size_t>(index)];
   }
   /// Number of stored attribute slots.

@@ -11,10 +11,10 @@ namespace cepshed {
 
 namespace {
 
-// Abstract work units per node kind; sqrt is deliberately expensive so that
-// queries like the paper's Q3 exhibit heterogeneous resource costs (§IV-A).
-constexpr double kCostBasic = 1.0;
-constexpr double kCostSqrt = 5.0;
+// Shorthands for the shared work-unit constants (declared in expr.h so the
+// bytecode VM charges the same units).
+constexpr double kCostBasic = kExprCostBasic;
+constexpr double kCostSqrt = kExprCostSqrt;
 
 const char* BinOpName(BinOp op) {
   switch (op) {

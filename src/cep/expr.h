@@ -21,6 +21,13 @@ namespace cepshed {
 
 struct PatternElement;  // pattern.h
 
+/// Abstract work units per predicate node evaluation; sqrt is deliberately
+/// expensive so that queries like the paper's Q3 exhibit heterogeneous
+/// resource costs (§IV-A). Shared by the tree interpreter (Expr::Eval) and
+/// the bytecode VM (pred_vm.h), which must charge identical units.
+inline constexpr double kExprCostBasic = 1.0;
+inline constexpr double kExprCostSqrt = 5.0;
+
 /// \brief Expression node kinds.
 enum class ExprKind : int {
   kLiteral,    ///< constant Value
@@ -196,6 +203,14 @@ class Expr {
   CmpOp cmp_op() const { return cmp_op_; }
   /// Arithmetic operator (kBinary nodes).
   BinOp bin_op() const { return bin_op_; }
+  /// Built-in function (kFunc nodes).
+  FuncKind func() const { return func_; }
+  /// Aggregate kind (kAggregate nodes).
+  AggKind agg() const { return agg_; }
+  /// Constant payload (kLiteral nodes).
+  const Value& literal() const { return literal_; }
+  /// Membership set (kInSet nodes).
+  const std::vector<Value>& set_values() const { return set_values_; }
   /// Children.
   const std::vector<Ptr>& children() const { return children_; }
 

@@ -297,6 +297,26 @@ Result<std::shared_ptr<Nfa>> Nfa::Compile(Query query, const Schema* schema) {
     if (counts.first > counts.second) nfa->predicate_attrs_.push_back(attr);
   }
 
+  // Lower the predicates into bytecode. One builder for the whole query so
+  // attribute-load registers are shared across programs (an attribute read
+  // by several predicates of one state is fetched once per context).
+  // Predicates that refuse compilation (aggregates) keep vm_program == -1
+  // and fall back to the tree interpreter at evaluation time.
+  PredVmBuilder vm_builder(schema);
+  for (const auto& cp : nfa->predicates_) {
+    cp->vm_program = vm_builder.Add(*cp->expr);
+  }
+  for (NfaState& state : nfa->states_) {
+    if (state.fill_index.valid()) {
+      state.fill_index.vm_build_program = vm_builder.Add(*state.fill_index.build_expr);
+    }
+    if (state.extend_index.valid()) {
+      state.extend_index.vm_build_program =
+          vm_builder.Add(*state.extend_index.build_expr);
+    }
+  }
+  nfa->vm_module_ = vm_builder.Build();
+
   return nfa;
 }
 

@@ -15,6 +15,7 @@
 
 #include "src/cep/expr.h"
 #include "src/cep/pattern.h"
+#include "src/cep/pred_vm.h"
 #include "src/cep/schema.h"
 #include "src/common/result.h"
 
@@ -42,6 +43,9 @@ struct CompiledPredicate {
   bool event_only = false;
   /// Static work units of one evaluation (resource cost Omega component).
   double static_cost = 0.0;
+  /// Bytecode program in the query's PredVmModule, or -1 when the predicate
+  /// is not compilable (aggregates) and keeps the tree interpreter.
+  int vm_program = -1;
 };
 
 /// \brief An equality-derived hash-join key: probe with an attribute of the
@@ -54,6 +58,8 @@ struct JoinIndexSpec {
   /// the paper's engine indexes attribute values (§VI-A), so expression
   /// predicates are evaluated per candidate match.
   bool expression_key = false;
+  /// Bytecode program computing the build key (-1: interpreter).
+  int vm_build_program = -1;
   bool valid() const { return probe_attr >= 0 && build_expr != nullptr; }
 };
 
@@ -134,6 +140,12 @@ class Nfa {
   /// predicates — the predictor variables of the cost model classifiers.
   const std::vector<int>& PredicateAttrs() const { return predicate_attrs_; }
 
+  /// The query's compiled predicate programs (null only if every predicate
+  /// refused compilation). Shared by all engines evaluating this NFA.
+  const std::shared_ptr<const PredVmModule>& vm_module() const {
+    return vm_module_;
+  }
+
  private:
   Nfa() = default;
 
@@ -146,6 +158,7 @@ class Nfa {
   std::vector<std::vector<int>> states_for_type_;
   std::vector<std::vector<int>> negations_for_type_;
   std::vector<int> predicate_attrs_;
+  std::shared_ptr<const PredVmModule> vm_module_;
 };
 
 }  // namespace cepshed

@@ -9,6 +9,13 @@
 //  - class estimates (90th-percentile contribution/consumption) are kept
 //    per time slice of the match's age, and adapted online by streaming
 //    counts folded as Gamma_new = (1-w) Gamma_old + w Gamma_incremented.
+//
+// The consumption side Gamma- is measured in the abstract work units that
+// Expr::Eval accumulates. The predicate bytecode VM (src/cep/pred_vm.h)
+// charges exactly the same units on every path — that parity is a hard
+// contract (fuzzed in tests/expr_vm_test.cc), so estimates trained with
+// either evaluator stay valid under the other and the Fig. 11 Omega
+// ablation is unaffected by EngineOptions::use_pred_vm.
 
 #ifndef CEPSHED_SHED_COST_MODEL_H_
 #define CEPSHED_SHED_COST_MODEL_H_

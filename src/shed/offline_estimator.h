@@ -7,6 +7,12 @@
 // bucketed by the age (time slice) at which each derivation materialized.
 // The same replay also yields the per-type selectivity statistics the
 // SI/SS baseline strategies use.
+//
+// Omega is denominated in Expr::Eval's abstract work units. The replay
+// engine may evaluate predicates through the bytecode VM
+// (EngineOptions::use_pred_vm, on by default); the VM charges identical
+// units by contract, so estimates recorded here transfer to production
+// engines regardless of which evaluator either side runs.
 
 #ifndef CEPSHED_SHED_OFFLINE_ESTIMATOR_H_
 #define CEPSHED_SHED_OFFLINE_ESTIMATOR_H_

@@ -130,6 +130,116 @@ TEST(ParserTest, OperatorPrecedence) {
   EXPECT_EQ(q->predicates[0]->ToString(), "(a.V+(2*3))=7");
 }
 
+TEST(ParserTest, ArithmeticPrecedenceAndAssociativity) {
+  // * / % bind tighter than + -; both tiers are left-associative.
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a, B b, C c) "
+      "WHERE a.V + b.V * 2 = c.V AND a.V - 1 - 2 = 0 AND a.V * 2 % 3 = 1 "
+      "AND (a.V + 1) * 2 = 4 "
+      "WITHIN 1ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->predicates.size(), 4u);
+  EXPECT_EQ(q->predicates[0]->ToString(), "(a.V+(b.V*2))=c.V");
+  EXPECT_EQ(q->predicates[1]->ToString(), "((a.V-1)-2)=0");
+  EXPECT_EQ(q->predicates[2]->ToString(), "((a.V*2)%3)=1");
+  EXPECT_EQ(q->predicates[3]->ToString(), "((a.V+1)*2)=4");
+}
+
+TEST(ParserTest, TopLevelAndSplitsButParenthesizedBooleansNest) {
+  // The top-level WHERE conjunction becomes the predicate list; inside
+  // parentheses AND binds tighter than OR.
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a) "
+      "WHERE a.V > 0 AND (a.V = 1 OR a.V = 2 AND a.V = 3) "
+      "WITHIN 1ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->predicates.size(), 2u);
+  EXPECT_EQ(q->predicates[1]->ToString(), "(a.V=1 OR (a.V=2 AND a.V=3))");
+  EXPECT_EQ(q->predicates[1]->kind(), ExprKind::kOr);
+}
+
+TEST(ParserTest, UnaryMinusDesugarsToZeroMinus) {
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a) WHERE -a.V < 3 AND a.V * -2 = -4 WITHIN 1ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->predicates.size(), 2u);
+  // `-x` is sugar for `0 - x` on non-literals...
+  const ExprPtr& neg = q->predicates[0]->children()[0];
+  ASSERT_EQ(neg->kind(), ExprKind::kBinary);
+  EXPECT_EQ(neg->bin_op(), BinOp::kSub);
+  EXPECT_EQ(neg->children()[0]->literal().AsInt(), 0);
+  EXPECT_EQ(q->predicates[0]->ToString(), "(0-a.V)<3");
+  EXPECT_EQ(q->predicates[1]->ToString(), "(a.V*(0-2))=(0-4)");
+  // ...and parenthesized double negation just nests (`--` cannot chain).
+  auto q2 = ParseQuery("PATTERN SEQ(A a) WHERE a.V = -(-3) WITHIN 1ms");
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) WHERE a.V = --3 WITHIN 1ms").ok());
+  ASSERT_TRUE(q2.ok()) << q2.status();
+  EXPECT_EQ(q2->predicates[0]->ToString(), "a.V=(0-(0-3))");
+}
+
+TEST(ParserTest, NegativeLiteralsInSets) {
+  auto q = ParseQuery("PATTERN SEQ(A a) WHERE a.V IN {-1, 2, -3.5} WITHIN 1ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  const Expr& in = *q->predicates[0];
+  ASSERT_EQ(in.kind(), ExprKind::kInSet);
+  ASSERT_EQ(in.set_values().size(), 3u);
+  EXPECT_EQ(in.set_values()[0].AsInt(), -1);
+  EXPECT_DOUBLE_EQ(in.set_values()[2].AsDouble(), -3.5);
+  // Strings cannot be negated.
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) WHERE a.V IN {-'x'} WITHIN 1ms").ok());
+}
+
+TEST(ParserTest, SetMembershipNestsInsideBooleansAndOverExpressions) {
+  // The membership subject may be a computed expression, and IN may appear
+  // under NOT and inside parenthesized disjunctions with mixed-type sets.
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a) "
+      "WHERE a.V + 1 IN {1, 2} AND NOT a.V IN {3} "
+      "AND (a.V IN {1} OR a.V IN {2.5, 'x'}) "
+      "WITHIN 1ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->predicates.size(), 3u);
+  EXPECT_EQ(q->predicates[0]->ToString(), "(a.V+1) IN {1,2}");
+  ASSERT_EQ(q->predicates[1]->kind(), ExprKind::kNot);
+  EXPECT_EQ(q->predicates[1]->children()[0]->kind(), ExprKind::kInSet);
+  EXPECT_EQ(q->predicates[2]->ToString(), "(a.V IN {1} OR a.V IN {2.5,x})");
+}
+
+TEST(ParserTest, SqrtArgumentCornerCases) {
+  // The argument is a full expression, even a disjunction.
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a) WHERE SQRT(a.V + 1) > 0 AND SQRT(a.V OR 1) >= 0 WITHIN 1ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(q->predicates[0]->ToString(), "SQRT((a.V+1))>0");
+  // Empty or unterminated argument lists are rejected.
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) WHERE SQRT() > 0 WITHIN 1ms").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) WHERE SQRT(a.V > 0 WITHIN 1ms").ok());
+}
+
+TEST(ParserTest, AvgDisambiguatesAggregateFromNAryForm) {
+  // AVG(b[].V) folds a Kleene binding (aggregate node); AVG(x, y) is the
+  // n-ary scalar mean. SUM/MIN/MAX/COUNT only accept the Kleene form.
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a, B+ b[], C c) "
+      "WHERE AVG(b[].V) <= 5 AND AVG(a.V, c.V) <= 5 AND COUNT(b[].V) > 1 "
+      "WITHIN 1ms");
+  ASSERT_TRUE(q.ok()) << q.status();
+  ASSERT_EQ(q->predicates.size(), 3u);
+  EXPECT_EQ(q->predicates[0]->children()[0]->kind(), ExprKind::kAggregate);
+  const Expr& avgn = *q->predicates[1]->children()[0];
+  ASSERT_EQ(avgn.kind(), ExprKind::kFunc);
+  EXPECT_EQ(avgn.func(), FuncKind::kAvgN);
+  EXPECT_EQ(avgn.children().size(), 2u);
+  EXPECT_EQ(q->predicates[2]->children()[0]->agg(), AggKind::kCount);
+  // Corner cases: empty AVG, scalar SUM, and mixing the Kleene form with
+  // extra scalar arguments are all malformed.
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) WHERE AVG() > 0 WITHIN 1ms").ok());
+  EXPECT_FALSE(ParseQuery("PATTERN SEQ(A a) WHERE SUM(a.V) > 0 WITHIN 1ms").ok());
+  EXPECT_FALSE(ParseQuery(
+                   "PATTERN SEQ(A a, B+ b[]) WHERE AVG(b[].V, a.V) > 0 WITHIN 1ms")
+                   .ok());
+}
+
 TEST(ParserTest, RejectsMalformedQueries) {
   EXPECT_FALSE(ParseQuery("SEQ(A a) WITHIN 1ms").ok());
   EXPECT_FALSE(ParseQuery("PATTERN SEQ() WITHIN 1ms").ok());
