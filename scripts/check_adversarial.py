@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""CI gate: online adaptation must survive the hostile drift stream.
+
+Reads the JSON written by bench_lab_adversarial (BENCH_lab.json), which
+runs the hybrid strategy twice over the same drifting test stream — once
+with the trained cost model frozen ("static") and once with online
+adaptation on ("adaptive") — and records recall before and after the
+drift window.
+
+Three properties are gated:
+
+  1. The drift generator actually hurts: the static arm's post-drift
+     recall must sit at least --min-degradation below its own pre-drift
+     recall. If this fails, the generator stopped being hostile and the
+     other gates are vacuous.
+  2. Adaptation closes the gap: adaptive post-drift recall must beat
+     static post-drift recall by at least --min-separation.
+  3. Adaptation works in absolute terms: adaptive post-drift recall must
+     be at least --min-adaptive-recall.
+
+Locally the arms land around static_post ~ 0.01 vs adaptive_post ~ 0.8;
+the default thresholds trip long before the adaptation path stops
+mattering while staying far from run-to-run noise.
+
+Usage: check_adversarial.py BENCH_lab.json [--min-separation 0.3]
+       [--min-degradation 0.3] [--min-adaptive-recall 0.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("--min-separation", type=float, default=0.3)
+    ap.add_argument("--min-degradation", type=float, default=0.3)
+    ap.add_argument("--min-adaptive-recall", type=float, default=0.5)
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        data = json.load(f)
+    arms = data.get("arms", {})
+    if "static" not in arms or "adaptive" not in arms:
+        print("error: missing static/adaptive arms in input", file=sys.stderr)
+        return 2
+
+    static, adaptive = arms["static"], arms["adaptive"]
+    checks = [
+        ("static degrades under drift",
+         static["recall_pre"] - static["recall_post"], args.min_degradation),
+        ("adaptive beats static post-drift",
+         adaptive["recall_post"] - static["recall_post"], args.min_separation),
+        ("adaptive post-drift recall",
+         adaptive["recall_post"], args.min_adaptive_recall),
+    ]
+
+    print(f"static:   pre {static['recall_pre']:.4f}  "
+          f"post {static['recall_post']:.4f}")
+    print(f"adaptive: pre {adaptive['recall_pre']:.4f}  "
+          f"post {adaptive['recall_post']:.4f}")
+
+    ok = True
+    for name, value, threshold in checks:
+        verdict = "OK" if value >= threshold else "FAIL"
+        if value < threshold:
+            ok = False
+        print(f"{name}: {value:.4f} (threshold {threshold:.2f}) [{verdict}]")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

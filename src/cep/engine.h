@@ -177,6 +177,10 @@ class Engine {
   /// Estimated bytes held by live partial matches and witnesses.
   size_t ApproxStateBytes() const { return store_.ApproxLiveBytes(); }
 
+  /// Current flatten-cache population (bounded by kFlatCacheMaxEntries
+  /// with wholesale clearing; exposed for the soak harness's obs gauges).
+  size_t FlatCacheSize() const { return flat_cache_.size(); }
+
   /// Forces an expiry sweep + compaction + index rebuild now. Uses the
   /// query's count-based window when one is declared (matching the
   /// per-event sweep) instead of misreading the count as a duration.

@@ -46,6 +46,83 @@ std::string Trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
+/// Parses one `kind:key=value,...` entry (already trimmed, non-empty).
+Result<FaultSpec> ParseEntry(const std::string& entry) {
+  const size_t colon = entry.find(':');
+  FaultSpec fault;
+  const std::string kind_name = entry.substr(0, colon);
+  CEPSHED_ASSIGN_OR_RETURN(fault.kind, ParseKind(kind_name));
+
+  if (colon != std::string::npos) {
+    std::istringstream pairs(entry.substr(colon + 1));
+    std::string pair;
+    while (std::getline(pairs, pair, ',')) {
+      if (pair.empty()) continue;
+      const size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return Status::ParseError("fault entry '" + entry +
+                                  "': expected key=value, got '" + pair + "'");
+      }
+      const std::string key = pair.substr(0, eq);
+      const std::string value = pair.substr(eq + 1);
+      if (key == "shard") {
+        int64_t v;
+        CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
+        fault.shard = static_cast<int>(v);
+      } else if (key == "at") {
+        int64_t v;
+        CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
+        if (v < 0) {
+          return Status::ParseError("fault entry '" + entry + "': at must be >= 0");
+        }
+        fault.at = static_cast<uint64_t>(v);
+      } else if (key == "count") {
+        int64_t v;
+        CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
+        if (v <= 0) {
+          return Status::ParseError("fault entry '" + entry + "': count must be > 0");
+        }
+        fault.count = static_cast<uint64_t>(v);
+      } else if (key == "us") {
+        CEPSHED_ASSIGN_OR_RETURN(fault.micros, ParseInt(entry, value));
+      } else if (key == "ms") {
+        int64_t v;
+        CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
+        fault.micros = v * 1000;
+      } else if (key == "factor") {
+        CEPSHED_ASSIGN_OR_RETURN(fault.factor, ParseDouble(entry, value));
+        if (fault.factor <= 0.0) {
+          return Status::ParseError("fault entry '" + entry + "': factor must be > 0");
+        }
+      } else {
+        return Status::ParseError("fault entry '" + entry + "': unknown key '" + key +
+                                  "'");
+      }
+    }
+  }
+
+  switch (fault.kind) {
+    case FaultKind::kStall:
+    case FaultKind::kSlowdown:
+      if (fault.micros < 0) {
+        return Status::ParseError("fault entry '" + entry +
+                                  "': sleep duration must be >= 0");
+      }
+      break;
+    case FaultKind::kBurst:
+      if (fault.factor == 1.0) {
+        return Status::ParseError("fault entry '" + entry +
+                                  "': burst needs factor != 1");
+      }
+      break;
+    case FaultKind::kSaturate:
+    case FaultKind::kSkew:
+    case FaultKind::kDeath:
+      break;
+  }
+  return fault;
+}
+
 }  // namespace
 
 const char* FaultKindName(FaultKind kind) {
@@ -69,82 +146,25 @@ const char* FaultKindName(FaultKind kind) {
 Result<FaultInjector> FaultInjector::Parse(const std::string& spec, uint64_t seed) {
   FaultInjector injector;
   injector.seed_ = seed;
-  std::istringstream entries(spec);
-  std::string entry;
-  while (std::getline(entries, entry, ';')) {
-    entry = Trim(entry);
-    if (entry.empty()) continue;
-    const size_t colon = entry.find(':');
-    FaultSpec fault;
-    const std::string kind_name = entry.substr(0, colon);
-    CEPSHED_ASSIGN_OR_RETURN(fault.kind, ParseKind(kind_name));
-
-    if (colon != std::string::npos) {
-      std::istringstream pairs(entry.substr(colon + 1));
-      std::string pair;
-      while (std::getline(pairs, pair, ',')) {
-        if (pair.empty()) continue;
-        const size_t eq = pair.find('=');
-        if (eq == std::string::npos) {
-          return Status::ParseError("fault entry '" + entry + "': expected key=value, got '" +
-                                    pair + "'");
-        }
-        const std::string key = pair.substr(0, eq);
-        const std::string value = pair.substr(eq + 1);
-        if (key == "shard") {
-          int64_t v;
-          CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
-          fault.shard = static_cast<int>(v);
-        } else if (key == "at") {
-          int64_t v;
-          CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
-          if (v < 0) return Status::ParseError("fault entry '" + entry + "': at must be >= 0");
-          fault.at = static_cast<uint64_t>(v);
-        } else if (key == "count") {
-          int64_t v;
-          CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
-          if (v <= 0) {
-            return Status::ParseError("fault entry '" + entry + "': count must be > 0");
-          }
-          fault.count = static_cast<uint64_t>(v);
-        } else if (key == "us") {
-          CEPSHED_ASSIGN_OR_RETURN(fault.micros, ParseInt(entry, value));
-        } else if (key == "ms") {
-          int64_t v;
-          CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
-          fault.micros = v * 1000;
-        } else if (key == "factor") {
-          CEPSHED_ASSIGN_OR_RETURN(fault.factor, ParseDouble(entry, value));
-          if (fault.factor <= 0.0) {
-            return Status::ParseError("fault entry '" + entry + "': factor must be > 0");
-          }
-        } else {
-          return Status::ParseError("fault entry '" + entry + "': unknown key '" + key +
-                                    "'");
-        }
+  // Entries split on ';' and on newlines; multi-line schedules (e.g. read
+  // from a file) report errors by 1-based line number.
+  int line = 1;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t end = spec.find_first_of(";\n", pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = Trim(spec.substr(pos, end - pos));
+    if (!entry.empty()) {
+      Result<FaultSpec> fault = ParseEntry(entry);
+      if (!fault.ok()) {
+        return Status::ParseError("line " + std::to_string(line) + ": " +
+                                  fault.status().message());
       }
+      injector.specs_.push_back(*fault);
     }
-
-    switch (fault.kind) {
-      case FaultKind::kStall:
-      case FaultKind::kSlowdown:
-        if (fault.micros < 0) {
-          return Status::ParseError("fault entry '" + entry +
-                                    "': sleep duration must be >= 0");
-        }
-        break;
-      case FaultKind::kBurst:
-        if (fault.factor == 1.0) {
-          return Status::ParseError("fault entry '" + entry +
-                                    "': burst needs factor != 1");
-        }
-        break;
-      case FaultKind::kSaturate:
-      case FaultKind::kSkew:
-      case FaultKind::kDeath:
-        break;
-    }
-    injector.specs_.push_back(fault);
+    if (end == spec.size()) break;
+    if (spec[end] == '\n') ++line;
+    pos = end + 1;
   }
   return injector;
 }

@@ -90,9 +90,12 @@ class FaultInjector {
  public:
   FaultInjector() = default;
 
-  /// Parses the schedule DSL. Unknown kinds/keys and malformed numbers are
-  /// errors — a chaos schedule that silently no-ops is worse than one that
-  /// fails loudly. An empty spec yields an empty injector.
+  /// Parses the schedule DSL. Entries are separated by ';' or newlines
+  /// (so a schedule can be a file, one entry per line). Unknown kinds/keys
+  /// and malformed numbers are errors — a chaos schedule that silently
+  /// no-ops is worse than one that fails loudly — and every error message
+  /// carries the 1-based line number of the offending entry. An empty spec
+  /// yields an empty injector.
   static Result<FaultInjector> Parse(const std::string& spec, uint64_t seed = 0);
 
   /// Consumer-side faults for the shard's `index`-th consumed event.

@@ -30,6 +30,19 @@ void AppendCounterSeries(std::string* out, const char* name, const char* help,
   }
 }
 
+void AppendGaugeSeries(std::string* out, const char* name, const char* help,
+                       const RegistrySnapshot& snap,
+                       int64_t ShardObsSnapshot::*field) {
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(name).append(" gauge\n");
+  char buf[160];
+  for (size_t i = 0; i < snap.shards.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s{shard=\"%zu\"} %" PRId64 "\n", name, i,
+                  snap.shards[i].*field);
+    out->append(buf);
+  }
+}
+
 void AppendHistogram(std::string* out, const char* name, const char* help,
                      const RegistrySnapshot& snap,
                      HistogramSnapshot ShardObsSnapshot::*field) {
@@ -82,7 +95,12 @@ void AppendJsonShard(std::ostringstream* out, const ShardObsSnapshot& s) {
        << ",\"knapsack_solves\":" << s.knapsack_solves
        << ",\"guard_transitions\":" << s.guard_transitions
        << ",\"queue_push_timeouts\":" << s.queue_push_timeouts
-       << ",\"guard_level\":" << s.guard_level << ",\"shed_by_class\":[";
+       << ",\"guard_level\":" << s.guard_level
+       << ",\"state_bytes\":" << s.state_bytes
+       << ",\"arena_live_bytes\":" << s.arena_live_bytes
+       << ",\"arena_capacity_bytes\":" << s.arena_capacity_bytes
+       << ",\"flat_cache_entries\":" << s.flat_cache_entries
+       << ",\"shed_by_class\":[";
   for (int c = 0; c < ShardObs::kNumClasses; ++c) {
     if (c > 0) *out << ",";
     *out << s.shed_by_class[c];
@@ -169,6 +187,19 @@ std::string RenderPrometheus(const RegistrySnapshot& snap) {
                   i, snap.shards[i].guard_level);
     out.append(buf);
   }
+
+  AppendGaugeSeries(&out, "cepshed_state_bytes",
+                    "Estimated bytes of live partial-match state", snap,
+                    &ShardObsSnapshot::state_bytes);
+  AppendGaugeSeries(&out, "cepshed_arena_live_bytes",
+                    "Live binding-arena chain-node bytes", snap,
+                    &ShardObsSnapshot::arena_live_bytes);
+  AppendGaugeSeries(&out, "cepshed_arena_capacity_bytes",
+                    "Binding-arena bytes held from the allocator", snap,
+                    &ShardObsSnapshot::arena_capacity_bytes);
+  AppendGaugeSeries(&out, "cepshed_flat_cache_entries",
+                    "Engine flatten-cache population", snap,
+                    &ShardObsSnapshot::flat_cache_entries);
 
   AppendHistogram(&out, "cepshed_event_cost",
                   "Per-event engine latency in cost units", snap,

@@ -87,6 +87,10 @@ ShardObsSnapshot SnapshotShard(const ShardObs& o) {
     s.shed_by_class[c] = o.shed_by_class[c].Load();
   }
   s.guard_level = o.guard_level.Load();
+  s.state_bytes = o.state_bytes.Load();
+  s.arena_live_bytes = o.arena_live_bytes.Load();
+  s.arena_capacity_bytes = o.arena_capacity_bytes.Load();
+  s.flat_cache_entries = o.flat_cache_entries.Load();
   s.event_cost = o.event_cost.Snapshot();
   s.queue_wait_us = o.queue_wait_us.Snapshot();
   s.shed_trigger_us = o.shed_trigger_us.Snapshot();
@@ -111,6 +115,11 @@ void ShardObsSnapshot::Merge(const ShardObsSnapshot& other) {
     shed_by_class[c] += other.shed_by_class[c];
   }
   guard_level = std::max(guard_level, other.guard_level);
+  // Footprint gauges sum: the merged view is the global memory holding.
+  state_bytes += other.state_bytes;
+  arena_live_bytes += other.arena_live_bytes;
+  arena_capacity_bytes += other.arena_capacity_bytes;
+  flat_cache_entries += other.flat_cache_entries;
   event_cost.Merge(other.event_cost);
   queue_wait_us.Merge(other.queue_wait_us);
   shed_trigger_us.Merge(other.shed_trigger_us);

@@ -159,6 +159,13 @@ struct ShardObs {
   Counter queue_push_timeouts;
   Counter shed_by_class[kNumClasses];
   Gauge guard_level;
+  /// State-footprint gauges, set by the shard worker after each consumed
+  /// event (last-write-wins). The soak harness asserts these stay bounded
+  /// over arbitrarily long runs — leak and creep detection.
+  Gauge state_bytes;           // engine's live partial-match byte estimate
+  Gauge arena_live_bytes;      // binding-arena live chain-node bytes
+  Gauge arena_capacity_bytes;  // binding-arena bytes held from the allocator
+  Gauge flat_cache_entries;    // engine flatten-cache population
 
   LogHistogram event_cost;        // per-event engine cost (cost units)
   LogHistogram queue_wait_us;     // router wait on a full shard queue
@@ -190,6 +197,10 @@ struct ShardObsSnapshot {
   uint64_t queue_push_timeouts = 0;
   uint64_t shed_by_class[ShardObs::kNumClasses] = {};
   int64_t guard_level = 0;
+  int64_t state_bytes = 0;
+  int64_t arena_live_bytes = 0;
+  int64_t arena_capacity_bytes = 0;
+  int64_t flat_cache_entries = 0;
   HistogramSnapshot event_cost;
   HistogramSnapshot queue_wait_us;
   HistogramSnapshot shed_trigger_us;

@@ -203,14 +203,17 @@ Duration ShardRuntime::SliceStride() const {
   return std::max<Duration>(1, nfa_->window());
 }
 
-int ShardRuntime::HashShardOf(const Event& event) const {
-  if (opts_.num_shards == 1) return 0;
-  const Value& v = event.attr(opts_.partition_attr);
+int ShardRuntime::ShardOfKey(const Value& key, int num_shards) {
+  if (num_shards == 1) return 0;
   // Null partition keys fail every equality predicate, so their events
   // can only ever matter as state-0 creations; pin them to shard 0.
-  if (v.is_null()) return 0;
-  return static_cast<int>(Mix64(static_cast<uint64_t>(v.Hash())) %
-                          static_cast<uint64_t>(opts_.num_shards));
+  if (key.is_null()) return 0;
+  return static_cast<int>(Mix64(static_cast<uint64_t>(key.Hash())) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+int ShardRuntime::HashShardOf(const Event& event) const {
+  return ShardOfKey(event.attr(opts_.partition_attr), opts_.num_shards);
 }
 
 void ShardRuntime::RouteEvent(const Event& event, std::vector<int>* out) const {
@@ -336,6 +339,17 @@ struct ShardRuntime::ShardState {
       guard->Observe(monitor.Current(), queue != nullptr ? queue->SizeApprox() : 0,
                      queue != nullptr ? queue->capacity() : 0,
                      event->timestamp() + injected.clock_skew_us);
+    }
+    if (obs != nullptr) {
+      // Footprint gauges live here — code shared by Run and RunSequential —
+      // so the parallel/sequential snapshot-equality property holds for
+      // them too (engine state is a pure function of the shard substream).
+      obs->state_bytes.Set(static_cast<int64_t>(engine->ApproxStateBytes()));
+      obs->arena_live_bytes.Set(
+          static_cast<int64_t>(engine->store().arena().LiveBytes()));
+      obs->arena_capacity_bytes.Set(
+          static_cast<int64_t>(engine->store().arena().CapacityBytes()));
+      obs->flat_cache_entries.Set(static_cast<int64_t>(engine->FlatCacheSize()));
     }
     return false;
   }
@@ -550,6 +564,7 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
   for (const EventPtr& event : stream) {
     ++result.total_events;
     RouteEvent(*event, &targets);
+    if (opts_.ingest_tap) opts_.ingest_tap(event, targets);
     for (int t : targets) {
       ShardState& s = *shards[static_cast<size_t>(t)];
       if (s.result.abandoned) {
@@ -665,6 +680,7 @@ Result<ShardRunResult> ShardRuntime::RunSequential(
   for (const EventPtr& event : stream) {
     ++result.total_events;
     RouteEvent(*event, &targets);
+    if (opts_.ingest_tap) opts_.ingest_tap(event, targets);
     for (int t : targets) {
       if (faults != nullptr && faults->SaturatePush(t, event->seq())) {
         ++shards[static_cast<size_t>(t)]->result.events_rejected;

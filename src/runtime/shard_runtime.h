@@ -67,6 +67,13 @@ enum class ShardRouting : int {
                        ///< any-match time-window queries)
 };
 
+/// \brief Observes every event the router accepts, with the shard targets
+/// chosen for it — the trace-recorder hook (src/workload/lab/trace.h).
+/// Called identically by Run and RunSequential, before any push, so a
+/// capture of either path replays through both.
+using IngestTap =
+    std::function<void(const EventPtr& event, const std::vector<int>& targets)>;
+
 /// \brief Sharded-runtime configuration.
 struct ShardRuntimeOptions {
   int num_shards = 1;
@@ -105,6 +112,10 @@ struct ShardRuntimeOptions {
   /// (abandonment loses the shard's unconsumed events, degrading recall;
   /// the run itself always completes).
   int max_worker_restarts = 1;
+  /// Optional trace-recorder tap (may be empty). Invoked on the routing
+  /// thread for every stream event after RouteEvent, before saturation
+  /// checks and pushes, in both Run and RunSequential.
+  IngestTap ingest_tap;
 };
 
 /// \brief Per-shard outcome of one sharded run.
@@ -205,6 +216,12 @@ class ShardRuntime {
 
   /// Hash-routing target of an event (kHashPartition).
   int HashShardOf(const Event& event) const;
+
+  /// The shard a partition-key value hashes to — the exact function
+  /// HashShardOf applies to the event's partition attribute. Exposed so
+  /// adversarial generators (src/workload/lab/hostile.h) can precompute
+  /// key values that all land on one victim shard.
+  static int ShardOfKey(const Value& key, int num_shards);
 
   /// Appends the target shard ids of an event (deduplicated, increasing
   /// slice order) to *out. Works for both routing modes.

@@ -1,0 +1,191 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/workload/lab/hostile.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/runtime/shard_runtime.h"
+
+namespace cepshed {
+namespace lab {
+
+namespace {
+
+/// Linear interpolation clamped to [0, 1] progress.
+double Progress(size_t i, size_t begin, size_t end) {
+  if (i <= begin || end <= begin) return i >= end ? 1.0 : 0.0;
+  if (i >= end) return 1.0;
+  return static_cast<double>(i - begin) / static_cast<double>(end - begin);
+}
+
+int LerpInt(int a, int b, double t) {
+  return a + static_cast<int>(static_cast<double>(b - a) * t);
+}
+
+}  // namespace
+
+EventStream GenerateDriftStream(const Schema& schema, const DriftOptions& options) {
+  EventStream stream(&schema);
+  Rng rng(options.seed);
+  const int id_attr = schema.AttributeIndex("ID");
+  const int v_attr = schema.AttributeIndex("V");
+  const int c_type = schema.EventTypeId("C");
+  std::vector<double> weights(4);
+
+  for (size_t i = 0; i < options.num_events; ++i) {
+    const double t = Progress(i, options.drift_begin, options.drift_end);
+    for (int w = 0; w < 4; ++w) {
+      weights[static_cast<size_t>(w)] =
+          options.type_weights_start[w] +
+          (options.type_weights_end[w] - options.type_weights_start[w]) * t;
+    }
+    const int type = static_cast<int>(rng.Categorical(weights));
+    int v_lo = options.v_min;
+    int v_hi = options.v_max;
+    if (type == c_type) {
+      v_lo = LerpInt(options.c_v_min_start, options.c_v_min_end, t);
+      v_hi = LerpInt(options.c_v_max_start, options.c_v_max_end, t);
+    }
+    if (v_hi < v_lo) std::swap(v_lo, v_hi);
+    std::vector<Value> attrs(schema.num_attributes());
+    attrs[static_cast<size_t>(id_attr)] = Value(rng.UniformInt(1, options.num_ids));
+    attrs[static_cast<size_t>(v_attr)] = Value(rng.UniformInt(v_lo, v_hi));
+    const Timestamp ts =
+        options.ts_origin + static_cast<Timestamp>(i) * options.event_gap;
+    Status st = stream.Emit(type, ts, std::move(attrs));
+    (void)st;
+  }
+  return stream;
+}
+
+Result<EventStream> GenerateBurstStream(const Schema& schema,
+                                        const BurstOptions& options) {
+  if (options.num_shards < 1 || options.target_shard < 0 ||
+      options.target_shard >= options.num_shards) {
+    return Status::InvalidArgument("burst generator: target_shard out of range");
+  }
+  FaultInjector anchors;
+  CEPSHED_ASSIGN_OR_RETURN(anchors,
+                           FaultInjector::Parse(options.anchor_schedule, options.seed));
+  struct Window {
+    uint64_t at;
+    uint64_t count;
+    double factor;
+  };
+  std::vector<Window> bursts;
+  for (const FaultSpec& spec : anchors.specs()) {
+    if (spec.kind != FaultKind::kBurst) continue;
+    bursts.push_back({spec.at, spec.count, spec.factor});
+  }
+  if (bursts.empty()) {
+    return Status::InvalidArgument(
+        "burst generator: anchor schedule has no burst entry");
+  }
+
+  // The attack key set: IDs in [1, num_ids] that hash to the victim shard.
+  // When the configured ID range misses the victim entirely (possible for
+  // tiny ranges), scan upward until at least one key is found — ShardOfKey
+  // spreads integers uniformly, so the expected scan is num_shards keys.
+  std::vector<int64_t> hot_ids;
+  std::vector<int64_t> all_ids;
+  for (int64_t id = 1; id <= options.num_ids; ++id) {
+    all_ids.push_back(id);
+    if (ShardRuntime::ShardOfKey(Value(id), options.num_shards) ==
+        options.target_shard) {
+      hot_ids.push_back(id);
+    }
+  }
+  for (int64_t id = options.num_ids + 1; hot_ids.empty(); ++id) {
+    if (ShardRuntime::ShardOfKey(Value(id), options.num_shards) ==
+        options.target_shard) {
+      hot_ids.push_back(id);
+    }
+  }
+
+  EventStream stream(&schema);
+  Rng rng(options.seed);
+  const int id_attr = schema.AttributeIndex("ID");
+  const int v_attr = schema.AttributeIndex("V");
+  const std::vector<double> calm_weights(options.type_weights,
+                                         options.type_weights + 4);
+  const std::vector<double> burst_weights(options.burst_type_weights,
+                                          options.burst_type_weights + 4);
+
+  Timestamp ts = options.ts_origin;
+  for (size_t i = 0; i < options.num_events; ++i) {
+    double factor = 1.0;
+    for (const Window& w : bursts) {
+      if (i >= w.at && i < w.at + w.count) factor *= w.factor;
+    }
+    const bool in_burst = factor != 1.0;
+    int64_t id;
+    if (in_burst && rng.Bernoulli(options.burst_target_bias)) {
+      id = hot_ids[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(hot_ids.size()) - 1))];
+    } else {
+      id = all_ids[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(all_ids.size()) - 1))];
+    }
+    const int type = static_cast<int>(
+        rng.Categorical(in_burst ? burst_weights : calm_weights));
+    std::vector<Value> attrs(schema.num_attributes());
+    attrs[static_cast<size_t>(id_attr)] = Value(id);
+    attrs[static_cast<size_t>(v_attr)] =
+        Value(rng.UniformInt(options.v_min, options.v_max));
+    Status st = stream.Emit(type, ts, std::move(attrs));
+    (void)st;
+    const Duration gap = std::max<Duration>(
+        1, static_cast<Duration>(static_cast<double>(options.base_gap) /
+                                 std::max(1.0, factor)));
+    ts += gap;
+  }
+  return stream;
+}
+
+EventStream GenerateKleeneBomb(const Schema& schema,
+                               const KleeneBombOptions& options) {
+  EventStream stream(&schema);
+  Rng rng(options.seed);
+  const int id_attr = schema.AttributeIndex("ID");
+  const int v_attr = schema.AttributeIndex("V");
+  const int a_type = schema.EventTypeId("A");
+  const int b_type = schema.EventTypeId("B");
+  const int c_type = schema.EventTypeId("C");
+
+  int64_t run_id = 1;
+  int64_t run_v = options.v_min;
+  size_t run_pos = options.run_length;  // force a fresh run at event 0
+
+  for (size_t i = 0; i < options.num_events; ++i) {
+    if (run_pos >= options.run_length) {
+      run_pos = 0;
+      run_id = rng.UniformInt(1, options.num_ids);
+      run_v = rng.UniformInt(options.v_min, options.v_max);
+    }
+    int type = a_type;
+    int64_t v = run_v;
+    // Completions carry the payloads the correlated-Kleene chain needs:
+    // B.V = run V (the a.V = b[i].V leg) and C.V = 2x run V (a.V + c.V).
+    if (rng.Bernoulli(options.b_prob)) {
+      type = b_type;
+    } else if (rng.Bernoulli(options.c_prob)) {
+      type = c_type;
+      v = 2 * run_v;
+    } else {
+      ++run_pos;
+    }
+    std::vector<Value> attrs(schema.num_attributes());
+    attrs[static_cast<size_t>(id_attr)] = Value(run_id);
+    attrs[static_cast<size_t>(v_attr)] = Value(v);
+    const Timestamp ts =
+        options.ts_origin + static_cast<Timestamp>(i) * options.event_gap;
+    Status st = stream.Emit(type, ts, std::move(attrs));
+    (void)st;
+  }
+  return stream;
+}
+
+}  // namespace lab
+}  // namespace cepshed

@@ -1,0 +1,146 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Hostile workload generators: streams built to break the assumptions the
+// shedding machinery was trained under. The paper's datasets (DS1/DS2,
+// citibike, google) are statistically stationary; every offline-estimated
+// utility class and selectivity inherits that stationarity. These
+// generators attack it from three directions:
+//
+//  - GenerateDriftStream: the attribute distribution (C.V range and the
+//    type mix) drifts continuously mid-stream, so utility classes learned
+//    on the prefix mis-rank events on the suffix. Unlike DS1's single
+//    flip, the drift is gradual — there is no one change point an online
+//    detector could simply reset at.
+//  - GenerateBurstStream: coordinated burst + skew. During schedule-
+//    anchored windows the arrival rate multiplies AND the partition keys
+//    are drawn from the set that hashes to one victim shard
+//    (ShardRuntime::ShardOfKey), so a "balanced" hash-partitioned runtime
+//    sees one shard absorb nearly the whole burst.
+//  - GenerateKleeneBomb: long runs of mutually correlated A events, each
+//    of which extends every open Kleene binding — the partial-match
+//    fan-out worst case for the shared-prefix arena.
+//
+// All three use the DS1 schema (types A-D, attributes ID and V) so every
+// existing query, shedder, and harness runs over them unchanged, and all
+// are pure functions of their options (deterministic Rng) so hostile runs
+// are replayable from the option struct alone. Burst windows reuse the
+// fault-schedule DSL (src/fault/fault_injector.h) as the anchoring
+// language: one schedule string can drive the generator and the runtime's
+// fault injector to the same logical instants.
+
+#ifndef CEPSHED_WORKLOAD_LAB_HOSTILE_H_
+#define CEPSHED_WORKLOAD_LAB_HOSTILE_H_
+
+#include <string>
+
+#include "src/cep/schema.h"
+#include "src/cep/stream.h"
+#include "src/common/result.h"
+#include "src/common/rng.h"
+
+namespace cepshed {
+namespace lab {
+
+/// \brief Mid-stream attribute-distribution drift (DS1 schema).
+///
+/// C.V is uniform on a range that interpolates linearly from
+/// [c_v_min_start, c_v_max_start] to [c_v_min_end, c_v_max_end] across
+/// the drift window, and the type mix interpolates likewise. Before
+/// drift_begin the stream is stationary (the regime an offline estimator
+/// trains on); after drift_end it is stationary again — but different.
+struct DriftOptions {
+  size_t num_events = 50000;
+  /// Microseconds between consecutive events.
+  Duration event_gap = 10;
+  int num_ids = 10;
+  /// V range of the non-C types (stationary).
+  int v_min = 1;
+  int v_max = 10;
+  /// Event index where the drift starts / completes.
+  size_t drift_begin = 15000;
+  size_t drift_end = 35000;
+  /// C.V range at the start / end of the drift.
+  int c_v_min_start = 2;
+  int c_v_max_start = 10;
+  int c_v_min_end = 12;
+  int c_v_max_end = 20;
+  /// Type mix (A,B,C,D) at the start / end of the drift.
+  double type_weights_start[4] = {1.0, 1.0, 1.0, 1.0};
+  double type_weights_end[4] = {1.0, 1.0, 1.0, 1.0};
+  /// Timestamp of event 0 (lets the soak harness chain cycles into one
+  /// continuous event-time axis so windows keep expiring).
+  Timestamp ts_origin = 0;
+  uint64_t seed = 101;
+};
+
+EventStream GenerateDriftStream(const Schema& schema, const DriftOptions& options);
+
+/// \brief Coordinated burst + skew against one shard's hash range
+/// (DS1 schema).
+///
+/// Burst windows come from `anchor_schedule`, a fault-DSL string whose
+/// `burst` entries are reinterpreted over *generator* event indexes:
+/// events [at, at+count) arrive `factor` times faster (gap divided) and
+/// draw their ID from the precomputed set of keys that
+/// ShardRuntime::ShardOfKey maps to `target_shard` with probability
+/// `burst_target_bias`. Off-window the stream is uniform over all IDs.
+struct BurstOptions {
+  size_t num_events = 50000;
+  /// Microseconds between events outside burst windows.
+  Duration base_gap = 10;
+  int num_ids = 64;
+  int v_min = 1;
+  int v_max = 10;
+  /// The victim: all burst keys hash here under `num_shards` partitions.
+  int target_shard = 0;
+  int num_shards = 4;
+  /// P(event ID is drawn from the victim-shard key set) inside a burst.
+  double burst_target_bias = 0.95;
+  /// Fault-DSL schedule; only `burst` entries are used (at/count/factor).
+  std::string anchor_schedule = "burst:at=15000,count=10000,factor=8";
+  /// Type mix off-window / inside a burst (A-heavy bursts start the most
+  /// partial matches).
+  double type_weights[4] = {1.0, 1.0, 1.0, 1.0};
+  double burst_type_weights[4] = {3.0, 1.0, 1.0, 1.0};
+  Timestamp ts_origin = 0;
+  uint64_t seed = 102;
+};
+
+/// Fails with ParseError when the anchor schedule is malformed, and with
+/// InvalidArgument when it contains no burst entry or the shard geometry
+/// is out of range.
+Result<EventStream> GenerateBurstStream(const Schema& schema,
+                                        const BurstOptions& options);
+
+/// \brief Kleene fan-out bomb (DS1 schema).
+///
+/// The stream is a sequence of runs: `run_length` consecutive A events
+/// sharing one (ID, V), so under `SEQ(A a, A+ b[], ...)` with ID- and
+/// V-correlation every new A of the run extends all open bindings —
+/// partial matches grow combinatorially in run_length within the window.
+/// B and C completions are sprinkled in with matching payloads
+/// (B.V = run V, C.V = 2x run V satisfies a.V + c.V = d.V chains) so the
+/// bomb also exercises emission, not just state growth.
+struct KleeneBombOptions {
+  size_t num_events = 20000;
+  Duration event_gap = 10;
+  /// Distinct run keys; small = runs recorrelate across windows.
+  int num_ids = 2;
+  /// Consecutive same-key A events per run.
+  size_t run_length = 24;
+  /// Per-event probability of a B / C completion event inside a run.
+  double b_prob = 0.05;
+  double c_prob = 0.05;
+  int v_min = 1;
+  int v_max = 5;
+  Timestamp ts_origin = 0;
+  uint64_t seed = 103;
+};
+
+EventStream GenerateKleeneBomb(const Schema& schema,
+                               const KleeneBombOptions& options);
+
+}  // namespace lab
+}  // namespace cepshed
+
+#endif  // CEPSHED_WORKLOAD_LAB_HOSTILE_H_

@@ -1,0 +1,113 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Deterministic trace capture and replay: the adversarial-lab substrate
+// that turns any live run — faulted, shedded, sharded — into a
+// reproducible regression artifact. A trace file stores the schema, every
+// accepted event (type, timestamp, sequence number, attributes), and
+// optionally the shard route the router chose, in a compact varint-coded
+// binary format guarded by a checksum. Replaying a capture reconstructs
+// the exact EventStream (including the original sequence numbers, which
+// the shedders and guards hash for drop decisions), so a replayed run is
+// bit-for-bit the run that was recorded.
+//
+// File layout (little-endian):
+//   magic   "CEPTRC01"                      8 bytes
+//   flags   u32                             bit 0: routes recorded
+//   count   u64                             events (patched on Close)
+//   check   u64                             FNV-1a of the event section
+//                                           (patched on Close)
+//   schema  u32 type count, then per type   varint len + name bytes
+//           u32 attr count, then per attr   u8 ValueType, varint len + name
+//   events  per event:
+//           varint type, zigzag-varint timestamp, varint seq,
+//           varint attr count, per attr u8 tag + payload
+//           (int: zigzag varint; double: 8 raw bytes; string: varint len +
+//           bytes; null: tag only);
+//           if routes: varint route count + varint shard ids
+//
+// A reader that sees a count/checksum mismatch fails loudly: a truncated
+// capture (e.g. a crashed recorder that never reached Close) must never
+// masquerade as a shorter, valid run.
+
+#ifndef CEPSHED_WORKLOAD_LAB_TRACE_H_
+#define CEPSHED_WORKLOAD_LAB_TRACE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cep/stream.h"
+#include "src/common/result.h"
+
+namespace cepshed {
+namespace lab {
+
+/// \brief A fully materialized trace: its own schema copy, the event
+/// stream over it, and (when recorded) the router's shard targets per
+/// event. The schema lives on the heap so TraceData can move without
+/// invalidating the stream's schema pointer.
+struct TraceData {
+  std::unique_ptr<Schema> schema;
+  EventStream stream;
+  /// routes[i] = shard targets of stream[i]; empty when not recorded.
+  std::vector<std::vector<int>> routes;
+
+  explicit TraceData(std::unique_ptr<Schema> s)
+      : schema(std::move(s)), stream(schema.get()) {}
+  TraceData(TraceData&&) = default;
+  TraceData& operator=(TraceData&&) = default;
+};
+
+/// \brief Streaming trace recorder. Open writes the header with a zero
+/// count/checksum; Append streams events; Close patches the header. A
+/// writer destroyed without Close leaves the placeholder zeros in place,
+/// so the reader rejects the file — incomplete captures fail loudly.
+class TraceWriter {
+ public:
+  /// Creates the file and writes the header. `with_routes` must match the
+  /// Append overload used afterwards.
+  static Result<std::unique_ptr<TraceWriter>> Open(const std::string& path,
+                                                   const Schema& schema,
+                                                   bool with_routes = false);
+
+  /// Appends one event (routes must not have been requested at Open).
+  Status Append(const Event& event);
+  /// Appends one event with the router's shard targets.
+  Status Append(const Event& event, const std::vector<int>& route);
+
+  /// Patches the event count and checksum into the header and closes the
+  /// file. Idempotent; required for the file to be readable.
+  Status Close();
+
+  uint64_t num_events() const { return num_events_; }
+
+  ~TraceWriter();
+
+ private:
+  TraceWriter() = default;
+
+  Status AppendSerialized(const std::string& body);
+
+  std::fstream file_;
+  std::string path_;
+  bool with_routes_ = false;
+  bool closed_ = false;
+  uint64_t num_events_ = 0;
+  uint64_t checksum_ = 0;  // running FNV-1a over the event section
+};
+
+/// Reads a trace. With `max_events` > 0 only that prefix is materialized
+/// (trace minimization: bisect a failing capture by shrinking the prefix);
+/// the checksum is then only verified when the prefix covers the whole
+/// file, since it spans the full event section.
+Result<TraceData> ReadTrace(const std::string& path, size_t max_events = 0);
+
+/// Convenience: records a whole in-memory stream (no routes) as a trace.
+Status WriteTrace(const EventStream& stream, const std::string& path);
+
+}  // namespace lab
+}  // namespace cepshed
+
+#endif  // CEPSHED_WORKLOAD_LAB_TRACE_H_

@@ -33,6 +33,8 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+
 #include "src/cep/engine.h"
 #include "src/cep/nfa.h"
 #include "src/cep/stream.h"
@@ -41,6 +43,7 @@
 #include "src/shed/shedder.h"
 #include "src/workload/ds1.h"
 #include "src/workload/google_trace.h"
+#include "src/workload/lab/trace.h"
 #include "src/workload/queries.h"
 
 namespace cepshed {
@@ -383,6 +386,70 @@ TEST_F(DifferentialTest, HashGoogleChurnAnyMatch) {
   c.routing = ShardRouting::kHashPartition;
   c.partition_attr = "task";
   RunDifferential(c);
+}
+
+// --- record/replay: the trace recorder feeds the differential harness ---
+
+/// The lab's end-to-end loop on the hardest query shape: Kleene closure
+/// AND a negated element AND shedding, recorded from a live sharded run
+/// through the ingest tap, then replayed from the trace file. The replayed
+/// stream must (a) reproduce the recording run bit for bit and (b) pass
+/// the full differential grid — i.e. a trace capture is a first-class
+/// workload, not a lossy log.
+TEST_F(DifferentialTest, KleeneNegationShedReplayedFromRecordedTrace) {
+  Query query = ParseOrDie(
+      "PATTERN SEQ(A a, A+{1,2} b[], !B nb, C c) "
+      "WHERE a.ID = b[i].ID AND a.ID = nb.ID AND a.ID = c.ID "
+      "AND a.V + nb.V = c.V WITHIN 2ms");
+  auto nfa = Nfa::Compile(query, ds1_schema_);
+  ASSERT_TRUE(nfa.ok()) << nfa.status().message();
+
+  // Record a live 4-shard shedded run of the fixture stream.
+  const std::string path = ::testing::TempDir() + "/differential.trace";
+  auto writer = lab::TraceWriter::Open(path, *ds1_schema_);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ShardRuntimeOptions opts;
+  opts.num_shards = 4;
+  opts.partition_attr = ds1_schema_->AttributeIndex("ID");
+  opts.ingest_tap = [&](const EventPtr& event, const std::vector<int>&) {
+    ASSERT_TRUE((*writer)->Append(*event).ok());
+  };
+  auto runtime = ShardRuntime::Create(*nfa, opts);
+  ASSERT_TRUE(runtime.ok()) << runtime.status().message();
+  const ShardRuntime::ShedderFactory factory = [](int) {
+    return std::make_unique<HashDropShedder>(kShedSeed, kEventDropFrac,
+                                             kPmDropFrac);
+  };
+  auto recorded = (*runtime)->RunSequential(*ds1_stream_, factory);
+  ASSERT_TRUE(recorded.ok()) << recorded.status().message();
+  ASSERT_TRUE((*writer)->Close().ok());
+  ASSERT_GT(recorded->matches.size(), 0u) << "degenerate recording";
+  ASSERT_GT(recorded->stats.matches_vetoed, 0u) << "negation never engaged";
+  ASSERT_GT(recorded->dropped_events, 0u) << "shedding never engaged";
+
+  auto capture = lab::ReadTrace(path);
+  ASSERT_TRUE(capture.ok()) << capture.status().ToString();
+  ASSERT_EQ(capture->stream.size(), ds1_stream_->size());
+
+  // (a) Replaying the capture reproduces the recorded run exactly.
+  opts.ingest_tap = nullptr;
+  auto replay_runtime = ShardRuntime::Create(*nfa, opts);
+  ASSERT_TRUE(replay_runtime.ok());
+  auto replayed = (*replay_runtime)->RunSequential(capture->stream, factory);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  ExpectRunsIdentical(*recorded, *replayed);
+
+  // (b) The replayed stream passes the whole differential grid, against
+  // the schema reconstructed from the trace file itself.
+  DiffConfig c;
+  c.name = "KleeneNeg/any/hash/replayed";
+  c.schema = capture->schema.get();
+  c.stream = &capture->stream;
+  c.query = query;
+  c.routing = ShardRouting::kHashPartition;
+  c.partition_attr = "ID";
+  RunDifferential(c);
+  std::remove(path.c_str());
 }
 
 // --- window-slice routing ---

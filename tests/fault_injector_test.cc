@@ -1,0 +1,133 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Error-path coverage of the fault-schedule DSL parser: every class of
+// malformed input must come back as a ParseError naming the offending
+// line, never a crash or a silently empty schedule, and well-formed
+// schedules must round-trip through ToString.
+
+#include "src/fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cepshed {
+namespace {
+
+/// The parse must fail with a ParseError whose message contains every
+/// given fragment (in particular the "line N" prefix).
+void ExpectParseError(const std::string& spec,
+                      const std::vector<std::string>& fragments) {
+  SCOPED_TRACE("spec: " + spec);
+  auto result = FaultInjector::Parse(spec);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  for (const std::string& fragment : fragments) {
+    EXPECT_NE(result.status().message().find(fragment), std::string::npos)
+        << "missing '" << fragment << "' in: " << result.status().message();
+  }
+}
+
+TEST(FaultInjectorParseTest, UnknownKind) {
+  ExpectParseError("quake:shard=0,at=5", {"line 1", "unknown fault kind", "quake"});
+}
+
+TEST(FaultInjectorParseTest, UnknownKey) {
+  ExpectParseError("stall:shard=0,delay=5", {"line 1", "unknown key", "delay"});
+}
+
+TEST(FaultInjectorParseTest, MissingEquals) {
+  ExpectParseError("stall:shard0", {"line 1", "expected key=value", "shard0"});
+}
+
+TEST(FaultInjectorParseTest, BadInteger) {
+  ExpectParseError("stall:shard=zero,at=5", {"line 1", "bad integer", "zero"});
+  ExpectParseError("slow:at=5x", {"line 1", "bad integer", "5x"});
+}
+
+TEST(FaultInjectorParseTest, BadDouble) {
+  ExpectParseError("burst:at=5,factor=fast", {"line 1", "bad number", "fast"});
+}
+
+TEST(FaultInjectorParseTest, NegativeAt) {
+  ExpectParseError("death:shard=1,at=-3", {"line 1", "at must be >= 0"});
+}
+
+TEST(FaultInjectorParseTest, NonPositiveCount) {
+  ExpectParseError("slow:at=0,count=0,us=5", {"line 1", "count must be > 0"});
+  ExpectParseError("slow:at=0,count=-2,us=5", {"line 1", "count must be > 0"});
+}
+
+TEST(FaultInjectorParseTest, BadBurstFactor) {
+  ExpectParseError("burst:at=0,count=5,factor=1", {"line 1", "factor != 1"});
+  ExpectParseError("burst:at=0,count=5,factor=-2", {"line 1", "factor must be > 0"});
+  ExpectParseError("burst:at=0,count=5,factor=0", {"line 1", "factor must be > 0"});
+}
+
+TEST(FaultInjectorParseTest, NegativeSleep) {
+  ExpectParseError("stall:at=0,us=-10", {"line 1", "sleep duration"});
+  ExpectParseError("slow:at=0,count=3,ms=-1", {"line 1", "sleep duration"});
+}
+
+TEST(FaultInjectorParseTest, ErrorsNameTheOffendingLine) {
+  // Three entries, one per line; only the third is malformed.
+  ExpectParseError(
+      "stall:shard=0,at=200,ms=30\n"
+      "death:shard=1,at=500\n"
+      "burst:at=9,count=4,factor=one",
+      {"line 3", "bad number", "one"});
+  // Semicolon-separated entries on one line share that line's number.
+  ExpectParseError("stall:at=1,us=2;quake:at=3", {"line 1", "quake"});
+  // Mixed: a newline then two entries on line 2, the second one bad.
+  ExpectParseError("skew:at=0,count=2,us=-5\nstall:at=1;slow:at=x",
+                   {"line 2", "bad integer", "x"});
+}
+
+TEST(FaultInjectorParseTest, BlankLinesAndWhitespaceAreSkipped) {
+  auto result = FaultInjector::Parse(
+      "\n  stall:shard=0,at=200,ms=30  \n\n;;\n  death:shard=1,at=500\n");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->specs().size(), 2u);
+  EXPECT_EQ(result->specs()[0].kind, FaultKind::kStall);
+  EXPECT_EQ(result->specs()[0].micros, 30'000);
+  EXPECT_EQ(result->specs()[1].kind, FaultKind::kDeath);
+  EXPECT_EQ(result->specs()[1].shard, 1);
+}
+
+TEST(FaultInjectorParseTest, LineNumbersCountBlankLines) {
+  ExpectParseError("\n\nnope:at=1", {"line 3", "unknown fault kind"});
+}
+
+TEST(FaultInjectorParseTest, EmptySpecYieldsEmptyInjector) {
+  for (const char* spec : {"", "   ", ";;;", "\n\n", " ; \n ; "}) {
+    auto result = FaultInjector::Parse(spec);
+    ASSERT_TRUE(result.ok()) << spec;
+    EXPECT_TRUE(result->empty()) << spec;
+  }
+}
+
+TEST(FaultInjectorParseTest, WellFormedScheduleRoundTrips) {
+  const std::string spec =
+      "stall:shard=0,at=200,us=30000;slow:shard=-1,at=10,count=5,us=7;"
+      "burst:shard=2,at=50,count=100,factor=2.5;"
+      "saturate:shard=1,at=40,count=8;skew:shard=3,at=0,count=6,us=-250;"
+      "death:shard=1,at=500";
+  auto first = FaultInjector::Parse(spec, 11);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->specs().size(), 6u);
+  auto second = FaultInjector::Parse(first->ToString(), 11);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_EQ(first->ToString(), second->ToString());
+  // Newline-separated form parses to the identical schedule.
+  std::string with_newlines = spec;
+  for (char& c : with_newlines) {
+    if (c == ';') c = '\n';
+  }
+  auto third = FaultInjector::Parse(with_newlines, 11);
+  ASSERT_TRUE(third.ok()) << third.status().ToString();
+  EXPECT_EQ(first->ToString(), third->ToString());
+}
+
+}  // namespace
+}  // namespace cepshed

