@@ -1,0 +1,178 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Elastic-resharding benchmark: what does a stop-the-world resize cost,
+// and what does the resulting shard count buy? Three arms over one DS1/Q1
+// stream, hash-partitioned on ID:
+//
+//   static2 / static4 — fixed shard counts, the before/after envelopes a
+//       resize moves between;
+//   elastic — starts at 2 shards and executes a scripted ladder of
+//       resizes (2→3→4→3→2→3→4→3→2) so the migration-pause histogram has
+//       enough samples for a meaningful p99.
+//
+// The JSON written to argv[1] (default BENCH_reshard.json) records the
+// throughput of each arm, the elastic arm's migration counters, and the
+// pause distribution (p50/p95/p99/max microseconds). Pauses are
+// wall-clock: the pause histogram is for sizing, not for byte-identity.
+// Match counts are emitted per arm so an exactness regression in the
+// migration path is visible in the same artifact that gates its cost
+// (all arms must agree — resizing must never change the answer).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "src/cep/nfa.h"
+#include "src/fault/fault_injector.h"
+#include "src/obs/export.h"
+#include "src/runtime/shard_runtime.h"
+
+namespace cepshed {
+namespace {
+
+struct ArmResult {
+  double eps = 0.0;
+  size_t matches = 0;
+  uint64_t resizes = 0;
+  uint64_t migrated_pms = 0;
+  uint64_t migrated_bytes = 0;
+  double pause_p50 = 0.0;
+  double pause_p95 = 0.0;
+  double pause_p99 = 0.0;
+  double pause_max = 0.0;
+  uint64_t pause_count = 0;
+};
+
+ArmResult RunArm(const Schema& schema, const EventStream& stream,
+                 const Query& query, int shards, int max_shards,
+                 const FaultInjector* faults) {
+  auto nfa = Nfa::Compile(query, &schema);
+  if (!nfa.ok()) std::abort();
+  ShardRuntimeOptions opts;
+  opts.num_shards = shards;
+  opts.routing = ShardRouting::kHashPartition;
+  opts.partition_attr = schema.AttributeIndex("ID");
+  opts.faults = faults;
+  opts.reshard.min_shards = 1;
+  opts.reshard.max_shards = max_shards;
+  obs::MetricsRegistry registry;
+  opts.metrics = &registry;
+  auto runtime = ShardRuntime::Create(*nfa, opts);
+  if (!runtime.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 runtime.status().ToString().c_str());
+    std::abort();
+  }
+  auto result = (*runtime)->Run(stream);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  const obs::RegistrySnapshot snap = registry.Snapshot();
+  ArmResult arm;
+  arm.eps = static_cast<double>(stream.size()) / result->wall_seconds;
+  arm.matches = result->matches.size();
+  arm.resizes = result->resizes;
+  arm.migrated_pms = result->migrated_pms;
+  arm.migrated_bytes = result->migrated_bytes;
+  arm.pause_count = snap.total.migration_us.count;
+  arm.pause_p50 = snap.total.migration_us.Quantile(0.50);
+  arm.pause_p95 = snap.total.migration_us.Quantile(0.95);
+  arm.pause_p99 = snap.total.migration_us.Quantile(0.99);
+  arm.pause_max = snap.total.migration_us.max;
+  return arm;
+}
+
+void AppendArm(std::string* json, const char* name, const ArmResult& arm,
+               bool last) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "    \"%s\": {\"events_per_sec\": %.0f, \"matches\": %zu, "
+      "\"resizes\": %llu, \"migrated_pms\": %llu, \"migrated_bytes\": %llu, "
+      "\"pause_us\": {\"count\": %llu, \"p50\": %.1f, \"p95\": %.1f, "
+      "\"p99\": %.1f, \"max\": %.1f}}%s\n",
+      name, arm.eps, arm.matches, static_cast<unsigned long long>(arm.resizes),
+      static_cast<unsigned long long>(arm.migrated_pms),
+      static_cast<unsigned long long>(arm.migrated_bytes),
+      static_cast<unsigned long long>(arm.pause_count), arm.pause_p50,
+      arm.pause_p95, arm.pause_p99, arm.pause_max, last ? "" : ",");
+  *json += buf;
+}
+
+}  // namespace
+}  // namespace cepshed
+
+int main(int argc, char** argv) {
+  using namespace cepshed;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_reshard.json";
+  std::printf("# resharding — %u hardware threads\n",
+              std::thread::hardware_concurrency());
+  bench::Header("Elastic resharding", "migration pause + throughput envelope",
+                "arm,shards,events_per_sec,matches,resizes,pause_p99_us");
+
+  const Schema schema = MakeDs1Schema();
+  Ds1Options gen;
+  gen.num_events = 60000;
+  gen.seed = 53;
+  const EventStream stream = GenerateDs1(schema, gen);
+  const Query q1 = *queries::Q1("4ms");
+
+  const ArmResult static2 = RunArm(schema, stream, q1, 2, 0, nullptr);
+  const ArmResult static4 = RunArm(schema, stream, q1, 4, 0, nullptr);
+
+  // Eight resizes, evenly spaced, walking 2→4 and back twice. Anchors are
+  // global routed-event sequence numbers, so the ladder is deterministic.
+  std::string spec;
+  const int deltas[] = {+1, +1, -1, -1, +1, +1, -1, -1};
+  for (int i = 0; i < 8; ++i) {
+    char entry[64];
+    std::snprintf(entry, sizeof(entry), "%sresize:at=%d,delta=%+d",
+                  i > 0 ? ";" : "", 6000 * (i + 1), deltas[i]);
+    spec += entry;
+  }
+  auto faults = FaultInjector::Parse(spec);
+  if (!faults.ok()) {
+    std::fprintf(stderr, "fault spec: %s\n", faults.status().ToString().c_str());
+    return 1;
+  }
+  const ArmResult elastic = RunArm(schema, stream, q1, 2, 4, &*faults);
+
+  std::printf("static,2,%.0f,%zu,0,0\n", static2.eps, static2.matches);
+  std::printf("static,4,%.0f,%zu,0,0\n", static4.eps, static4.matches);
+  std::printf("elastic,2..4,%.0f,%zu,%llu,%.1f\n", elastic.eps,
+              elastic.matches, static_cast<unsigned long long>(elastic.resizes),
+              elastic.pause_p99);
+
+  if (static2.matches != static4.matches ||
+      static2.matches != elastic.matches) {
+    std::fprintf(stderr,
+                 "EXACTNESS VIOLATION: match counts diverge across arms "
+                 "(%zu / %zu / %zu)\n",
+                 static2.matches, static4.matches, elastic.matches);
+    return 1;
+  }
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"resharding\",\n";
+  json += "  \"events\": 60000,\n";
+  json += "  \"resize_schedule\": \"" + spec + "\",\n";
+  json += "  \"arms\": {\n";
+  AppendArm(&json, "static2", static2, false);
+  AppendArm(&json, "static4", static4, false);
+  AppendArm(&json, "elastic", elastic, true);
+  json += "  }\n}\n";
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""CI gate: every exported metric has a doc page, and no page is stale.
+
+Extracts the full metric name set from src/obs/export.cc — both the
+string-literal names passed to the Append*Series/AppendHistogram helpers
+and the names introduced inline via "# HELP <name> ..." blocks — and
+requires a non-trivial docs/metrics/<name>.md for each. Also fails on
+orphaned doc pages whose metric no longer exists, so renames can't leave
+dead documentation behind.
+
+Usage: check_metrics_docs.py [--repo ROOT]
+"""
+
+import argparse
+import os
+import re
+import sys
+
+MIN_DOC_BYTES = 200  # a title line alone does not count as documentation
+
+
+def exported_metrics(export_cc):
+    with open(export_cc) as f:
+        src = f.read()
+    names = set(re.findall(r'"(cepshed_[a-z0-9_]+)"', src))
+    names |= set(re.findall(r"# HELP (cepshed_[a-z0-9_]+) ", src))
+    # Derived Prometheus series (_bucket/_sum/_count) share the base
+    # histogram's page; the regexes above only ever see base names.
+    return names
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    args = ap.parse_args()
+
+    export_cc = os.path.join(args.repo, "src", "obs", "export.cc")
+    docs_dir = os.path.join(args.repo, "docs", "metrics")
+    metrics = exported_metrics(export_cc)
+    if not metrics:
+        print(f"error: no cepshed_* metrics found in {export_cc}",
+              file=sys.stderr)
+        return 2
+
+    docs = {f[:-3] for f in os.listdir(docs_dir)} if os.path.isdir(
+        docs_dir) else set()
+    docs = {d for d in docs if os.path.isfile(
+        os.path.join(docs_dir, d + ".md"))}
+
+    failed = False
+    for name in sorted(metrics):
+        path = os.path.join(docs_dir, name + ".md")
+        if name not in docs:
+            print(f"MISSING: {name} has no docs/metrics/{name}.md")
+            failed = True
+            continue
+        size = os.path.getsize(path)
+        with open(path) as f:
+            head = f.readline()
+        if size < MIN_DOC_BYTES:
+            print(f"TOO-THIN: docs/metrics/{name}.md is {size} bytes "
+                  f"(< {MIN_DOC_BYTES})")
+            failed = True
+        elif name not in head:
+            print(f"BAD-TITLE: docs/metrics/{name}.md first line does not "
+                  f"name the metric: {head.strip()!r}")
+            failed = True
+        else:
+            print(f"OK: {name}")
+
+    for orphan in sorted(docs - metrics):
+        print(f"ORPHAN: docs/metrics/{orphan}.md documents a metric not "
+              f"exported by src/obs/export.cc")
+        failed = True
+
+    print(f"{len(metrics)} exported metrics, {len(docs)} doc pages")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_reshard.json (bench_resharding output).
+
+Checks the invariants the resharding design promises rather than raw
+throughput (CI machines are too noisy for absolute numbers):
+
+  * exactness — every arm emits the identical match count; a resize must
+    never change the answer;
+  * the elastic arm actually resized (all scheduled resizes executed) and
+    actually moved state (migrated_pms > 0 — a ladder that migrates
+    nothing is not exercising the migration path);
+  * one pause sample per resize, and the pause p99 stays under a generous
+    ceiling (default 2s) that only catches pathological stalls, not noise.
+
+Usage: check_reshard.py [BENCH_reshard.json] [--max-pause-p99-us N]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("report", nargs="?", default="BENCH_reshard.json")
+    ap.add_argument("--max-pause-p99-us", type=float, default=2_000_000.0)
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        data = json.load(f)
+    arms = data["arms"]
+    expected_resizes = data["resize_schedule"].count("resize:")
+
+    failures = []
+
+    matches = {name: arm["matches"] for name, arm in arms.items()}
+    if len(set(matches.values())) != 1:
+        failures.append(f"match counts diverge across arms: {matches}")
+
+    elastic = arms["elastic"]
+    if elastic["resizes"] != expected_resizes:
+        failures.append(
+            f"elastic arm executed {elastic['resizes']} resizes, schedule "
+            f"has {expected_resizes}")
+    if elastic["migrated_pms"] <= 0:
+        failures.append("elastic arm migrated no partial matches")
+    pause = elastic["pause_us"]
+    if pause["count"] != elastic["resizes"]:
+        failures.append(
+            f"pause histogram has {pause['count']} samples for "
+            f"{elastic['resizes']} resizes")
+    if pause["p99"] > args.max_pause_p99_us:
+        failures.append(
+            f"migration pause p99 {pause['p99']:.0f}us exceeds "
+            f"{args.max_pause_p99_us:.0f}us")
+    for name in ("static2", "static4"):
+        if arms[name]["resizes"] != 0 or arms[name]["migrated_pms"] != 0:
+            failures.append(f"static arm {name} unexpectedly resized")
+
+    for f_ in failures:
+        print(f"FAIL: {f_}")
+    if not failures:
+        print(f"OK: {len(arms)} arms, {matches['elastic']} matches each, "
+              f"{elastic['resizes']} resizes, "
+              f"{elastic['migrated_pms']} PMs migrated, "
+              f"pause p99 {pause['p99']:.0f}us")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -558,6 +558,60 @@ size_t Engine::ShedLowestUtility(size_t max_kill, size_t min_bytes_freed,
   return killed;
 }
 
+MigratedState Engine::ExtractPartialMatches(
+    const std::function<bool(const PartialMatch&)>& pred) {
+  MigratedState out;
+  store_.ExtractIf(pred, &out.regulars, &out.witnesses);
+  if (out.empty()) return out;
+  out.arenas.push_back(store_.shared_arena());
+  for (const std::shared_ptr<BindingArena>& a : store_.foreign_arenas()) {
+    out.arenas.push_back(a);
+  }
+  for (const auto& pm : out.regulars) {
+    out.approx_bytes += PartialMatchStore::ApproxBytes(*pm);
+  }
+  for (const auto& pm : out.witnesses) {
+    out.approx_bytes += PartialMatchStore::ApproxBytes(*pm);
+  }
+  // The index raw pointers to extracted matches are dead, and the flatten
+  // cache holds raw event pointers into chains another engine will free.
+  RebuildIndexes();
+  flat_cache_.clear();
+  return out;
+}
+
+void Engine::AdoptPartialMatches(MigratedState state) {
+  if (state.empty()) return;
+  store_.AdoptForeignArenas(state.arenas);
+  for (auto& pm : state.regulars) {
+    pm->id = next_pm_id_++;
+    pm->parent_id = 0;
+    store_.Add(std::move(pm));
+  }
+  const bool adopted_witnesses = !state.witnesses.empty();
+  for (auto& pm : state.witnesses) {
+    pm->id = next_pm_id_++;
+    pm->parent_id = 0;
+    store_.AddWitness(std::move(pm));
+  }
+  if (adopted_witnesses) {
+    // Adopted witnesses interleave arbitrarily with resident ones in event
+    // time; IsVetoed's partition_point needs each bucket ascending by
+    // last_ts. stable_sort keeps the (deterministic) donor order among
+    // equal timestamps.
+    for (int e = 0; e < store_.num_witness_buckets(); ++e) {
+      auto& bucket = store_.witnesses(e);
+      std::stable_sort(bucket.begin(), bucket.end(),
+                       [](const std::unique_ptr<PartialMatch>& a,
+                          const std::unique_ptr<PartialMatch>& b) {
+                         return a->last_ts < b->last_ts;
+                       });
+    }
+  }
+  RebuildIndexes();
+  flat_cache_.clear();
+}
+
 void Engine::Reset() {
   store_.Clear();
   for (auto& idx : indexes_) {

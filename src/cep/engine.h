@@ -65,6 +65,22 @@ struct EngineOptions {
   CostParams costs;
 };
 
+/// \brief Partial-match state in flight between engines during an elastic
+/// reshard. The matches keep their binding chains — migration moves roots,
+/// it never deep-copies — and `arenas` pins every arena those chains may
+/// reference (the donor's primary plus anything the donor itself adopted)
+/// so the nodes outlive the donor engine regardless of destruction order.
+struct MigratedState {
+  std::vector<std::unique_ptr<PartialMatch>> regulars;
+  std::vector<std::unique_ptr<PartialMatch>> witnesses;
+  std::vector<std::shared_ptr<BindingArena>> arenas;
+  /// Marginal-byte estimate of the moved matches (metrics only).
+  size_t approx_bytes = 0;
+
+  size_t size() const { return regulars.size() + witnesses.size(); }
+  bool empty() const { return regulars.empty() && witnesses.empty(); }
+};
+
 /// \brief Aggregate engine counters.
 struct EngineStats {
   uint64_t events_processed = 0;
@@ -176,6 +192,24 @@ class Engine {
 
   /// Estimated bytes held by live partial matches and witnesses.
   size_t ApproxStateBytes() const { return store_.ApproxLiveBytes(); }
+
+  /// Moves every live partial match and witness satisfying `pred` out of
+  /// the engine, for adoption by another shard's engine. O(1) per match in
+  /// chain length: roots move, chains stay where they were allocated.
+  /// Indexes are rebuilt and the flatten cache dropped (its raw event
+  /// pointers would otherwise dangle into chains another engine now owns).
+  /// Caller-side thread contract: the engine must be quiescent (this is
+  /// the sealed-and-drained phase of the migration protocol).
+  MigratedState ExtractPartialMatches(
+      const std::function<bool(const PartialMatch&)>& pred);
+
+  /// Adopts matches extracted from another engine. Each match receives a
+  /// fresh id from this engine's sequence (donor ids could collide with
+  /// resident ones, and the flatten cache keys on id); lineage does not
+  /// cross engines, so parent_id is cleared. Witness buckets are re-sorted
+  /// by last_ts — the order IsVetoed's binary search depends on — and the
+  /// join indexes rebuilt. Same quiescence contract as extraction.
+  void AdoptPartialMatches(MigratedState state);
 
   /// Current flatten-cache population (bounded by kFlatCacheMaxEntries
   /// with wholesale clearing; exposed for the soak harness's obs gauges).

@@ -90,6 +90,70 @@ void PartialMatchStore::Compact() {
   num_dead_ = 0;
 }
 
+void PartialMatchStore::AdoptForeignArenas(
+    const std::vector<std::shared_ptr<BindingArena>>& arenas) {
+  for (const std::shared_ptr<BindingArena>& a : arenas) {
+    if (a == nullptr || a == arena_) continue;
+    bool known = false;
+    for (const std::shared_ptr<BindingArena>& have : foreign_arenas_) {
+      if (have == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) foreign_arenas_.push_back(a);
+  }
+  PruneForeignArenas();
+}
+
+void PartialMatchStore::PruneForeignArenas() {
+  size_t keep = 0;
+  for (size_t i = 0; i < foreign_arenas_.size(); ++i) {
+    if (foreign_arenas_[i]->live_nodes() > 0) {
+      if (keep != i) foreign_arenas_[keep] = std::move(foreign_arenas_[i]);
+      ++keep;
+    }
+  }
+  foreign_arenas_.resize(keep);
+}
+
+size_t PartialMatchStore::ForeignArenaLiveBytes() const {
+  size_t bytes = 0;
+  for (const std::shared_ptr<BindingArena>& a : foreign_arenas_) {
+    bytes += a->LiveBytes();
+  }
+  return bytes;
+}
+
+void PartialMatchStore::ExtractIf(
+    const std::function<bool(const PartialMatch&)>& pred,
+    std::vector<std::unique_ptr<PartialMatch>>* regulars,
+    std::vector<std::unique_ptr<PartialMatch>>* witnesses) {
+  auto extract_bucket = [&](Bucket& bucket, bool witness_bucket) {
+    size_t keep = 0;
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      std::unique_ptr<PartialMatch>& pm = bucket[i];
+      if (pm->alive && pred(*pm)) {
+        const size_t bytes = FixedBytes(*pm);
+        fixed_live_bytes_ -= bytes <= fixed_live_bytes_ ? bytes : fixed_live_bytes_;
+        if (witness_bucket) {
+          --num_alive_witnesses_;
+          witnesses->push_back(std::move(pm));
+        } else {
+          --num_alive_;
+          regulars->push_back(std::move(pm));
+        }
+        continue;
+      }
+      if (keep != i) bucket[keep] = std::move(bucket[i]);
+      ++keep;
+    }
+    bucket.resize(keep);
+  };
+  for (auto& bucket : buckets_) extract_bucket(bucket, false);
+  for (auto& bucket : witness_buckets_) extract_bucket(bucket, true);
+}
+
 double PartialMatchStore::DeadFraction() const {
   const size_t total = num_alive_ + num_alive_witnesses_ + num_dead_;
   return total == 0 ? 0.0 : static_cast<double>(num_dead_) / static_cast<double>(total);
@@ -100,6 +164,7 @@ void PartialMatchStore::Clear() {
   for (auto& bucket : witness_buckets_) bucket.clear();
   num_alive_ = num_alive_witnesses_ = num_dead_ = 0;
   fixed_live_bytes_ = 0;
+  PruneForeignArenas();
 }
 
 }  // namespace cepshed

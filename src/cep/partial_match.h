@@ -16,6 +16,7 @@
 #ifndef CEPSHED_CEP_PARTIAL_MATCH_H_
 #define CEPSHED_CEP_PARTIAL_MATCH_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
@@ -26,6 +27,8 @@
 #include "src/common/time.h"
 
 namespace cepshed {
+
+class BindingArena;
 
 /// \brief One link of a shared-prefix binding chain.
 ///
@@ -44,6 +47,11 @@ struct BindingNode {
   /// whole chain, which is O(length) and was the hidden per-candidate cost
   /// that a copy-on-write clone path otherwise re-pays at evaluation time.
   const BindingNode* slot_start = nullptr;
+  /// The arena whose blocks hold this node. After a shard migration a
+  /// chain can span arenas (the adopted prefix lives in the donor's arena,
+  /// extensions in the adopter's), so release must recycle each node into
+  /// its home arena or the donor's live-node accounting never drains.
+  BindingArena* home = nullptr;
   uint32_t refs = 0;
   uint32_t depth = 0;
 };
@@ -52,9 +60,18 @@ struct BindingNode {
 ///
 /// Nodes are handed out from fixed-size blocks and recycled through a free
 /// list; blocks are only released when the arena is destroyed, so freed
-/// nodes are immediately reusable capacity. Not thread-safe — each engine
-/// (and therefore each shard) owns its own arena, matching the engine's
-/// thread-confinement contract.
+/// nodes are immediately reusable capacity. Allocation (and therefore
+/// chain extension and ref acquisition) is confined to the arena's home
+/// shard thread, matching the engine's thread-confinement contract.
+/// *Release* is not: after an elastic reshard, partial matches adopted by
+/// another shard keep referencing chain nodes in this arena and recycle
+/// them from the adopter's thread. The free list is therefore an atomic
+/// Treiber stack — many concurrent pushers, but only the home thread ever
+/// pops, which makes the CAS pop ABA-safe — and the live-node counter is
+/// atomic. Per-node `refs` stay plain: hash partitioning keeps the chain
+/// sets of matches owned by different shards disjoint (all events of a
+/// match share the partition key), so no two threads ever touch the same
+/// node's count.
 class BindingArena {
  public:
   BindingArena() = default;
@@ -65,43 +82,46 @@ class BindingArena {
   /// and acquires a reference on `prev` on the new node's behalf. The
   /// returned node starts with one reference, owned by the caller.
   /// `new_slot` marks the binding as opening a fresh pattern slot (chain
-  /// heads always do); otherwise it continues `prev`'s slot.
+  /// heads always do); otherwise it continues `prev`'s slot. Home-thread
+  /// only.
   BindingNode* Extend(BindingNode* prev, const EventPtr& event,
                       bool new_slot = false) {
     BindingNode* node = Allocate();
     node->event = event;
     node->prev = prev;
     node->slot_start = (new_slot || prev == nullptr) ? node : prev->slot_start;
+    node->home = this;
     node->refs = 1;
     node->depth = prev != nullptr ? prev->depth + 1 : 1;
     if (prev != nullptr) ++prev->refs;
-    ++live_nodes_;
+    live_nodes_.fetch_add(1, std::memory_order_relaxed);
     return node;
   }
 
   /// Releases one reference on `node`, cascading along the prefix: every
-  /// node whose reference count reaches zero is recycled and its `prev`
-  /// released in turn. Nodes still referenced by sibling chains survive.
-  void Unref(BindingNode* node) {
+  /// node whose reference count reaches zero is recycled *into its home
+  /// arena* and its `prev` released in turn. Nodes still referenced by
+  /// sibling chains survive. Static because a migrated chain may span
+  /// arenas — the entry point does not determine where nodes return.
+  static void Unref(BindingNode* node) {
     while (node != nullptr) {
       assert(node->refs > 0);
       if (--node->refs > 0) return;
       BindingNode* prev = node->prev;
       node->event.reset();  // drop the event share now, not at reuse
-      node->prev = free_list_;
-      free_list_ = node;
-      --live_nodes_;
+      node->home->Recycle(node);
       node = prev;
     }
   }
 
   /// Number of nodes currently referenced by some chain.
-  size_t live_nodes() const { return live_nodes_; }
+  size_t live_nodes() const { return live_nodes_.load(std::memory_order_relaxed); }
   /// Bytes attributed to live nodes. Each shared node is counted exactly
-  /// once no matter how many matches reference its prefix.
-  size_t LiveBytes() const { return live_nodes_ * sizeof(BindingNode); }
+  /// once no matter how many matches reference its prefix, and exactly one
+  /// arena — its home — reports it, however the chains were migrated.
+  size_t LiveBytes() const { return live_nodes() * sizeof(BindingNode); }
   /// Bytes the arena holds from the allocator (blocks are retained for
-  /// reuse; this never shrinks).
+  /// reuse; this never shrinks). Home-thread only.
   size_t CapacityBytes() const {
     return blocks_.size() * kBlockNodes * sizeof(BindingNode);
   }
@@ -109,12 +129,28 @@ class BindingArena {
  private:
   static constexpr size_t kBlockNodes = 512;
 
+  /// Pushes a freed node onto the atomic free list (any thread).
+  void Recycle(BindingNode* node) {
+    BindingNode* head = free_list_.load(std::memory_order_relaxed);
+    do {
+      node->prev = head;
+    } while (!free_list_.compare_exchange_weak(head, node,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+    live_nodes_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Home-thread only. The single-popper discipline makes the naive CAS
+  /// pop safe: a node on the stack can only be removed here, so its link
+  /// cannot be altered between the head load and the exchange.
   BindingNode* Allocate() {
-    if (free_list_ != nullptr) {
-      BindingNode* node = free_list_;
-      free_list_ = node->prev;
-      return node;
+    BindingNode* head = free_list_.load(std::memory_order_acquire);
+    while (head != nullptr &&
+           !free_list_.compare_exchange_weak(head, head->prev,
+                                             std::memory_order_acquire,
+                                             std::memory_order_acquire)) {
     }
+    if (head != nullptr) return head;
     if (next_in_block_ == kBlockNodes) {
       blocks_.emplace_back(new BindingNode[kBlockNodes]);
       next_in_block_ = 0;
@@ -123,9 +159,9 @@ class BindingArena {
   }
 
   std::vector<std::unique_ptr<BindingNode[]>> blocks_;
-  BindingNode* free_list_ = nullptr;
+  std::atomic<BindingNode*> free_list_{nullptr};
   size_t next_in_block_ = kBlockNodes;
-  size_t live_nodes_ = 0;
+  std::atomic<size_t> live_nodes_{0};
 };
 
 /// \brief One partial match: a prefix binding of the pattern's positive
@@ -245,7 +281,7 @@ struct PartialMatch {
               bool new_slot = false) {
     arena_ = arena;
     BindingNode* node = arena->Extend(tail_, event, new_slot);
-    if (tail_ != nullptr) arena->Unref(tail_);  // ownership moved to node
+    if (tail_ != nullptr) BindingArena::Unref(tail_);  // ownership moved to node
     tail_ = node;
     ++length_;
   }
@@ -272,9 +308,10 @@ struct PartialMatch {
 
   /// Releases this match's reference on its chain; shared prefix nodes
   /// survive as long as any sibling still references them. Length() and
-  /// slot_end stay readable.
+  /// slot_end stay readable. Each node returns to its home arena, so this
+  /// is correct for chains spanning arenas after a migration.
   void ReleaseChain() {
-    if (tail_ != nullptr && arena_ != nullptr) arena_->Unref(tail_);
+    if (tail_ != nullptr) BindingArena::Unref(tail_);
     tail_ = nullptr;
   }
 
@@ -308,10 +345,47 @@ class PartialMatchStore {
   /// by pattern element).
   PartialMatchStore(int num_states, int num_elements);
 
-  /// The arena all of this store's binding chains live in. Matches queued
-  /// for insertion must already allocate from this arena.
-  BindingArena& arena() { return arena_; }
-  const BindingArena& arena() const { return arena_; }
+  /// The arena this store's binding chains allocate from. Matches queued
+  /// for insertion must already allocate from this arena. (Chains adopted
+  /// from another shard keep their prefixes in that shard's arena; see
+  /// AdoptForeignArenas.)
+  BindingArena& arena() { return *arena_; }
+  const BindingArena& arena() const { return *arena_; }
+
+  /// Shared ownership of the primary arena, for handing to stores that
+  /// adopt chains allocated here: the arena must outlive every foreign
+  /// reference into it, whichever store is destroyed first.
+  std::shared_ptr<BindingArena> shared_arena() const { return arena_; }
+
+  /// Registers arenas that chains adopted into this store may reference
+  /// (the donor's primary arena plus anything the donor itself adopted).
+  /// Duplicates and the store's own arena are skipped; drained foreign
+  /// arenas are pruned opportunistically.
+  void AdoptForeignArenas(const std::vector<std::shared_ptr<BindingArena>>& arenas);
+
+  /// Drops foreign arenas with no live nodes left. An arena still in use
+  /// as some other store's primary stays alive through that store's
+  /// reference; pruning here only releases this store's lifetime pin.
+  void PruneForeignArenas();
+
+  /// Live/capacity bytes in adopted foreign arenas still pinned by this
+  /// store. Diagnostic only — live bytes are *reported* by each arena's
+  /// home store (see LiveBytes), so summing gauges across shards stays
+  /// duplicate-free.
+  size_t ForeignArenaLiveBytes() const;
+  size_t num_foreign_arenas() const { return foreign_arenas_.size(); }
+  const std::vector<std::shared_ptr<BindingArena>>& foreign_arenas() const {
+    return foreign_arenas_;
+  }
+
+  /// Moves every live match (regulars into *regulars, witnesses into
+  /// *witnesses) satisfying `pred` out of the store, preserving bucket
+  /// order. The moved matches keep their chains — no copy, no release;
+  /// accounting is adjusted as if they were never here. Tombstoned entries
+  /// are left behind for Compact. Callers holding indexes must rebuild.
+  void ExtractIf(const std::function<bool(const PartialMatch&)>& pred,
+                 std::vector<std::unique_ptr<PartialMatch>>* regulars,
+                 std::vector<std::unique_ptr<PartialMatch>>* witnesses);
 
   /// Inserts a match into the bucket of its state; returns a stable pointer.
   PartialMatch* Add(std::unique_ptr<PartialMatch> pm);
@@ -371,9 +445,11 @@ class PartialMatchStore {
   /// signal the overload guard enforces its budget against. O(1): the
   /// fixed per-match part is maintained incrementally by
   /// Add/AddWitness/Kill, and the arena counts every live chain node
-  /// exactly once regardless of prefix sharing.
+  /// exactly once regardless of prefix sharing. Chain nodes of adopted
+  /// matches are charged to their home arena's store, keeping the global
+  /// sum deduplicated across shards.
   size_t ApproxLiveBytes() const {
-    return fixed_live_bytes_ + arena_.LiveBytes();
+    return fixed_live_bytes_ + arena_->LiveBytes();
   }
 
   /// Tombstones every live match (regular and witness) whose window has
@@ -403,8 +479,10 @@ class PartialMatchStore {
   static constexpr size_t kPerMatchOverheadBytes = 32;
 
   // Declared before the buckets: match destructors release chains into
-  // the arena, so the arena must outlive every bucket.
-  BindingArena arena_;
+  // the arenas, so both the primary arena and any adopted foreign arenas
+  // must outlive every bucket.
+  std::shared_ptr<BindingArena> arena_ = std::make_shared<BindingArena>();
+  std::vector<std::shared_ptr<BindingArena>> foreign_arenas_;
   std::vector<Bucket> buckets_;
   std::vector<Bucket> witness_buckets_;
   size_t num_alive_ = 0;

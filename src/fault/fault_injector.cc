@@ -16,6 +16,7 @@ Result<FaultKind> ParseKind(const std::string& name) {
   if (name == "saturate") return FaultKind::kSaturate;
   if (name == "skew") return FaultKind::kSkew;
   if (name == "death") return FaultKind::kDeath;
+  if (name == "resize") return FaultKind::kResize;
   return Status::ParseError("unknown fault kind '" + name + "'");
 }
 
@@ -94,6 +95,10 @@ Result<FaultSpec> ParseEntry(const std::string& entry) {
         if (fault.factor <= 0.0) {
           return Status::ParseError("fault entry '" + entry + "': factor must be > 0");
         }
+      } else if (key == "delta") {
+        int64_t v;
+        CEPSHED_ASSIGN_OR_RETURN(v, ParseInt(entry, value));
+        fault.delta = static_cast<int>(v);
       } else {
         return Status::ParseError("fault entry '" + entry + "': unknown key '" + key +
                                   "'");
@@ -113,6 +118,12 @@ Result<FaultSpec> ParseEntry(const std::string& entry) {
       if (fault.factor == 1.0) {
         return Status::ParseError("fault entry '" + entry +
                                   "': burst needs factor != 1");
+      }
+      break;
+    case FaultKind::kResize:
+      if (fault.delta == 0) {
+        return Status::ParseError("fault entry '" + entry +
+                                  "': resize needs delta != 0");
       }
       break;
     case FaultKind::kSaturate:
@@ -139,6 +150,8 @@ const char* FaultKindName(FaultKind kind) {
       return "skew";
     case FaultKind::kDeath:
       return "death";
+    case FaultKind::kResize:
+      return "resize";
   }
   return "unknown";
 }
@@ -159,6 +172,19 @@ Result<FaultInjector> FaultInjector::Parse(const std::string& spec, uint64_t see
       if (!fault.ok()) {
         return Status::ParseError("line " + std::to_string(line) + ": " +
                                   fault.status().message());
+      }
+      // Two entries of one kind at one (shard, at) anchor are either a
+      // duplicate or a contradiction; last-wins or double-application
+      // would silently change the experiment, so fail loudly instead.
+      for (const FaultSpec& prior : injector.specs_) {
+        if (prior.kind == fault->kind && prior.shard == fault->shard &&
+            prior.at == fault->at) {
+          return Status::ParseError(
+              "line " + std::to_string(line) + ": fault entry '" + entry +
+              "': duplicate " + std::string(FaultKindName(fault->kind)) +
+              " anchor at shard=" + std::to_string(fault->shard) +
+              ",at=" + std::to_string(fault->at));
+        }
       }
       injector.specs_.push_back(*fault);
     }
@@ -194,7 +220,8 @@ ActiveFaults FaultInjector::OnConsume(int shard, uint64_t index) const {
         if (index == f.at) active.die = true;
         break;
       case FaultKind::kSaturate:
-        break;  // router-side, see SaturatePush
+      case FaultKind::kResize:
+        break;  // router-side
     }
   }
   return active;
@@ -224,6 +251,7 @@ std::string FaultInjector::ToString() const {
       out << ",us=" << f.micros;
     }
     if (f.kind == FaultKind::kBurst) out << ",factor=" << f.factor;
+    if (f.kind == FaultKind::kResize) out << ",delta=" << f.delta;
   }
   return out.str();
 }

@@ -25,11 +25,24 @@
 //              out-of-order timestamps); engine semantics are untouched
 //   death    - the shard's worker thread exits before consuming its
 //              at-th event (shard, at)
+//   resize   - elastic-reshard action (shard, at, delta): the runtime
+//              changes the live shard count by `delta` (+n spawn / -n
+//              retire, clamped to its configured bounds) at a
+//              deterministic router-side anchor — immediately before
+//              routing global stream sequence `at` (shard=-1), or before
+//              the at-th push to shard `shard`. Each resize entry fires
+//              exactly once.
 // `shard=-1` (the default) applies the fault to every shard. `at` counts
-// consumed events of the shard for consumer-side faults and global stream
-// sequence numbers for `saturate`.
+// consumed events of the shard for consumer-side faults, global stream
+// sequence numbers for `saturate` and unscoped `resize`, and router-side
+// routed-event ordinals of the target shard for scoped `resize`.
 //
-// Example: "stall:shard=0,at=200,ms=30;death:shard=1,at=500"
+// Duplicate anchors — two entries of the same kind at the same
+// (shard, at) — are rejected at parse time with the offending line
+// number: a schedule that would silently last-wins (or double-apply) is a
+// chaos experiment that does not mean what it says.
+//
+// Example: "stall:shard=0,at=200,ms=30;death:shard=1,at=500;resize:at=900,delta=+2"
 
 #ifndef CEPSHED_FAULT_FAULT_INJECTOR_H_
 #define CEPSHED_FAULT_FAULT_INJECTOR_H_
@@ -51,6 +64,7 @@ enum class FaultKind : int {
   kSaturate = 3,  ///< router-side queue saturation over a seq window
   kSkew = 4,      ///< guard-clock skew over a window
   kDeath = 5,     ///< worker-thread death at an event ordinal
+  kResize = 6,    ///< elastic reshard (live shard count += delta)
 };
 
 /// Short DSL name of a fault kind ("stall", "death", ...).
@@ -71,6 +85,8 @@ struct FaultSpec {
   int64_t micros = 0;
   /// Cost multiplier (kBurst).
   double factor = 1.0;
+  /// Signed live-shard-count change (kResize; never 0 for parsed entries).
+  int delta = 0;
 };
 
 /// \brief What the injector wants done before/while consuming one event.
@@ -107,6 +123,14 @@ class FaultInjector {
 
   bool empty() const { return specs_.empty(); }
   const std::vector<FaultSpec>& specs() const { return specs_; }
+  /// True when the schedule contains at least one resize action (the
+  /// runtime then validates and provisions for elasticity up front).
+  bool has_resizes() const {
+    for (const FaultSpec& f : specs_) {
+      if (f.kind == FaultKind::kResize) return true;
+    }
+    return false;
+  }
   /// Schedule seed (also the default hash seed of guard drop decisions,
   /// so one seed reproduces the whole degraded run).
   uint64_t seed() const { return seed_; }

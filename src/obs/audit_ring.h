@@ -24,6 +24,7 @@ enum class AuditKind : uint8_t {
   kKillPm = 1,           ///< rho_S: partial match tombstoned
   kGuardTransition = 2,  ///< overload-guard ladder level change
   kGuardDrop = 3,        ///< rho_I decided by the overload guard
+  kResize = 4,           ///< elastic reshard executed (live shard count change)
 };
 
 const char* AuditKindName(AuditKind kind);
@@ -128,6 +129,8 @@ inline const char* AuditKindName(AuditKind kind) {
       return "guard_transition";
     case AuditKind::kGuardDrop:
       return "guard_drop";
+    case AuditKind::kResize:
+      return "resize";
   }
   return "unknown";
 }

@@ -95,7 +95,12 @@ void AppendJsonShard(std::ostringstream* out, const ShardObsSnapshot& s) {
        << ",\"knapsack_solves\":" << s.knapsack_solves
        << ",\"guard_transitions\":" << s.guard_transitions
        << ",\"queue_push_timeouts\":" << s.queue_push_timeouts
+       << ",\"migrations_total\":" << s.migrations_total
+       << ",\"migrated_pms\":" << s.migrated_pms
+       << ",\"migrated_bytes\":" << s.migrated_bytes
        << ",\"guard_level\":" << s.guard_level
+       << ",\"live_shards\":" << s.live_shards
+       << ",\"arena_legacy_bytes\":" << s.arena_legacy_bytes
        << ",\"state_bytes\":" << s.state_bytes
        << ",\"arena_live_bytes\":" << s.arena_live_bytes
        << ",\"arena_capacity_bytes\":" << s.arena_capacity_bytes
@@ -107,6 +112,8 @@ void AppendJsonShard(std::ostringstream* out, const ShardObsSnapshot& s) {
   }
   *out << "],";
   AppendJsonHistogram(out, "event_cost", s.event_cost);
+  *out << ",";
+  AppendJsonHistogram(out, "migration_us", s.migration_us);
   *out << ",";
   AppendJsonHistogram(out, "queue_wait_us", s.queue_wait_us);
   *out << ",";
@@ -164,6 +171,16 @@ std::string RenderPrometheus(const RegistrySnapshot& snap) {
   AppendCounterSeries(&out, "cepshed_queue_push_timeouts_total",
                       "Router pushes that timed out on a full shard queue", snap,
                       &ShardObsSnapshot::queue_push_timeouts);
+  AppendCounterSeries(&out, "cepshed_migrations_total",
+                      "Elastic reshard operations executed", snap,
+                      &ShardObsSnapshot::migrations_total);
+  AppendCounterSeries(&out, "cepshed_migrated_pms_total",
+                      "Partial matches migrated off this shard", snap,
+                      &ShardObsSnapshot::migrated_pms);
+  AppendCounterSeries(&out, "cepshed_migrated_bytes_total",
+                      "Estimated bytes of partial-match state migrated off "
+                      "this shard",
+                      snap, &ShardObsSnapshot::migrated_bytes);
 
   out.append(
       "# HELP cepshed_shed_by_class_total Shed decisions per event/pm class\n"
@@ -200,10 +217,20 @@ std::string RenderPrometheus(const RegistrySnapshot& snap) {
   AppendGaugeSeries(&out, "cepshed_flat_cache_entries",
                     "Engine flatten-cache population", snap,
                     &ShardObsSnapshot::flat_cache_entries);
+  AppendGaugeSeries(&out, "cepshed_live_shards",
+                    "Current number of live (routable) shards", snap,
+                    &ShardObsSnapshot::live_shards);
+  AppendGaugeSeries(&out, "cepshed_arena_legacy_bytes",
+                    "Live chain-node bytes still held by retired shards' "
+                    "arenas",
+                    snap, &ShardObsSnapshot::arena_legacy_bytes);
 
   AppendHistogram(&out, "cepshed_event_cost",
                   "Per-event engine latency in cost units", snap,
                   &ShardObsSnapshot::event_cost);
+  AppendHistogram(&out, "cepshed_migration_microseconds",
+                  "Stop-the-world pause of one elastic reshard", snap,
+                  &ShardObsSnapshot::migration_us);
   AppendHistogram(&out, "cepshed_queue_wait_microseconds",
                   "Router wait on a full shard queue", snap,
                   &ShardObsSnapshot::queue_wait_us);

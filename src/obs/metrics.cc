@@ -83,15 +83,21 @@ ShardObsSnapshot SnapshotShard(const ShardObs& o) {
   s.knapsack_solves = o.knapsack_solves.Load();
   s.guard_transitions = o.guard_transitions.Load();
   s.queue_push_timeouts = o.queue_push_timeouts.Load();
+  s.migrations_total = o.migrations_total.Load();
+  s.migrated_pms = o.migrated_pms.Load();
+  s.migrated_bytes = o.migrated_bytes.Load();
   for (int c = 0; c < ShardObs::kNumClasses; ++c) {
     s.shed_by_class[c] = o.shed_by_class[c].Load();
   }
   s.guard_level = o.guard_level.Load();
+  s.live_shards = o.live_shards.Load();
+  s.arena_legacy_bytes = o.arena_legacy_bytes.Load();
   s.state_bytes = o.state_bytes.Load();
   s.arena_live_bytes = o.arena_live_bytes.Load();
   s.arena_capacity_bytes = o.arena_capacity_bytes.Load();
   s.flat_cache_entries = o.flat_cache_entries.Load();
   s.event_cost = o.event_cost.Snapshot();
+  s.migration_us = o.migration_us.Snapshot();
   s.queue_wait_us = o.queue_wait_us.Snapshot();
   s.shed_trigger_us = o.shed_trigger_us.Snapshot();
   s.knapsack_us = o.knapsack_us.Snapshot();
@@ -111,16 +117,24 @@ void ShardObsSnapshot::Merge(const ShardObsSnapshot& other) {
   knapsack_solves += other.knapsack_solves;
   guard_transitions += other.guard_transitions;
   queue_push_timeouts += other.queue_push_timeouts;
+  migrations_total += other.migrations_total;
+  migrated_pms += other.migrated_pms;
+  migrated_bytes += other.migrated_bytes;
   for (int c = 0; c < ShardObs::kNumClasses; ++c) {
     shed_by_class[c] += other.shed_by_class[c];
   }
   guard_level = std::max(guard_level, other.guard_level);
+  // Run-level reshard gauges are recorded on shard 0 only; max keeps the
+  // merged view equal to that shard's value instead of summing zeros.
+  live_shards = std::max(live_shards, other.live_shards);
+  arena_legacy_bytes = std::max(arena_legacy_bytes, other.arena_legacy_bytes);
   // Footprint gauges sum: the merged view is the global memory holding.
   state_bytes += other.state_bytes;
   arena_live_bytes += other.arena_live_bytes;
   arena_capacity_bytes += other.arena_capacity_bytes;
   flat_cache_entries += other.flat_cache_entries;
   event_cost.Merge(other.event_cost);
+  migration_us.Merge(other.migration_us);
   queue_wait_us.Merge(other.queue_wait_us);
   shed_trigger_us.Merge(other.shed_trigger_us);
   knapsack_us.Merge(other.knapsack_us);
@@ -140,6 +154,7 @@ RegistrySnapshot MetricsRegistry::Snapshot() const {
     snap.shards.push_back(SnapshotShard(*s));
   }
   snap.total.event_cost.buckets.assign(LogHistogram::kNumBuckets, 0);
+  snap.total.migration_us.buckets.assign(LogHistogram::kNumBuckets, 0);
   snap.total.queue_wait_us.buckets.assign(LogHistogram::kNumBuckets, 0);
   snap.total.shed_trigger_us.buckets.assign(LogHistogram::kNumBuckets, 0);
   snap.total.knapsack_us.buckets.assign(LogHistogram::kNumBuckets, 0);

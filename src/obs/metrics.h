@@ -157,8 +157,25 @@ struct ShardObs {
   Counter knapsack_solves;
   Counter guard_transitions;
   Counter queue_push_timeouts;
+  /// Elastic-reshard accounting. The per-shard counters (migrated_pms /
+  /// migrated_bytes) are recorded on the *donor* shard; the run-level
+  /// series (migrations_total, live_shards, arena_legacy_bytes,
+  /// migration_us) live on shard 0's slot. All are written by the router
+  /// at migration barriers, when every worker is parked — the single-
+  /// writer discipline holds because workers never touch these fields.
+  Counter migrations_total;
+  Counter migrated_pms;
+  Counter migrated_bytes;
   Counter shed_by_class[kNumClasses];
   Gauge guard_level;
+  /// Current number of live (routable) shards; static runs report
+  /// num_shards for the whole run.
+  Gauge live_shards;
+  /// Live chain-node bytes still held by the arenas of retired shards
+  /// (shard ids >= live_shards). The soak harness asserts this returns to
+  /// its plateau after every shrink — a leak here means migrated state is
+  /// pinning donor arenas forever.
+  Gauge arena_legacy_bytes;
   /// State-footprint gauges, set by the shard worker after each consumed
   /// event (last-write-wins). The soak harness asserts these stay bounded
   /// over arbitrarily long runs — leak and creep detection.
@@ -168,6 +185,7 @@ struct ShardObs {
   Gauge flat_cache_entries;    // engine flatten-cache population
 
   LogHistogram event_cost;        // per-event engine cost (cost units)
+  LogHistogram migration_us;      // stop-the-world reshard pause (wall-clock)
   LogHistogram queue_wait_us;     // router wait on a full shard queue
   LogHistogram shed_trigger_us;   // whole shedder re-plan (wall-clock)
   LogHistogram knapsack_us;       // knapsack solve inside the re-plan
@@ -195,13 +213,19 @@ struct ShardObsSnapshot {
   uint64_t knapsack_solves = 0;
   uint64_t guard_transitions = 0;
   uint64_t queue_push_timeouts = 0;
+  uint64_t migrations_total = 0;
+  uint64_t migrated_pms = 0;
+  uint64_t migrated_bytes = 0;
   uint64_t shed_by_class[ShardObs::kNumClasses] = {};
   int64_t guard_level = 0;
+  int64_t live_shards = 0;
+  int64_t arena_legacy_bytes = 0;
   int64_t state_bytes = 0;
   int64_t arena_live_bytes = 0;
   int64_t arena_capacity_bytes = 0;
   int64_t flat_cache_entries = 0;
   HistogramSnapshot event_cost;
+  HistogramSnapshot migration_us;
   HistogramSnapshot queue_wait_us;
   HistogramSnapshot shed_trigger_us;
   HistogramSnapshot knapsack_us;

@@ -1,0 +1,45 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/runtime/reshard_controller.h"
+
+namespace cepshed {
+
+int ReshardController::Decide(uint64_t seq, const Signals& sig, int live,
+                              int effective_max) {
+  const bool hot = sig.max_queue_fill >= opts_.queue_grow_fraction ||
+                   sig.max_guard_level >= opts_.guard_hot_level;
+  const bool idle = sig.max_queue_fill <= opts_.queue_shrink_fraction &&
+                    sig.max_guard_level == 0;
+  // The dead zone between hot and idle advances neither streak but resets
+  // both: "sustained" means uninterrupted, exactly like the guard ladder.
+  if (hot) {
+    ++hot_streak_;
+    idle_streak_ = 0;
+  } else if (idle) {
+    ++idle_streak_;
+    hot_streak_ = 0;
+  } else {
+    hot_streak_ = 0;
+    idle_streak_ = 0;
+  }
+
+  if (resized_once_ && seq - last_resize_seq_ < opts_.min_dwell) return 0;
+
+  if (hot && hot_streak_ >= opts_.grow_after && live < effective_max) {
+    hot_streak_ = 0;
+    idle_streak_ = 0;
+    resized_once_ = true;
+    last_resize_seq_ = seq;
+    return +1;
+  }
+  if (idle && idle_streak_ >= opts_.shrink_after && live > opts_.min_shards) {
+    hot_streak_ = 0;
+    idle_streak_ = 0;
+    resized_once_ = true;
+    last_resize_seq_ = seq;
+    return -1;
+  }
+  return 0;
+}
+
+}  // namespace cepshed

@@ -1,0 +1,97 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Elastic-reshard policy: when to change the live shard count. The
+// controller is a pure router-side state machine — it only *decides*;
+// executing a resize (seal, drain, migrate, flip) is the shard runtime's
+// job (see ShardRuntime::ExecuteResize in shard_runtime.cc).
+//
+// Signals, sampled by the router every `check_every` routed events:
+//   - the worst queue fill fraction across live shards (backlog building
+//     faster than workers drain it), and
+//   - the worst overload-guard ladder level across live shards (a shard
+//     already shedding or panicking under its latency/memory bounds).
+//
+// Hysteresis ladder: a scale-up needs `grow_after` *consecutive* hot
+// checks, a scale-down `shrink_after` consecutive idle checks, and any
+// decision starts a dwell window of `min_dwell` routed events during which
+// the controller stays silent — resizing is a stop-the-world pause plus a
+// state migration, so flapping on a boundary signal must be structurally
+// impossible, mirroring the escalate/recover discipline of the per-shard
+// OverloadGuard.
+//
+// Determinism: decisions depend on live queue depths and guard levels,
+// which depend on thread scheduling — a dynamically resized run is NOT
+// bit-reproducible by re-running it. Reproducibility is recovered one
+// level up: the runtime reports every executed resize through
+// ShardRuntimeOptions::resize_tap, the trace recorder persists the
+// (sequence, shard-count) pairs, and replay re-applies them as a
+// *scripted* schedule (fault-DSL `resize` entries), which is exact.
+
+#ifndef CEPSHED_RUNTIME_RESHARD_CONTROLLER_H_
+#define CEPSHED_RUNTIME_RESHARD_CONTROLLER_H_
+
+#include <cstdint>
+
+namespace cepshed {
+
+/// \brief Elasticity configuration shared by the dynamic controller and
+/// scripted (fault-DSL) resizes.
+struct ReshardOptions {
+  /// Turns the dynamic controller on. Scripted `resize` fault entries work
+  /// regardless; they only need min/max bounds from here.
+  bool enabled = false;
+  /// Bounds on the live shard count. Scripted and dynamic resizes are both
+  /// clamped into [min_shards, max(max_shards, initial num_shards)].
+  /// min_shards >= 1 always: shard 0 never retires (null partition keys
+  /// are pinned to it). max_shards == 0 means "initial num_shards" — no
+  /// headroom, which disables growth.
+  int min_shards = 1;
+  int max_shards = 0;
+  /// Routed events between controller checks.
+  uint64_t check_every = 256;
+  /// Consecutive hot checks before scaling up by one shard.
+  int grow_after = 3;
+  /// Consecutive idle checks before scaling down by one shard.
+  int shrink_after = 8;
+  /// Routed events after a resize during which no further resize fires.
+  uint64_t min_dwell = 2048;
+  /// Queue fill fraction that reads as hot / idle.
+  double queue_grow_fraction = 0.75;
+  double queue_shrink_fraction = 0.10;
+  /// Guard ladder level (GuardLevel as int) that reads as hot on its own.
+  int guard_hot_level = 2;  // kPanic
+};
+
+/// \brief The scale-up/scale-down decision ladder (see file comment).
+class ReshardController {
+ public:
+  /// One check's observations, aggregated over live shards by the router.
+  struct Signals {
+    /// max over live shards of queue SizeApprox / capacity.
+    double max_queue_fill = 0.0;
+    /// max over live shards of the published guard ladder level.
+    int max_guard_level = 0;
+  };
+
+  explicit ReshardController(const ReshardOptions& opts) : opts_(opts) {}
+
+  /// Feeds one check at routed-event ordinal `seq` with `live` current
+  /// shards; returns the desired delta: +1, -1, or 0. The caller is
+  /// responsible for clamping against its effective bounds (the controller
+  /// already respects them, so a nonzero return is actionable).
+  int Decide(uint64_t seq, const Signals& sig, int live, int effective_max);
+
+  int hot_streak() const { return hot_streak_; }
+  int idle_streak() const { return idle_streak_; }
+
+ private:
+  ReshardOptions opts_;
+  int hot_streak_ = 0;
+  int idle_streak_ = 0;
+  uint64_t last_resize_seq_ = 0;
+  bool resized_once_ = false;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_RUNTIME_RESHARD_CONTROLLER_H_

@@ -158,6 +158,37 @@ Status ShardRuntime::ValidatePlan() const {
   if (opts_.num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
+  if (Elastic()) {
+    // Elasticity is validated even for num_shards == 1 (a resize can grow
+    // past one shard) and even under skip_validation for the structural
+    // requirements: resharding a window-sliced plan would need slice
+    // re-ownership, which the migration protocol does not implement.
+    if (opts_.routing != ShardRouting::kHashPartition) {
+      return Status::InvalidArgument(
+          "elastic resharding requires hash routing; window slices are "
+          "pinned to their owner shards");
+    }
+    if (opts_.reshard.min_shards < 1) {
+      return Status::InvalidArgument("reshard.min_shards must be >= 1");
+    }
+    if (opts_.partition_attr < 0) {
+      return Status::InvalidArgument(
+          "elastic resharding requires partition_attr: migration ownership "
+          "is decided by the partition key of each partial match");
+    }
+    if (!opts_.skip_validation) {
+      if (nfa_->query().policy == SelectionPolicy::kStrictContiguity) {
+        return Status::InvalidArgument(
+            "strict contiguity depends on stream-adjacent events of every "
+            "partition; it cannot be hash-sharded");
+      }
+      if (!IsPartitionCorrelated(*nfa_, opts_.partition_attr)) {
+        return Status::InvalidArgument(
+            "query is not equality-correlated on the partition attribute; "
+            "resharding would split matches across owners");
+      }
+    }
+  }
   if (opts_.num_shards == 1 || opts_.skip_validation) return Status::OK();
   const Query& q = nfa_->query();
   if (opts_.routing == ShardRouting::kHashPartition) {
@@ -213,17 +244,43 @@ int ShardRuntime::ShardOfKey(const Value& key, int num_shards) {
 }
 
 int ShardRuntime::HashShardOf(const Event& event) const {
-  return ShardOfKey(event.attr(opts_.partition_attr), opts_.num_shards);
+  return ShardOfKey(event.attr(opts_.partition_attr), live_shards_);
+}
+
+bool ShardRuntime::Elastic() const {
+  return opts_.reshard.enabled ||
+         (opts_.faults != nullptr && opts_.faults->has_resizes());
+}
+
+int ShardRuntime::EffectiveMaxShards() const {
+  if (!Elastic()) return opts_.num_shards;
+  return std::max(opts_.num_shards, opts_.reshard.max_shards);
+}
+
+int ShardRuntime::EffectiveMinShards() const {
+  // A min above the initial count would make the starting state illegal;
+  // the floor is what the run actually started with.
+  return std::max(1, std::min(opts_.reshard.min_shards, opts_.num_shards));
+}
+
+int ShardRuntime::ClampLiveShards(int want) const {
+  return std::min(EffectiveMaxShards(), std::max(EffectiveMinShards(), want));
 }
 
 void ShardRuntime::RouteEvent(const Event& event, std::vector<int>* out) const {
   out->clear();
-  if (opts_.num_shards == 1) {
-    out->push_back(0);
+  if (opts_.routing == ShardRouting::kHashPartition) {
+    // Routes against the *live* shard count, which elastic resizes change
+    // mid-run; with no resizes this is num_shards for the whole run.
+    if (live_shards_ == 1) {
+      out->push_back(0);
+      return;
+    }
+    out->push_back(HashShardOf(event));
     return;
   }
-  if (opts_.routing == ShardRouting::kHashPartition) {
-    out->push_back(HashShardOf(event));
+  if (opts_.num_shards == 1) {
+    out->push_back(0);
     return;
   }
   // Window-slice: slice j covers event times [j*L, j*L + L + W); the event
@@ -270,8 +327,26 @@ struct ShardRuntime::ShardState {
   Duration slice_stride = 0;
   /// Ordinal of the next event this shard consumes (fault anchor).
   uint64_t consumed = 0;
+  /// Events the router has actually delivered to this shard: successful
+  /// queue pushes in Run, buffer appends in RunSequential. Router-owned;
+  /// together with `handled` it forms the migration drain barrier and
+  /// anchors scoped `resize` fault entries.
+  uint64_t pushed = 0;
+  /// Delivered events fully handled by the consumer (incremented at the
+  /// END of Consume, release order, on both the normal and the death
+  /// path). The router's acquire read of handled == pushed proves the
+  /// queue is empty, the worker is parked in Pop, and every engine write
+  /// is visible — the quiescence the migration protocol needs.
+  std::atomic<uint64_t> handled{0};
+  /// Guard ladder level published for the router's reshard controller
+  /// (relaxed; an advisory pressure signal, not a synchronization edge).
+  std::atomic<int> guard_level_pub{0};
   /// Restarts spent so far (router-owned; compared to the budget).
   int restarts = 0;
+  /// RunSequential death mirroring: once the restart budget is spent the
+  /// rest of every buffer drains as lost. Persists across the buffer
+  /// drains that resize anchors split the run into.
+  bool seq_draining = false;
   bool finished = false;
   /// Worker-thread exit protocol: the worker sets clean_exit (after a
   /// normal drain + Finish) and then worker_exited with release order; the
@@ -295,6 +370,7 @@ struct ShardRuntime::ShardState {
     if (injected.die) {
       ++result.events_lost;
       if (obs != nullptr) obs->events_lost.Add();
+      handled.fetch_add(1, std::memory_order_release);
       return true;
     }
     if (injected.stall_us > 0) {
@@ -339,6 +415,8 @@ struct ShardRuntime::ShardState {
       guard->Observe(monitor.Current(), queue != nullptr ? queue->SizeApprox() : 0,
                      queue != nullptr ? queue->capacity() : 0,
                      event->timestamp() + injected.clock_skew_us);
+      guard_level_pub.store(static_cast<int>(guard->level()),
+                            std::memory_order_relaxed);
     }
     if (obs != nullptr) {
       // Footprint gauges live here — code shared by Run and RunSequential —
@@ -351,6 +429,7 @@ struct ShardRuntime::ShardState {
           static_cast<int64_t>(engine->store().arena().CapacityBytes()));
       obs->flat_cache_entries.Set(static_cast<int64_t>(engine->FlatCacheSize()));
     }
+    handled.fetch_add(1, std::memory_order_release);
     return false;
   }
 
@@ -478,6 +557,160 @@ void ShardRuntime::FinishDeadShard(ShardState* s) const {
   s->Finish();
 }
 
+/// Scripted resize anchors for one run. Each fault-DSL `resize` entry
+/// fires exactly once: an unscoped entry (shard == -1) immediately before
+/// the router handles the first event with global sequence >= `at`, a
+/// scoped entry (shard == S) immediately before the router's `at`-th
+/// delivery to shard S while S is among the event's targets. Fire returns
+/// one entry at a time; the router executes the resize, re-routes (the
+/// flip changes ownership), and asks again — the loop terminates because
+/// fired entries never re-fire.
+struct ShardRuntime::ResizeScript {
+  struct Entry {
+    const FaultSpec* spec;
+    bool fired = false;
+  };
+  std::vector<Entry> entries;
+
+  explicit ResizeScript(const FaultInjector* faults) {
+    if (faults == nullptr) return;
+    for (const FaultSpec& f : faults->specs()) {
+      if (f.kind == FaultKind::kResize) entries.push_back({&f});
+    }
+  }
+
+  bool empty() const { return entries.empty(); }
+
+  /// Delta of the first unfired entry anchored at or before this routing
+  /// decision (0 = none). Marks the entry fired.
+  int Fire(uint64_t seq, const std::vector<int>& targets,
+           const std::vector<std::unique_ptr<ShardState>>& shards) {
+    for (Entry& e : entries) {
+      if (e.fired) continue;
+      const FaultSpec& f = *e.spec;
+      bool hit;
+      if (f.shard < 0) {
+        hit = seq >= f.at;
+      } else {
+        hit = false;
+        for (int t : targets) {
+          if (t == f.shard) {
+            hit = shards[static_cast<size_t>(t)]->pushed >= f.at;
+            break;
+          }
+        }
+      }
+      if (hit) {
+        e.fired = true;
+        return f.delta;
+      }
+    }
+    return 0;
+  }
+};
+
+void ShardRuntime::MigrateState(std::vector<std::unique_ptr<ShardState>>* shards,
+                                int old_live, int new_live,
+                                ShardRunResult* result) const {
+  const int attr = opts_.partition_attr;
+  // Donors are the previously live shards — including retiring ones, whose
+  // entire state leaves because ShardOfKey under new_live never maps to an
+  // id >= new_live. Growing shards start empty: a shard that retired
+  // earlier donated everything on the way out. Extraction is grouped per
+  // recipient so adoption happens in donor order 0..old_live-1 — a
+  // deterministic function of the engines' states, independent of thread
+  // scheduling.
+  std::vector<std::vector<MigratedState>> transfer(shards->size());
+  for (int d = 0; d < old_live; ++d) {
+    ShardState& donor = *(*shards)[static_cast<size_t>(d)];
+    for (int r = 0; r < new_live; ++r) {
+      if (r == d) continue;
+      MigratedState moved = donor.engine->ExtractPartialMatches(
+          [attr, r, new_live](const PartialMatch& pm) {
+            // Partition correlation guarantees every bound event of the
+            // match (or witness) carries the same key, so any one event
+            // determines the owner. A chainless match cannot exist live
+            // in the store; keep it put defensively.
+            const Event* e = pm.LastEvent();
+            if (e == nullptr) return false;
+            return ShardOfKey(e->attr(attr), new_live) == r;
+          });
+      if (moved.empty()) continue;
+      const uint64_t n = moved.size();
+      donor.result.pms_migrated_out += n;
+      (*shards)[static_cast<size_t>(r)]->result.pms_migrated_in += n;
+      result->migrated_pms += n;
+      result->migrated_bytes += moved.approx_bytes;
+      if (donor.obs != nullptr) {
+        donor.obs->migrated_pms.Add(n);
+        donor.obs->migrated_bytes.Add(moved.approx_bytes);
+      }
+      transfer[static_cast<size_t>(r)].push_back(std::move(moved));
+    }
+  }
+  for (size_t r = 0; r < transfer.size(); ++r) {
+    for (MigratedState& moved : transfer[r]) {
+      (*shards)[r]->engine->AdoptPartialMatches(std::move(moved));
+    }
+  }
+}
+
+void ShardRuntime::RecordResize(std::vector<std::unique_ptr<ShardState>>* shards,
+                                int old_live, int new_live, uint64_t seq,
+                                Timestamp now, double pause_us,
+                                ShardRunResult* result) const {
+  ++result->resizes;
+  obs::ShardObs* obs0 = (*shards)[0]->obs;
+  if (obs0 != nullptr) {
+    // Run-level reshard series live on shard 0's slot; every worker is
+    // parked at this barrier, so the router is the only writer.
+    obs0->migrations_total.Add();
+    obs0->migration_us.Record(pause_us);
+    obs0->live_shards.Set(new_live);
+    int64_t legacy = 0;
+    for (size_t i = static_cast<size_t>(new_live); i < shards->size(); ++i) {
+      legacy +=
+          static_cast<int64_t>((*shards)[i]->engine->store().arena().LiveBytes());
+    }
+    obs0->arena_legacy_bytes.Set(legacy);
+    obs0->audit.Record(obs::AuditKind::kResize, 0, now,
+                       old_live | (new_live << 8), 0.0, seq);
+  }
+  if (opts_.resize_tap) opts_.resize_tap(seq, old_live, new_live);
+}
+
+void ShardRuntime::ExecuteResize(std::vector<std::unique_ptr<ShardState>>* shards,
+                                 int new_live, uint64_t seq, Timestamp now,
+                                 ShardRunResult* result) {
+  const int old_live = live_shards_;
+  if (new_live == old_live) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  // Seal: stop routing (the caller already holds the router thread) and
+  // drain every live shard to quiescence. A worker that dies mid-drain is
+  // restarted (it resumes the same queue; only the poisoned event is
+  // lost) or abandoned (its backlog drains as lost but its engine remains
+  // extractable) — either way the barrier resolves and the migration's
+  // loss accounting stays exact.
+  for (int i = 0; i < old_live; ++i) {
+    ShardState& s = *(*shards)[static_cast<size_t>(i)];
+    for (;;) {
+      if (s.result.abandoned) break;
+      if (s.handled.load(std::memory_order_acquire) == s.pushed) break;
+      if (s.worker_exited.load(std::memory_order_acquire)) {
+        ReviveOrAbandon(&s);
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  MigrateState(shards, old_live, new_live, result);
+  live_shards_ = new_live;
+  const double pause_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  RecordResize(shards, old_live, new_live, seq, now, pause_us, result);
+}
+
 void ShardRuntime::Merge(std::vector<std::unique_ptr<ShardState>>* shards,
                          ShardRunResult* result) const {
   size_t total_matches = 0;
@@ -524,12 +757,18 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
   // An empty fault schedule costs nothing: the per-event hook stays null.
   const FaultInjector* faults =
       (opts_.faults != nullptr && !opts_.faults->empty()) ? opts_.faults : nullptr;
+  // Elastic runs provision workers, queues, and metrics slots for the
+  // maximum shard count up front; shards beyond the live count just park
+  // in Pop on their empty queues until a grow routes to them (and after a
+  // retire, until re-grown). Thread spawn never happens mid-stream.
+  const int total_shards = EffectiveMaxShards();
+  live_shards_ = opts_.num_shards;
   std::vector<std::unique_ptr<ShardState>> shards;
-  shards.reserve(static_cast<size_t>(opts_.num_shards));
+  shards.reserve(static_cast<size_t>(total_shards));
   if (opts_.metrics != nullptr) {
-    opts_.metrics->EnsureShards(opts_.num_shards);
+    opts_.metrics->EnsureShards(total_shards);
   }
-  for (int i = 0; i < opts_.num_shards; ++i) {
+  for (int i = 0; i < total_shards; ++i) {
     auto s = std::make_unique<ShardState>(opts_.latency);
     s->slice_filter = opts_.routing == ShardRouting::kWindowSlice;
     s->shard_id = i;
@@ -555,15 +794,56 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
   }
 
   ShardRunResult result;
+  result.final_live_shards = live_shards_;
+  if (Elastic() && opts_.metrics != nullptr) {
+    shards[0]->obs->live_shards.Set(live_shards_);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   for (std::unique_ptr<ShardState>& s : shards) {
     s->worker = std::thread(&ShardState::WorkerMain, s.get());
   }
 
+  ResizeScript script(faults);
+  ReshardController controller(opts_.reshard);
+  uint64_t since_check = 0;
   std::vector<int> targets;
   for (const EventPtr& event : stream) {
     ++result.total_events;
-    RouteEvent(*event, &targets);
+    // Dynamic elasticity: sample the pressure signals every check_every
+    // events and let the hysteresis ladder decide. Load-dependent, hence
+    // not replay-deterministic by itself — the resize tap records every
+    // executed resize so replay can re-apply it as a script.
+    if (opts_.reshard.enabled && ++since_check >= opts_.reshard.check_every) {
+      since_check = 0;
+      ReshardController::Signals sig;
+      for (int i = 0; i < live_shards_; ++i) {
+        const ShardState& s = *shards[static_cast<size_t>(i)];
+        if (s.result.abandoned) continue;
+        if (s.queue->capacity() > 0) {
+          sig.max_queue_fill = std::max(
+              sig.max_queue_fill, static_cast<double>(s.queue->SizeApprox()) /
+                                      static_cast<double>(s.queue->capacity()));
+        }
+        sig.max_guard_level =
+            std::max(sig.max_guard_level,
+                     s.guard_level_pub.load(std::memory_order_relaxed));
+      }
+      const int delta = controller.Decide(event->seq(), sig, live_shards_,
+                                          EffectiveMaxShards());
+      if (delta != 0) {
+        ExecuteResize(&shards, ClampLiveShards(live_shards_ + delta),
+                      event->seq(), event->timestamp(), &result);
+      }
+    }
+    // Scripted anchors: a fired resize changes the routing function, so
+    // the triggering event re-routes and the anchors re-check until quiet.
+    for (;;) {
+      RouteEvent(*event, &targets);
+      const int delta = script.Fire(event->seq(), targets, shards);
+      if (delta == 0) break;
+      ExecuteResize(&shards, ClampLiveShards(live_shards_ + delta),
+                    event->seq(), event->timestamp(), &result);
+    }
     if (opts_.ingest_tap) opts_.ingest_tap(event, targets);
     for (int t : targets) {
       ShardState& s = *shards[static_cast<size_t>(t)];
@@ -588,6 +868,7 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
         }
         if (r == QueuePushResult::kOk) {
           ++result.routed_events;
+          ++s.pushed;
           break;
         }
         if (r == QueuePushResult::kClosed) {
@@ -627,8 +908,19 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
+  result.final_live_shards = live_shards_;
+  if (Elastic() && opts_.metrics != nullptr) {
+    // Post-run legacy-arena reading: chains migrated out of retired shards
+    // drain back into their home arenas as recipients expire them, so this
+    // is the value the soak harness bounds.
+    int64_t legacy = 0;
+    for (size_t i = static_cast<size_t>(live_shards_); i < shards.size(); ++i) {
+      legacy += static_cast<int64_t>(shards[i]->engine->store().arena().LiveBytes());
+    }
+    shards[0]->obs->arena_legacy_bytes.Set(legacy);
+  }
   Merge(&shards, &result);
-  if (result.shards_abandoned == opts_.num_shards && opts_.num_shards > 0 &&
+  if (result.shards_abandoned >= live_shards_ && opts_.num_shards > 0 &&
       result.total_events > 0) {
     return Status::Unavailable(
         "every shard worker died and exhausted its restart budget");
@@ -641,12 +933,14 @@ Result<ShardRunResult> ShardRuntime::RunSequential(
   CEPSHED_RETURN_NOT_OK(ValidatePlan());
   const FaultInjector* faults =
       (opts_.faults != nullptr && !opts_.faults->empty()) ? opts_.faults : nullptr;
+  const int total_shards = EffectiveMaxShards();
+  live_shards_ = opts_.num_shards;
   std::vector<std::unique_ptr<ShardState>> shards;
-  shards.reserve(static_cast<size_t>(opts_.num_shards));
+  shards.reserve(static_cast<size_t>(total_shards));
   if (opts_.metrics != nullptr) {
-    opts_.metrics->EnsureShards(opts_.num_shards);
+    opts_.metrics->EnsureShards(total_shards);
   }
-  for (int i = 0; i < opts_.num_shards; ++i) {
+  for (int i = 0; i < total_shards; ++i) {
     auto s = std::make_unique<ShardState>(opts_.latency);
     s->slice_filter = opts_.routing == ShardRouting::kWindowSlice;
     s->shard_id = i;
@@ -671,33 +965,25 @@ Result<ShardRunResult> ShardRuntime::RunSequential(
   }
 
   ShardRunResult result;
-  const auto t0 = std::chrono::steady_clock::now();
-  // Materialize each shard's substream in routing order — exactly the
-  // sequence the parallel worker would pop from its queue. Saturation
-  // faults refuse delivery here just as they refuse the parallel push.
-  std::vector<std::vector<EventPtr>> substreams(shards.size());
-  std::vector<int> targets;
-  for (const EventPtr& event : stream) {
-    ++result.total_events;
-    RouteEvent(*event, &targets);
-    if (opts_.ingest_tap) opts_.ingest_tap(event, targets);
-    for (int t : targets) {
-      if (faults != nullptr && faults->SaturatePush(t, event->seq())) {
-        ++shards[static_cast<size_t>(t)]->result.events_rejected;
-        continue;
-      }
-      substreams[static_cast<size_t>(t)].push_back(event);
-      ++result.routed_events;
-    }
+  result.final_live_shards = live_shards_;
+  if (Elastic() && opts_.metrics != nullptr) {
+    shards[0]->obs->live_shards.Set(live_shards_);
   }
-  for (size_t i = 0; i < shards.size(); ++i) {
-    ShardState& s = *shards[i];
-    // Death faults mirror the parallel path: the poisoned event is lost,
-    // the shard "restarts" while its budget lasts, and afterwards the rest
-    // of its substream drains as lost.
-    bool draining = false;
-    for (const EventPtr& event : substreams[i]) {
-      if (draining) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Buffer each shard's substream in routing order — exactly the sequence
+  // the parallel worker would pop from its queue. Saturation faults refuse
+  // delivery here just as they refuse the parallel push. Resize anchors
+  // segment the run: each anchor drains every buffer (the sequential
+  // mirror of the parallel drain barrier — same engine states at the same
+  // logical point), migrates, flips, and buffering resumes under the new
+  // routing. Death faults mirror the parallel path with persistent
+  // per-shard restart budgets across segments; the one deliberate
+  // asymmetry stays as before: after abandonment, the parallel router
+  // rejects events while the sequential path routes them and loses them.
+  std::vector<std::vector<EventPtr>> buffers(shards.size());
+  const auto drain_buffer = [&](ShardState& s, std::vector<EventPtr>* buffer) {
+    for (const EventPtr& event : *buffer) {
+      if (s.seq_draining) {
         ++s.result.events_routed;
         ++s.result.events_lost;
         if (s.obs != nullptr) {
@@ -712,17 +998,64 @@ Result<ShardRunResult> ShardRuntime::RunSequential(
           ++s.result.worker_restarts;
         } else {
           s.result.abandoned = true;
-          draining = true;
+          s.seq_draining = true;
         }
       }
     }
-    s.Finish();
+    buffer->clear();
+  };
+  ResizeScript script(faults);
+  std::vector<int> targets;
+  for (const EventPtr& event : stream) {
+    ++result.total_events;
+    for (;;) {
+      RouteEvent(*event, &targets);
+      const int delta = script.Fire(event->seq(), targets, shards);
+      if (delta == 0) break;
+      const int new_live = ClampLiveShards(live_shards_ + delta);
+      if (new_live == live_shards_) continue;
+      const auto m0 = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < shards.size(); ++i) {
+        drain_buffer(*shards[i], &buffers[i]);
+      }
+      const int old_live = live_shards_;
+      MigrateState(&shards, old_live, new_live, &result);
+      live_shards_ = new_live;
+      const double pause_us = std::chrono::duration<double, std::micro>(
+                                  std::chrono::steady_clock::now() - m0)
+                                  .count();
+      RecordResize(&shards, old_live, new_live, event->seq(),
+                   event->timestamp(), pause_us, &result);
+    }
+    if (opts_.ingest_tap) opts_.ingest_tap(event, targets);
+    for (int t : targets) {
+      ShardState& s = *shards[static_cast<size_t>(t)];
+      if (faults != nullptr && faults->SaturatePush(t, event->seq())) {
+        ++s.result.events_rejected;
+        continue;
+      }
+      buffers[static_cast<size_t>(t)].push_back(event);
+      ++s.pushed;
+      ++result.routed_events;
+    }
+  }
+  for (size_t i = 0; i < shards.size(); ++i) {
+    drain_buffer(*shards[i], &buffers[i]);
+    shards[i]->Finish();
   }
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
+  result.final_live_shards = live_shards_;
+  if (Elastic() && opts_.metrics != nullptr) {
+    int64_t legacy = 0;
+    for (size_t i = static_cast<size_t>(live_shards_); i < shards.size(); ++i) {
+      legacy += static_cast<int64_t>(shards[i]->engine->store().arena().LiveBytes());
+    }
+    shards[0]->obs->arena_legacy_bytes.Set(legacy);
+  }
   Merge(&shards, &result);
-  if (result.shards_abandoned == opts_.num_shards && opts_.num_shards > 0 &&
+  if (result.shards_abandoned >= live_shards_ && opts_.num_shards > 0 &&
       result.total_events > 0) {
     return Status::Unavailable(
         "every shard worker died and exhausted its restart budget");

@@ -55,6 +55,7 @@
 #include "src/obs/metrics.h"
 #include "src/runtime/latency_monitor.h"
 #include "src/runtime/overload_guard.h"
+#include "src/runtime/reshard_controller.h"
 #include "src/shed/shedder.h"
 
 namespace cepshed {
@@ -73,6 +74,14 @@ enum class ShardRouting : int {
 /// capture of either path replays through both.
 using IngestTap =
     std::function<void(const EventPtr& event, const std::vector<int>& targets)>;
+
+/// \brief Observes every *executed* elastic resize: the global stream
+/// sequence number of the triggering event and the live shard count before
+/// and after. The trace recorder persists these so a dynamically resized
+/// run replays deterministically as a scripted schedule. Called on the
+/// routing thread at the migration barrier, in Run and RunSequential.
+using ResizeTap =
+    std::function<void(uint64_t seq, int old_shards, int new_shards)>;
 
 /// \brief Sharded-runtime configuration.
 struct ShardRuntimeOptions {
@@ -116,6 +125,19 @@ struct ShardRuntimeOptions {
   /// thread for every stream event after RouteEvent, before saturation
   /// checks and pushes, in both Run and RunSequential.
   IngestTap ingest_tap;
+  /// Elastic resharding. Scripted `resize` fault entries and the dynamic
+  /// controller (reshard.enabled) both change the live shard count at
+  /// runtime via a stop-the-world migration: seal, drain every live
+  /// queue, move each partial match whose hash owner changes (chains are
+  /// shared with the donor arena — no deep copy), flip the routing, and
+  /// resume. Requires hash routing on a partition-correlated query — even
+  /// with num_shards == 1, since the run can grow past one shard. The
+  /// dynamic controller runs only in Run (its signals are queue depths);
+  /// RunSequential honors scripted resizes, which is how a recorded
+  /// dynamic run replays.
+  ReshardOptions reshard;
+  /// Optional resize-recorder tap (may be empty); see ResizeTap.
+  ResizeTap resize_tap;
 };
 
 /// \brief Per-shard outcome of one sharded run.
@@ -141,6 +163,10 @@ struct ShardResult {
   uint64_t events_rejected = 0;
   /// Times a dead worker thread was restarted on this shard.
   uint64_t worker_restarts = 0;
+  /// Partial matches (regulars + witnesses) this shard received from /
+  /// handed to other shards across all elastic resizes of the run.
+  uint64_t pms_migrated_in = 0;
+  uint64_t pms_migrated_out = 0;
   /// The shard exhausted its restart budget; its tail of events was lost.
   bool abandoned = false;
   /// Overload-guard telemetry (all zero when the guard is disabled).
@@ -178,6 +204,13 @@ struct ShardRunResult {
   uint64_t lost_events = 0;
   uint64_t worker_restarts = 0;
   int shards_abandoned = 0;
+  /// Elastic resizes executed (scripted + dynamic; no-op clamps excluded).
+  uint64_t resizes = 0;
+  /// Partial matches / estimated bytes moved across shards by resizes.
+  uint64_t migrated_pms = 0;
+  uint64_t migrated_bytes = 0;
+  /// Live shard count when the run ended (== num_shards without resizes).
+  int final_live_shards = 0;
   uint64_t guard_input_drops = 0;
   uint64_t guard_trims = 0;
   uint64_t guard_evictions = 0;
@@ -213,8 +246,12 @@ class ShardRuntime {
 
   int num_shards() const { return opts_.num_shards; }
   const ShardRuntimeOptions& options() const { return opts_; }
+  /// Shards currently receiving events. Equals num_shards outside a run
+  /// and changes only at executed resizes.
+  int live_shards() const { return live_shards_; }
 
-  /// Hash-routing target of an event (kHashPartition).
+  /// Hash-routing target of an event under the *current* live shard count
+  /// (kHashPartition).
   int HashShardOf(const Event& event) const;
 
   /// The shard a partition-key value hashes to — the exact function
@@ -236,12 +273,44 @@ class ShardRuntime {
 
  private:
   struct ShardState;
+  struct ResizeScript;
 
   ShardRuntime(std::shared_ptr<const Nfa> nfa, ShardRuntimeOptions opts)
-      : nfa_(std::move(nfa)), opts_(opts) {}
+      : nfa_(std::move(nfa)), opts_(opts), live_shards_(opts.num_shards) {}
 
   Status ValidatePlan() const;
   Duration SliceStride() const;
+
+  /// True when this run may resize (dynamic controller or scripted
+  /// `resize` fault entries).
+  bool Elastic() const;
+  /// Upper / lower bounds of the live shard count for this run. Workers
+  /// (and metrics slots) are provisioned for the maximum up front, so a
+  /// grow never spawns threads mid-stream.
+  int EffectiveMaxShards() const;
+  int EffectiveMinShards() const;
+  int ClampLiveShards(int want) const;
+
+  /// Stop-the-world resize to `new_live` shards (no-op when equal to the
+  /// current live count): waits for every live shard to drain its queue
+  /// (handling worker deaths mid-drain), migrates ownership-changing
+  /// partial matches, flips the routing, and records metrics, audit, and
+  /// the resize tap. Parallel path only; the sequential mirror drains its
+  /// buffers first and shares MigrateState.
+  void ExecuteResize(std::vector<std::unique_ptr<ShardState>>* shards,
+                     int new_live, uint64_t seq, Timestamp now,
+                     ShardRunResult* result);
+  /// Moves every partial match whose ShardOfKey owner under `new_live`
+  /// differs from its current shard, donor by donor in shard order —
+  /// deterministic given the engines' states. Chains move by reference:
+  /// the recipient pins the donor's arena and nodes return to it when the
+  /// chains die. Requires every worker parked (quiescence).
+  void MigrateState(std::vector<std::unique_ptr<ShardState>>* shards,
+                    int old_live, int new_live, ShardRunResult* result) const;
+  /// Shared metrics/audit/tap bookkeeping of one executed resize.
+  void RecordResize(std::vector<std::unique_ptr<ShardState>>* shards,
+                    int old_live, int new_live, uint64_t seq, Timestamp now,
+                    double pause_us, ShardRunResult* result) const;
 
   /// Router-side handling of a dead worker thread (detected by a push
   /// timeout): join it, then either restart it on the same queue/engine or
@@ -262,6 +331,9 @@ class ShardRuntime {
 
   std::shared_ptr<const Nfa> nfa_;
   ShardRuntimeOptions opts_;
+  /// Current routable shard count; reset to num_shards at the start of
+  /// each run and changed only at executed resizes (router thread only).
+  int live_shards_ = 1;
 };
 
 }  // namespace cepshed

@@ -81,6 +81,84 @@ std::string CycleKind(const SoakOptions& options, int cycle) {
   return kRotation[cycle % 3];
 }
 
+/// Parses "CYCLE:LIVE;CYCLE:LIVE" into (cycle -> live) pairs.
+Result<std::vector<std::pair<int, int>>> ParseScaleSchedule(
+    const SoakOptions& options) {
+  std::vector<std::pair<int, int>> schedule;
+  std::istringstream in(options.scale_schedule);
+  std::string entry;
+  while (std::getline(in, entry, ';')) {
+    if (entry.empty()) continue;
+    const size_t colon = entry.find(':');
+    int cycle = -1;
+    int live = -1;
+    try {
+      if (colon != std::string::npos) {
+        cycle = std::stoi(entry.substr(0, colon));
+        live = std::stoi(entry.substr(colon + 1));
+      }
+    } catch (...) {
+      cycle = -1;  // fall through to the error below
+    }
+    if (colon == std::string::npos || cycle < 0 || live < 1) {
+      return Status::InvalidArgument(
+          "soak: bad scale-schedule entry '" + entry +
+          "' (want CYCLE:LIVE with CYCLE >= 0 and LIVE >= 1)");
+    }
+    if (cycle < options.warmup_cycles) {
+      return Status::InvalidArgument(
+          "soak: scale-schedule resizes cycle " + std::to_string(cycle) +
+          " inside warmup (the boundedness baseline is established at "
+          "num_shards)");
+    }
+    if (cycle >= options.cycles) {
+      return Status::InvalidArgument(
+          "soak: scale-schedule cycle " + std::to_string(cycle) +
+          " is past the last cycle");
+    }
+    if (!schedule.empty() && cycle <= schedule.back().first) {
+      return Status::InvalidArgument(
+          "soak: scale-schedule cycles must be strictly increasing");
+    }
+    schedule.push_back({cycle, live});
+  }
+  return schedule;
+}
+
+/// The engine-level mirror of ShardRuntime::MigrateState: moves every
+/// partial match whose hash owner under `new_live` differs from its
+/// current engine, donor by donor — chains by reference, recipients pin
+/// the donors' arenas. Returns the number of partial matches moved.
+uint64_t MigrateSoakState(std::vector<SoakShard>* shards, int old_live,
+                          int new_live, int id_attr,
+                          obs::MetricsRegistry* registry) {
+  std::vector<std::vector<MigratedState>> transfer(shards->size());
+  uint64_t moved_pms = 0;
+  for (int d = 0; d < old_live; ++d) {
+    Engine* donor = (*shards)[static_cast<size_t>(d)].engine.get();
+    for (int r = 0; r < new_live; ++r) {
+      if (r == d) continue;
+      MigratedState moved = donor->ExtractPartialMatches(
+          [id_attr, r, new_live](const PartialMatch& pm) {
+            const Event* e = pm.LastEvent();
+            if (e == nullptr) return false;
+            return ShardRuntime::ShardOfKey(e->attr(id_attr), new_live) == r;
+          });
+      if (moved.empty()) continue;
+      moved_pms += moved.size();
+      registry->shard(d)->migrated_pms.Add(moved.size());
+      registry->shard(d)->migrated_bytes.Add(moved.approx_bytes);
+      transfer[static_cast<size_t>(r)].push_back(std::move(moved));
+    }
+  }
+  for (size_t r = 0; r < transfer.size(); ++r) {
+    for (MigratedState& moved : transfer[r]) {
+      (*shards)[r].engine->AdoptPartialMatches(std::move(moved));
+    }
+  }
+  return moved_pms;
+}
+
 }  // namespace
 
 SoakRunner::SoakRunner(SoakOptions options) : options_(std::move(options)) {
@@ -102,6 +180,10 @@ Result<SoakReport> SoakRunner::Run() {
                                    options_.workload + "'");
   }
 
+  auto schedule_or = ParseScaleSchedule(options_);
+  if (!schedule_or.ok()) return schedule_or.status();
+  const std::vector<std::pair<int, int>>& schedule = *schedule_or;
+
   const Schema schema = MakeDs1Schema();
   CEPSHED_ASSIGN_OR_RETURN(Query query,
                            queries::Q2(options_.kleene_reps, options_.window));
@@ -109,9 +191,17 @@ Result<SoakReport> SoakRunner::Run() {
                            Nfa::Compile(std::move(query), &schema));
   const int id_attr = schema.AttributeIndex("ID");
 
+  // Provision engines for the widest point of the schedule up front —
+  // scale-up re-activates a parked engine, it never constructs one
+  // mid-run (mirrors the runtime's logical-retirement model).
   const int num_shards = options_.num_shards;
-  std::vector<SoakShard> shards(static_cast<size_t>(num_shards));
-  for (int s = 0; s < num_shards; ++s) {
+  int effective_max = num_shards;
+  for (const auto& [cycle, target] : schedule) {
+    effective_max = std::max(effective_max, target);
+  }
+  registry_.EnsureShards(effective_max);
+  std::vector<SoakShard> shards(static_cast<size_t>(effective_max));
+  for (int s = 0; s < effective_max; ++s) {
     SoakShard& shard = shards[static_cast<size_t>(s)];
     shard.engine = std::make_unique<Engine>(nfa, EngineOptions{});
     OverloadGuard::Options g;
@@ -128,6 +218,9 @@ Result<SoakReport> SoakRunner::Run() {
   const auto run_start = std::chrono::steady_clock::now();
   Timestamp ts_origin = 0;
   std::vector<Match> scratch;
+  int live = num_shards;
+  size_t next_resize = 0;
+  registry_.shard(0)->live_shards.Set(live);
 
   for (int cycle = 0; cycle < options_.cycles; ++cycle) {
     const std::string kind = CycleKind(options_, cycle);
@@ -137,10 +230,25 @@ Result<SoakReport> SoakRunner::Run() {
     SoakCycleStats stats;
     stats.cycle = cycle;
     stats.workload = kind;
+
+    if (next_resize < schedule.size() &&
+        schedule[next_resize].first == cycle) {
+      const int new_live = schedule[next_resize].second;
+      ++next_resize;
+      if (new_live != live) {
+        stats.migrated_pms =
+            MigrateSoakState(&shards, live, new_live, id_attr, &registry_);
+        stats.resized = true;
+        live = new_live;
+        registry_.shard(0)->migrations_total.Add();
+        registry_.shard(0)->live_shards.Set(live);
+      }
+    }
+    stats.live_shards = live;
     const auto cycle_start = std::chrono::steady_clock::now();
 
     for (const EventPtr& event : stream) {
-      const int s = ShardRuntime::ShardOfKey(event->attr(id_attr), num_shards);
+      const int s = ShardRuntime::ShardOfKey(event->attr(id_attr), live);
       SoakShard& shard = shards[static_cast<size_t>(s)];
       obs::ShardObs* obs = registry_.shard(s);
       obs->events_routed.Add();
@@ -178,7 +286,20 @@ Result<SoakReport> SoakRunner::Run() {
       stats.flat_cache_peak = std::max(stats.flat_cache_peak, flat);
     }
 
-    for (int s = 0; s < num_shards; ++s) {
+    // Watermark vacuum at the cycle boundary. Expiry is otherwise driven
+    // by Process, so a shard whose guard sheds 100% of its input would
+    // never sweep its window again: state frozen, memory signal frozen,
+    // guard pinned at its rung — an expiry-starvation livelock (and, after
+    // a shrink, retired arenas that never drain). The stream's clock
+    // advances regardless of what any one shard processes; model that.
+    if (stream.size() > 0) {
+      const Timestamp watermark = stream[stream.size() - 1]->timestamp();
+      for (int s = 0; s < effective_max; ++s) {
+        shards[static_cast<size_t>(s)].engine->Vacuum(watermark);
+      }
+    }
+
+    for (int s = 0; s < effective_max; ++s) {
       const SoakShard& shard = shards[static_cast<size_t>(s)];
       stats.arena_capacity_bytes_end =
           std::max(stats.arena_capacity_bytes_end,
@@ -187,7 +308,15 @@ Result<SoakReport> SoakRunner::Run() {
           stats.audit_retained, registry_.shard(s)->audit.Snapshot().size());
       stats.evictions += shard.guard->stats().trims +
                          shard.guard->stats().emergency_evictions;
+      // Retired engines keep their arenas alive only while recipients still
+      // reference chain nodes allocated there; this sum is the leak gauge.
+      if (s >= live) {
+        stats.legacy_arena_bytes_end +=
+            shard.engine->store().arena().LiveBytes();
+      }
     }
+    registry_.shard(0)->arena_legacy_bytes.Set(
+        static_cast<int64_t>(stats.legacy_arena_bytes_end));
     stats.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       cycle_start)
@@ -264,6 +393,16 @@ Result<SoakReport> SoakRunner::Run() {
     if (c.audit_retained > obs::AuditRing::kCapacity) {
       fail(c, "audit_retained", c.audit_retained, obs::AuditRing::kCapacity);
     }
+    // Migration-leak invariant: a shrink leaves recipients holding chain
+    // nodes homed in retired arenas, which is fine *transiently* — windows
+    // expire within a cycle. Once the live count has been stable for this
+    // cycle and the previous one, anything still owed to a retired arena
+    // is a leaked reference.
+    const SoakCycleStats& prev = report.cycles[i - 1];
+    if (!c.resized && !prev.resized &&
+        c.legacy_arena_bytes_end > kBytesFloor) {
+      fail(c, "legacy_arena_bytes_end", c.legacy_arena_bytes_end, kBytesFloor);
+    }
   }
   return report;
 }
@@ -280,7 +419,8 @@ std::string RenderSoakJson(const SoakOptions& options, const SoakReport& report)
       << ",\"memory_budget_bytes\":" << options.memory_budget_bytes
       << ",\"warmup_cycles\":" << options.warmup_cycles
       << ",\"slack\":" << options.slack
-      << ",\"seed\":" << options.seed << "}";
+      << ",\"seed\":" << options.seed
+      << ",\"scale_schedule\":\"" << options.scale_schedule << "\"}";
   out << ",\"bounded\":" << (report.bounded ? "true" : "false");
   out << ",\"truncated\":" << (report.truncated ? "true" : "false");
   out << ",\"violation\":\"" << report.violation << "\"";
@@ -300,6 +440,10 @@ std::string RenderSoakJson(const SoakOptions& options, const SoakReport& report)
         << ",\"arena_capacity_bytes_end\":" << c.arena_capacity_bytes_end
         << ",\"flat_cache_peak\":" << c.flat_cache_peak
         << ",\"audit_retained\":" << c.audit_retained
+        << ",\"live_shards\":" << c.live_shards
+        << ",\"resized\":" << (c.resized ? "true" : "false")
+        << ",\"migrated_pms\":" << c.migrated_pms
+        << ",\"legacy_arena_bytes_end\":" << c.legacy_arena_bytes_end
         << ",\"wall_seconds\":" << c.wall_seconds << "}";
   }
   out << "]}";

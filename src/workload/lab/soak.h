@@ -64,6 +64,17 @@ struct SoakOptions {
   /// judged over the cycles that did run.
   double wall_limit_seconds = 0.0;
   uint64_t seed = 42;
+  /// Cycle-anchored elastic schedule: "CYCLE:LIVE;CYCLE:LIVE" (e.g.
+  /// "4:4;8:2") changes the live shard count at the *start* of the named
+  /// cycle, migrating partial-match ownership between the persistent
+  /// engines exactly like the runtime's stop-the-world resize. Entries
+  /// must not fall inside warmup (the baseline is established at
+  /// num_shards). Empty = no resizes. The soak then also asserts the
+  /// migration-leak invariant: once the live count has been stable for a
+  /// full cycle, the retired engines' arenas must have drained back to
+  /// (below) the byte floor — chain nodes lent to recipients all came
+  /// home when their windows expired.
+  std::string scale_schedule;
 };
 
 /// Per-cycle observations; peaks are sampled after every processed event.
@@ -85,6 +96,14 @@ struct SoakCycleStats {
   /// Largest audit-ring population over shards at cycle end.
   size_t audit_retained = 0;
   double wall_seconds = 0.0;
+  /// Live shard count this cycle ran with (== num_shards without a scale
+  /// schedule), whether the cycle started with a resize, and what it moved.
+  int live_shards = 0;
+  bool resized = false;
+  uint64_t migrated_pms = 0;
+  /// Live chain-node bytes still owed to retired (non-routable) engines'
+  /// arenas at cycle end — the migration-leak gauge.
+  size_t legacy_arena_bytes_end = 0;
 };
 
 struct SoakReport {

@@ -11,7 +11,9 @@ namespace {
 
 constexpr char kMagic[8] = {'C', 'E', 'P', 'T', 'R', 'C', '0', '1'};
 constexpr uint32_t kFlagRoutes = 1u;
-/// Byte offsets of the count/checksum header fields patched on Close.
+constexpr uint32_t kFlagResizes = 2u;
+/// Byte offsets of the flags/count/checksum header fields patched on Close.
+constexpr std::streamoff kFlagsOffset = 8;
 constexpr std::streamoff kCountOffset = 12;
 constexpr std::streamoff kChecksumOffset = 20;
 
@@ -233,9 +235,30 @@ Status TraceWriter::Append(const Event& event, const std::vector<int>& route) {
   return AppendSerialized(body);
 }
 
+void TraceWriter::RecordResize(uint64_t seq, int old_shards, int new_shards) {
+  resizes_.push_back({seq, old_shards, new_shards});
+}
+
 Status TraceWriter::Close() {
   if (closed_) return Status::OK();
   closed_ = true;
+  if (!resizes_.empty()) {
+    // The resize section trails the events and is folded into the same
+    // running checksum, so corruption anywhere in the file is caught.
+    std::string section;
+    PutVarint(&section, resizes_.size());
+    for (const TraceResize& r : resizes_) {
+      PutVarint(&section, r.seq);
+      PutVarint(&section, static_cast<uint64_t>(r.old_shards));
+      PutVarint(&section, static_cast<uint64_t>(r.new_shards));
+    }
+    file_.write(section.data(), static_cast<std::streamsize>(section.size()));
+    checksum_ = Fnv1a(checksum_, section.data(), section.size());
+    std::string flags;
+    PutU32(&flags, (with_routes_ ? kFlagRoutes : 0u) | kFlagResizes);
+    file_.seekp(kFlagsOffset);
+    file_.write(flags.data(), static_cast<std::streamsize>(flags.size()));
+  }
   std::string patch;
   PutU64(&patch, num_events_);
   PutU64(&patch, checksum_);
@@ -362,6 +385,29 @@ Result<TraceData> ReadTrace(const std::string& path, size_t max_events) {
   }
 
   if (want == count) {
+    if ((flags & kFlagResizes) != 0) {
+      uint64_t nresizes;
+      CEPSHED_ASSIGN_OR_RETURN(nresizes, cur.Varint());
+      trace.resizes.reserve(nresizes);
+      for (uint64_t r = 0; r < nresizes; ++r) {
+        TraceResize resize;
+        CEPSHED_ASSIGN_OR_RETURN(resize.seq, cur.Varint());
+        uint64_t old_shards;
+        uint64_t new_shards;
+        CEPSHED_ASSIGN_OR_RETURN(old_shards, cur.Varint());
+        CEPSHED_ASSIGN_OR_RETURN(new_shards, cur.Varint());
+        resize.old_shards = static_cast<int>(old_shards);
+        resize.new_shards = static_cast<int>(new_shards);
+        if (resize.old_shards < 1 || resize.new_shards < 1 ||
+            resize.old_shards == resize.new_shards) {
+          return Status::ParseError("trace: nonsensical resize " +
+                                    std::to_string(old_shards) + " -> " +
+                                    std::to_string(new_shards) + " at entry " +
+                                    std::to_string(r));
+        }
+        trace.resizes.push_back(resize);
+      }
+    }
     if (!cur.AtEnd()) {
       return Status::ParseError("trace: " +
                                 std::to_string(data.size() - cur.pos()) +
@@ -384,6 +430,16 @@ Status WriteTrace(const EventStream& stream, const std::string& path) {
     CEPSHED_RETURN_NOT_OK(writer->Append(*event));
   }
   return writer->Close();
+}
+
+std::string ResizeScheduleSpec(const std::vector<TraceResize>& resizes) {
+  std::string spec;
+  for (const TraceResize& r : resizes) {
+    if (!spec.empty()) spec += ';';
+    spec += "resize:at=" + std::to_string(r.seq) +
+            ",delta=" + std::to_string(r.new_shards - r.old_shards);
+  }
+  return spec;
 }
 
 }  // namespace lab

@@ -13,6 +13,7 @@
 // File layout (little-endian):
 //   magic   "CEPTRC01"                      8 bytes
 //   flags   u32                             bit 0: routes recorded
+//                                           bit 1: resize section present
 //   count   u64                             events (patched on Close)
 //   check   u64                             FNV-1a of the event section
 //                                           (patched on Close)
@@ -24,6 +25,17 @@
 //           (int: zigzag varint; double: 8 raw bytes; string: varint len +
 //           bytes; null: tag only);
 //           if routes: varint route count + varint shard ids
+//   resizes (only with bit 1) varint count, then per resize:
+//           varint seq, varint old_shards, varint new_shards
+//
+// The resize section records every elastic resize the runtime executed
+// (src/runtime/shard_runtime.h ResizeTap), in stream order: at the event
+// with sequence number `seq` the live shard count changed old -> new. A
+// dynamically scaled run is load-dependent, so replay re-applies the
+// recorded schedule as scripted `resize` fault anchors
+// (ResizeScheduleSpec), which makes the replay bit-for-bit deterministic.
+// The checksum spans events and resizes, so a capture with a corrupt
+// resize tail is rejected like any other corruption.
 //
 // A reader that sees a count/checksum mismatch fails loudly: a truncated
 // capture (e.g. a crashed recorder that never reached Close) must never
@@ -44,6 +56,16 @@
 namespace cepshed {
 namespace lab {
 
+/// \brief One recorded elastic resize: at the event with stream sequence
+/// number `seq` the live shard count changed from `old_shards` to
+/// `new_shards`.
+struct TraceResize {
+  uint64_t seq = 0;
+  int old_shards = 0;
+  int new_shards = 0;
+  bool operator==(const TraceResize&) const = default;
+};
+
 /// \brief A fully materialized trace: its own schema copy, the event
 /// stream over it, and (when recorded) the router's shard targets per
 /// event. The schema lives on the heap so TraceData can move without
@@ -53,6 +75,9 @@ struct TraceData {
   EventStream stream;
   /// routes[i] = shard targets of stream[i]; empty when not recorded.
   std::vector<std::vector<int>> routes;
+  /// Elastic resizes executed by the recorded run, in stream order; empty
+  /// when none happened (or the capture predates the resize section).
+  std::vector<TraceResize> resizes;
 
   explicit TraceData(std::unique_ptr<Schema> s)
       : schema(std::move(s)), stream(schema.get()) {}
@@ -77,8 +102,15 @@ class TraceWriter {
   /// Appends one event with the router's shard targets.
   Status Append(const Event& event, const std::vector<int>& route);
 
-  /// Patches the event count and checksum into the header and closes the
-  /// file. Idempotent; required for the file to be readable.
+  /// Buffers one executed elastic resize (the ShardRuntimeOptions
+  /// resize_tap feeds this). The section is written — and the resize flag
+  /// set — on Close, so event bytes stay contiguous; recording nothing
+  /// leaves the file identical to a pre-resize-format capture.
+  void RecordResize(uint64_t seq, int old_shards, int new_shards);
+
+  /// Writes the buffered resize section (if any), patches the flags,
+  /// event count, and checksum into the header, and closes the file.
+  /// Idempotent; required for the file to be readable.
   Status Close();
 
   uint64_t num_events() const { return num_events_; }
@@ -96,6 +128,7 @@ class TraceWriter {
   bool closed_ = false;
   uint64_t num_events_ = 0;
   uint64_t checksum_ = 0;  // running FNV-1a over the event section
+  std::vector<TraceResize> resizes_;
 };
 
 /// Reads a trace. With `max_events` > 0 only that prefix is materialized
@@ -106,6 +139,12 @@ Result<TraceData> ReadTrace(const std::string& path, size_t max_events = 0);
 
 /// Convenience: records a whole in-memory stream (no routes) as a trace.
 Status WriteTrace(const EventStream& stream, const std::string& path);
+
+/// Renders recorded resizes as scripted fault-DSL anchors
+/// ("resize:at=<seq>,delta=<d>;...") that re-apply the recorded scale
+/// schedule on replay (src/fault/fault_injector.h). Empty for no resizes;
+/// append to the run's fault spec with a ';' separator.
+std::string ResizeScheduleSpec(const std::vector<TraceResize>& resizes);
 
 }  // namespace lab
 }  // namespace cepshed

@@ -108,12 +108,18 @@ void ExpectSameOutcome(const ShardRunResult& a, const ShardRunResult& b) {
   EXPECT_EQ(a.lost_events, b.lost_events);
   EXPECT_EQ(a.worker_restarts, b.worker_restarts);
   EXPECT_EQ(a.shards_abandoned, b.shards_abandoned);
+  EXPECT_EQ(a.resizes, b.resizes);
+  EXPECT_EQ(a.migrated_pms, b.migrated_pms);
+  EXPECT_EQ(a.migrated_bytes, b.migrated_bytes);
+  EXPECT_EQ(a.final_live_shards, b.final_live_shards);
   ASSERT_EQ(a.shards.size(), b.shards.size());
   for (size_t i = 0; i < a.shards.size(); ++i) {
     SCOPED_TRACE("shard " + std::to_string(i));
     EXPECT_EQ(a.shards[i].events_processed, b.shards[i].events_processed);
     EXPECT_EQ(a.shards[i].events_dropped, b.shards[i].events_dropped);
     EXPECT_EQ(a.shards[i].abandoned, b.shards[i].abandoned);
+    EXPECT_EQ(a.shards[i].pms_migrated_in, b.shards[i].pms_migrated_in);
+    EXPECT_EQ(a.shards[i].pms_migrated_out, b.shards[i].pms_migrated_out);
   }
 }
 
@@ -504,6 +510,303 @@ TEST_F(ChaosTest, CombinedChaosStillDegradesGracefully) {
     ExpectCanonicalOrder(run->matches);
     ExpectAccountingConsistent(*run);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic resharding: scripted and dynamic scale-up/down with deterministic
+// partial-match migration.
+
+TEST(FaultDslTest, ResizeEntriesParseScopeAndRoundTrip) {
+  auto f = FaultInjector::Parse(
+      "resize:at=900,delta=+2;resize:shard=1,at=40,delta=-1");
+  ASSERT_TRUE(f.ok()) << f.status().message();
+  ASSERT_EQ(f->specs().size(), 2u);
+  EXPECT_TRUE(f->has_resizes());
+  EXPECT_EQ(f->specs()[0].kind, FaultKind::kResize);
+  EXPECT_EQ(f->specs()[0].delta, 2);
+  EXPECT_EQ(f->specs()[0].shard, -1);
+  EXPECT_EQ(f->specs()[1].delta, -1);
+  EXPECT_EQ(f->specs()[1].shard, 1);
+
+  auto again = FaultInjector::Parse(f->ToString());
+  ASSERT_TRUE(again.ok()) << again.status().message();
+  EXPECT_EQ(again->ToString(), f->ToString());
+
+  // Resize is a router-side anchor, never a consume-time fault.
+  EXPECT_FALSE(f->OnConsume(1, 40).die);
+  EXPECT_EQ(f->OnConsume(1, 40).stall_us, 0);
+
+  EXPECT_FALSE(FaultInjector::Parse("resize:at=10").ok());          // no delta
+  EXPECT_FALSE(FaultInjector::Parse("resize:at=10,delta=0").ok());  // no-op
+}
+
+TEST_F(ChaosTest, ScheduledResizeGrowAndShrinkPreservesTheMatchSet) {
+  // Grow by two mid-stream, shrink by one later: the resize is semantically
+  // invisible — in-flight partial matches follow their keys to the new
+  // owners, so the match set equals the fault-free reference exactly.
+  const FaultInjector faults =
+      ParseFaults("resize:at=600,delta=+2;resize:at=1800,delta=-1");
+  for (const int num_shards : kShardCounts) {
+    SCOPED_TRACE("shards=" + std::to_string(num_shards));
+    ShardRuntimeOptions opts = BaseOptions(num_shards);
+    opts.faults = &faults;
+    opts.reshard.max_shards = 12;  // headroom so +2 is never clamped
+    auto run = RunWith(opts);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_EQ(Canon(run->matches), *reference_);
+    ExpectCanonicalOrder(run->matches);
+    ExpectAccountingConsistent(*run);
+    EXPECT_EQ(run->resizes, 2u);
+    EXPECT_EQ(run->final_live_shards, num_shards + 1);
+    EXPECT_EQ(run->lost_events, 0u);
+    EXPECT_EQ(run->worker_restarts, 0u);
+    // Rehashing the key space moves state both times.
+    EXPECT_GT(run->migrated_pms, 0u);
+    uint64_t in = 0, out = 0;
+    for (const ShardResult& s : run->shards) {
+      in += s.pms_migrated_in;
+      out += s.pms_migrated_out;
+    }
+    EXPECT_EQ(in, run->migrated_pms);
+    EXPECT_EQ(out, run->migrated_pms);
+
+    // The resize points are stream-sequence anchors: bit-for-bit
+    // reproducible, in parallel and sequentially.
+    auto again = RunWith(opts);
+    ASSERT_TRUE(again.ok());
+    ExpectSameOutcome(*run, *again);
+    auto runtime = ShardRuntime::Create(*nfa_, opts);
+    ASSERT_TRUE(runtime.ok());
+    auto sequential = (*runtime)->RunSequential(*stream_);
+    ASSERT_TRUE(sequential.ok());
+    ExpectSameOutcome(*run, *sequential);
+  }
+}
+
+TEST_F(ChaosTest, ShardScopedResizeAnchorsToTheDonorsDeliveries) {
+  // shard=0,at=120 fires once shard 0 has accepted its 120th event — a
+  // per-shard anchor, deterministic under hash routing.
+  const FaultInjector faults = ParseFaults("resize:shard=0,at=120,delta=+1");
+  ShardRuntimeOptions opts = BaseOptions(2);
+  opts.faults = &faults;
+  opts.reshard.max_shards = 4;
+  auto run = RunWith(opts);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_EQ(run->resizes, 1u);
+  EXPECT_EQ(run->final_live_shards, 3);
+  EXPECT_EQ(Canon(run->matches), *reference_);
+  ExpectAccountingConsistent(*run);
+
+  auto runtime = ShardRuntime::Create(*nfa_, opts);
+  ASSERT_TRUE(runtime.ok());
+  auto sequential = (*runtime)->RunSequential(*stream_);
+  ASSERT_TRUE(sequential.ok());
+  ExpectSameOutcome(*run, *sequential);
+}
+
+TEST_F(ChaosTest, ResizeClampsAtTheProvisionedBounds) {
+  // Shrink below min_shards and grow above max_shards are clamped to
+  // no-ops: no resize executes, nothing migrates, the run is untouched.
+  const FaultInjector faults =
+      ParseFaults("resize:at=300,delta=-5;resize:at=700,delta=+9");
+  ShardRuntimeOptions opts = BaseOptions(2);
+  opts.faults = &faults;
+  opts.reshard.min_shards = 2;
+  opts.reshard.max_shards = 2;
+  auto run = RunWith(opts);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_EQ(run->resizes, 0u);
+  EXPECT_EQ(run->migrated_pms, 0u);
+  EXPECT_EQ(run->final_live_shards, 2);
+  EXPECT_EQ(Canon(run->matches), *reference_);
+}
+
+TEST_F(ChaosTest, DeathDuringMigrationDrainIsResolvedAtTheBarrier) {
+  // The donor's worker dies on its 40th consume; whether the router first
+  // notices at a push timeout or at the migration barrier's drain, the
+  // outcome is the same: one restart, exactly the poisoned event lost, and
+  // the resize then completes normally.
+  const FaultInjector faults =
+      ParseFaults("death:shard=0,at=40;resize:at=600,delta=+1");
+  for (const int num_shards : kShardCounts) {
+    SCOPED_TRACE("shards=" + std::to_string(num_shards));
+    ShardRuntimeOptions opts = BaseOptions(num_shards);
+    opts.faults = &faults;
+    opts.reshard.max_shards = 12;
+    opts.max_worker_restarts = 1;
+    auto run = RunWith(opts);
+    ASSERT_TRUE(run.ok()) << run.status().message();
+    EXPECT_EQ(run->worker_restarts, 1u);
+    EXPECT_EQ(run->shards_abandoned, 0);
+    EXPECT_EQ(run->lost_events, 1u);
+    EXPECT_EQ(run->resizes, 1u);
+    EXPECT_EQ(run->final_live_shards, num_shards + 1);
+    ExpectSubsetOf(run->matches, *reference_);
+    ExpectCanonicalOrder(run->matches);
+    ExpectAccountingConsistent(*run);
+
+    auto again = RunWith(opts);
+    ASSERT_TRUE(again.ok());
+    ExpectSameOutcome(*run, *again);
+    auto runtime = ShardRuntime::Create(*nfa_, opts);
+    ASSERT_TRUE(runtime.ok());
+    auto sequential = (*runtime)->RunSequential(*stream_);
+    ASSERT_TRUE(sequential.ok());
+    ExpectSameOutcome(*run, *sequential);
+  }
+}
+
+TEST_F(ChaosTest, DeathOnTheRecipientAfterResumeIsRestarted) {
+  // Shard 2 exists only after the grow at seq 600; it adopts migrated
+  // state, then its worker dies on its 10th delivered event. The restart
+  // must not disturb the adopted partial matches beyond the one poisoned
+  // event.
+  const FaultInjector faults =
+      ParseFaults("resize:at=600,delta=+1;death:shard=2,at=10");
+  ShardRuntimeOptions opts = BaseOptions(2);
+  opts.faults = &faults;
+  opts.reshard.max_shards = 4;
+  opts.max_worker_restarts = 1;
+  auto run = RunWith(opts);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_EQ(run->resizes, 1u);
+  EXPECT_EQ(run->final_live_shards, 3);
+  EXPECT_EQ(run->worker_restarts, 1u);
+  EXPECT_EQ(run->shards[2].worker_restarts, 1u);
+  EXPECT_EQ(run->lost_events, 1u);
+  EXPECT_GT(run->shards[2].pms_migrated_in, 0u);
+  ExpectSubsetOf(run->matches, *reference_);
+  ExpectAccountingConsistent(*run);
+
+  auto again = RunWith(opts);
+  ASSERT_TRUE(again.ok());
+  ExpectSameOutcome(*run, *again);
+  auto runtime = ShardRuntime::Create(*nfa_, opts);
+  ASSERT_TRUE(runtime.ok());
+  auto sequential = (*runtime)->RunSequential(*stream_);
+  ASSERT_TRUE(sequential.ok());
+  ExpectSameOutcome(*run, *sequential);
+}
+
+TEST_F(ChaosTest, AbandonedDonorStillDonatesItsFrozenState) {
+  // Shard 0 exhausts its restart budget long before the resize. The grow
+  // must still complete: the abandoned shard's engine state is frozen, and
+  // whatever partial matches rehash to the new shard move there — keys
+  // that leave the dead shard resume matching.
+  const FaultInjector faults = ParseFaults(
+      "death:shard=0,at=40;death:shard=0,at=90;resize:at=600,delta=+1");
+  ShardRuntimeOptions opts = BaseOptions(2);
+  opts.faults = &faults;
+  opts.reshard.max_shards = 4;
+  opts.max_worker_restarts = 1;
+  auto run = RunWith(opts);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_EQ(run->shards_abandoned, 1);
+  EXPECT_TRUE(run->shards[0].abandoned);
+  EXPECT_EQ(run->resizes, 1u);
+  EXPECT_EQ(run->final_live_shards, 3);
+  EXPECT_GT(run->matches.size(), 0u);
+  ExpectSubsetOf(run->matches, *reference_);
+  ExpectCanonicalOrder(run->matches);
+  ExpectAccountingConsistent(*run);
+
+  auto runtime = ShardRuntime::Create(*nfa_, opts);
+  ASSERT_TRUE(runtime.ok());
+  auto sequential = (*runtime)->RunSequential(*stream_);
+  ASSERT_TRUE(sequential.ok());
+  ExpectSameOutcome(*run, *sequential);
+}
+
+TEST_F(ChaosTest, DynamicScaleUpRecordsAndReplaysAsAScript) {
+  // Baseline latency for a guard theta, as in GuardEscalatesUnderBurst.
+  auto baseline = RunWith(BaseOptions(1));
+  ASSERT_TRUE(baseline.ok());
+  const double base_mu = baseline->shards[0].avg_latency;
+  ASSERT_GT(base_mu, 0.0);
+
+  // A long 40x burst drives the guard to shedding; the controller watches
+  // the guard ladder (the queue signal is neutralized: grow fraction above
+  // 1 is unreachable, shrink below 0 never idles) and grows. Dynamic
+  // decisions read a racy guard level, so the run itself is not replay-
+  // deterministic — instead the resize tap records every executed resize
+  // and the recorded schedule must replay bit for bit, parallel and
+  // sequential.
+  const FaultInjector burst = ParseFaults("burst:at=1200,count=900,factor=40");
+  ShardRuntimeOptions opts = DeterministicGuardOptions(BaseOptions(1));
+  opts.faults = &burst;
+  opts.guard.theta = 2.0 * base_mu;
+  // A queue smaller than the stream: the router is paced by the burdened
+  // worker, so its periodic checks observe the published guard level
+  // while the burst is actually in progress.
+  opts.queue_capacity = 256;
+  opts.reshard.enabled = true;
+  opts.reshard.max_shards = 4;
+  opts.reshard.check_every = 64;
+  opts.reshard.grow_after = 2;
+  opts.reshard.min_dwell = 256;
+  opts.reshard.queue_grow_fraction = 1.5;
+  opts.reshard.queue_shrink_fraction = -1.0;
+  opts.reshard.guard_hot_level = static_cast<int>(GuardLevel::kShedding);
+  std::vector<std::pair<uint64_t, int>> recorded;  // (seq, delta)
+  opts.resize_tap = [&recorded](uint64_t seq, int old_live, int new_live) {
+    recorded.push_back({seq, new_live - old_live});
+  };
+  auto run = RunWith(opts);
+  ASSERT_TRUE(run.ok()) << run.status().message();
+  EXPECT_GE(run->resizes, 1u);
+  EXPECT_GT(run->final_live_shards, 1);
+  EXPECT_EQ(run->resizes, recorded.size());
+  ExpectSubsetOf(run->matches, *reference_);
+  ExpectCanonicalOrder(run->matches);
+  ExpectAccountingConsistent(*run);
+
+  // Fold the recorded resizes into a scripted schedule and replay with the
+  // controller off.
+  std::string spec = burst.ToString();
+  for (const auto& [seq, delta] : recorded) {
+    spec += ";resize:at=" + std::to_string(seq) +
+            ",delta=" + std::to_string(delta);
+  }
+  const FaultInjector replay_faults = ParseFaults(spec);
+  ShardRuntimeOptions replay = opts;
+  replay.faults = &replay_faults;
+  replay.reshard.enabled = false;
+  replay.resize_tap = nullptr;
+  auto replayed = RunWith(replay);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  ExpectSameOutcome(*run, *replayed);
+  auto runtime = ShardRuntime::Create(*nfa_, replay);
+  ASSERT_TRUE(runtime.ok());
+  auto sequential = (*runtime)->RunSequential(*stream_);
+  ASSERT_TRUE(sequential.ok());
+  ExpectSameOutcome(*run, *sequential);
+}
+
+TEST_F(ChaosTest, ElasticPlansAreValidated) {
+  const FaultInjector resize = ParseFaults("resize:at=100,delta=+1");
+
+  // Window-slice routing pins slices to their owners — resizes are
+  // rejected at plan time.
+  ShardRuntimeOptions slice = BaseOptions(2);
+  slice.routing = ShardRouting::kWindowSlice;
+  slice.faults = &resize;
+  EXPECT_EQ(ShardRuntime::Create(*nfa_, slice).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Elastic hash routing needs a partition attribute even for a run that
+  // starts single-sharded: it can grow.
+  ShardRuntimeOptions no_attr = BaseOptions(1);
+  no_attr.partition_attr = -1;
+  no_attr.faults = &resize;
+  EXPECT_EQ(ShardRuntime::Create(*nfa_, no_attr).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // min_shards must stay positive.
+  ShardRuntimeOptions bad_min = BaseOptions(2);
+  bad_min.faults = &resize;
+  bad_min.reshard.min_shards = 0;
+  EXPECT_EQ(ShardRuntime::Create(*nfa_, bad_min).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

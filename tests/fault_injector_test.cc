@@ -107,6 +107,43 @@ TEST(FaultInjectorParseTest, EmptySpecYieldsEmptyInjector) {
   }
 }
 
+TEST(FaultInjectorParseTest, DuplicateAnchorsAreRejected) {
+  // Two entries of one kind at one (shard, at) anchor are a duplicate or a
+  // contradiction; the parser must refuse rather than last-win.
+  ExpectParseError("death:shard=0,at=40;death:shard=0,at=40",
+                   {"line 1", "duplicate death anchor", "shard=0", "at=40"});
+  ExpectParseError("resize:at=600,delta=+1\nresize:at=600,delta=-1",
+                   {"line 2", "duplicate resize anchor", "at=600"});
+  ExpectParseError("stall:shard=2,at=9,us=5\nslow:at=3,count=2,us=1\n"
+                   "stall:shard=2,at=9,ms=1",
+                   {"line 3", "duplicate stall anchor", "shard=2", "at=9"});
+}
+
+TEST(FaultInjectorParseTest, DuplicateErrorNamesTheSecondEntrysLine) {
+  auto result = FaultInjector::Parse(
+      "death:shard=1,at=500\n\nburst:at=9,count=4,factor=2\n"
+      "death:shard=1,at=500");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 4"), std::string::npos)
+      << result.status().message();
+  EXPECT_EQ(result.status().message().find("line 1"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(FaultInjectorParseTest, NearDuplicateAnchorsAreAllowed) {
+  // Same kind, different shard or index — and different kinds sharing one
+  // anchor — are all legitimate schedules.
+  for (const char* spec :
+       {"death:shard=0,at=40;death:shard=1,at=40",
+        "death:shard=0,at=40;death:shard=0,at=41",
+        "death:shard=0,at=40;stall:shard=0,at=40,us=5",
+        "resize:at=600,delta=+1;resize:at=700,delta=-1",
+        "resize:shard=0,at=600,delta=+1;resize:at=600,delta=-1"}) {
+    auto result = FaultInjector::Parse(spec);
+    EXPECT_TRUE(result.ok()) << spec << ": " << result.status().ToString();
+  }
+}
+
 TEST(FaultInjectorParseTest, WellFormedScheduleRoundTrips) {
   const std::string spec =
       "stall:shard=0,at=200,us=30000;slow:shard=-1,at=10,count=5,us=7;"

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -219,6 +220,76 @@ TEST(RingQueueTest, MpmcStressLosesNothing) {
   }
   // Per-producer subsequences must stay FIFO within one consumer only under
   // SPSC; under MPMC only global multiset integrity is guaranteed.
+}
+
+TEST(RingQueueTest, SealDrainStressAtTheCapacityBoundary) {
+  // The elastic-reshard migration protocol seals a donor (producers stop
+  // offering), then drains the ring to empty before touching engine state.
+  // This stresses exactly that handoff on a tiny ring, so the seal lands
+  // while the queue is full, producers are parked mid-PushFor, and the
+  // drain races slot reuse at the wrap boundary. Every element whose push
+  // succeeded must be observed exactly once, in per-producer FIFO order —
+  // a miss here would surface in the runtime as a lost or duplicated
+  // event across a resize barrier.
+  constexpr int kRounds = 8;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  for (int round = 0; round < kRounds; ++round) {
+    RingQueue<uint64_t> queue(8);  // tiny: every push contends with wrap
+    std::atomic<bool> seal{false};
+    std::array<std::atomic<int>, kProducers> pushed{};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          uint64_t value = static_cast<uint64_t>(p) << 32 |
+                           static_cast<uint32_t>(i);
+          QueuePushResult result;
+          do {
+            if (seal.load(std::memory_order_acquire)) return;
+            result = queue.PushFor(value, 100);
+          } while (result == QueuePushResult::kTimedOut);
+          if (result != QueuePushResult::kOk) return;
+          pushed[static_cast<size_t>(p)].fetch_add(1,
+                                                   std::memory_order_release);
+        }
+      });
+    }
+
+    // Consume roughly half the stream concurrently (capacity 8 guarantees
+    // producers cannot run ahead, so this loop always terminates), then
+    // seal mid-flight.
+    std::vector<uint64_t> consumed;
+    const size_t half = kProducers * kPerProducer / 2;
+    while (consumed.size() < half) {
+      uint64_t v = 0;
+      if (queue.TryPop(&v)) consumed.push_back(v);
+    }
+    seal.store(true, std::memory_order_release);
+    for (auto& t : producers) t.join();
+
+    // Drain to empty: the barrier guarantee is that after the join,
+    // everything successfully pushed is poppable with no residue.
+    uint64_t v = 0;
+    while (queue.TryPop(&v)) consumed.push_back(v);
+    EXPECT_FALSE(queue.TryPop(&v));
+
+    std::array<int, kProducers> next{};
+    for (uint64_t val : consumed) {
+      const size_t p = static_cast<size_t>(val >> 32);
+      const int i = static_cast<int>(val & 0xffffffffu);
+      ASSERT_LT(p, static_cast<size_t>(kProducers));
+      EXPECT_EQ(i, next[p]++) << "round " << round << " producer " << p;
+    }
+    size_t total = 0;
+    for (int p = 0; p < kProducers; ++p) {
+      EXPECT_EQ(next[static_cast<size_t>(p)],
+                pushed[static_cast<size_t>(p)].load())
+          << "round " << round << " producer " << p;
+      total += static_cast<size_t>(next[static_cast<size_t>(p)]);
+    }
+    EXPECT_EQ(consumed.size(), total);
+  }
 }
 
 }  // namespace

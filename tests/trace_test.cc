@@ -252,6 +252,12 @@ void ExpectRunsIdentical(const ShardRunResult& a, const ShardRunResult& b) {
   EXPECT_EQ(a.routed_events, b.routed_events);
   EXPECT_EQ(a.dropped_events, b.dropped_events);
   EXPECT_EQ(a.shed_pms, b.shed_pms);
+  EXPECT_EQ(a.lost_events, b.lost_events);
+  EXPECT_EQ(a.worker_restarts, b.worker_restarts);
+  EXPECT_EQ(a.resizes, b.resizes);
+  EXPECT_EQ(a.migrated_pms, b.migrated_pms);
+  EXPECT_EQ(a.migrated_bytes, b.migrated_bytes);
+  EXPECT_EQ(a.final_live_shards, b.final_live_shards);
   EXPECT_EQ(a.guard_input_drops, b.guard_input_drops);
   EXPECT_EQ(a.guard_trims, b.guard_trims);
   EXPECT_EQ(a.guard_evictions, b.guard_evictions);
@@ -286,6 +292,11 @@ void ExpectSnapshotsEqual(const obs::RegistrySnapshot& a,
     EXPECT_EQ(x.arena_live_bytes, y.arena_live_bytes);
     EXPECT_EQ(x.arena_capacity_bytes, y.arena_capacity_bytes);
     EXPECT_EQ(x.flat_cache_entries, y.flat_cache_entries);
+    EXPECT_EQ(x.migrations_total, y.migrations_total);
+    EXPECT_EQ(x.migrated_pms, y.migrated_pms);
+    EXPECT_EQ(x.migrated_bytes, y.migrated_bytes);
+    EXPECT_EQ(x.live_shards, y.live_shards);
+    EXPECT_EQ(x.arena_legacy_bytes, y.arena_legacy_bytes);
     EXPECT_EQ(x.event_cost.buckets, y.event_cost.buckets);
     EXPECT_EQ(x.event_cost.count, y.event_cost.count);
     EXPECT_EQ(x.event_cost.sum, y.event_cost.sum);
@@ -389,6 +400,135 @@ TEST(TraceReplayTest, FaultedSheddedShardedRunReplaysBitForBit) {
   ExpectRunsIdentical(results[0], *recorded);
   ExpectSnapshotsEqual(snapshots[0], snapshots[1]);
   ExpectSnapshotsEqual(snapshots[0], record_metrics.Snapshot());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// The elastic twin of the headline property: a faulted run that resizes
+// mid-stream records its scale schedule into the trace; replaying the
+// capture — recorded resizes re-applied as scripted anchors — reproduces
+// the run bit for bit, metrics snapshots included.
+
+TEST(TraceReplayTest, ResizedRunReplaysViaTheRecordedScaleSchedule) {
+  const Schema schema = MakeDs1Schema();
+  Ds1Options ds1;
+  ds1.num_events = 3000;
+  ds1.event_gap = 10;
+  ds1.seed = 11;
+  const EventStream stream = GenerateDs1(schema, ds1);
+
+  auto q = queries::Q1();
+  ASSERT_TRUE(q.ok());
+  auto nfa = Nfa::Compile(*q, &schema);
+  ASSERT_TRUE(nfa.ok());
+
+  // Non-resize chaos shared by the recording and the replay.
+  const std::string kChaos = "skew:at=100,count=500,us=250;death:shard=1,at=50";
+  auto record_faults =
+      FaultInjector::Parse(kChaos + ";resize:at=900,delta=+2;resize:at=2000,delta=-1");
+  ASSERT_TRUE(record_faults.ok()) << record_faults.status().ToString();
+
+  const auto make_options = [&](const FaultInjector* faults,
+                                obs::MetricsRegistry* metrics) {
+    ShardRuntimeOptions opts;
+    opts.num_shards = 2;
+    opts.partition_attr = schema.AttributeIndex("ID");
+    opts.reshard.max_shards = 4;
+    opts.faults = faults;
+    opts.metrics = metrics;
+    return opts;
+  };
+  const ShardRuntime::ShedderFactory factory = [](int) {
+    return std::make_unique<HashDropShedder>(23);
+  };
+
+  // --- record: events + routes via the ingest tap, resizes via the
+  // resize tap ---
+  const std::string path = TempPath("resized.trace");
+  obs::MetricsRegistry record_metrics;
+  ShardRuntimeOptions opts = make_options(&*record_faults, &record_metrics);
+  auto writer = TraceWriter::Open(path, schema, /*with_routes=*/true);
+  ASSERT_TRUE(writer.ok());
+  opts.ingest_tap = [&](const EventPtr& event, const std::vector<int>& targets) {
+    ASSERT_TRUE((*writer)->Append(*event, targets).ok());
+  };
+  opts.resize_tap = [&](uint64_t seq, int old_shards, int new_shards) {
+    (*writer)->RecordResize(seq, old_shards, new_shards);
+  };
+  auto runtime = ShardRuntime::Create(*nfa, opts);
+  ASSERT_TRUE(runtime.ok()) << runtime.status().message();
+  auto recorded = (*runtime)->RunSequential(stream, factory);
+  ASSERT_TRUE(recorded.ok()) << recorded.status().message();
+  ASSERT_TRUE((*writer)->Close().ok());
+  ASSERT_EQ(recorded->resizes, 2u);
+  ASSERT_GT(recorded->migrated_pms, 0u);
+  ASSERT_GT(recorded->matches.size(), 0u) << "degenerate recording";
+
+  // --- the capture carries the executed schedule ---
+  auto capture = ReadTrace(path);
+  ASSERT_TRUE(capture.ok()) << capture.status().ToString();
+  const std::vector<TraceResize> expected = {{900, 2, 4}, {2000, 4, 3}};
+  ASSERT_EQ(capture->resizes, expected);
+  EXPECT_EQ(ResizeScheduleSpec(capture->resizes),
+            "resize:at=900,delta=2;resize:at=2000,delta=-1");
+  ExpectStreamsEqual(stream, capture->stream);
+
+  // --- replay: recorded resizes become scripted anchors; route choices
+  // must retrace the capture through both flips ---
+  auto replay_faults =
+      FaultInjector::Parse(kChaos + ";" + ResizeScheduleSpec(capture->resizes));
+  ASSERT_TRUE(replay_faults.ok()) << replay_faults.status().ToString();
+  obs::MetricsRegistry replay_metrics;
+  ShardRuntimeOptions replay_opts = make_options(&*replay_faults, &replay_metrics);
+  size_t at = 0;
+  replay_opts.ingest_tap = [&](const EventPtr&, const std::vector<int>& targets) {
+    ASSERT_LT(at, capture->routes.size());
+    ASSERT_EQ(targets, capture->routes[at]) << "event " << at;
+    ++at;
+  };
+  auto replay_runtime = ShardRuntime::Create(*nfa, replay_opts);
+  ASSERT_TRUE(replay_runtime.ok());
+  auto replayed = (*replay_runtime)->RunSequential(capture->stream, factory);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+  EXPECT_EQ(at, capture->routes.size());
+
+  ExpectRunsIdentical(*recorded, *replayed);
+  ExpectSnapshotsEqual(record_metrics.Snapshot(), replay_metrics.Snapshot());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, ResizeSectionCorruptionIsCaughtByTheChecksum) {
+  const Schema schema = MakeDs1Schema();
+  Ds1Options ds1;
+  ds1.num_events = 20;
+  const EventStream stream = GenerateDs1(schema, ds1);
+  const std::string path = TempPath("resized_corrupt.trace");
+  {
+    auto writer = TraceWriter::Open(path, schema);
+    ASSERT_TRUE(writer.ok());
+    for (const EventPtr& e : stream) ASSERT_TRUE((*writer)->Append(*e).ok());
+    (*writer)->RecordResize(10, 2, 3);
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  ASSERT_TRUE(ReadTrace(path).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  // The resize section is the last four bytes (count, seq, old, new);
+  // flip the seq byte: the entry stays well-formed, so only the checksum
+  // can catch it.
+  std::string bad = bytes;
+  bad[bad.size() - 3] = static_cast<char>(bad[bad.size() - 3] ^ 0x01);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bad;
+  }
+  auto replayed = ReadTrace(path);
+  EXPECT_FALSE(replayed.ok());
   std::remove(path.c_str());
 }
 

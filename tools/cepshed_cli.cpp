@@ -12,6 +12,7 @@
 //               [--guard-theta COST --memory-budget-mb MB]
 //               [--metrics-out FILE[.json|.prom] --metrics-interval SEC]
 //               [--record-trace FILE] [--trace-prefix N]
+//               [--scale-schedule SPEC] [--min-shards N] [--max-shards N]
 //
 // Trace record/replay (the adversarial lab's regression loop):
 // --record-trace captures every ingested event into a binary trace file
@@ -21,6 +22,17 @@
 // omitted. --trace-prefix N replays only the first N events of a capture,
 // which is how a failing trace is minimized (bisect N until the failure
 // disappears).
+//
+// Elastic resharding: --scale-schedule applies scripted resize anchors
+// ("resize:at=900,delta=+2;resize:at=2000,delta=-1" — the fault DSL) and
+// requires --max-shards for the grow headroom. --max-shards *without* a
+// scale schedule arms the dynamic ReshardController instead: the runtime
+// scales between --min-shards and --max-shards off queue depth and guard
+// level. Both start from --shards and need --partition (partial-match
+// ownership follows the key hash). A dynamic run is load-dependent, but
+// --record-trace captures every executed resize; replaying that .trace
+// re-applies the recorded schedule as scripted anchors, making the replay
+// bit-for-bit deterministic.
 //
 // --metrics-out exports the run's observability snapshot (per-shard event
 // counters, shed counts by class, guard-level transitions, latency
@@ -90,6 +102,9 @@ struct CliArgs {
   double metrics_interval_sec = 0.0;
   std::string record_trace;
   unsigned long long trace_prefix = 0;
+  std::string scale_schedule;
+  int min_shards = 1;
+  int max_shards = 0;
 };
 
 bool IsTracePath(const std::string& path) {
@@ -109,8 +124,11 @@ void Usage() {
                "                   [--guard-theta COST] [--memory-budget-mb MB]\n"
                "                   [--metrics-out FILE] [--metrics-interval SEC]\n"
                "                   [--record-trace FILE] [--trace-prefix N]\n"
+               "                   [--scale-schedule SPEC --max-shards N]\n"
+               "                   [--min-shards N] [--max-shards N]\n"
                "an --input ending in .trace is replayed from a recorded capture\n"
-               "(embedded schema; --schema optional)\n");
+               "(embedded schema; --schema optional); --max-shards without a\n"
+               "--scale-schedule arms the dynamic reshard controller\n");
 }
 
 Result<CliArgs> ParseArgs(int argc, char** argv) {
@@ -186,6 +204,22 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       if (args.trace_prefix == 0) {
         return Status::InvalidArgument("--trace-prefix must be a positive event count");
       }
+    } else if (flag == "--scale-schedule") {
+      CEPSHED_ASSIGN_OR_RETURN(args.scale_schedule, next());
+    } else if (flag == "--min-shards") {
+      std::string v;
+      CEPSHED_ASSIGN_OR_RETURN(v, next());
+      args.min_shards = std::stoi(v);
+      if (args.min_shards < 1) {
+        return Status::InvalidArgument("--min-shards must be >= 1");
+      }
+    } else if (flag == "--max-shards") {
+      std::string v;
+      CEPSHED_ASSIGN_OR_RETURN(v, next());
+      args.max_shards = std::stoi(v);
+      if (args.max_shards < 1) {
+        return Status::InvalidArgument("--max-shards must be >= 1");
+      }
     } else if (flag == "--metrics-out") {
       CEPSHED_ASSIGN_OR_RETURN(args.metrics_out, next());
     } else if (flag == "--metrics-interval") {
@@ -217,6 +251,17 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
   }
   if (args.metrics_interval_sec > 0.0 && args.metrics_out.empty()) {
     return Status::InvalidArgument("--metrics-interval requires --metrics-out");
+  }
+  if (!args.scale_schedule.empty() && args.max_shards == 0) {
+    return Status::InvalidArgument(
+        "--scale-schedule requires --max-shards (the grow headroom: workers "
+        "are provisioned for it up front)");
+  }
+  if (args.max_shards > 0 && args.max_shards < args.shards) {
+    return Status::InvalidArgument("--max-shards must be >= --shards");
+  }
+  if (args.min_shards > args.shards) {
+    return Status::InvalidArgument("--min-shards must be <= --shards");
   }
   return args;
 }
@@ -382,14 +427,22 @@ Status Run(const CliArgs& args) {
     return Status::OK();
   };
 
+  // A replayed capture that resized re-applies its recorded scale schedule
+  // as scripted anchors: the replay is deterministic where the dynamic
+  // controller was not.
+  const std::string replay_schedule =
+      capture != nullptr ? lab::ResizeScheduleSpec(capture->resizes) : std::string();
+  const bool elastic = !args.scale_schedule.empty() || args.max_shards > 0 ||
+                       !replay_schedule.empty();
   const bool wants_guard = args.guard_theta > 0.0 || args.memory_budget_mb > 0.0;
-  if ((!args.fault_schedule.empty() || wants_guard) && args.shards <= 1) {
+  if ((!args.fault_schedule.empty() || wants_guard) && args.shards <= 1 &&
+      !elastic) {
     return Status::InvalidArgument(
         "--fault-schedule / --guard-theta / --memory-budget-mb apply to the "
         "sharded path; add --shards N with a routing mode");
   }
 
-  if (args.shards > 1) {
+  if (args.shards > 1 || elastic) {
     if (args.strategy != "none") {
       return Status::InvalidArgument(
           "--shards currently applies to raw evaluation only (--strategy none); "
@@ -412,13 +465,39 @@ Status Run(const CliArgs& args) {
       return Status::InvalidArgument(
           "--shards needs a routing mode: --partition ATTR or --slice-stride US");
     }
+    // Scripted resizes ride the fault DSL: --scale-schedule and a replayed
+    // capture's recorded schedule are appended to the fault spec.
+    std::string spec = args.fault_schedule;
+    for (const std::string& extra : {args.scale_schedule, replay_schedule}) {
+      if (extra.empty()) continue;
+      if (!spec.empty()) spec += ';';
+      spec += extra;
+    }
     FaultInjector faults;
-    if (!args.fault_schedule.empty()) {
-      CEPSHED_ASSIGN_OR_RETURN(faults,
-                               FaultInjector::Parse(args.fault_schedule, args.fault_seed));
+    if (!spec.empty()) {
+      CEPSHED_ASSIGN_OR_RETURN(faults, FaultInjector::Parse(spec, args.fault_seed));
       opts.faults = &faults;
       std::printf("faults: %s (seed %llu)\n", faults.ToString().c_str(),
                   static_cast<unsigned long long>(faults.seed()));
+    }
+    if (elastic) {
+      opts.reshard.min_shards = args.min_shards;
+      opts.reshard.max_shards = args.max_shards;
+      // A recorded schedule may scale past the replay flags: widen the
+      // provisioned headroom to cover it.
+      for (const lab::TraceResize& r :
+           capture != nullptr ? capture->resizes : std::vector<lab::TraceResize>()) {
+        opts.reshard.max_shards =
+            std::max(opts.reshard.max_shards, std::max(r.old_shards, r.new_shards));
+      }
+      // Scripted anchors own the schedule; only a bare --max-shards arms
+      // the dynamic controller.
+      opts.reshard.enabled =
+          args.max_shards > 0 && args.scale_schedule.empty() && replay_schedule.empty();
+      std::printf("elastic: %s, shards %d..%d\n",
+                  opts.reshard.enabled ? "dynamic controller" : "scripted schedule",
+                  opts.reshard.min_shards,
+                  std::max(opts.reshard.max_shards, args.shards));
     }
     if (wants_guard) {
       opts.guard.enabled = true;
@@ -442,6 +521,9 @@ Status Run(const CliArgs& args) {
                                                     const std::vector<int>& targets) {
         if (!record_status.ok()) return;
         record_status = recorder->Append(*event, targets);
+      };
+      opts.resize_tap = [&recorder](uint64_t seq, int old_shards, int new_shards) {
+        recorder->RecordResize(seq, old_shards, new_shards);
       };
     }
     CEPSHED_ASSIGN_OR_RETURN(auto runtime, ShardRuntime::Create(nfa, opts));
@@ -471,6 +553,14 @@ Status Run(const CliArgs& args) {
                     GuardLevelName(static_cast<GuardLevel>(s.guard_peak_level)));
       }
       std::printf("\n");
+    }
+    if (result.resizes > 0) {
+      std::printf("elastic: %llu resizes, migrated %llu partial matches (%llu bytes), "
+                  "final live shards %d\n",
+                  static_cast<unsigned long long>(result.resizes),
+                  static_cast<unsigned long long>(result.migrated_pms),
+                  static_cast<unsigned long long>(result.migrated_bytes),
+                  result.final_live_shards);
     }
     if (result.lost_events > 0 || result.worker_restarts > 0 ||
         result.shards_abandoned > 0) {

@@ -37,6 +37,9 @@ void Usage(const char* argv0) {
                "  --warmup N            baseline cycles (default 3)\n"
                "  --slack X             allowed peak factor over baseline (default 2.0)\n"
                "  --seconds X           wall-time limit, 0 = none (default 0)\n"
+               "  --scale-schedule S    cycle-anchored elastic resizes, e.g.\n"
+               "                        \"4:4;8:2\" = 4 live shards from cycle 4,\n"
+               "                        2 from cycle 8 (default: none)\n"
                "  --seed N              generator seed (default 42)\n"
                "  --report FILE         write the JSON cycle report here\n"
                "  --metrics FILE        write the final metrics snapshot here\n"
@@ -83,6 +86,8 @@ int main(int argc, char** argv) {
       options.slack = std::atof(next());
     } else if (arg == "--seconds") {
       options.wall_limit_seconds = std::atof(next());
+    } else if (arg == "--scale-schedule") {
+      options.scale_schedule = next();
     } else if (arg == "--seed") {
       options.seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--report") {
@@ -110,14 +115,15 @@ int main(int argc, char** argv) {
 
   for (const auto& c : report.cycles) {
     std::printf(
-        "cycle %3d %-7s events=%llu matches=%llu drops=%llu "
+        "cycle %3d %-7s live=%d%s events=%llu matches=%llu drops=%llu "
         "state_peak=%zu arena_live_peak=%zu arena_cap=%zu flat_peak=%zu "
-        "audit=%zu wall=%.2fs\n",
-        c.cycle, c.workload.c_str(), static_cast<unsigned long long>(c.events),
+        "audit=%zu legacy=%zu wall=%.2fs\n",
+        c.cycle, c.workload.c_str(), c.live_shards,
+        c.resized ? "*" : "", static_cast<unsigned long long>(c.events),
         static_cast<unsigned long long>(c.matches),
         static_cast<unsigned long long>(c.guard_drops), c.state_bytes_peak,
         c.arena_live_bytes_peak, c.arena_capacity_bytes_end, c.flat_cache_peak,
-        c.audit_retained, c.wall_seconds);
+        c.audit_retained, c.legacy_arena_bytes_end, c.wall_seconds);
   }
   std::printf("total: %llu events, %llu matches, %.1fs%s\n",
               static_cast<unsigned long long>(report.total_events),
