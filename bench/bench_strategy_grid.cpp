@@ -1,0 +1,114 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Strategy grid: every registered shedding strategy — the paper's five
+// baselines plus the learned hSPICE/pSPICE shedders — over three datasets
+// under two latency bounds, all driven through the ShedderRegistry spec
+// path (the same path `--shedder` takes in the CLI). The JSON written to
+// argv[1] (default BENCH_strategies.json) records recall, throughput and
+// shed ratios per (dataset, bound, strategy) cell; scripts/
+// check_strategy_grid.py gates on it: the learned shedders must beat
+// their unlearned counterparts (hSPICE > RI on recall, pSPICE > RS) at an
+// equal bound on at least one dataset, i.e. learning the utility/
+// completion structure must buy measurable quality at the same budget.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace cepshed {
+namespace {
+
+const std::vector<std::string>& GridSpecs() {
+  static const std::vector<std::string> kSpecs = {
+      "ri", "si", "rs", "ss", "hybrid", "hspice", "pspice"};
+  return kSpecs;
+}
+
+std::string BoundKey(double bound) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.1f", bound);
+  return buf;
+}
+
+void RunDataset(const std::string& name, bench::PreparedExperiment* exp,
+                const std::vector<double>& bounds, std::string* json,
+                bool last_dataset) {
+  std::printf("# %s: no-shedding avg latency = %.1f cost units, truth = %zu\n",
+              name.c_str(), exp->harness->BaselineLatency(),
+              exp->harness->truth().size());
+  bench::Header("Strategy grid", name + ", bounds on the average latency",
+                bench::kResultColumns);
+  *json += "    \"" + name + "\": {\n";
+  for (size_t b = 0; b < bounds.size(); ++b) {
+    *json += "      \"" + BoundKey(bounds[b]) + "\": {\n";
+    for (size_t s = 0; s < GridSpecs().size(); ++s) {
+      const std::string& spec = GridSpecs()[s];
+      const auto r = exp->harness->RunBoundSpec(spec, bounds[b]);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s on %s failed: %s\n", spec.c_str(),
+                     name.c_str(), r.status().ToString().c_str());
+        std::abort();
+      }
+      bench::PrintResultRow(BoundKey(bounds[b]), *r);
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "        \"%s\": {\"recall\": %.4f, \"precision\": %.4f, "
+                    "\"throughput_eps\": %.0f, \"shed_event_ratio\": %.4f, "
+                    "\"shed_pm_ratio\": %.4f, \"violation_ratio\": %.4f}%s\n",
+                    spec.c_str(), r->quality.recall, r->quality.precision,
+                    r->throughput_eps, r->shed_event_ratio, r->shed_pm_ratio,
+                    r->bound_violation_ratio,
+                    s + 1 < GridSpecs().size() ? "," : "");
+      *json += buf;
+    }
+    *json += b + 1 < bounds.size() ? "      },\n" : "      }\n";
+  }
+  *json += last_dataset ? "    }\n" : "    },\n";
+}
+
+}  // namespace
+}  // namespace cepshed
+
+int main(int argc, char** argv) {
+  using namespace cepshed;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_strategies.json";
+  const std::vector<double> bounds = {0.6, 0.4};
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"strategy_grid\",\n";
+  json += "  \"stat\": \"average\",\n";
+  json += "  \"datasets\": {\n";
+
+  {
+    Ds1Options gen;
+    gen.num_events = 30000;
+    auto exp = bench::PrepareDs1(*queries::Q1("8ms"), gen);
+    RunDataset("ds1_q1", &exp, bounds, &json, false);
+  }
+  {
+    Ds2Options gen;
+    gen.num_events = 30000;
+    auto exp = bench::PrepareDs2(*queries::Q3("8ms"), gen);
+    RunDataset("ds2_q3", &exp, bounds, &json, false);
+  }
+  {
+    CitibikeOptions gen;
+    gen.num_events = 20000;
+    auto exp = bench::PrepareCitibike(*queries::CitibikeHotPaths(5, 8), gen);
+    RunDataset("citibike", &exp, bounds, &json, true);
+  }
+
+  json += "  }\n}\n";
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("# wrote %s\n", out_path.c_str());
+  return 0;
+}

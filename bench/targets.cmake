@@ -30,6 +30,7 @@ cepshed_add_bench(bench_shard_scaling)
 cepshed_add_bench(bench_overload_recovery)
 cepshed_add_bench(bench_lab_adversarial)
 cepshed_add_bench(bench_resharding)
+cepshed_add_bench(bench_strategy_grid)
 
 cepshed_add_bench(bench_micro_engine)
 target_link_libraries(bench_micro_engine PRIVATE benchmark::benchmark)

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""CI gate over BENCH_strategies.json (bench_strategy_grid output).
+
+Checks what the learned shedders promise rather than raw throughput (CI
+machines are too noisy for absolute numbers):
+
+  * completeness — every (dataset, bound) cell carries all seven
+    strategies, with recall/precision in [0, 1];
+  * shedding happened — under every bound each strategy actually shed
+    (events or partial matches), i.e. the registry wired a live shedder
+    and not a no-op;
+  * learning pays — hSPICE beats RI on recall, and pSPICE beats RS, at an
+    equal bound on at least one dataset each (by a configurable margin).
+    These are the informed/blind pairs: hSPICE drops events by learned
+    per-(type, state) utility where RI drops uniformly at random, and
+    pSPICE kills partial matches by predicted completion probability
+    where RS kills uniformly at random.
+
+Usage: check_strategy_grid.py [BENCH_strategies.json] [--min-margin M]
+"""
+
+import argparse
+import json
+import sys
+
+STRATEGIES = ("ri", "si", "rs", "ss", "hybrid", "hspice", "pspice")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("report", nargs="?", default="BENCH_strategies.json")
+    ap.add_argument("--min-margin", type=float, default=0.0,
+                    help="required recall advantage of the learned shedder")
+    args = ap.parse_args()
+
+    with open(args.report) as f:
+        data = json.load(f)
+    datasets = data["datasets"]
+
+    failures = []
+    hspice_wins = []
+    pspice_wins = []
+
+    for ds_name, bounds in datasets.items():
+        if not bounds:
+            failures.append(f"{ds_name}: no bounds recorded")
+        for bound, cells in bounds.items():
+            for strat in STRATEGIES:
+                if strat not in cells:
+                    failures.append(f"{ds_name}@{bound}: missing {strat}")
+                    continue
+                cell = cells[strat]
+                for metric in ("recall", "precision"):
+                    v = cell[metric]
+                    if not 0.0 <= v <= 1.0:
+                        failures.append(
+                            f"{ds_name}@{bound}/{strat}: {metric}={v} "
+                            f"outside [0, 1]")
+                if cell["shed_event_ratio"] <= 0 and cell["shed_pm_ratio"] <= 0:
+                    failures.append(
+                        f"{ds_name}@{bound}/{strat}: shed nothing — "
+                        f"registry wired a no-op?")
+            if any(s not in cells for s in STRATEGIES):
+                continue
+            h_delta = cells["hspice"]["recall"] - cells["ri"]["recall"]
+            p_delta = cells["pspice"]["recall"] - cells["rs"]["recall"]
+            if h_delta > args.min_margin:
+                hspice_wins.append(f"{ds_name}@{bound} (+{h_delta:.4f})")
+            if p_delta > args.min_margin:
+                pspice_wins.append(f"{ds_name}@{bound} (+{p_delta:.4f})")
+
+    if not hspice_wins:
+        failures.append(
+            "hSPICE never beat RI on recall at an equal bound — the learned "
+            "input shedder is not paying for its utility table")
+    if not pspice_wins:
+        failures.append(
+            "pSPICE never beat RS on recall at an equal bound — the learned "
+            "state shedder is not paying for its completion model")
+
+    for f_ in failures:
+        print(f"FAIL: {f_}")
+    if not failures:
+        print(f"OK: {len(datasets)} datasets; hSPICE > RI on "
+              f"{len(hspice_wins)} cells ({', '.join(hspice_wins)}); "
+              f"pSPICE > RS on {len(pspice_wins)} cells "
+              f"({', '.join(pspice_wins)})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,8 @@ void AppendJsonShard(std::ostringstream* out, const ShardObsSnapshot& s) {
        << ",\"matches_emitted\":" << s.matches_emitted
        << ",\"pms_shed\":" << s.pms_shed
        << ",\"shed_triggers\":" << s.shed_triggers
+       << ",\"shed_adapt_folds\":" << s.shed_adapt_folds
+       << ",\"pms_ranked\":" << s.pms_ranked
        << ",\"knapsack_solves\":" << s.knapsack_solves
        << ",\"guard_transitions\":" << s.guard_transitions
        << ",\"queue_push_timeouts\":" << s.queue_push_timeouts
@@ -162,6 +164,12 @@ std::string RenderPrometheus(const RegistrySnapshot& snap) {
   AppendCounterSeries(&out, "cepshed_shed_triggers_total",
                       "Shedder re-plan activations", snap,
                       &ShardObsSnapshot::shed_triggers);
+  AppendCounterSeries(&out, "cepshed_shed_adapt_folds_total",
+                      "Online-adaptation folds executed by learned shedders",
+                      snap, &ShardObsSnapshot::shed_adapt_folds);
+  AppendCounterSeries(&out, "cepshed_pms_ranked_total",
+                      "Partial matches scored by rank-based state shedding",
+                      snap, &ShardObsSnapshot::pms_ranked);
   AppendCounterSeries(&out, "cepshed_knapsack_solves_total",
                       "Knapsack shedding-set solves", snap,
                       &ShardObsSnapshot::knapsack_solves);

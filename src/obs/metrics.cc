@@ -80,6 +80,8 @@ ShardObsSnapshot SnapshotShard(const ShardObs& o) {
   s.matches_emitted = o.matches_emitted.Load();
   s.pms_shed = o.pms_shed.Load();
   s.shed_triggers = o.shed_triggers.Load();
+  s.shed_adapt_folds = o.shed_adapt_folds.Load();
+  s.pms_ranked = o.pms_ranked.Load();
   s.knapsack_solves = o.knapsack_solves.Load();
   s.guard_transitions = o.guard_transitions.Load();
   s.queue_push_timeouts = o.queue_push_timeouts.Load();
@@ -114,6 +116,8 @@ void ShardObsSnapshot::Merge(const ShardObsSnapshot& other) {
   matches_emitted += other.matches_emitted;
   pms_shed += other.pms_shed;
   shed_triggers += other.shed_triggers;
+  shed_adapt_folds += other.shed_adapt_folds;
+  pms_ranked += other.pms_ranked;
   knapsack_solves += other.knapsack_solves;
   guard_transitions += other.guard_transitions;
   queue_push_timeouts += other.queue_push_timeouts;

@@ -154,6 +154,11 @@ struct ShardObs {
   Counter matches_emitted;
   Counter pms_shed;
   Counter shed_triggers;
+  /// Online-adaptation folds executed by learned shedders (hSPICE table
+  /// blends, pSPICE leaf re-estimates).
+  Counter shed_adapt_folds;
+  /// Partial matches scored and ranked by pSPICE's kill selection.
+  Counter pms_ranked;
   Counter knapsack_solves;
   Counter guard_transitions;
   Counter queue_push_timeouts;
@@ -210,6 +215,8 @@ struct ShardObsSnapshot {
   uint64_t matches_emitted = 0;
   uint64_t pms_shed = 0;
   uint64_t shed_triggers = 0;
+  uint64_t shed_adapt_folds = 0;
+  uint64_t pms_ranked = 0;
   uint64_t knapsack_solves = 0;
   uint64_t guard_transitions = 0;
   uint64_t queue_push_timeouts = 0;

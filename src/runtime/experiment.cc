@@ -2,7 +2,8 @@
 
 #include "src/runtime/experiment.h"
 
-#include "src/shed/baselines.h"
+#include <cctype>
+
 #include "src/shed/hybrid.h"
 
 namespace cepshed {
@@ -46,6 +47,11 @@ Status ExperimentHarness::Prepare(const EventStream& train, const EventStream& t
   positional_ = std::make_unique<PositionalUtility>(
       static_cast<int>(schema_->num_event_types()), /*buckets=*/8, query_.window);
   CEPSHED_RETURN_NOT_OK(positional_->Train(nfa_, train_));
+
+  hspice_ = std::make_unique<HspiceTable>();
+  CEPSHED_RETURN_NOT_OK(hspice_->Train(nfa_, offline_));
+  pspice_ = std::make_unique<PspiceModel>();
+  CEPSHED_RETURN_NOT_OK(pspice_->Train(nfa_, offline_));
 
   prepared_ = true;
   return RefreshTruth();
@@ -116,147 +122,119 @@ ExperimentResult ExperimentHarness::RunWith(Shedder* shedder, CostModel* model,
   return result;
 }
 
-ExperimentResult ExperimentHarness::RunBound(StrategyKind kind, double bound_fraction,
-                                             LatencyStat stat,
-                                             size_t pm_sample_stride) {
+ShedderContext ExperimentHarness::MakeContext(double theta, double fraction,
+                                              uint64_t seed) const {
+  ShedderContext ctx;
+  ctx.theta = theta;
+  ctx.fixed_fraction = fraction;
+  ctx.trigger_delay = options_.baseline_trigger_delay;
+  ctx.hybrid_trigger_delay = options_.trigger_delay;
+  ctx.state_shed_period = options_.state_shed_period;
+  ctx.seed = seed;
+  ctx.solver = options_.solver;
+  ctx.offline = &offline_;
+  ctx.model = model_.get();
+  ctx.positional = positional_.get();
+  ctx.hspice = hspice_.get();
+  ctx.pspice = pspice_.get();
+  ctx.utility_samples = &utility_samples_;
+  ctx.train = &train_;
+  return ctx;
+}
+
+uint64_t ExperimentHarness::SeedId(const std::string& name) {
+  // Legacy names keep their StrategyKind enum value: the run seed feeds
+  // every stochastic shedder, so changing the id would silently change
+  // recorded experiment results across the registry migration.
+  static const std::pair<const char*, uint64_t> kLegacy[] = {
+      {"none", 0}, {"ri", 1},  {"si", 2},  {"rs", 3}, {"ss", 4},
+      {"hybrid", 5}, {"hyi", 6}, {"hys", 7}, {"pi", 8},
+  };
+  for (const auto& [legacy, id] : kLegacy) {
+    if (name == legacy) return id;
+  }
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Result<ExperimentResult> ExperimentHarness::RunSpec(const std::string& spec,
+                                                    double theta, double fraction,
+                                                    uint64_t seed,
+                                                    size_t pm_sample_stride) {
+  if (!prepared_) return Status::Internal("Prepare must be called first");
+  const ShedderContext ctx = MakeContext(theta, fraction, seed);
+  CEPSHED_ASSIGN_OR_RETURN(std::unique_ptr<Shedder> shedder,
+                           ShedderRegistry::Instance().Create(spec, ctx));
+  return RunWith(shedder.get(), nullptr, pm_sample_stride);
+}
+
+Result<ExperimentResult> ExperimentHarness::RunBoundSpec(const std::string& spec,
+                                                         double bound_fraction,
+                                                         LatencyStat stat,
+                                                         size_t pm_sample_stride) {
+  CEPSHED_ASSIGN_OR_RETURN(auto parsed, ShedderConfig::ParseSpec(spec));
   LatencyMonitor::Options lat = options_.latency;
   lat.stat = stat;
   HarnessOptions saved = options_;
   options_.latency = lat;
   const double theta = bound_fraction * BaselineLatency(stat);
-  const uint64_t seed = options_.seed * 1000003 + static_cast<uint64_t>(kind) * 101 +
+  const uint64_t seed = options_.seed * 1000003 + SeedId(parsed.first) * 101 +
                         static_cast<uint64_t>(bound_fraction * 1000);
-
-  ExperimentResult result;
-  switch (kind) {
-    case StrategyKind::kNone: {
-      NoShedder shedder;
-      result = RunWith(&shedder, nullptr, pm_sample_stride);
-      break;
-    }
-    case StrategyKind::kRI: {
-      RandomInputShedder shedder(theta, options_.baseline_trigger_delay, seed);
-      result = RunWith(&shedder, nullptr, pm_sample_stride);
-      break;
-    }
-    case StrategyKind::kSI: {
-      SelectivityInputShedder shedder(offline_, theta, options_.baseline_trigger_delay, seed);
-      result = RunWith(&shedder, nullptr, pm_sample_stride);
-      break;
-    }
-    case StrategyKind::kRS: {
-      RandomStateShedder shedder(LatencyBoundMode{theta, options_.baseline_trigger_delay}, seed);
-      result = RunWith(&shedder, nullptr, pm_sample_stride);
-      break;
-    }
-    case StrategyKind::kSS: {
-      SelectivityStateShedder shedder(offline_, LatencyBoundMode{theta, options_.baseline_trigger_delay}, seed);
-      result = RunWith(&shedder, nullptr, pm_sample_stride);
-      break;
-    }
-    case StrategyKind::kPI: {
-      PositionalInputShedder shedder(positional_.get(), theta,
-                                     options_.baseline_trigger_delay, seed);
-      result = RunWith(&shedder, nullptr, pm_sample_stride);
-      break;
-    }
-    case StrategyKind::kHybrid:
-    case StrategyKind::kHyI:
-    case StrategyKind::kHyS: {
-      CostModel model = *model_;  // fresh copy: online adaptation is per-run
-      HybridOptions hopts;
-      hopts.theta = theta;
-      hopts.trigger_delay = options_.trigger_delay;
-      hopts.enable_input = kind != StrategyKind::kHyS;
-      hopts.enable_state = kind != StrategyKind::kHyI;
-      hopts.solver = options_.solver;
-      hopts.utility_samples = utility_samples_;
-      HybridShedder shedder(&model, hopts);
-      result = RunWith(&shedder, &model, pm_sample_stride);
-      break;
-    }
-  }
+  Result<ExperimentResult> result =
+      RunSpec(spec, theta, /*fraction=*/-1.0, seed, pm_sample_stride);
   options_ = saved;
   return result;
 }
 
+Result<ExperimentResult> ExperimentHarness::RunFixedSpec(const std::string& spec,
+                                                         double ratio,
+                                                         size_t pm_sample_stride) {
+  CEPSHED_ASSIGN_OR_RETURN(auto parsed, ShedderConfig::ParseSpec(spec));
+  const uint64_t seed = options_.seed * 7919 + SeedId(parsed.first) * 31 +
+                        static_cast<uint64_t>(ratio * 1000);
+  return RunSpec(spec, /*theta=*/-1.0, ratio, seed, pm_sample_stride);
+}
+
+namespace {
+
+std::string LowerName(const char* name) {
+  std::string out(name);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+ExperimentResult ExperimentHarness::RunBound(StrategyKind kind, double bound_fraction,
+                                             LatencyStat stat,
+                                             size_t pm_sample_stride) {
+  Result<ExperimentResult> result =
+      RunBoundSpec(LowerName(StrategyName(kind)), bound_fraction, stat,
+                   pm_sample_stride);
+  if (!result.ok()) {
+    // Every enum strategy is registered and Prepare supplied its
+    // ingredients, so this only fires on misuse (e.g. unprepared harness).
+    ExperimentResult error;
+    error.name = std::string("error: ") + result.status().message();
+    return error;
+  }
+  return std::move(result).value();
+}
+
 ExperimentResult ExperimentHarness::RunFixed(StrategyKind kind, double ratio,
                                              size_t pm_sample_stride) {
-  const uint64_t seed = options_.seed * 7919 + static_cast<uint64_t>(kind) * 31 +
-                        static_cast<uint64_t>(ratio * 1000);
-  switch (kind) {
-    case StrategyKind::kNone: {
-      NoShedder shedder;
-      return RunWith(&shedder, nullptr, pm_sample_stride);
-    }
-    case StrategyKind::kRI: {
-      RandomInputShedder shedder(ratio, seed);
-      return RunWith(&shedder, nullptr, pm_sample_stride);
-    }
-    case StrategyKind::kSI: {
-      SelectivityInputShedder shedder(offline_, ratio, seed);
-      return RunWith(&shedder, nullptr, pm_sample_stride);
-    }
-    case StrategyKind::kRS: {
-      RandomStateShedder shedder(FixedRatioMode{ratio, options_.state_shed_period}, seed);
-      return RunWith(&shedder, nullptr, pm_sample_stride);
-    }
-    case StrategyKind::kSS: {
-      SelectivityStateShedder shedder(offline_, FixedRatioMode{ratio, options_.state_shed_period}, seed);
-      return RunWith(&shedder, nullptr, pm_sample_stride);
-    }
-    case StrategyKind::kPI: {
-      PositionalInputShedder shedder(positional_.get(), ratio, seed);
-      return RunWith(&shedder, nullptr, pm_sample_stride);
-    }
-    case StrategyKind::kHyI: {
-      CostModel model = *model_;
-      const auto [thr, tie] = ComputeUtilityThreshold(model, train_, ratio);
-      HybridFixedInputShedder shedder(&model, thr, tie, seed);
-      return RunWith(&shedder, &model, pm_sample_stride);
-    }
-    case StrategyKind::kHyS: {
-      CostModel model = *model_;
-      HybridFixedStateShedder shedder(&model, ratio, options_.state_shed_period, seed);
-      return RunWith(&shedder, &model, pm_sample_stride);
-    }
-    case StrategyKind::kHybrid: {
-      // Fixed-ratio hybrid: split the ratio across input and state.
-      CostModel model = *model_;
-      const auto [thr, tie] = ComputeUtilityThreshold(model, train_, ratio * 0.5);
-      HybridFixedInputShedder input(&model, thr, tie, seed);
-      // Run input filter and periodic state shedding together via a small
-      // composite.
-      class Composite : public Shedder {
-       public:
-        Composite(HybridFixedInputShedder* in, HybridFixedStateShedder* st)
-            : in_(in), st_(st) {}
-        std::string Name() const override { return "Hybrid"; }
-        void Bind(Engine* engine) override {
-          Shedder::Bind(engine);
-          in_->Bind(engine);
-          st_->Bind(engine);
-        }
-        bool FilterEvent(const Event& e) override { return in_->FilterEvent(e); }
-        void AfterEvent(Timestamp now, double mu) override {
-          st_->AfterEvent(now, mu);
-        }
-       private:
-        HybridFixedInputShedder* in_;
-        HybridFixedStateShedder* st_;
-      };
-      HybridFixedStateShedder state(&model, ratio * 0.5, options_.state_shed_period,
-                                    seed + 1);
-      Composite composite(&input, &state);
-      ExperimentResult result = RunWith(&composite, &model, pm_sample_stride);
-      // Collect drop/shed counters from the parts.
-      result.raw.dropped_events = input.events_dropped();
-      result.raw.shed_pms = state.pms_shed();
-      return result;
-    }
+  Result<ExperimentResult> result =
+      RunFixedSpec(LowerName(StrategyName(kind)), ratio, pm_sample_stride);
+  if (!result.ok()) {
+    ExperimentResult error;
+    error.name = std::string("error: ") + result.status().message();
+    return error;
   }
-  NoShedder shedder;
-  return RunWith(&shedder, nullptr, pm_sample_stride);
+  return std::move(result).value();
 }
 
 }  // namespace cepshed

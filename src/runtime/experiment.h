@@ -19,8 +19,11 @@
 #include "src/runtime/metrics.h"
 #include "src/shed/controller.h"
 #include "src/shed/cost_model.h"
+#include "src/shed/hspice.h"
 #include "src/shed/offline_estimator.h"
 #include "src/shed/positional.h"
+#include "src/shed/pspice.h"
+#include "src/shed/registry.h"
 #include "src/shed/shedding_set.h"
 
 namespace cepshed {
@@ -109,6 +112,26 @@ class ExperimentHarness {
   ExperimentResult RunFixed(StrategyKind kind, double ratio,
                             size_t pm_sample_stride = 0);
 
+  /// Latency-bound run of any registered strategy spec
+  /// (`name[:key=value,...]`, see ShedderRegistry). The enum overloads
+  /// above delegate here; the spec path additionally reaches strategies
+  /// without an enum value (hspice, pspice, plug-ins).
+  Result<ExperimentResult> RunBoundSpec(const std::string& spec,
+                                        double bound_fraction,
+                                        LatencyStat stat = LatencyStat::kAverage,
+                                        size_t pm_sample_stride = 0);
+
+  /// Fixed-ratio run of any registered strategy spec.
+  Result<ExperimentResult> RunFixedSpec(const std::string& spec, double ratio,
+                                        size_t pm_sample_stride = 0);
+
+  /// The registry context for the given operating point: every trained
+  /// ingredient this harness prepared, borrowed. Valid until the next
+  /// Prepare; exposed so callers driving their own engines (shard
+  /// runtimes, tests) can construct registry strategies consistently.
+  ShedderContext MakeContext(double theta, double fraction,
+                             uint64_t seed) const;
+
   /// Re-runs the ground truth engine (e.g., after option changes).
   Status RefreshTruth();
 
@@ -117,9 +140,20 @@ class ExperimentHarness {
   /// settings).
   HarnessOptions* mutable_options() { return &options_; }
 
+  const PositionalUtility& positional() const { return *positional_; }
+  const HspiceTable& hspice() const { return *hspice_; }
+  const PspiceModel& pspice() const { return *pspice_; }
+
  private:
   ExperimentResult RunWith(Shedder* shedder, CostModel* model,
                            size_t pm_sample_stride);
+  Result<ExperimentResult> RunSpec(const std::string& spec, double theta,
+                                   double fraction, uint64_t seed,
+                                   size_t pm_sample_stride);
+  /// Stable strategy id for run-seed derivation: legacy names keep their
+  /// StrategyKind enum value so seeds (and thus recorded results) match
+  /// the pre-registry harness; unknown names hash.
+  static uint64_t SeedId(const std::string& name);
 
   const Schema* schema_;
   Query query_;
@@ -133,6 +167,10 @@ class ExperimentHarness {
   std::vector<double> utility_samples_;
   /// Positional utility table for the PI baseline (trained in Prepare).
   std::unique_ptr<PositionalUtility> positional_;
+  /// Per-(type, state) utility table for hSPICE (trained in Prepare).
+  std::unique_ptr<HspiceTable> hspice_;
+  /// Per-state completion model for pSPICE (trained in Prepare).
+  std::unique_ptr<PspiceModel> pspice_;
   GroundTruth truth_;
   RunResult truth_run_;
   bool prepared_ = false;

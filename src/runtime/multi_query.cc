@@ -3,6 +3,7 @@
 #include "src/runtime/multi_query.h"
 
 #include "src/shed/offline_estimator.h"
+#include "src/shed/registry.h"
 
 namespace cepshed {
 
@@ -15,7 +16,8 @@ MultiQueryRunner::MultiQueryRunner(const Schema* schema,
       queries_(std::move(queries)),
       shed_options_(shed_options),
       model_options_(model_options),
-      engine_options_(engine_options) {}
+      engine_options_(engine_options),
+      train_(schema) {}
 
 Status MultiQueryRunner::Prepare(const EventStream& train) {
   if (queries_.empty()) {
@@ -25,6 +27,10 @@ Status MultiQueryRunner::Prepare(const EventStream& train) {
   models_.clear();
   utility_samples_.clear();
   baseline_cost_.clear();
+  offline_.clear();
+  hspice_.clear();
+  pspice_.clear();
+  train_ = train;
   for (const WeightedQuery& wq : queries_) {
     if (wq.weight <= 0.0) {
       return Status::InvalidArgument("query weights must be positive");
@@ -38,6 +44,13 @@ Status MultiQueryRunner::Prepare(const EventStream& train) {
     Rng rng(17 + models_.size());
     CEPSHED_RETURN_NOT_OK(model->Train(stats, &rng));
     utility_samples_.push_back(ComputeTrainingUtilities(*model, train));
+
+    auto hspice = std::make_unique<HspiceTable>();
+    CEPSHED_RETURN_NOT_OK(hspice->Train(nfa, stats));
+    hspice_.push_back(std::move(hspice));
+    auto pspice = std::make_unique<PspiceModel>();
+    CEPSHED_RETURN_NOT_OK(pspice->Train(nfa, stats));
+    pspice_.push_back(std::move(pspice));
 
     // The query's no-shedding per-event cost on the training stream sizes
     // its budget share.
@@ -53,6 +66,7 @@ Status MultiQueryRunner::Prepare(const EventStream& train) {
 
     nfas_.push_back(std::move(nfa));
     models_.push_back(std::move(model));
+    offline_.push_back(std::move(stats));
   }
   prepared_ = true;
   return Status::OK();
@@ -70,7 +84,7 @@ Result<MultiQueryResult> MultiQueryRunner::Run(const EventStream& stream, double
   struct PerQuery {
     std::unique_ptr<Engine> engine;
     std::unique_ptr<CostModel> model;
-    std::unique_ptr<HybridShedder> shedder;
+    std::unique_ptr<Shedder> shedder;
     std::unique_ptr<LatencyMonitor> monitor;
     obs::ShardObs* obs = nullptr;
     size_t obs_matches_seen = 0;
@@ -84,25 +98,48 @@ Result<MultiQueryResult> MultiQueryRunner::Run(const EventStream& stream, double
   for (size_t q = 0; q < queries_.size(); ++q) {
     PerQuery& query_run = running[q];
     query_run.engine = std::make_unique<Engine>(nfas_[q], engine_options_);
-    query_run.model = std::make_unique<CostModel>(*models_[q]);
-    CostModel* model = query_run.model.get();
-    query_run.engine->set_classifier(
-        [model](const PartialMatch& pm) { return model->Classify(pm); });
-    query_run.engine->set_pm_created_hook(
-        [model](const PartialMatch& pm, const PartialMatch* parent) {
-          model->OnPmCreated(pm, parent, pm.last_ts);
-        });
-    query_run.engine->set_match_hook(
-        [model](const Match& m, const PartialMatch* parent) {
-          model->OnMatch(m, parent, m.detected_at);
-        });
-    if (theta > 0.0) {
-      HybridOptions opts = shed_options_;
-      opts.theta = theta * queries_[q].weight * baseline_cost_[q] / denom;
-      opts.utility_samples = utility_samples_[q];
-      opts.seed = shed_options_.seed + q;
-      query_run.shedder = std::make_unique<HybridShedder>(model, opts);
+    const double theta_q =
+        theta > 0.0 ? theta * queries_[q].weight * baseline_cost_[q] / denom : -1.0;
+    if (theta > 0.0 && !shedder_spec_.empty()) {
+      // Registry path: any named strategy over this query's slice and
+      // substrate. Model-backed strategies wire their own engine hooks at
+      // Bind, so nothing is wired here.
+      ShedderContext ctx;
+      ctx.theta = theta_q;
+      ctx.hybrid_trigger_delay = shed_options_.trigger_delay;
+      ctx.seed = shed_options_.seed + q;
+      ctx.solver = shed_options_.solver;
+      ctx.offline = &offline_[q];
+      ctx.model = models_[q].get();
+      ctx.hspice = hspice_[q].get();
+      ctx.pspice = pspice_[q].get();
+      ctx.utility_samples = &utility_samples_[q];
+      ctx.train = &train_;
+      CEPSHED_ASSIGN_OR_RETURN(
+          query_run.shedder,
+          ShedderRegistry::Instance().Create(shedder_spec_, ctx));
       query_run.shedder->Bind(query_run.engine.get());
+    } else {
+      query_run.model = std::make_unique<CostModel>(*models_[q]);
+      CostModel* model = query_run.model.get();
+      query_run.engine->set_classifier(
+          [model](const PartialMatch& pm) { return model->Classify(pm); });
+      query_run.engine->set_pm_created_hook(
+          [model](const PartialMatch& pm, const PartialMatch* parent) {
+            model->OnPmCreated(pm, parent, pm.last_ts);
+          });
+      query_run.engine->set_match_hook(
+          [model](const Match& m, const PartialMatch* parent) {
+            model->OnMatch(m, parent, m.detected_at);
+          });
+      if (theta > 0.0) {
+        HybridOptions opts = shed_options_;
+        opts.theta = theta_q;
+        opts.utility_samples = utility_samples_[q];
+        opts.seed = shed_options_.seed + q;
+        query_run.shedder = std::make_unique<HybridShedder>(model, opts);
+        query_run.shedder->Bind(query_run.engine.get());
+      }
     }
     if (metrics_ != nullptr) {
       query_run.obs = metrics_->shard(static_cast<int>(q));

@@ -12,6 +12,7 @@
 #define CEPSHED_RUNTIME_MULTI_QUERY_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/cep/engine.h"
@@ -19,7 +20,10 @@
 #include "src/runtime/latency_monitor.h"
 #include "src/runtime/metrics.h"
 #include "src/shed/cost_model.h"
+#include "src/shed/hspice.h"
 #include "src/shed/hybrid.h"
+#include "src/shed/offline_estimator.h"
+#include "src/shed/pspice.h"
 
 namespace cepshed {
 
@@ -75,6 +79,13 @@ class MultiQueryRunner {
   /// "shard" label identifies the query.
   void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
 
+  /// Selects the per-query shedding strategy by registry spec
+  /// (`name[:key=value,...]`, see ShedderRegistry) instead of the default
+  /// hybrid. Each query still receives its own budget slice as the spec's
+  /// latency bound and its own trained substrate. Empty (the default)
+  /// keeps the hybrid path.
+  void set_shedder_spec(std::string spec) { shedder_spec_ = std::move(spec); }
+
  private:
   const Schema* schema_;
   std::vector<WeightedQuery> queries_;
@@ -85,6 +96,15 @@ class MultiQueryRunner {
   std::vector<std::unique_ptr<CostModel>> models_;
   std::vector<std::vector<double>> utility_samples_;
   std::vector<double> baseline_cost_;
+  /// Per-query trained substrate beyond the cost model, retained so
+  /// registry-spec runs can construct any strategy (SI/SS need the offline
+  /// statistics, hSPICE/pSPICE their learned tables).
+  std::vector<OfflineStats> offline_;
+  std::vector<std::unique_ptr<HspiceTable>> hspice_;
+  std::vector<std::unique_ptr<PspiceModel>> pspice_;
+  /// Training stream (fixed-ratio threshold calibration in spec runs).
+  EventStream train_;
+  std::string shedder_spec_;
   obs::MetricsRegistry* metrics_ = nullptr;
   bool prepared_ = false;
 };

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "src/shed/registry.h"
+
 namespace cepshed {
 
 // --- RI ----------------------------------------------------------------
@@ -20,19 +22,26 @@ double RandomInputShedder::theta() const {
   return controller_ ? controller_->theta() : -1.0;
 }
 
-bool RandomInputShedder::FilterEvent(const Event&) {
+bool RandomInputShedder::FilterEvent(const Event& event) {
   const double p = fixed_fraction_ >= 0.0 ? fixed_fraction_ : rate_;
-  if (p > 0.0 && rng_.Bernoulli(p)) return DropEvent();
+  if (p > 0.0 && rng_.Bernoulli(p)) {
+    // RI has no model class; the event type is the audit class, so the
+    // per-class counters resolve to per-type drop counts.
+    return DropEvent(static_cast<int>(event.type()), last_mu_, event.seq(),
+                     event.timestamp());
+  }
   return false;
 }
 
 void RandomInputShedder::AfterEvent(Timestamp, double mu) {
+  last_mu_ = mu;
   if (controller_) rate_ = controller_->Update(mu);
 }
 
 void RandomInputShedder::Reset() {
   Shedder::Reset();
   rate_ = 0.0;
+  last_mu_ = 0.0;
   if (controller_) controller_->Reset();
 }
 
@@ -95,12 +104,15 @@ bool SelectivityInputShedder::FilterEvent(const Event& event) {
   const size_t t = static_cast<size_t>(event.type());
   if (t >= drop_prob_.size()) return false;
   const double p = drop_prob_[t];
-  if (p >= 1.0) return DropEvent();
-  if (p > 0.0 && rng_.Bernoulli(p)) return DropEvent();
+  if (p >= 1.0 || (p > 0.0 && rng_.Bernoulli(p))) {
+    return DropEvent(static_cast<int>(event.type()), last_mu_, event.seq(),
+                     event.timestamp());
+  }
   return false;
 }
 
 void SelectivityInputShedder::AfterEvent(Timestamp, double mu) {
+  last_mu_ = mu;
   if (!controller_) return;
   const double rate = controller_->Update(mu);
   if (rate != planned_fraction_) RebuildPlan(rate);
@@ -108,6 +120,7 @@ void SelectivityInputShedder::AfterEvent(Timestamp, double mu) {
 
 void SelectivityInputShedder::Reset() {
   Shedder::Reset();
+  last_mu_ = 0.0;
   if (controller_) {
     controller_->Reset();
     RebuildPlan(0.0);
@@ -178,7 +191,13 @@ void SelectivityStateShedder::ShedFraction(double fraction) {
   if (fraction <= 0.0) return;
   const size_t alive =
       engine_->store().NumAlive() + engine_->store().NumAliveWitnesses();
-  size_t target = static_cast<size_t>(fraction * static_cast<double>(alive) + 0.5);
+  // Floor, not round: rounding up can exceed the requested fraction by a
+  // whole match at tiny populations (alive=1, fraction=0.9 must kill 0,
+  // not 1). The epsilon keeps exact products like 0.2*5 from flooring one
+  // short; the clamp guards fraction > 1 (relative violations can be).
+  size_t target =
+      static_cast<size_t>(fraction * static_cast<double>(alive) + 1e-9);
+  if (target > alive) target = alive;
   if (target == 0) return;
 
   // Witnesses have zero completion probability: shed them first.
@@ -221,5 +240,87 @@ void SelectivityStateShedder::Reset() {
   events_seen_ = 0;
   if (trigger_) trigger_->Reset();
 }
+
+// --- Registry ----------------------------------------------------------
+
+CEPSHED_SHEDDER_LINK_TOKEN(Baselines)
+
+namespace {
+
+Status NeedMode(const char* name, const ResolvedMode& mode) {
+  if (mode.fixed() || mode.bound()) return Status::OK();
+  return Status::InvalidArgument(std::string("shedder \"") + name +
+                                 "\" needs a latency bound (theta=...) or a "
+                                 "fixed ratio (fraction=...)");
+}
+
+Status NeedOffline(const char* name, const ShedderContext& ctx) {
+  if (ctx.offline != nullptr) return Status::OK();
+  return Status::InvalidArgument(std::string("shedder \"") + name +
+                                 "\" needs offline selectivity statistics "
+                                 "(construct it through a prepared harness)");
+}
+
+const ShedderRegistrar kRiRegistrar{
+    "ri", [](const ShedderConfig& config,
+             const ShedderContext& ctx) -> Result<std::unique_ptr<Shedder>> {
+      CEPSHED_RETURN_NOT_OK(config.ExpectKeys({"theta", "fraction", "delay", "seed"}));
+      CEPSHED_ASSIGN_OR_RETURN(ResolvedMode mode, ResolveMode(config, ctx));
+      CEPSHED_RETURN_NOT_OK(NeedMode("ri", mode));
+      if (mode.fixed()) {
+        return std::unique_ptr<Shedder>(
+            new RandomInputShedder(mode.fraction, mode.seed));
+      }
+      return std::unique_ptr<Shedder>(
+          new RandomInputShedder(mode.theta, mode.delay, mode.seed));
+    }};
+
+const ShedderRegistrar kSiRegistrar{
+    "si", [](const ShedderConfig& config,
+             const ShedderContext& ctx) -> Result<std::unique_ptr<Shedder>> {
+      CEPSHED_RETURN_NOT_OK(config.ExpectKeys({"theta", "fraction", "delay", "seed"}));
+      CEPSHED_ASSIGN_OR_RETURN(ResolvedMode mode, ResolveMode(config, ctx));
+      CEPSHED_RETURN_NOT_OK(NeedMode("si", mode));
+      CEPSHED_RETURN_NOT_OK(NeedOffline("si", ctx));
+      if (mode.fixed()) {
+        return std::unique_ptr<Shedder>(
+            new SelectivityInputShedder(*ctx.offline, mode.fraction, mode.seed));
+      }
+      return std::unique_ptr<Shedder>(new SelectivityInputShedder(
+          *ctx.offline, mode.theta, mode.delay, mode.seed));
+    }};
+
+const ShedderRegistrar kRsRegistrar{
+    "rs", [](const ShedderConfig& config,
+             const ShedderContext& ctx) -> Result<std::unique_ptr<Shedder>> {
+      CEPSHED_RETURN_NOT_OK(
+          config.ExpectKeys({"theta", "fraction", "delay", "period", "seed"}));
+      CEPSHED_ASSIGN_OR_RETURN(ResolvedMode mode, ResolveMode(config, ctx));
+      CEPSHED_RETURN_NOT_OK(NeedMode("rs", mode));
+      if (mode.fixed()) {
+        return std::unique_ptr<Shedder>(new RandomStateShedder(
+            FixedRatioMode{mode.fraction, mode.period}, mode.seed));
+      }
+      return std::unique_ptr<Shedder>(new RandomStateShedder(
+          LatencyBoundMode{mode.theta, mode.delay}, mode.seed));
+    }};
+
+const ShedderRegistrar kSsRegistrar{
+    "ss", [](const ShedderConfig& config,
+             const ShedderContext& ctx) -> Result<std::unique_ptr<Shedder>> {
+      CEPSHED_RETURN_NOT_OK(
+          config.ExpectKeys({"theta", "fraction", "delay", "period", "seed"}));
+      CEPSHED_ASSIGN_OR_RETURN(ResolvedMode mode, ResolveMode(config, ctx));
+      CEPSHED_RETURN_NOT_OK(NeedMode("ss", mode));
+      CEPSHED_RETURN_NOT_OK(NeedOffline("ss", ctx));
+      if (mode.fixed()) {
+        return std::unique_ptr<Shedder>(new SelectivityStateShedder(
+            *ctx.offline, FixedRatioMode{mode.fraction, mode.period}, mode.seed));
+      }
+      return std::unique_ptr<Shedder>(new SelectivityStateShedder(
+          *ctx.offline, LatencyBoundMode{mode.theta, mode.delay}, mode.seed));
+    }};
+
+}  // namespace
 
 }  // namespace cepshed

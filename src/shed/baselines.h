@@ -73,6 +73,9 @@ class RandomInputShedder : public Shedder {
   std::optional<DropRateController> controller_;
   double rate_ = 0.0;
   double fixed_fraction_ = -1.0;
+  /// Smoothed latency of the last AfterEvent (audit context for drops
+  /// decided inside FilterEvent, which does not see mu).
+  double last_mu_ = 0.0;
   Rng rng_;
 };
 
@@ -100,6 +103,8 @@ class SelectivityInputShedder : public Shedder {
   std::optional<DropRateController> controller_;
   double fixed_fraction_ = -1.0;
   double planned_fraction_ = -1.0;
+  /// Smoothed latency of the last AfterEvent (audit context for drops).
+  double last_mu_ = 0.0;
   /// Per type: probability of dropping an event of that type.
   std::vector<double> drop_prob_;
   Rng rng_;

@@ -67,17 +67,25 @@ RunResult ShedRunner::Run(const EventStream& stream, size_t pm_sample_stride) {
 
   result.avg_latency = monitor.OverallAverage();
   if (!latencies.empty()) {
-    auto percentile = [&](double q) {
-      std::vector<double> copy = latencies;
-      const size_t idx = std::min(
-          copy.size() - 1,
-          static_cast<size_t>(q * static_cast<double>(copy.size() - 1) + 0.5));
-      std::nth_element(copy.begin(), copy.begin() + static_cast<ptrdiff_t>(idx),
-                       copy.end());
-      return copy[idx];
+    // One working copy for both quantiles. Ranks use the same sorted-index
+    // convention as the obs log-histogram (HistogramSnapshot::Quantile):
+    // element floor(q * (n-1)) of the sorted samples — so the exported
+    // histogram percentiles and these exact ones agree up to bucket width.
+    const size_t n = latencies.size();
+    auto rank = [n](double q) {
+      return std::min(n - 1, static_cast<size_t>(q * static_cast<double>(n - 1)));
     };
-    result.p95_latency = percentile(0.95);
-    result.p99_latency = percentile(0.99);
+    const size_t i95 = rank(0.95);
+    const size_t i99 = rank(0.99);
+    std::vector<double> copy = latencies;
+    std::nth_element(copy.begin(), copy.begin() + static_cast<ptrdiff_t>(i95),
+                     copy.end());
+    result.p95_latency = copy[i95];
+    // nth_element left [i95, end) holding the top tail, so the second
+    // selection only has to partition that suffix.
+    std::nth_element(copy.begin() + static_cast<ptrdiff_t>(i95),
+                     copy.begin() + static_cast<ptrdiff_t>(i99), copy.end());
+    result.p99_latency = copy[i99];
   }
   return result;
 }

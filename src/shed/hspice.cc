@@ -1,0 +1,307 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/shed/hspice.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/cep/engine.h"
+#include "src/shed/registry.h"
+
+namespace cepshed {
+
+// --- HspiceTable --------------------------------------------------------
+
+Status HspiceTable::Train(std::shared_ptr<const Nfa> nfa,
+                          const OfflineStats& stats) {
+  if (nfa == nullptr) return Status::InvalidArgument("hspice: null nfa");
+  nfa_ = std::move(nfa);
+  num_types_ = static_cast<int>(stats.type_utility.size());
+  num_states_ = nfa_->num_states();
+  if (num_types_ <= 0 || num_states_ <= 0) {
+    return Status::InvalidArgument("hspice: empty offline statistics");
+  }
+  type_share_ = stats.type_share;
+  type_share_.resize(static_cast<size_t>(num_types_), 0.0);
+
+  const size_t cells =
+      static_cast<size_t>(num_types_) * static_cast<size_t>(num_states_);
+  std::vector<double> completed(cells, 0.0);
+  std::vector<double> created(cells, 0.0);
+  for (const PmRecord& rec : stats.records) {
+    if (rec.last_event_type < 0 || rec.last_event_type >= num_types_ ||
+        rec.state < 0 || rec.state >= num_states_) {
+      continue;
+    }
+    const size_t idx = Index(rec.last_event_type, rec.state);
+    created[idx] += 1.0;
+    const float contrib = std::accumulate(rec.contrib_by_slice.begin(),
+                                          rec.contrib_by_slice.end(), 0.0f);
+    if (contrib > 0.0f) completed[idx] += 1.0;
+  }
+
+  utility_.assign(cells, 0.0);
+  for (int t = 0; t < num_types_; ++t) {
+    for (int s = 0; s < num_states_; ++s) {
+      const size_t idx = Index(t, s);
+      if (created[idx] > 0.0) {
+        utility_[idx] = completed[idx] / created[idx];
+      } else {
+        // Never observed at this state in training: back off to the
+        // type-level utility so unseen combinations are not treated as
+        // provably worthless.
+        utility_[idx] = stats.type_utility[static_cast<size_t>(t)];
+      }
+    }
+  }
+  RebuildThresholds();
+  return Status::OK();
+}
+
+double HspiceTable::Utility(int type, int state) const {
+  if (type < 0 || type >= num_types_ || state < 0 || state >= num_states_) {
+    return 0.0;
+  }
+  return utility_[Index(type, state)];
+}
+
+void HspiceTable::SetUtility(int type, int state, double u) {
+  if (type < 0 || type >= num_types_ || state < 0 || state >= num_states_) return;
+  utility_[Index(type, state)] = u;
+}
+
+double HspiceTable::StaticEventUtility(int type) const {
+  if (nfa_ == nullptr) return 0.0;
+  double best = 0.0;
+  for (int s : nfa_->StatesForType(type)) best = std::max(best, Utility(type, s));
+  return best;
+}
+
+double HspiceTable::ThresholdFor(double fraction) const {
+  if (fraction <= 0.0 || sorted_.empty()) return -1.0;
+  double cum = 0.0;
+  for (const auto& [u, share] : sorted_) {
+    cum += share;
+    if (cum >= fraction) return u;
+  }
+  return sorted_.back().first;
+}
+
+void HspiceTable::RebuildThresholds() {
+  sorted_.clear();
+  sorted_.reserve(static_cast<size_t>(num_types_));
+  for (int t = 0; t < num_types_; ++t) {
+    sorted_.emplace_back(StaticEventUtility(t),
+                         type_share_[static_cast<size_t>(t)]);
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+// --- HspiceShedder ------------------------------------------------------
+
+HspiceShedder::HspiceShedder(const HspiceTable& table, double theta,
+                             uint64_t trigger_delay, uint64_t seed)
+    : table_(table),
+      controller_(DropRateController(theta, trigger_delay)),
+      created_inc_(256, 2),
+      completed_inc_(256, 2),
+      rng_(seed) {
+  occupied_.assign(static_cast<size_t>(table_.num_states()), false);
+}
+
+HspiceShedder::HspiceShedder(const HspiceTable& table, double fraction,
+                             uint64_t seed)
+    : table_(table),
+      fixed_fraction_(fraction),
+      created_inc_(256, 2),
+      completed_inc_(256, 2),
+      rng_(seed) {
+  occupied_.assign(static_cast<size_t>(table_.num_states()), false);
+  threshold_ = table_.ThresholdFor(fraction);
+  planned_fraction_ = fraction;
+}
+
+double HspiceShedder::theta() const {
+  return controller_ ? controller_->theta() : -1.0;
+}
+
+void HspiceShedder::Bind(Engine* engine) {
+  Shedder::Bind(engine);
+  const int num_states = table_.num_states();
+  // Online adaptation: count creations and completions per (type, state)
+  // key. The sketches absorb unbounded key churn at fixed memory; the
+  // fold blends their ratio into the table.
+  engine->set_pm_created_hook(
+      [this, num_states](const PartialMatch& pm, const PartialMatch*) {
+        if (pm.is_witness || pm.LastEvent() == nullptr) return;
+        const uint64_t key =
+            static_cast<uint64_t>(pm.LastEvent()->type()) *
+                static_cast<uint64_t>(num_states) +
+            static_cast<uint64_t>(pm.state);
+        created_inc_.Add(key);
+      });
+  engine->set_match_hook(
+      [this, num_states](const Match& m, const PartialMatch*) {
+        // Credit every bound event at its slot: each represents a partial
+        // match at that state (with that last-event type) that completed.
+        for (size_t slot = 0; slot < m.slot_end.size(); ++slot) {
+          const auto [begin, end] = m.SlotRange(slot);
+          for (uint32_t i = begin; i < end; ++i) {
+            const uint64_t key =
+                static_cast<uint64_t>(m.events[i]->type()) *
+                    static_cast<uint64_t>(num_states) +
+                static_cast<uint64_t>(slot);
+            completed_inc_.Add(key);
+          }
+        }
+      });
+}
+
+bool HspiceShedder::Feasible(int state) const {
+  if (state == 0) return true;  // starts a fresh pattern instance
+  if (engine_ == nullptr) return true;
+  if (occupied_[static_cast<size_t>(state - 1)]) return true;
+  // A Kleene component with an open instance keeps consuming its type.
+  if (table_.nfa() != nullptr && table_.nfa()->state(state).kleene &&
+      occupied_[static_cast<size_t>(state)]) {
+    return true;
+  }
+  return false;
+}
+
+void HspiceShedder::RefreshOccupancy() {
+  if (engine_ == nullptr) return;
+  const PartialMatchStore& store = engine_->store();
+  const int n = std::min(table_.num_states(), store.num_states());
+  for (int s = 0; s < n; ++s) {
+    bool any = false;
+    for (const auto& pm : store.bucket(s)) {
+      if (pm->alive) {
+        any = true;
+        break;
+      }
+    }
+    occupied_[static_cast<size_t>(s)] = any;
+  }
+}
+
+double HspiceShedder::RuntimeUtility(int type) const {
+  if (table_.nfa() == nullptr) return table_.StaticEventUtility(type);
+  double best = 0.0;
+  bool feasible_somewhere = false;
+  for (int s : table_.nfa()->StatesForType(type)) {
+    if (!Feasible(s)) continue;
+    feasible_somewhere = true;
+    best = std::max(best, table_.Utility(type, s));
+  }
+  // No state can consume the event right now: worthless at this instant,
+  // whatever its historic utility.
+  return feasible_somewhere ? best : 0.0;
+}
+
+bool HspiceShedder::FilterEvent(const Event& event) {
+  if (threshold_ < 0.0) return false;
+  const double u = RuntimeUtility(event.type());
+  if (u < threshold_) {
+    return DropEvent(static_cast<int>(event.type()), last_mu_, event.seq(),
+                     event.timestamp());
+  }
+  if (u == threshold_ && planned_fraction_ > 0.0 &&
+      rng_.Bernoulli(0.5 * planned_fraction_)) {
+    // Tie-breaking keeps the realized rate near the target when the
+    // utility distribution is coarse.
+    return DropEvent(static_cast<int>(event.type()), last_mu_, event.seq(),
+                     event.timestamp());
+  }
+  return false;
+}
+
+void HspiceShedder::MaybeFold() {
+  if (created_inc_.TotalMass() <= 0.0) return;
+  const int num_states = table_.num_states();
+  bool changed = false;
+  for (int t = 0; t < table_.num_types(); ++t) {
+    for (int s = 0; s < num_states; ++s) {
+      const uint64_t key = static_cast<uint64_t>(t) *
+                               static_cast<uint64_t>(num_states) +
+                           static_cast<uint64_t>(s);
+      const double created = created_inc_.Estimate(key);
+      if (created < kMinFoldObservations) continue;
+      const double p =
+          std::min(1.0, completed_inc_.Estimate(key) / created);
+      table_.SetUtility(
+          t, s, (1.0 - kFoldWeight) * table_.Utility(t, s) + kFoldWeight * p);
+      changed = true;
+    }
+  }
+  created_inc_.Clear();
+  completed_inc_.Clear();
+  if (!changed) return;
+  table_.RebuildThresholds();
+  // The quantile moved under the current plan: re-derive the cutoff.
+  if (planned_fraction_ > 0.0) threshold_ = table_.ThresholdFor(planned_fraction_);
+  if (obs_ != nullptr) obs_->shed_adapt_folds.Add();
+}
+
+void HspiceShedder::AfterEvent(Timestamp, double mu) {
+  last_mu_ = mu;
+  ++events_seen_;
+  if (events_seen_ % kRefreshPeriod == 0) RefreshOccupancy();
+  if (events_seen_ % kFoldPeriod == 0) MaybeFold();
+  if (!controller_) return;
+  const double rate = controller_->Update(mu);
+  if (rate != planned_fraction_) {
+    planned_fraction_ = rate;
+    threshold_ = table_.ThresholdFor(rate);
+  }
+}
+
+void HspiceShedder::Reset() {
+  Shedder::Reset();
+  last_mu_ = 0.0;
+  events_seen_ = 0;
+  std::fill(occupied_.begin(), occupied_.end(), false);
+  created_inc_.Clear();
+  completed_inc_.Clear();
+  if (controller_) {
+    controller_->Reset();
+    planned_fraction_ = 0.0;
+    threshold_ = -1.0;
+  } else {
+    planned_fraction_ = fixed_fraction_;
+    threshold_ = table_.ThresholdFor(fixed_fraction_);
+  }
+}
+
+// --- Registry ----------------------------------------------------------
+
+CEPSHED_SHEDDER_LINK_TOKEN(Hspice)
+
+namespace {
+
+const ShedderRegistrar kHspiceRegistrar{
+    "hspice", [](const ShedderConfig& config,
+                 const ShedderContext& ctx) -> Result<std::unique_ptr<Shedder>> {
+      CEPSHED_RETURN_NOT_OK(config.ExpectKeys({"theta", "fraction", "delay", "seed"}));
+      CEPSHED_ASSIGN_OR_RETURN(ResolvedMode mode, ResolveMode(config, ctx));
+      if (!mode.fixed() && !mode.bound()) {
+        return Status::InvalidArgument(
+            "shedder \"hspice\" needs a latency bound (theta=...) or a "
+            "fixed ratio (fraction=...)");
+      }
+      if (ctx.hspice == nullptr || !ctx.hspice->trained()) {
+        return Status::InvalidArgument(
+            "shedder \"hspice\" needs a trained (type, state) utility "
+            "table (construct it through a prepared harness)");
+      }
+      if (mode.fixed()) {
+        return std::unique_ptr<Shedder>(
+            new HspiceShedder(*ctx.hspice, mode.fraction, mode.seed));
+      }
+      return std::unique_ptr<Shedder>(
+          new HspiceShedder(*ctx.hspice, mode.theta, mode.delay, mode.seed));
+    }};
+
+}  // namespace
+
+}  // namespace cepshed

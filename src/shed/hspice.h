@@ -1,0 +1,146 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// An input shedder in the spirit of hSPICE (Slo, Bhowmik & Rothermel,
+// DEBS 2020), which the paper discusses as related work (§VII): the
+// utility of an arriving event is assessed per (event type, NFA state) —
+// the probability that a partial match at that state whose last bound
+// event had that type eventually completes. Sits between type-level SI
+// (which ignores automaton progress) and the attribute-level cost model
+// (which classifies on predicate attributes): state-aware but still
+// cheap, one table lookup per accepting state.
+//
+// Two things go beyond the static table. First, the per-event utility is
+// feasibility-gated at runtime: an event's utility at state s counts only
+// while a partial match actually sits at s-1 (or at s for a Kleene
+// self-loop), so events that could not bind to anything right now score
+// zero regardless of their historic value. Second, the table adapts
+// online: creation/match hooks feed per-(type, state) completion counts
+// through a pair of count-min sketches, periodically folded into the
+// table the same way the cost model folds its class estimates.
+
+#ifndef CEPSHED_SHED_HSPICE_H_
+#define CEPSHED_SHED_HSPICE_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/cep/nfa.h"
+#include "src/common/rng.h"
+#include "src/shed/baselines.h"
+#include "src/shed/offline_estimator.h"
+#include "src/shed/shedder.h"
+#include "src/sketch/count_min.h"
+
+namespace cepshed {
+
+/// \brief Per-(event type, NFA state) completion-probability table learned
+/// from offline statistics, plus the weighted utility distribution used
+/// for quantile thresholds.
+class HspiceTable {
+ public:
+  HspiceTable() = default;
+
+  /// Learns the table from offline statistics (which must have been
+  /// estimated for `nfa`): utility(t, s) = fraction of partial matches
+  /// created at state s by an event of type t that eventually derived at
+  /// least one complete match. Unobserved (t, s) cells fall back to the
+  /// SI-style type utility.
+  Status Train(std::shared_ptr<const Nfa> nfa, const OfflineStats& stats);
+
+  bool trained() const { return !utility_.empty(); }
+  int num_types() const { return num_types_; }
+  int num_states() const { return num_states_; }
+  const std::shared_ptr<const Nfa>& nfa() const { return nfa_; }
+
+  /// Completion probability of a partial match at `state` whose last
+  /// event has `type`. Out-of-range keys score 0.
+  double Utility(int type, int state) const;
+  void SetUtility(int type, int state, double u);
+
+  /// Static (feasibility-blind) utility of an event type: the best
+  /// utility over the states that accept it.
+  double StaticEventUtility(int type) const;
+
+  /// The `fraction` quantile of the static utility distribution weighted
+  /// by each type's stream share — dropping everything at or below the
+  /// returned cutoff removes roughly that fraction of the input.
+  /// Negative when fraction <= 0 (drop nothing).
+  double ThresholdFor(double fraction) const;
+
+  /// Re-sorts the weighted utility distribution; call after SetUtility.
+  void RebuildThresholds();
+
+ private:
+  size_t Index(int type, int state) const {
+    return static_cast<size_t>(type) * static_cast<size_t>(num_states_) +
+           static_cast<size_t>(state);
+  }
+
+  std::shared_ptr<const Nfa> nfa_;
+  int num_types_ = 0;
+  int num_states_ = 0;
+  std::vector<double> utility_;  // type-major [type][state]
+  std::vector<double> type_share_;
+  /// (static utility, stream share) ascending by utility.
+  std::vector<std::pair<double, double>> sorted_;
+};
+
+/// \brief hSPICE: input-side shedding (rho_I) by per-(type, state) utility.
+///
+/// Latency-bound mode adapts the drop rate like the other input baselines;
+/// fixed-ratio mode drops a calibrated fraction. Owns a mutable copy of
+/// the table so online adaptation stays per-run state.
+class HspiceShedder : public Shedder {
+ public:
+  /// Latency-bound mode.
+  HspiceShedder(const HspiceTable& table, double theta, uint64_t trigger_delay,
+                uint64_t seed);
+  /// Fixed-ratio mode.
+  HspiceShedder(const HspiceTable& table, double fraction, uint64_t seed);
+
+  std::string Name() const override { return "hSPICE"; }
+  double theta() const override;
+  void Bind(Engine* engine) override;
+  bool FilterEvent(const Event& event) override;
+  void AfterEvent(Timestamp now, double mu) override;
+  void Reset() override;
+
+  /// Feasibility-gated utility of an event type right now (exposed for
+  /// tests).
+  double RuntimeUtility(int type) const;
+
+ private:
+  /// A state can consume an event right now iff it starts a pattern, a
+  /// match waits one state behind, or the state is a Kleene component
+  /// with an open instance.
+  bool Feasible(int state) const;
+  void RefreshOccupancy();
+  void MaybeFold();
+
+  HspiceTable table_;
+  std::optional<DropRateController> controller_;
+  double fixed_fraction_ = -1.0;
+  double threshold_ = -1.0;
+  double planned_fraction_ = 0.0;
+  /// Smoothed latency of the last AfterEvent (audit context for drops).
+  double last_mu_ = 0.0;
+  /// Per-state bucket occupancy, refreshed every kRefreshPeriod events.
+  std::vector<bool> occupied_;
+  uint64_t events_seen_ = 0;
+  /// Online adaptation: per-(type, state) creations and completions since
+  /// the last fold.
+  CountMinSketch created_inc_;
+  CountMinSketch completed_inc_;
+  Rng rng_;
+
+  static constexpr uint64_t kRefreshPeriod = 64;
+  static constexpr uint64_t kFoldPeriod = 4096;
+  static constexpr double kFoldWeight = 0.3;
+  static constexpr double kMinFoldObservations = 8.0;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_SHED_HSPICE_H_

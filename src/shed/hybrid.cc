@@ -7,6 +7,10 @@
 #include <algorithm>
 #include <map>
 #include <tuple>
+#include <utility>
+
+#include "src/cep/engine.h"
+#include "src/shed/registry.h"
 
 namespace cepshed {
 
@@ -358,5 +362,219 @@ std::pair<double, double> ComputeUtilityThreshold(const CostModel& model,
                              0.0, 1.0);
   return {thr, p_tie};
 }
+
+// --- Composite fixed-ratio hybrid -------------------------------------------
+
+HybridFixedShedder::HybridFixedShedder(const CostModel* model,
+                                       double input_threshold,
+                                       double tie_probability,
+                                       double state_fraction, uint64_t period,
+                                       uint64_t input_seed, uint64_t state_seed)
+    : input_(model, input_threshold, tie_probability, input_seed),
+      state_(model, state_fraction, period, state_seed) {}
+
+void HybridFixedShedder::Bind(Engine* engine) {
+  Shedder::Bind(engine);
+  input_.Bind(engine);
+  state_.Bind(engine);
+}
+
+bool HybridFixedShedder::FilterEvent(const Event& event) {
+  if (input_.FilterEvent(event)) {
+    // The parts keep their own counters (they do the dropping); mirror them
+    // so callers reading this shedder see the combined totals.
+    events_dropped_ = input_.events_dropped();
+    return true;
+  }
+  return false;
+}
+
+void HybridFixedShedder::AfterEvent(Timestamp now, double mu) {
+  state_.AfterEvent(now, mu);
+  pms_shed_ = state_.pms_shed();
+}
+
+void HybridFixedShedder::Reset() {
+  Shedder::Reset();
+  input_.Reset();
+  state_.Reset();
+}
+
+void HybridFixedShedder::set_obs(obs::ShardObs* o, int shard) {
+  Shedder::set_obs(o, shard);
+  input_.set_obs(o, shard);
+  state_.set_obs(o, shard);
+}
+
+// --- Registry adapter for model-backed strategies ----------------------------
+
+ModelOwningShedder::ModelOwningShedder(std::unique_ptr<CostModel> model,
+                                       std::unique_ptr<Shedder> inner)
+    : model_(std::move(model)), inner_(std::move(inner)) {}
+
+void ModelOwningShedder::Bind(Engine* engine) {
+  Shedder::Bind(engine);
+  CostModel* model = model_.get();
+  // The same wiring ExperimentHarness::RunWith installs for model-backed
+  // strategies: the classifier stamps class labels onto partial matches,
+  // and the creation/match hooks feed online adaptation.
+  engine->set_classifier(
+      [model](const PartialMatch& pm) { return model->Classify(pm); });
+  engine->set_pm_created_hook(
+      [model](const PartialMatch& pm, const PartialMatch* parent) {
+        model->OnPmCreated(pm, parent, pm.last_ts);
+      });
+  engine->set_match_hook([model](const Match& m, const PartialMatch* parent) {
+    model->OnMatch(m, parent, m.detected_at);
+  });
+  inner_->Bind(engine);
+}
+
+void ModelOwningShedder::AfterEvent(Timestamp now, double mu) {
+  inner_->AfterEvent(now, mu);
+  events_dropped_ = inner_->events_dropped();
+  pms_shed_ = inner_->pms_shed();
+}
+
+void ModelOwningShedder::Reset() {
+  Shedder::Reset();
+  inner_->Reset();
+}
+
+void ModelOwningShedder::set_obs(obs::ShardObs* o, int shard) {
+  Shedder::set_obs(o, shard);
+  inner_->set_obs(o, shard);
+}
+
+// --- Registry ----------------------------------------------------------
+
+CEPSHED_SHEDDER_LINK_TOKEN(Hybrid)
+
+namespace {
+
+Status NeedModel(const char* name, const ShedderContext& ctx) {
+  if (ctx.model == nullptr || !ctx.model->trained()) {
+    return Status::InvalidArgument(
+        std::string("shedder \"") + name +
+        "\" needs a trained cost model (construct it through a prepared "
+        "harness)");
+  }
+  return Status::OK();
+}
+
+/// Latency-bound hybrid family: a HybridShedder over a per-run copy of the
+/// context's cost model. The default seed stays HybridOptions' own (1234),
+/// not the context seed — the harness historically never overrode it for
+/// the bound mode, and byte-identical parity with that path matters for
+/// the differential tests.
+Result<std::unique_ptr<Shedder>> MakeHybridBound(const ShedderConfig& config,
+                                                 const ShedderContext& ctx,
+                                                 const ResolvedMode& mode,
+                                                 bool enable_input,
+                                                 bool enable_state) {
+  HybridOptions opts;
+  opts.theta = mode.theta;
+  CEPSHED_ASSIGN_OR_RETURN(
+      opts.trigger_delay,
+      config.GetUint("delay", ctx.hybrid_trigger_delay));
+  opts.enable_input = enable_input;
+  opts.enable_state = enable_state;
+  opts.solver = ctx.solver;
+  if (ctx.utility_samples != nullptr) opts.utility_samples = *ctx.utility_samples;
+  CEPSHED_ASSIGN_OR_RETURN(opts.seed, config.GetUint("seed", opts.seed));
+  auto model = std::make_unique<CostModel>(*ctx.model);
+  auto inner = std::make_unique<HybridShedder>(model.get(), opts);
+  return std::unique_ptr<Shedder>(
+      new ModelOwningShedder(std::move(model), std::move(inner)));
+}
+
+const ShedderRegistrar kHybridRegistrar{
+    "hybrid", [](const ShedderConfig& config,
+                 const ShedderContext& ctx) -> Result<std::unique_ptr<Shedder>> {
+      CEPSHED_RETURN_NOT_OK(
+          config.ExpectKeys({"theta", "fraction", "delay", "period", "seed"}));
+      CEPSHED_ASSIGN_OR_RETURN(ResolvedMode mode, ResolveMode(config, ctx));
+      CEPSHED_RETURN_NOT_OK(NeedModel("hybrid", ctx));
+      if (mode.fixed()) {
+        if (ctx.train == nullptr) {
+          return Status::InvalidArgument(
+              "shedder \"hybrid\" in fixed-ratio mode needs the training "
+              "stream for threshold calibration (construct it through a "
+              "prepared harness)");
+        }
+        // Split the ratio evenly between the input and state sides, the
+        // same way the harness's fixed-ratio grid always has.
+        const double half = mode.fraction * 0.5;
+        auto model = std::make_unique<CostModel>(*ctx.model);
+        const auto [thr, tie] = ComputeUtilityThreshold(*model, *ctx.train, half);
+        auto inner = std::make_unique<HybridFixedShedder>(
+            model.get(), thr, tie, half, mode.period, mode.seed, mode.seed + 1);
+        return std::unique_ptr<Shedder>(
+            new ModelOwningShedder(std::move(model), std::move(inner)));
+      }
+      if (!mode.bound()) {
+        return Status::InvalidArgument(
+            "shedder \"hybrid\" needs a latency bound (theta=...) or a "
+            "fixed ratio (fraction=...)");
+      }
+      return MakeHybridBound(config, ctx, mode, /*enable_input=*/true,
+                             /*enable_state=*/true);
+    }};
+
+const ShedderRegistrar kHyiRegistrar{
+    "hyi", [](const ShedderConfig& config,
+              const ShedderContext& ctx) -> Result<std::unique_ptr<Shedder>> {
+      CEPSHED_RETURN_NOT_OK(
+          config.ExpectKeys({"theta", "fraction", "delay", "seed"}));
+      CEPSHED_ASSIGN_OR_RETURN(ResolvedMode mode, ResolveMode(config, ctx));
+      CEPSHED_RETURN_NOT_OK(NeedModel("hyi", ctx));
+      if (mode.fixed()) {
+        if (ctx.train == nullptr) {
+          return Status::InvalidArgument(
+              "shedder \"hyi\" in fixed-ratio mode needs the training "
+              "stream for threshold calibration (construct it through a "
+              "prepared harness)");
+        }
+        auto model = std::make_unique<CostModel>(*ctx.model);
+        const auto [thr, tie] =
+            ComputeUtilityThreshold(*model, *ctx.train, mode.fraction);
+        auto inner =
+            std::make_unique<HybridFixedInputShedder>(model.get(), thr, tie, mode.seed);
+        return std::unique_ptr<Shedder>(
+            new ModelOwningShedder(std::move(model), std::move(inner)));
+      }
+      if (!mode.bound()) {
+        return Status::InvalidArgument(
+            "shedder \"hyi\" needs a latency bound (theta=...) or a fixed "
+            "ratio (fraction=...)");
+      }
+      return MakeHybridBound(config, ctx, mode, /*enable_input=*/true,
+                             /*enable_state=*/false);
+    }};
+
+const ShedderRegistrar kHysRegistrar{
+    "hys", [](const ShedderConfig& config,
+              const ShedderContext& ctx) -> Result<std::unique_ptr<Shedder>> {
+      CEPSHED_RETURN_NOT_OK(
+          config.ExpectKeys({"theta", "fraction", "delay", "period", "seed"}));
+      CEPSHED_ASSIGN_OR_RETURN(ResolvedMode mode, ResolveMode(config, ctx));
+      CEPSHED_RETURN_NOT_OK(NeedModel("hys", ctx));
+      if (mode.fixed()) {
+        auto model = std::make_unique<CostModel>(*ctx.model);
+        auto inner = std::make_unique<HybridFixedStateShedder>(
+            model.get(), mode.fraction, mode.period, mode.seed);
+        return std::unique_ptr<Shedder>(
+            new ModelOwningShedder(std::move(model), std::move(inner)));
+      }
+      if (!mode.bound()) {
+        return Status::InvalidArgument(
+            "shedder \"hys\" needs a latency bound (theta=...) or a fixed "
+            "ratio (fraction=...)");
+      }
+      return MakeHybridBound(config, ctx, mode, /*enable_input=*/false,
+                             /*enable_state=*/true);
+    }};
+
+}  // namespace
 
 }  // namespace cepshed

@@ -11,6 +11,7 @@
 #ifndef CEPSHED_SHED_HYBRID_H_
 #define CEPSHED_SHED_HYBRID_H_
 
+#include <memory>
 #include <set>
 #include <tuple>
 #include <utility>
@@ -157,6 +158,53 @@ class HybridFixedStateShedder : public Shedder {
   uint64_t period_;
   uint64_t events_seen_ = 0;
   Rng rng_;
+};
+
+/// \brief Fixed-ratio hybrid (§VI-C): the HyI input filter plus periodic
+/// HyS state shedding over one shared cost model, the ratio split evenly
+/// between the two sides by the caller.
+class HybridFixedShedder : public Shedder {
+ public:
+  HybridFixedShedder(const CostModel* model, double input_threshold,
+                     double tie_probability, double state_fraction,
+                     uint64_t period, uint64_t input_seed, uint64_t state_seed);
+
+  std::string Name() const override { return "Hybrid"; }
+  void Bind(Engine* engine) override;
+  bool FilterEvent(const Event& event) override;
+  void AfterEvent(Timestamp now, double mu) override;
+  void Reset() override;
+  void set_obs(obs::ShardObs* o, int shard = 0) override;
+
+ private:
+  HybridFixedInputShedder input_;
+  HybridFixedStateShedder state_;
+};
+
+/// \brief Registry adapter for model-backed strategies: owns the per-run
+/// CostModel copy (online adaptation is per-run state) and installs the
+/// engine hooks the experiment harness would otherwise wire — classifier,
+/// pm-created and match — at Bind time. Lets the ShedderRegistry hand out
+/// one self-contained Shedder whose behavior is identical to harness
+/// wiring.
+class ModelOwningShedder : public Shedder {
+ public:
+  ModelOwningShedder(std::unique_ptr<CostModel> model,
+                     std::unique_ptr<Shedder> inner);
+
+  std::string Name() const override { return inner_->Name(); }
+  double theta() const override { return inner_->theta(); }
+  void Bind(Engine* engine) override;
+  bool FilterEvent(const Event& event) override { return inner_->FilterEvent(event); }
+  void AfterEvent(Timestamp now, double mu) override;
+  void Reset() override;
+  void set_obs(obs::ShardObs* o, int shard = 0) override;
+
+  CostModel* model() { return model_.get(); }
+
+ private:
+  std::unique_ptr<CostModel> model_;
+  std::unique_ptr<Shedder> inner_;
 };
 
 /// \brief Calibrates the fixed-ratio utility threshold: the `fraction`

@@ -97,6 +97,7 @@ Result<OfflineStats> EstimateOffline(std::shared_ptr<const Nfa> nfa,
     rec.state = pm.state;
     rec.features = ExtractStateFeatures(pm, *nfa);
     rec.event_features = ExtractFeatures(*pm.LastEvent(), *nfa);
+    rec.last_event_type = static_cast<int>(pm.LastEvent()->type());
     rec.contrib_by_slice.assign(static_cast<size_t>(num_slices), 0.0f);
     rec.consum_by_slice.assign(static_cast<size_t>(num_slices), 0.0f);
     rec.own_omega =

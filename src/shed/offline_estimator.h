@@ -41,6 +41,9 @@ struct PmRecord {
   /// filter rho_I: the predicate attributes of the last event only (an
   /// arriving event exposes no more).
   std::vector<float> event_features;
+  /// Type of the event whose binding created this match — the (type, state)
+  /// key hSPICE's utility table is learned over. -1 if unknown.
+  int last_event_type = -1;
   /// Complete matches derived from this match, bucketed by the match's age
   /// slice at derivation time.
   std::vector<float> contrib_by_slice;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "src/cep/engine.h"
+#include "src/shed/registry.h"
 
 namespace cepshed {
 
@@ -86,17 +87,22 @@ double PositionalInputShedder::ThresholdFor(double fraction) const {
 bool PositionalInputShedder::FilterEvent(const Event& event) {
   if (threshold_ < 0.0) return false;
   const double u = utility_->Utility(event.type(), event.timestamp());
-  if (u < threshold_) return DropEvent();
+  if (u < threshold_) {
+    return DropEvent(static_cast<int>(event.type()), last_mu_, event.seq(),
+                     event.timestamp());
+  }
   if (u == threshold_ && planned_fraction_ > 0.0 &&
       rng_.Bernoulli(0.5 * planned_fraction_)) {
     // Rough tie-breaking keeps the realized rate near the target when the
     // utility distribution is coarse.
-    return DropEvent();
+    return DropEvent(static_cast<int>(event.type()), last_mu_, event.seq(),
+                     event.timestamp());
   }
   return false;
 }
 
 void PositionalInputShedder::AfterEvent(Timestamp, double mu) {
+  last_mu_ = mu;
   if (!controller_) return;
   const double rate = controller_->Update(mu);
   if (rate != planned_fraction_) {
@@ -107,6 +113,7 @@ void PositionalInputShedder::AfterEvent(Timestamp, double mu) {
 
 void PositionalInputShedder::Reset() {
   Shedder::Reset();
+  last_mu_ = 0.0;
   if (controller_) {
     controller_->Reset();
     planned_fraction_ = 0.0;
@@ -116,5 +123,36 @@ void PositionalInputShedder::Reset() {
     threshold_ = ThresholdFor(fixed_fraction_);
   }
 }
+
+// --- Registry ----------------------------------------------------------
+
+CEPSHED_SHEDDER_LINK_TOKEN(Positional)
+
+namespace {
+
+const ShedderRegistrar kPiRegistrar{
+    "pi", [](const ShedderConfig& config,
+             const ShedderContext& ctx) -> Result<std::unique_ptr<Shedder>> {
+      CEPSHED_RETURN_NOT_OK(config.ExpectKeys({"theta", "fraction", "delay", "seed"}));
+      CEPSHED_ASSIGN_OR_RETURN(ResolvedMode mode, ResolveMode(config, ctx));
+      if (!mode.fixed() && !mode.bound()) {
+        return Status::InvalidArgument(
+            "shedder \"pi\" needs a latency bound (theta=...) or a fixed "
+            "ratio (fraction=...)");
+      }
+      if (ctx.positional == nullptr) {
+        return Status::InvalidArgument(
+            "shedder \"pi\" needs a trained positional-utility table "
+            "(construct it through a prepared harness)");
+      }
+      if (mode.fixed()) {
+        return std::unique_ptr<Shedder>(
+            new PositionalInputShedder(ctx.positional, mode.fraction, mode.seed));
+      }
+      return std::unique_ptr<Shedder>(new PositionalInputShedder(
+          ctx.positional, mode.theta, mode.delay, mode.seed));
+    }};
+
+}  // namespace
 
 }  // namespace cepshed

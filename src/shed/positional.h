@@ -78,6 +78,8 @@ class PositionalInputShedder : public Shedder {
   double fixed_fraction_ = -1.0;
   double threshold_ = -1.0;
   double planned_fraction_ = 0.0;
+  /// Smoothed latency of the last AfterEvent (audit context for drops).
+  double last_mu_ = 0.0;
   Rng rng_;
 };
 

@@ -1,0 +1,122 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// A state shedder in the spirit of pSPICE (Slo, Bhowmik, Flaig &
+// Rothermel, related work §VII): when overloaded, partial matches are
+// killed in increasing order of their *predicted completion probability*,
+// so the state that is least likely to ever produce a match goes first.
+// The prediction is a per-state regression tree over the same predicate-
+// attribute features the cost model classifies on — attribute-aware where
+// the SS baseline is state-average-only — with the SS state-completion
+// prior as fallback for states the training data could not support a tree
+// for. Online per-(state, leaf) completion counts are folded into the
+// predictions periodically, so a leaf whose value drifts after training
+// is re-ranked.
+
+#ifndef CEPSHED_SHED_PSPICE_H_
+#define CEPSHED_SHED_PSPICE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cep/nfa.h"
+#include "src/ml/regression_tree.h"
+#include "src/shed/baselines.h"
+#include "src/shed/offline_estimator.h"
+#include "src/shed/shedder.h"
+
+namespace cepshed {
+
+/// \brief Per-state completion-probability model: one regression tree per
+/// NFA state over the match-classifier features, target = did the partial
+/// match derive at least one complete match.
+class PspiceModel {
+ public:
+  PspiceModel() = default;
+
+  /// Fits the per-state trees from offline statistics estimated for `nfa`.
+  /// States with too few records keep an unfitted tree and fall back to
+  /// the state-completion prior.
+  Status Train(std::shared_ptr<const Nfa> nfa, const OfflineStats& stats);
+
+  bool trained() const { return !states_.empty(); }
+  int num_states() const { return static_cast<int>(states_.size()); }
+  const std::shared_ptr<const Nfa>& nfa() const { return nfa_; }
+
+  /// Predicted probability that `pm` eventually completes. Blends the
+  /// tree's leaf mean with any online adjustment set by SetLeafValue.
+  double CompletionProbability(const PartialMatch& pm) const;
+
+  /// Dense leaf index of `pm` under its state's tree; -1 when the state
+  /// has no fitted tree. Doubles as the shedder's audit class label.
+  int LeafOf(const PartialMatch& pm) const;
+
+  /// Number of leaves of a state's tree (0 = unfitted).
+  size_t NumLeaves(int state) const;
+
+  /// Overrides the value of a (state, leaf) cell (online adaptation).
+  void SetLeafValue(int state, int leaf, double p);
+  /// Current value of a (state, leaf) cell (leaf mean unless overridden).
+  double LeafValue(int state, int leaf) const;
+
+ private:
+  struct StateModel {
+    RegressionTree tree;
+    double prior = 0.0;
+    /// Online overrides, one per leaf; negative = use the leaf mean.
+    std::vector<double> leaf_override;
+  };
+
+  std::shared_ptr<const Nfa> nfa_;
+  std::vector<StateModel> states_;
+};
+
+/// \brief pSPICE: state-side shedding (rho_S) that kills the partial
+/// matches with the lowest predicted completion probability first.
+///
+/// Latency-bound mode sheds the violation fraction when the overload
+/// trigger fires (like RS/SS); fixed-ratio mode sheds the fraction every
+/// `period` events. Owns a mutable copy of the model so online
+/// adaptation stays per-run state.
+class PspiceShedder : public Shedder {
+ public:
+  /// Latency-bound mode.
+  PspiceShedder(const PspiceModel& model, LatencyBoundMode mode);
+  /// Fixed-ratio mode.
+  PspiceShedder(const PspiceModel& model, FixedRatioMode mode);
+
+  std::string Name() const override { return "pSPICE"; }
+  double theta() const override;
+  void Bind(Engine* engine) override;
+  bool FilterEvent(const Event&) override { return false; }
+  void AfterEvent(Timestamp now, double mu) override;
+  void Reset() override;
+
+  /// Kills the `fraction` share of live partial matches with the lowest
+  /// predicted completion probability (witnesses go first — they cannot
+  /// complete by construction). Exposed for tests.
+  void ShedFraction(double fraction);
+
+ private:
+  void MaybeFold();
+
+  PspiceModel model_;
+  std::optional<OverloadTrigger> trigger_;
+  double fixed_fraction_ = -1.0;
+  uint64_t period_ = 500;
+  uint64_t events_seen_ = 0;
+  Timestamp last_now_ = 0;
+  double last_mu_ = 0.0;
+  /// Online adaptation: per-(state, leaf) creations/completions since the
+  /// last fold, flat per state (leaf counts are small and fixed).
+  std::vector<std::vector<double>> created_;
+  std::vector<std::vector<double>> completed_;
+
+  static constexpr uint64_t kFoldPeriod = 4096;
+  static constexpr double kFoldWeight = 0.3;
+  static constexpr double kMinFoldObservations = 8.0;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_SHED_PSPICE_H_

@@ -1,0 +1,193 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/shed/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace cepshed {
+
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+Result<std::pair<std::string, ShedderConfig>> ShedderConfig::ParseSpec(
+    const std::string& spec) {
+  const size_t colon = spec.find(':');
+  std::string name = Lower(spec.substr(0, colon));
+  if (name.empty()) {
+    return Status::InvalidArgument("empty shedder name in spec \"" + spec + "\"");
+  }
+  ShedderConfig config;
+  if (colon == std::string::npos) return std::make_pair(std::move(name), config);
+
+  std::string rest = spec.substr(colon + 1);
+  size_t pos = 0;
+  while (pos <= rest.size()) {
+    const size_t comma = rest.find(',', pos);
+    const std::string pair =
+        rest.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? rest.size() + 1 : comma + 1;
+    if (pair.empty()) {
+      return Status::InvalidArgument("empty key=value pair in shedder spec \"" +
+                                     spec + "\"");
+    }
+    const size_t eq = pair.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("shedder config entry \"" + pair +
+                                     "\" is not key=value (spec \"" + spec + "\")");
+    }
+    const std::string key = Lower(pair.substr(0, eq));
+    for (const auto& [k, v] : config.entries_) {
+      if (k == key) {
+        return Status::InvalidArgument("duplicate shedder config key \"" + key +
+                                       "\" (spec \"" + spec + "\")");
+      }
+    }
+    config.entries_.emplace_back(key, pair.substr(eq + 1));
+  }
+  return std::make_pair(std::move(name), std::move(config));
+}
+
+bool ShedderConfig::Has(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+Result<double> ShedderConfig::GetDouble(const std::string& key, double def) const {
+  for (const auto& [k, v] : entries_) {
+    if (k != key) continue;
+    char* end = nullptr;
+    const double parsed = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0') {
+      return Status::InvalidArgument("shedder config key \"" + key +
+                                     "\" has non-numeric value \"" + v + "\"");
+    }
+    return parsed;
+  }
+  return def;
+}
+
+Result<uint64_t> ShedderConfig::GetUint(const std::string& key, uint64_t def) const {
+  for (const auto& [k, v] : entries_) {
+    if (k != key) continue;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || v[0] == '-') {
+      return Status::InvalidArgument("shedder config key \"" + key +
+                                     "\" has non-integer value \"" + v + "\"");
+    }
+    return static_cast<uint64_t>(parsed);
+  }
+  return def;
+}
+
+Status ShedderConfig::ExpectKeys(std::initializer_list<const char*> allowed) const {
+  for (const auto& [k, v] : entries_) {
+    bool found = false;
+    for (const char* a : allowed) {
+      if (k == a) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string msg = "unknown shedder config key \"" + k + "\" (allowed:";
+      for (const char* a : allowed) msg += std::string(" ") + a;
+      msg += ")";
+      return Status::InvalidArgument(msg);
+    }
+  }
+  return Status::OK();
+}
+
+Result<ResolvedMode> ResolveMode(const ShedderConfig& config,
+                                 const ShedderContext& ctx) {
+  ResolvedMode mode;
+  CEPSHED_ASSIGN_OR_RETURN(mode.theta, config.GetDouble("theta", ctx.theta));
+  CEPSHED_ASSIGN_OR_RETURN(mode.fraction,
+                           config.GetDouble("fraction", ctx.fixed_fraction));
+  CEPSHED_ASSIGN_OR_RETURN(mode.delay, config.GetUint("delay", ctx.trigger_delay));
+  CEPSHED_ASSIGN_OR_RETURN(mode.period,
+                           config.GetUint("period", ctx.state_shed_period));
+  CEPSHED_ASSIGN_OR_RETURN(mode.seed, config.GetUint("seed", ctx.seed));
+  return mode;
+}
+
+ShedderRegistry& ShedderRegistry::Instance() {
+  static ShedderRegistry* instance = new ShedderRegistry();
+  return *instance;
+}
+
+void ShedderRegistry::Register(const std::string& name, Factory factory) {
+  const std::string key = Lower(name);
+  if (!factories_.emplace(key, std::move(factory)).second) {
+    std::fprintf(stderr, "fatal: duplicate shedder registration \"%s\"\n",
+                 key.c_str());
+    std::abort();
+  }
+}
+
+Result<std::unique_ptr<Shedder>> ShedderRegistry::Create(
+    const std::string& spec, const ShedderContext& ctx) const {
+  CEPSHED_ASSIGN_OR_RETURN(auto parsed, ShedderConfig::ParseSpec(spec));
+  const auto it = factories_.find(parsed.first);
+  if (it == factories_.end()) {
+    std::string msg = "unknown shedder \"" + parsed.first + "\" (registered:";
+    for (const std::string& n : Names()) msg += " " + n;
+    msg += ")";
+    return Status::InvalidArgument(msg);
+  }
+  return it->second(parsed.second, ctx);
+}
+
+bool ShedderRegistry::Has(const std::string& name) const {
+  return factories_.count(Lower(name)) > 0;
+}
+
+std::vector<std::string> ShedderRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+// --- Built-in registration -------------------------------------------------
+
+namespace {
+
+const ShedderRegistrar kNoneRegistrar{
+    "none", [](const ShedderConfig& config,
+               const ShedderContext&) -> Result<std::unique_ptr<Shedder>> {
+      CEPSHED_RETURN_NOT_OK(config.ExpectKeys({}));
+      return std::unique_ptr<Shedder>(new NoShedder());
+    }};
+
+}  // namespace
+
+// Force the strategy TUs (and their registrars) into every link that pulls
+// in the registry — see CEPSHED_SHEDDER_LINK_TOKEN.
+bool CepshedShedderLink_Baselines();
+bool CepshedShedderLink_Positional();
+bool CepshedShedderLink_Hybrid();
+bool CepshedShedderLink_Hspice();
+bool CepshedShedderLink_Pspice();
+
+namespace {
+const bool kStrategyTusLinked =
+    CepshedShedderLink_Baselines() && CepshedShedderLink_Positional() &&
+    CepshedShedderLink_Hybrid() && CepshedShedderLink_Hspice() &&
+    CepshedShedderLink_Pspice();
+}  // namespace
+
+}  // namespace cepshed

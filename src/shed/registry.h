@@ -1,0 +1,164 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// The shedding-strategy plug-in registry: strategies are constructed by
+// name plus a "k=v,..." config string, through factories registered from
+// their own translation units via static initializers. The harness, the
+// multi-query runner and the CLI resolve strategies through this registry
+// only — adding a strategy means adding one .cc file with a registrar, not
+// touching controller/experiment/CLI code.
+//
+// Spec grammar:  NAME[:key=value[,key=value...]]
+// e.g.           "ri", "hybrid:theta=12.5", "hspice:seed=42,delay=100"
+// Names are case-insensitive; unknown names and malformed or unknown keys
+// are InvalidArgument (the CLI surfaces them verbatim).
+
+#ifndef CEPSHED_SHED_REGISTRY_H_
+#define CEPSHED_SHED_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cep/stream.h"
+#include "src/common/result.h"
+#include "src/shed/shedder.h"
+#include "src/shed/shedding_set.h"
+
+namespace cepshed {
+
+class CostModel;
+class HspiceTable;
+class PositionalUtility;
+class PspiceModel;
+struct OfflineStats;
+
+/// \brief Parsed "key=value,..." strategy configuration. Typed getters
+/// return the default when the key is absent and InvalidArgument when the
+/// value does not parse; factories call ExpectKeys so a typo'd key fails
+/// loudly instead of being silently ignored.
+class ShedderConfig {
+ public:
+  /// Splits "NAME[:k=v,...]" into the lowercased name and its config.
+  /// Fails on empty names, empty keys, duplicate keys, and pairs without
+  /// '='.
+  static Result<std::pair<std::string, ShedderConfig>> ParseSpec(
+      const std::string& spec);
+
+  bool Has(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key, double def) const;
+  Result<uint64_t> GetUint(const std::string& key, uint64_t def) const;
+
+  /// Fails if the config holds any key outside `allowed`.
+  Status ExpectKeys(std::initializer_list<const char*> allowed) const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// \brief Everything a factory may draw on: the operating point the caller
+/// computed (bound or ratio, delays, seed) plus the trained substrate the
+/// harness prepared. All pointers are borrowed and may be null — factories
+/// fail with InvalidArgument when a required ingredient is missing, so a
+/// context-free caller (e.g. a shard-runtime factory lambda) can still
+/// construct the strategies that need none.
+struct ShedderContext {
+  /// Latency bound theta in cost units; <= 0 means not operating in
+  /// latency-bound mode (a "theta" config key overrides).
+  double theta = -1.0;
+  /// Fixed-ratio fraction; < 0 means not operating in fixed-ratio mode (a
+  /// "fraction" config key overrides). When both theta and fraction are
+  /// given, fraction wins — mirroring the two harness entry points.
+  double fixed_fraction = -1.0;
+  /// Post-trigger delay for the one-shot baseline strategies.
+  uint64_t trigger_delay = 250;
+  /// Post-trigger delay for strategies with standing filters (hybrid).
+  uint64_t hybrid_trigger_delay = 1000;
+  /// Shedding period (events) for fixed-ratio state strategies.
+  uint64_t state_shed_period = 500;
+  uint64_t seed = 7;
+  KnapsackMode solver = KnapsackMode::kDP;
+
+  // Trained substrate (borrowed; factories copy what a run mutates).
+  const OfflineStats* offline = nullptr;
+  const CostModel* model = nullptr;
+  const PositionalUtility* positional = nullptr;
+  const HspiceTable* hspice = nullptr;
+  const PspiceModel* pspice = nullptr;
+  /// Sorted per-event training utilities (hybrid rho_I quantile scale).
+  const std::vector<double>* utility_samples = nullptr;
+  /// Training stream (fixed-ratio threshold calibration).
+  const EventStream* train = nullptr;
+};
+
+/// \brief Name -> factory map, a Meyer singleton filled by static
+/// registrars before main() runs.
+class ShedderRegistry {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<Shedder>>(
+      const ShedderConfig&, const ShedderContext&)>;
+
+  static ShedderRegistry& Instance();
+
+  /// Registers a factory under a lowercase name; duplicate registration is
+  /// a programming error and aborts.
+  void Register(const std::string& name, Factory factory);
+
+  /// Parses `spec` and constructs the strategy. Unknown names list the
+  /// registered alternatives in the error message.
+  Result<std::unique_ptr<Shedder>> Create(const std::string& spec,
+                                          const ShedderContext& ctx) const;
+
+  bool Has(const std::string& name) const;
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// \brief The operating point shared by every strategy factory, resolved
+/// from config keys with context fallbacks. Fixed-ratio wins when both a
+/// ratio and a bound are present (matching the harness's two entry
+/// points); a strategy with neither is rejected by the factory.
+struct ResolvedMode {
+  double theta = -1.0;
+  double fraction = -1.0;
+  uint64_t delay = 250;
+  uint64_t period = 500;
+  uint64_t seed = 7;
+  bool fixed() const { return fraction >= 0.0; }
+  bool bound() const { return !fixed() && theta > 0.0; }
+};
+
+/// Reads the common keys (theta, fraction, delay, period, seed) over the
+/// context defaults. Does not call ExpectKeys — factories do, with their
+/// full key set.
+Result<ResolvedMode> ResolveMode(const ShedderConfig& config,
+                                 const ShedderContext& ctx);
+
+/// \brief One static instance per registered strategy (namespace scope in
+/// the strategy's .cc).
+struct ShedderRegistrar {
+  ShedderRegistrar(const char* name, ShedderRegistry::Factory factory) {
+    ShedderRegistry::Instance().Register(name, std::move(factory));
+  }
+};
+
+/// Static-archive linking drops object files nothing references, taking
+/// their registrars' static initializers with them. Each registering TU
+/// defines one link token with this macro (inside namespace cepshed) and
+/// registry.cc references them all, which forces every strategy TU into
+/// any binary that uses the registry.
+#define CEPSHED_SHEDDER_LINK_TOKEN(ident) \
+  bool CepshedShedderLink_##ident() { return true; }
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_SHED_REGISTRY_H_

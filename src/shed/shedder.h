@@ -58,8 +58,9 @@ class Shedder {
 
   /// Attaches the shard's observability sink (optional; not owned). Drop
   /// and kill decisions are then counted per class and recorded in the
-  /// shed-decision audit ring, tagged with `shard`.
-  void set_obs(obs::ShardObs* o, int shard = 0) {
+  /// shed-decision audit ring, tagged with `shard`. Virtual so composite
+  /// strategies can forward the sink to their parts.
+  virtual void set_obs(obs::ShardObs* o, int shard = 0) {
     obs_ = o;
     obs_shard_ = static_cast<uint8_t>(shard);
   }

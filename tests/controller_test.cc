@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/shed/baselines.h"
 #include "src/shed/hybrid.h"
 #include "src/shed/offline_estimator.h"
@@ -74,6 +77,56 @@ TEST_F(ControllerTest, PmSeriesSampling) {
   EXPECT_EQ(r.pm_series_stride, 100u);
   // The state fills up within the window.
   EXPECT_GT(r.pm_series.back(), 0u);
+}
+
+TEST_F(ControllerTest, ExactPercentilesUseTheFloorRankConvention) {
+  // The run's exact p95/p99 must equal element floor(q * (n-1)) of the
+  // sorted per-event latencies — the HistogramSnapshot::Quantile
+  // convention — computed on one working copy. The regression this pins:
+  // a second nth_element on an already-partitioned copy once selected the
+  // wrong rank, and a ceil-style rank overstated small-sample tails.
+  auto nfa = CompileQ1();
+  const EventStream stream = MakeStream(9, 3000);
+
+  Engine measured(nfa, EngineOptions{});
+  NoShedder none;
+  ShedRunner runner(&measured, &none, LatencyMonitor::Options{});
+  const RunResult r = runner.Run(stream);
+
+  // Reference: replay the identical deterministic run, collect every
+  // per-event cost, and take the sorted floor-rank elements directly.
+  Engine reference(nfa, EngineOptions{});
+  std::vector<Match> sink;
+  std::vector<double> costs;
+  costs.reserve(stream.size());
+  for (const EventPtr& e : stream) costs.push_back(reference.Process(e, &sink));
+  std::sort(costs.begin(), costs.end());
+  const size_t n = costs.size();
+  const size_t i95 = std::min(n - 1, static_cast<size_t>(0.95 * double(n - 1)));
+  const size_t i99 = std::min(n - 1, static_cast<size_t>(0.99 * double(n - 1)));
+  EXPECT_DOUBLE_EQ(r.p95_latency, costs[i95]);
+  EXPECT_DOUBLE_EQ(r.p99_latency, costs[i99]);
+  EXPECT_LE(r.p95_latency, r.p99_latency);
+}
+
+TEST_F(ControllerTest, ExactPercentilesOnTinySamples) {
+  // With 10 samples both ranks floor to index 8: the second selection must
+  // cope with i95 == i99 (a degenerate suffix partition).
+  auto nfa = CompileQ1();
+  const EventStream stream = MakeStream(10, 10);
+  Engine measured(nfa, EngineOptions{});
+  NoShedder none;
+  ShedRunner runner(&measured, &none, LatencyMonitor::Options{});
+  const RunResult r = runner.Run(stream);
+
+  Engine reference(nfa, EngineOptions{});
+  std::vector<Match> sink;
+  std::vector<double> costs;
+  for (const EventPtr& e : stream) costs.push_back(reference.Process(e, &sink));
+  std::sort(costs.begin(), costs.end());
+  ASSERT_EQ(costs.size(), 10u);
+  EXPECT_DOUBLE_EQ(r.p95_latency, costs[8]);
+  EXPECT_DOUBLE_EQ(r.p99_latency, costs[8]);
 }
 
 TEST_F(ControllerTest, ViolationAccountingAgainstTheta) {

@@ -1,0 +1,359 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Unit tests for the shedding-strategy plug-in registry: spec parsing,
+// error surfaces, round-trips of every registered strategy, differential
+// registry-vs-direct construction, the learned shedders end to end, and
+// the registry path through the shard runtime with the observability
+// audit attached.
+
+#include "src/shed/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/runtime/experiment.h"
+#include "src/runtime/shard_runtime.h"
+#include "src/shed/baselines.h"
+#include "src/shed/controller.h"
+#include "src/shed/hspice.h"
+#include "src/shed/hybrid.h"
+#include "src/shed/offline_estimator.h"
+#include "src/shed/pspice.h"
+#include "src/workload/ds1.h"
+#include "src/workload/queries.h"
+
+namespace cepshed {
+namespace {
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  RegistryTest() : schema_(MakeDs1Schema()) {}
+
+  EventStream MakeStream(uint64_t seed, size_t n = 8000) {
+    Ds1Options opts;
+    opts.num_events = n;
+    opts.seed = seed;
+    return GenerateDs1(schema_, opts);
+  }
+
+  std::shared_ptr<const Nfa> CompileQ1() {
+    auto nfa = Nfa::Compile(*queries::Q1(), &schema_);
+    EXPECT_TRUE(nfa.ok());
+    return *nfa;
+  }
+
+  /// A prepared harness whose MakeContext carries every substrate.
+  std::unique_ptr<ExperimentHarness> PrepareHarness() {
+    auto harness = std::make_unique<ExperimentHarness>(&schema_, *queries::Q1(),
+                                                       HarnessOptions{});
+    const EventStream train = MakeStream(41, 12000);
+    const EventStream test = MakeStream(42, 12000);
+    EXPECT_TRUE(harness->Prepare(train, test).ok());
+    return harness;
+  }
+
+  Schema schema_;
+};
+
+TEST_F(RegistryTest, ParseSpecSplitsNameAndConfig) {
+  auto parsed = ShedderConfig::ParseSpec("Hybrid:theta=12.5,seed=3");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->first, "hybrid");  // names are case-insensitive
+  EXPECT_TRUE(parsed->second.Has("theta"));
+  EXPECT_TRUE(parsed->second.Has("seed"));
+  ASSERT_TRUE(parsed->second.GetDouble("theta", 0).ok());
+  EXPECT_DOUBLE_EQ(*parsed->second.GetDouble("theta", 0), 12.5);
+  EXPECT_EQ(*parsed->second.GetUint("seed", 0), 3u);
+  // Absent key -> default.
+  EXPECT_DOUBLE_EQ(*parsed->second.GetDouble("fraction", -1.0), -1.0);
+}
+
+TEST_F(RegistryTest, ParseSpecRejectsMalformedSpecs) {
+  EXPECT_FALSE(ShedderConfig::ParseSpec("").ok());
+  EXPECT_FALSE(ShedderConfig::ParseSpec(":theta=1").ok());      // empty name
+  EXPECT_FALSE(ShedderConfig::ParseSpec("ri:theta").ok());      // no '='
+  EXPECT_FALSE(ShedderConfig::ParseSpec("ri:=5").ok());         // empty key
+  EXPECT_FALSE(ShedderConfig::ParseSpec("ri:a=1,a=2").ok());    // duplicate
+}
+
+TEST_F(RegistryTest, BadValuesAndUnknownKeysFailLoudly) {
+  ShedderContext ctx;
+  ctx.theta = 10.0;
+  // Unknown key: ExpectKeys rejects it and names the offender.
+  auto r = ShedderRegistry::Instance().Create("ri:junk=1", ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("junk"), std::string::npos);
+  // Unparsable value.
+  EXPECT_FALSE(ShedderRegistry::Instance().Create("ri:theta=abc", ctx).ok());
+  // Neither a bound nor a ratio.
+  EXPECT_FALSE(ShedderRegistry::Instance().Create("ri", ShedderContext{}).ok());
+}
+
+TEST_F(RegistryTest, UnknownNameListsAlternatives) {
+  auto r = ShedderRegistry::Instance().Create("nope", ShedderContext{});
+  ASSERT_FALSE(r.ok());
+  const std::string msg = r.status().message();
+  EXPECT_NE(msg.find("nope"), std::string::npos);
+  // The error enumerates what is registered.
+  EXPECT_NE(msg.find("ri"), std::string::npos);
+  EXPECT_NE(msg.find("hspice"), std::string::npos);
+}
+
+TEST_F(RegistryTest, AllExpectedStrategiesAreRegistered) {
+  const std::vector<std::string> names = ShedderRegistry::Instance().Names();
+  for (const char* expected : {"none", "ri", "si", "rs", "ss", "hybrid", "hyi",
+                               "hys", "pi", "hspice", "pspice"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing strategy: " << expected;
+  }
+}
+
+TEST_F(RegistryTest, EveryRegisteredStrategyRoundTripsThroughAContext) {
+  auto harness = PrepareHarness();
+  const ShedderContext bound_ctx = harness->MakeContext(
+      /*theta=*/harness->BaselineLatency() * 0.5, /*fraction=*/-1.0, /*seed=*/7);
+  const ShedderContext fixed_ctx =
+      harness->MakeContext(/*theta=*/-1.0, /*fraction=*/0.3, /*seed=*/7);
+  for (const std::string& name : ShedderRegistry::Instance().Names()) {
+    auto bound = ShedderRegistry::Instance().Create(name, bound_ctx);
+    ASSERT_TRUE(bound.ok()) << name << " (bound): " << bound.status();
+    EXPECT_FALSE((*bound)->Name().empty()) << name;
+    auto fixed = ShedderRegistry::Instance().Create(name, fixed_ctx);
+    ASSERT_TRUE(fixed.ok()) << name << " (fixed): " << fixed.status();
+    EXPECT_FALSE((*fixed)->Name().empty()) << name;
+  }
+}
+
+TEST_F(RegistryTest, StrategiesNeedingSubstrateFailWithoutIt) {
+  ShedderContext bare;
+  bare.theta = 10.0;  // a valid operating point, but no trained substrate
+  for (const char* name : {"si", "ss", "hybrid", "hyi", "hys", "pi", "hspice",
+                           "pspice"}) {
+    auto r = ShedderRegistry::Instance().Create(name, bare);
+    EXPECT_FALSE(r.ok()) << name << " built without its trained substrate";
+  }
+  // The substrate-free strategies still construct.
+  for (const char* name : {"none", "ri", "rs"}) {
+    auto r = ShedderRegistry::Instance().Create(name, bare);
+    EXPECT_TRUE(r.ok()) << name << ": " << r.status();
+  }
+}
+
+// Differential: the registry-built RI must make byte-identical drop
+// decisions to a directly constructed RandomInputShedder with the same
+// parameters (the registry is wiring, not behavior).
+TEST_F(RegistryTest, RegistryRiMatchesDirectConstruction) {
+  ShedderContext ctx;  // spec carries the full operating point
+  auto from_registry =
+      ShedderRegistry::Instance().Create("ri:theta=50,delay=10,seed=99", ctx);
+  ASSERT_TRUE(from_registry.ok()) << from_registry.status();
+  RandomInputShedder direct(/*theta=*/50.0, /*trigger_delay=*/10, /*seed=*/99);
+
+  const EventStream stream = MakeStream(43, 4000);
+  // Synthetic latency profile: overloaded for the first half, idle after.
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const Event& e = *stream[i];
+    EXPECT_EQ((*from_registry)->FilterEvent(e), direct.FilterEvent(e))
+        << "divergence at event " << i;
+    const double mu = i < stream.size() / 2 ? 120.0 : 5.0;
+    (*from_registry)->AfterEvent(e.timestamp(), mu);
+    direct.AfterEvent(e.timestamp(), mu);
+  }
+  EXPECT_GT(direct.events_dropped(), 0u);
+  EXPECT_EQ((*from_registry)->events_dropped(), direct.events_dropped());
+}
+
+// Differential: a registry-built SS run produces byte-identical matches
+// and shed counts to the direct constructor over a full engine run.
+TEST_F(RegistryTest, RegistrySsMatchesDirectConstruction) {
+  auto nfa = CompileQ1();
+  auto stats = EstimateOffline(nfa, MakeStream(44), 4, true);
+  ASSERT_TRUE(stats.ok());
+
+  ShedderContext ctx;
+  ctx.offline = &*stats;
+  auto from_registry =
+      ShedderRegistry::Instance().Create("ss:fraction=0.4,period=200,seed=5", ctx);
+  ASSERT_TRUE(from_registry.ok()) << from_registry.status();
+  SelectivityStateShedder direct(*stats, FixedRatioMode{0.4, 200}, 5);
+
+  const EventStream stream = MakeStream(45, 6000);
+  Engine engine_a(nfa, EngineOptions{});
+  ShedRunner runner_a(&engine_a, from_registry->get(), LatencyMonitor::Options{});
+  const RunResult a = runner_a.Run(stream);
+  Engine engine_b(nfa, EngineOptions{});
+  ShedRunner runner_b(&engine_b, &direct, LatencyMonitor::Options{});
+  const RunResult b = runner_b.Run(stream);
+
+  EXPECT_GT(a.shed_pms, 0u);
+  EXPECT_EQ(a.shed_pms, b.shed_pms);
+  ASSERT_EQ(a.matches.size(), b.matches.size());
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].Key(), b.matches[i].Key()) << "match " << i;
+  }
+}
+
+// Differential: SI and RS over full engine runs.
+TEST_F(RegistryTest, RegistrySiAndRsMatchDirectConstruction) {
+  auto nfa = CompileQ1();
+  auto stats = EstimateOffline(nfa, MakeStream(47), 4, true);
+  ASSERT_TRUE(stats.ok());
+  const EventStream stream = MakeStream(48, 6000);
+
+  ShedderContext ctx;
+  ctx.offline = &*stats;
+  const struct {
+    const char* spec;
+    std::unique_ptr<Shedder> direct;
+  } cases[] = {
+      {"si:fraction=0.4,seed=5",
+       std::make_unique<SelectivityInputShedder>(*stats, 0.4, 5)},
+      {"rs:fraction=0.4,period=200,seed=5",
+       std::make_unique<RandomStateShedder>(FixedRatioMode{0.4, 200}, 5)},
+  };
+  for (const auto& c : cases) {
+    auto from_registry = ShedderRegistry::Instance().Create(c.spec, ctx);
+    ASSERT_TRUE(from_registry.ok()) << c.spec << ": " << from_registry.status();
+    Engine engine_a(nfa, EngineOptions{});
+    ShedRunner runner_a(&engine_a, from_registry->get(), LatencyMonitor::Options{});
+    const RunResult a = runner_a.Run(stream);
+    Engine engine_b(nfa, EngineOptions{});
+    ShedRunner runner_b(&engine_b, c.direct.get(), LatencyMonitor::Options{});
+    const RunResult b = runner_b.Run(stream);
+
+    EXPECT_GT(a.dropped_events + a.shed_pms, 0u) << c.spec;
+    EXPECT_EQ(a.dropped_events, b.dropped_events) << c.spec;
+    EXPECT_EQ(a.shed_pms, b.shed_pms) << c.spec;
+    ASSERT_EQ(a.matches.size(), b.matches.size()) << c.spec;
+    for (size_t i = 0; i < a.matches.size(); ++i) {
+      EXPECT_EQ(a.matches[i].Key(), b.matches[i].Key()) << c.spec;
+    }
+  }
+}
+
+// Differential: the registry's hybrid (model-owning wrapper) against the
+// pre-registry wiring — a CostModel copy with hand-wired engine hooks.
+TEST_F(RegistryTest, RegistryHybridMatchesDirectConstruction) {
+  auto harness = PrepareHarness();
+  const EventStream stream = MakeStream(49, 6000);
+  const EventStream train = MakeStream(41, 12000);
+  const double theta = harness->BaselineLatency() * 0.5;
+
+  const ShedderContext ctx = harness->MakeContext(theta, -1.0, /*seed=*/7);
+  auto from_registry = ShedderRegistry::Instance().Create("hybrid", ctx);
+  ASSERT_TRUE(from_registry.ok()) << from_registry.status();
+  Engine engine_a(harness->nfa(), EngineOptions{});
+  ShedRunner runner_a(&engine_a, from_registry->get(), LatencyMonitor::Options{});
+  const RunResult a = runner_a.Run(stream);
+
+  // The legacy wiring: per-run model copy, hooks, HybridShedder with the
+  // defaults the registry context carries (trigger_delay 1000, seed 1234).
+  CostModel model(harness->model());
+  Engine engine_b(harness->nfa(), EngineOptions{});
+  engine_b.set_classifier(
+      [&model](const PartialMatch& pm) { return model.Classify(pm); });
+  engine_b.set_pm_created_hook(
+      [&model](const PartialMatch& pm, const PartialMatch* parent) {
+        model.OnPmCreated(pm, parent, pm.last_ts);
+      });
+  engine_b.set_match_hook([&model](const Match& m, const PartialMatch* parent) {
+    model.OnMatch(m, parent, m.detected_at);
+  });
+  HybridOptions opts;
+  opts.theta = theta;
+  opts.utility_samples = ComputeTrainingUtilities(harness->model(), train);
+  HybridShedder direct(&model, opts);
+  ShedRunner runner_b(&engine_b, &direct, LatencyMonitor::Options{});
+  const RunResult b = runner_b.Run(stream);
+
+  EXPECT_EQ(a.dropped_events, b.dropped_events);
+  EXPECT_EQ(a.shed_pms, b.shed_pms);
+  ASSERT_EQ(a.matches.size(), b.matches.size());
+  for (size_t i = 0; i < a.matches.size(); ++i) {
+    EXPECT_EQ(a.matches[i].Key(), b.matches[i].Key()) << "match " << i;
+  }
+}
+
+TEST_F(RegistryTest, LearnedSheddersRunEndToEndThroughTheHarness) {
+  auto harness = PrepareHarness();
+  for (const char* spec : {"hspice", "pspice"}) {
+    auto r = harness->RunBoundSpec(spec, 0.5);
+    ASSERT_TRUE(r.ok()) << spec << ": " << r.status();
+    EXPECT_GE(r->quality.recall, 0.0);
+    EXPECT_LE(r->quality.recall, 1.0);
+    EXPECT_GT(r->shed_event_ratio + r->shed_pm_ratio, 0.0)
+        << spec << " shed nothing under a 0.5 bound";
+  }
+  // Fixed-ratio mode: hSPICE drops events, pSPICE kills partial matches.
+  auto hs = harness->RunFixedSpec("hspice", 0.3);
+  ASSERT_TRUE(hs.ok()) << hs.status();
+  EXPECT_GT(hs->shed_event_ratio, 0.0);
+  EXPECT_EQ(hs->shed_pm_ratio, 0.0);
+  auto ps = harness->RunFixedSpec("pspice", 0.3);
+  ASSERT_TRUE(ps.ok()) << ps.status();
+  EXPECT_EQ(ps->shed_event_ratio, 0.0);
+  EXPECT_GT(ps->shed_pm_ratio, 0.0);
+}
+
+TEST_F(RegistryTest, BoundSpecRunsAreDeterministic) {
+  auto harness = PrepareHarness();
+  for (const char* spec : {"ri", "hspice", "pspice"}) {
+    auto r1 = harness->RunBoundSpec(spec, 0.5);
+    auto r2 = harness->RunBoundSpec(spec, 0.5);
+    ASSERT_TRUE(r1.ok() && r2.ok()) << spec;
+    EXPECT_EQ(r1->raw.dropped_events, r2->raw.dropped_events) << spec;
+    EXPECT_EQ(r1->raw.shed_pms, r2->raw.shed_pms) << spec;
+    ASSERT_EQ(r1->raw.matches.size(), r2->raw.matches.size()) << spec;
+    for (size_t i = 0; i < r1->raw.matches.size(); ++i) {
+      EXPECT_EQ(r1->raw.matches[i].Key(), r2->raw.matches[i].Key());
+    }
+  }
+}
+
+// The registry path through the shard runtime, with observability: a
+// registry-built RI per shard must feed the per-class shed counters and
+// the audit ring exactly as the direct wiring did.
+TEST_F(RegistryTest, ShardRuntimeRegistryShedderFeedsObsAudit) {
+  auto nfa = CompileQ1();
+  ShardRuntimeOptions opts;
+  opts.num_shards = 2;
+  opts.routing = ShardRouting::kHashPartition;
+  opts.partition_attr = schema_.AttributeIndex("ID");
+  obs::MetricsRegistry metrics;
+  opts.metrics = &metrics;
+  auto runtime = ShardRuntime::Create(nfa, opts);
+  ASSERT_TRUE(runtime.ok()) << runtime.status();
+
+  ShardRuntime::ShedderFactory factory = [](int shard) {
+    ShedderContext ctx;
+    ctx.seed = 7 + static_cast<uint64_t>(shard);
+    // A tight bound in cost units so the controller actually drops.
+    auto shedder = ShedderRegistry::Instance().Create("ri:theta=2,delay=50", ctx);
+    EXPECT_TRUE(shedder.ok()) << shedder.status();
+    return std::move(*shedder);
+  };
+  auto result = (*runtime)->RunSequential(MakeStream(46, 6000), factory);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const obs::RegistrySnapshot snap = metrics.Snapshot();
+  EXPECT_GT(snap.total.events_dropped_shedder, 0u);
+  uint64_t by_class = 0;
+  for (uint64_t c : snap.total.shed_by_class) by_class += c;
+  EXPECT_EQ(by_class, snap.total.events_dropped_shedder);
+  ASSERT_FALSE(snap.total.audit.empty());
+  size_t drops = 0;
+  for (const obs::AuditEntry& e : snap.total.audit) {
+    if (e.kind != obs::AuditKind::kDropEvent) continue;
+    ++drops;
+    EXPECT_GE(e.class_label, 0);  // RI stamps the event type
+    EXPECT_LT(e.shard, 2);
+  }
+  EXPECT_GT(drops, 0u);
+}
+
+}  // namespace
+}  // namespace cepshed

@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
+#include "src/obs/metrics.h"
 #include "src/runtime/experiment.h"
 #include "src/shed/baselines.h"
+#include "src/shed/pspice.h"
 #include "src/shed/cost_model.h"
 #include "src/shed/hybrid.h"
 #include "src/shed/offline_estimator.h"
@@ -263,6 +266,95 @@ TEST_F(ShedTest, UtilityThresholdCalibration) {
     EXPECT_NEAR(static_cast<double>(dropped) / static_cast<double>(train.size()), f,
                 0.05)
         << "fraction " << f;
+  }
+}
+
+TEST_F(ShedTest, StateShedFractionFloorsAtTinyPopulations) {
+  auto nfa = CompileQ1();
+  auto stats = EstimateOffline(nfa, MakeStream(32), 4, true);
+  ASSERT_TRUE(stats.ok());
+  PspiceModel pspice;
+  ASSERT_TRUE(pspice.Train(nfa, *stats).ok());
+
+  // floor(fraction * alive): rounding instead of flooring would kill the
+  // only live match at alive=1, fraction=0.9 — the regression this pins.
+  struct Case {
+    size_t alive;
+    double fraction;
+    uint64_t expected;
+  };
+  for (const Case& c : {Case{1, 0.9, 0}, Case{2, 0.6, 1}, Case{3, 0.5, 1}}) {
+    for (const bool use_pspice : {false, true}) {
+      Engine engine(nfa, EngineOptions{});
+      std::vector<Match> out;
+      for (size_t i = 0; i < c.alive; ++i) {
+        // Each A event with a fresh ID opens one partial match.
+        engine.Process(std::make_shared<Event>(
+                           schema_.EventTypeId("A"), i, static_cast<Timestamp>(i),
+                           std::vector<Value>{Value(static_cast<int64_t>(i) + 1),
+                                              Value(3)}),
+                       &out);
+      }
+      ASSERT_EQ(engine.NumPartialMatches(), c.alive);
+      std::unique_ptr<Shedder> shedder;
+      if (use_pspice) {
+        shedder = std::make_unique<PspiceShedder>(pspice, FixedRatioMode{c.fraction, 1});
+      } else {
+        shedder = std::make_unique<SelectivityStateShedder>(
+            *stats, FixedRatioMode{c.fraction, 1}, 3);
+      }
+      shedder->Bind(&engine);
+      shedder->AfterEvent(0, 0.0);  // period=1: sheds immediately
+      EXPECT_EQ(shedder->pms_shed(), c.expected)
+          << (use_pspice ? "pSPICE" : "SS") << " at alive=" << c.alive
+          << " fraction=" << c.fraction;
+    }
+  }
+}
+
+TEST_F(ShedTest, InputSheddersRecordPerClassDropsAndAudit) {
+  // RI and SI must thread the event's type, the smoothed latency, and the
+  // event identity into the drop audit (the regression: drops used to be
+  // recorded unclassified with mu=0).
+  auto nfa = CompileQ1();
+  auto stats = EstimateOffline(nfa, MakeStream(33), 4, true);
+  ASSERT_TRUE(stats.ok());
+
+  for (const bool selectivity : {false, true}) {
+    std::unique_ptr<Shedder> shedder;
+    if (selectivity) {
+      // 60% target: with D's ~25% zero-utility share exhausted, useful
+      // types are dropped too, so several classes appear.
+      shedder = std::make_unique<SelectivityInputShedder>(*stats, 0.6, /*seed=*/6);
+    } else {
+      shedder = std::make_unique<RandomInputShedder>(/*fraction=*/0.5, /*seed=*/6);
+    }
+    obs::MetricsRegistry metrics(1);
+    obs::ShardObs* obs = metrics.shard(0);
+    shedder->set_obs(obs, /*shard=*/3);
+
+    const EventStream stream = MakeStream(34, 3000);
+    for (const EventPtr& e : stream) {
+      shedder->FilterEvent(*e);
+      shedder->AfterEvent(e->timestamp(), 77.0);
+    }
+    ASSERT_GT(shedder->events_dropped(), 0u);
+    const obs::RegistrySnapshot snap = metrics.Snapshot();
+    EXPECT_EQ(snap.total.events_dropped_shedder, shedder->events_dropped());
+    uint64_t by_class = 0;
+    for (uint64_t c : snap.total.shed_by_class) by_class += c;
+    EXPECT_EQ(by_class, shedder->events_dropped());
+    // Every type a DS1 stream carries shows up as its own class (type ids
+    // are small, so no clamping); nothing lands in "unclassified" beyond
+    // type 0's own drops.
+    ASSERT_FALSE(snap.total.audit.empty());
+    for (const obs::AuditEntry& e : snap.total.audit) {
+      EXPECT_EQ(e.kind, obs::AuditKind::kDropEvent);
+      EXPECT_EQ(e.shard, 3);
+      EXPECT_GE(e.class_label, 0);
+      EXPECT_LT(e.class_label, 4);
+      EXPECT_DOUBLE_EQ(e.mu, 77.0);  // the mu of the preceding AfterEvent
+    }
   }
 }
 

@@ -87,6 +87,8 @@ struct CliArgs {
   std::string train_path;
   std::string matches_path;
   std::string strategy = "none";
+  /// Registry strategy spec (NAME[:key=value,...]); supersedes --strategy.
+  std::string shedder;
   std::string stat = "avg";
   double bound = 0.5;
   bool pm_series = false;
@@ -117,6 +119,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: cepshed_cli --schema FILE --query FILE --input FILE\n"
                "                   [--train FILE] [--strategy none|ri|si|rs|ss|hybrid]\n"
+               "                   [--shedder NAME[:key=value,...]]\n"
                "                   [--bound FRACTION] [--stat avg|p95|p99]\n"
                "                   [--matches FILE] [--pm-series]\n"
                "                   [--shards N (--partition ATTR | --slice-stride US)]\n"
@@ -151,6 +154,8 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       CEPSHED_ASSIGN_OR_RETURN(args.matches_path, next());
     } else if (flag == "--strategy") {
       CEPSHED_ASSIGN_OR_RETURN(args.strategy, next());
+    } else if (flag == "--shedder") {
+      CEPSHED_ASSIGN_OR_RETURN(args.shedder, next());
     } else if (flag == "--stat") {
       CEPSHED_ASSIGN_OR_RETURN(args.stat, next());
     } else if (flag == "--bound") {
@@ -262,6 +267,11 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
   }
   if (args.min_shards > args.shards) {
     return Status::InvalidArgument("--min-shards must be <= --shards");
+  }
+  if (!args.shedder.empty() && args.strategy != "none") {
+    return Status::InvalidArgument(
+        "--shedder and --strategy are mutually exclusive (--shedder reaches "
+        "every registered strategy, including the --strategy names)");
   }
   return args;
 }
@@ -443,7 +453,7 @@ Status Run(const CliArgs& args) {
   }
 
   if (args.shards > 1 || elastic) {
-    if (args.strategy != "none") {
+    if (args.strategy != "none" || !args.shedder.empty()) {
       return Status::InvalidArgument(
           "--shards currently applies to raw evaluation only (--strategy none); "
           "sharded shedding runs through ShardRuntime's shedder factory");
@@ -589,7 +599,7 @@ Status Run(const CliArgs& args) {
     std::printf("recorded %zu events to %s\n", input.size(), args.record_trace.c_str());
   }
 
-  if (args.strategy == "none") {
+  if (args.strategy == "none" && args.shedder.empty()) {
     CEPSHED_ASSIGN_OR_RETURN(auto nfa, Nfa::Compile(query, &schema));
     Engine engine(nfa, EngineOptions{});
     obs::ShardObs* obs = nullptr;
@@ -625,25 +635,22 @@ Status Run(const CliArgs& args) {
   }
 
   if (args.train_path.empty()) {
-    return Status::InvalidArgument("--strategy requires --train (historic data for the "
-                                   "cost model and ground truth calibration)");
+    return Status::InvalidArgument("--strategy / --shedder require --train (historic "
+                                   "data for the cost model and ground truth "
+                                   "calibration)");
   }
   CEPSHED_ASSIGN_OR_RETURN(EventStream train,
                            ReadCsvFile(schema, args.train_path, read_options));
 
-  StrategyKind kind;
-  if (args.strategy == "ri") {
-    kind = StrategyKind::kRI;
-  } else if (args.strategy == "si") {
-    kind = StrategyKind::kSI;
-  } else if (args.strategy == "rs") {
-    kind = StrategyKind::kRS;
-  } else if (args.strategy == "ss") {
-    kind = StrategyKind::kSS;
-  } else if (args.strategy == "hybrid") {
-    kind = StrategyKind::kHybrid;
-  } else {
-    return Status::InvalidArgument("unknown strategy " + args.strategy);
+  // --strategy names are a subset of the registry; both flags resolve to a
+  // registry spec and share the run path below.
+  std::string spec = args.shedder;
+  if (spec.empty()) {
+    if (args.strategy != "ri" && args.strategy != "si" && args.strategy != "rs" &&
+        args.strategy != "ss" && args.strategy != "hybrid") {
+      return Status::InvalidArgument("unknown strategy " + args.strategy);
+    }
+    spec = args.strategy;
   }
   LatencyStat stat;
   if (args.stat == "avg") {
@@ -664,9 +671,10 @@ Status Run(const CliArgs& args) {
               harness.model().train_seconds(), harness.truth().size(), args.stat.c_str(),
               harness.BaselineLatency(stat));
 
-  const ExperimentResult r =
-      harness.RunBound(kind, args.bound, stat,
-                       args.pm_series ? std::max<size_t>(1, input.size() / 50) : 0);
+  CEPSHED_ASSIGN_OR_RETURN(
+      const ExperimentResult r,
+      harness.RunBoundSpec(spec, args.bound, stat,
+                           args.pm_series ? std::max<size_t>(1, input.size() / 50) : 0));
   std::printf("strategy %s @ bound %.2f:\n", r.name.c_str(), args.bound);
   std::printf("  recall      %.2f%%\n", 100.0 * r.quality.recall);
   std::printf("  precision   %.2f%%\n", 100.0 * r.quality.precision);
