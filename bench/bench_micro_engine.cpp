@@ -6,11 +6,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "src/cep/engine.h"
 #include "src/cep/pred_vm.h"
 #include "src/common/rng.h"
 #include "src/obs/metrics.h"
 #include "src/query/parser.h"
+#include "src/workload/csv.h"
+#include "src/workload/csv_mmap.h"
 #include "src/workload/ds1.h"
 #include "src/workload/ds2.h"
 #include "src/workload/queries.h"
@@ -357,6 +363,182 @@ BENCHMARK(BM_EngineKleeneClone)
     ->Arg(64)
     ->Arg(256)
     ->Unit(benchmark::kMillisecond);
+
+/// Shared fixture for the ingest benches: a DS1 trace serialized to CSV
+/// once, plus the fused attr-vs-constant predicates of a literal filter
+/// prefix compiled over the DS1 schema. The paper queries themselves are
+/// join-only (every conjunct references two elements, so none fuse — see
+/// batch_ingest_test's PaperQ1 case); real traces are screened by literal
+/// predicates long before the joins, and that screening prefix is the
+/// shape both ingest arms evaluate.
+struct BatchIngestFixture {
+  struct FusedPred {
+    int prog;
+    PredVmModule::FusedAcSpec spec;
+  };
+
+  Schema schema;
+  std::string path;
+  std::shared_ptr<const Nfa> nfa;
+  std::vector<FusedPred> preds;
+  size_t num_events = 0;
+
+  BatchIngestFixture() : schema(MakeDs1Schema()) {
+    Ds1Options gen;
+    gen.num_events = 50000;
+    gen.event_gap = 10;
+    gen.seed = 7;
+    const EventStream stream = GenerateDs1(schema, gen);
+    num_events = stream.size();
+    path = "/tmp/cepshed_bench_batch_ingest.csv";
+    if (!WriteCsvFile(stream, path).ok()) std::abort();
+    auto q = ParseQuery(
+        "PATTERN SEQ(A a, B b) WHERE a.V > 3 AND a.V < 9 AND a.ID != 3 AND "
+        "b.V >= 2 AND b.V <= 8 AND b.ID > 1 AND a.ID = b.ID WITHIN 2ms");
+    nfa = *Nfa::Compile(*q, &schema);
+    const PredVmModule& module = *nfa->vm_module();
+    for (int s = 0; s < nfa->num_states(); ++s) {
+      for (const CompiledPredicate* cp : nfa->state(s).bind_preds) {
+        PredVmModule::FusedAcSpec spec;
+        if (cp->vm_program >= 0 &&
+            module.FusedAcProgram(cp->vm_program, &spec)) {
+          preds.push_back({cp->vm_program, spec});
+        }
+      }
+    }
+    if (preds.empty()) std::abort();
+  }
+
+  static const BatchIngestFixture& Get() {
+    static BatchIngestFixture fixture;
+    return fixture;
+  }
+};
+
+/// The ingest+eval hot-path pair the CI gate enforces. Arg(0) is the
+/// classic front end: ReadCsvFile (istream, one line copy per row)
+/// followed by a per-event pred-VM evaluation of each fused filter
+/// predicate — exactly the work Engine::FillContext + EvalBool do per
+/// bind attempt. Arg(1) is the batched front end this measures: Mapped-
+/// CsvReader::NextBatch (zero-copy parse out of the mapping) followed by
+/// SoA column extraction and one typed compare loop per predicate — the
+/// same kernel shape Engine::BeginBatch uses for its batch masks (whose
+/// bit-for-bit agreement with EvalBool is pinned by batch_ingest_test;
+/// here the two arms' pass counts are asserted equal every iteration).
+/// Items processed = events, so the /1 : /0 items_per_second ratio is the
+/// ingest+eval speedup scripts/check_batch_ingest.py gates in CI.
+void BM_BatchIngest(benchmark::State& state) {
+  const BatchIngestFixture& f = BatchIngestFixture::Get();
+  const PredVmModule& module = *f.nfa->vm_module();
+  const bool batched = state.range(0) != 0;
+  const int num_attrs = static_cast<int>(f.schema.num_attributes());
+  uint64_t passed = 0;
+  for (auto _ : state) {
+    passed = 0;
+    if (batched) {
+      auto reader = MappedCsvReader::Open(f.schema, f.path);
+      if (!reader.ok()) std::abort();
+      std::vector<EventPtr> buf;
+      buf.reserve(256);
+      std::vector<int64_t> col;
+      std::vector<uint8_t> ok;
+      for (;;) {
+        buf.clear();
+        auto n = reader->NextBatch(256, &buf);
+        if (!n.ok()) std::abort();
+        if (*n == 0) break;
+        for (int attr = 0; attr < num_attrs; ++attr) {
+          col.resize(*n);
+          ok.resize(*n);
+          for (size_t i = 0; i < *n; ++i) {
+            const Value& v = buf[i]->attr(attr);
+            ok[i] = !v.is_null() && v.type() == ValueType::kInt;
+            col[i] = ok[i] ? v.AsInt() : 0;
+          }
+          for (const BatchIngestFixture::FusedPred& p : f.preds) {
+            if (p.spec.attr != attr) continue;
+            const int64_t k = p.spec.constant.i;
+            uint64_t acc = 0;
+            switch (p.spec.op) {
+              case CmpOp::kEq: for (size_t i = 0; i < *n; ++i) acc += ok[i] & (col[i] == k); break;
+              case CmpOp::kNe: for (size_t i = 0; i < *n; ++i) acc += ok[i] & (col[i] != k); break;
+              case CmpOp::kLt: for (size_t i = 0; i < *n; ++i) acc += ok[i] & (col[i] < k); break;
+              case CmpOp::kLe: for (size_t i = 0; i < *n; ++i) acc += ok[i] & (col[i] <= k); break;
+              case CmpOp::kGt: for (size_t i = 0; i < *n; ++i) acc += ok[i] & (col[i] > k); break;
+              case CmpOp::kGe: for (size_t i = 0; i < *n; ++i) acc += ok[i] & (col[i] >= k); break;
+            }
+            passed += acc;
+          }
+        }
+      }
+    } else {
+      auto stream = ReadCsvFile(f.schema, f.path);
+      if (!stream.ok()) std::abort();
+      PredVmContext vmc;
+      vmc.Prepare(module.num_loads());
+      EvalContext ctx;
+      ctx.num_elements = 2;
+      double cost = 0.0;
+      for (const EventPtr& e : *stream) {
+        ctx.current = e.get();
+        vmc.Invalidate();
+        for (const BatchIngestFixture::FusedPred& p : f.preds) {
+          ctx.current_elem = p.spec.elem;
+          passed += module.EvalBool(p.prog, ctx, &vmc, &cost) ? 1 : 0;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(passed);
+  }
+  // Both arms must agree on every predicate outcome; a kernel that drifts
+  // from EvalBool semantics would otherwise post a fraudulent speedup.
+  static uint64_t expected_passed = 0;
+  if (expected_passed == 0) expected_passed = passed;
+  if (passed != expected_passed) std::abort();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.num_events));
+  state.counters["preds"] = static_cast<double>(f.preds.size());
+}
+BENCHMARK(BM_BatchIngest)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// End-to-end companion (not gated): the same trace through the whole
+/// engine — ReadCsvFile + per-event Process vs. MappedCsvReader +
+/// ProcessBatch. Match-store and join work dominates here and is
+/// identical in both arms by the parity contract, so the ratio shows how
+/// much of the front-end win survives in a full pipeline rather than the
+/// kernel speedup itself.
+void BM_EngineBatchPipeline(benchmark::State& state) {
+  const BatchIngestFixture& f = BatchIngestFixture::Get();
+  const bool batched = state.range(0) != 0;
+  size_t matches = 0;
+  for (auto _ : state) {
+    Engine engine(f.nfa, EngineOptions{});
+    std::vector<Match> out;
+    if (batched) {
+      auto reader = MappedCsvReader::Open(f.schema, f.path);
+      if (!reader.ok()) std::abort();
+      std::vector<EventPtr> buf;
+      buf.reserve(256);
+      for (;;) {
+        buf.clear();
+        auto n = reader->NextBatch(256, &buf);
+        if (!n.ok()) std::abort();
+        if (*n == 0) break;
+        engine.ProcessBatch(buf.data(), *n, &out);
+      }
+    } else {
+      auto stream = ReadCsvFile(f.schema, f.path);
+      if (!stream.ok()) std::abort();
+      for (const EventPtr& e : *stream) engine.Process(e, &out);
+    }
+    matches = out.size();
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.num_events));
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_EngineBatchPipeline)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 void BM_ParseQuery(benchmark::State& state) {
   const std::string text =

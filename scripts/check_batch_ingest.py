@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""CI gate: the batched ingest front end must beat the scalar one.
+
+Reads a google-benchmark JSON file containing BM_BatchIngest/{0,1} rows
+(raw repetitions or aggregates): /0 is the classic front end (istream
+CSV reader + per-event pred-VM evaluation of the filter predicates), /1
+the batched one (memory-mapped zero-copy reader + SoA column compare
+kernels). Both arms report events per second over the identical trace
+and predicate mix — the bench aborts if their pass counts ever disagree
+— so the /1 : /0 ratio is the ingest+eval speedup.
+
+The end-to-end BM_EngineBatchPipeline pair in the same JSON is reported
+when present but never gated: its ratio is diluted by match-store and
+join work that is identical in both arms by the cost-parity contract.
+
+Per-arm maxima over repetitions are used: the statistic least sensitive
+to noisy-neighbour drift on shared CI runners.
+
+Usage: check_batch_ingest.py BENCH_JSON [--min-speedup 1.5]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def collect(benchmarks):
+    """Map benchmark base name -> {arg: max items_per_second}."""
+    best = {}
+    for b in benchmarks:
+        m = re.match(r"^(BM_BatchIngest|BM_EngineBatchPipeline)/([01])(?:_(\w+))?$",
+                     b["name"])
+        if not m:
+            continue
+        name, arg, agg = m.group(1), int(m.group(2)), m.group(3)
+        if agg in ("stddev", "cv"):
+            continue
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        ips = float(ips)
+        arms = best.setdefault(name, {})
+        if arg not in arms or ips > arms[arg]:
+            arms[arg] = ips
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("--min-speedup", type=float, default=1.5)
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        data = json.load(f)
+    best = collect(data.get("benchmarks", []))
+
+    pairs = {n: arms for n, arms in best.items() if 0 in arms and 1 in arms}
+    if "BM_BatchIngest" not in pairs:
+        print("error: no complete BM_BatchIngest/{0,1} pair in input",
+              file=sys.stderr)
+        return 2
+
+    ok = True
+    for name in sorted(pairs):
+        scalar, batched = pairs[name][0], pairs[name][1]
+        speedup = batched / scalar
+        if name == "BM_BatchIngest":
+            verdict = "OK" if speedup >= args.min_speedup else "FAIL"
+            if speedup < args.min_speedup:
+                ok = False
+            print(f"{name}: scalar {scalar / 1e6:.2f}M/s, "
+                  f"batched {batched / 1e6:.2f}M/s -> {speedup:.2f}x "
+                  f"(threshold {args.min_speedup:.2f}) [{verdict}]")
+        else:
+            print(f"{name}: scalar {scalar / 1e6:.2f}M/s, "
+                  f"batched {batched / 1e6:.2f}M/s -> {speedup:.2f}x "
+                  f"[informational]")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -186,33 +186,10 @@ static_assert(static_cast<int>(VmOp::kFGeAA) - static_cast<int>(VmOp::kFEqAA) ==
                       static_cast<int>(CmpOp::kGe) - static_cast<int>(CmpOp::kEq),
               "fused compare opcodes must mirror CmpOp order");
 
-}  // namespace
-
-// Register-cached attribute load; charges basic whether or not it hits,
-// matching the interpreter (which re-walks the binding every time).
-inline VmSlot PredVmModule::CachedLoad(uint16_t r, const EvalContext& ctx,
-                                       PredVmContext* vmc, double* c) const {
-  *c += kExprCostBasic;
-  if (vmc->epochs_[r] == vmc->epoch_) return vmc->regs_[r];
-  const VmSlot s = LoadAttrSlot(loads_[r], ctx);
-  vmc->regs_[r] = s;
-  vmc->epochs_[r] = vmc->epoch_;
-  return s;
-}
-
-// One fused compare: both loads, the tag-guarded compare, and the unfused
-// sequence's exact cost. Shared by the dispatch loop and the EvalBool fast
-// path for single-compare programs.
-inline VmSlot PredVmModule::FusedCompare(const VmInsn& in,
-                                         const EvalContext& ctx,
-                                         PredVmContext* vmc, double* c) const {
-  const bool ac = in.op >= VmOp::kFEqAC;
-  const VmSlot l = CachedLoad(in.a, ctx, vmc, c);
-  const VmSlot r = ac ? const_slots_[in.b] : CachedLoad(in.b, ctx, vmc, c);
-  *c += kExprCostBasic;
-  const CmpOp op = static_cast<CmpOp>(
-      static_cast<int>(in.op) -
-      static_cast<int>(ac ? VmOp::kFEqAC : VmOp::kFEqAA));
+/// The compare tail shared by FusedCompare and FusedAcResult: typed fast
+/// paths when both tags agree, interpreter-equivalent generic fallback
+/// otherwise (nulls compare to null, which Truthy maps to false).
+VmSlot CompareSlots(const VmSlot& l, const VmSlot& r, CmpOp op) {
   if (l.tag == VmSlot::kInt && r.tag == VmSlot::kInt) {
     switch (op) {
       case CmpOp::kEq: return MakeBool(l.i == r.i);
@@ -252,6 +229,57 @@ inline VmSlot PredVmModule::FusedCompare(const VmInsn& in,
       }
     }
   }
+}
+
+}  // namespace
+
+// Register-cached attribute load; charges basic whether or not it hits,
+// matching the interpreter (which re-walks the binding every time).
+inline VmSlot PredVmModule::CachedLoad(uint16_t r, const EvalContext& ctx,
+                                       PredVmContext* vmc, double* c) const {
+  *c += kExprCostBasic;
+  if (vmc->epochs_[r] == vmc->epoch_) return vmc->regs_[r];
+  const VmSlot s = LoadAttrSlot(loads_[r], ctx);
+  vmc->regs_[r] = s;
+  vmc->epochs_[r] = vmc->epoch_;
+  return s;
+}
+
+// One fused compare: both loads, the tag-guarded compare, and the unfused
+// sequence's exact cost. Shared by the dispatch loop and the EvalBool fast
+// path for single-compare programs.
+inline VmSlot PredVmModule::FusedCompare(const VmInsn& in,
+                                         const EvalContext& ctx,
+                                         PredVmContext* vmc, double* c) const {
+  const bool ac = in.op >= VmOp::kFEqAC;
+  const VmSlot l = CachedLoad(in.a, ctx, vmc, c);
+  const VmSlot r = ac ? const_slots_[in.b] : CachedLoad(in.b, ctx, vmc, c);
+  *c += kExprCostBasic;
+  const CmpOp op = static_cast<CmpOp>(
+      static_cast<int>(in.op) -
+      static_cast<int>(ac ? VmOp::kFEqAC : VmOp::kFEqAA));
+  return CompareSlots(l, r, op);
+}
+
+bool PredVmModule::FusedAcProgram(int prog, FusedAcSpec* spec) const {
+  const Program& p = programs_[static_cast<size_t>(prog)];
+  if (p.code.size() != 2) return false;
+  const VmInsn& in = p.code[0];
+  if (in.op < VmOp::kFEqAC || in.op > VmOp::kFGeAC) return false;
+  const VmAttrLoad& load = loads_[in.a];
+  spec->elem = load.elem;
+  spec->attr = load.attr;
+  spec->selector = load.selector;
+  spec->op = static_cast<CmpOp>(static_cast<int>(CmpOp::kEq) +
+                                static_cast<int>(in.op) -
+                                static_cast<int>(VmOp::kFEqAC));
+  spec->constant = const_slots_[in.b];
+  return true;
+}
+
+bool PredVmModule::FusedAcResult(const VmSlot& lhs, const VmSlot& constant,
+                                 CmpOp op) {
+  return Truthy(CompareSlots(lhs, constant, op));
 }
 
 VmSlot PredVmModule::Run(const Program& p, const EvalContext& ctx,

@@ -86,6 +86,104 @@ class RingQueue {
     }
   }
 
+  /// Non-blocking batch push: enqueues a prefix of values[0..n), claiming
+  /// a contiguous run of free slots with a single CAS on the tail.
+  /// Returns the count enqueued — short (possibly 0) when the queue fills
+  /// or is closed. Moves only the elements actually enqueued; the caller
+  /// still owns the rest.
+  size_t TryPushBatch(T* values, size_t n) {
+    if (n == 0) return 0;
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (closed_.load(std::memory_order_relaxed)) return 0;
+      // Count consecutive free slots starting at pos. A slot is free for
+      // this lap when its sequence equals its position; sequences only
+      // grow, so slots observed free stay free until a producer claims
+      // them — and claiming moves the tail, which fails our CAS.
+      size_t k = 0;
+      while (k < n) {
+        const Slot& slot = slots_[(pos + k) & mask_];
+        const size_t seq = slot.sequence.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + k) != 0)
+          break;
+        ++k;
+      }
+      if (k == 0) {
+        const size_t seq =
+            slots_[pos & mask_].sequence.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos) < 0) {
+          return 0;  // full: slot still holds an unconsumed element
+        }
+        pos = tail_.load(std::memory_order_relaxed);  // raced; reload
+        continue;
+      }
+      if (tail_.compare_exchange_weak(pos, pos + k,
+                                      std::memory_order_relaxed)) {
+        for (size_t j = 0; j < k; ++j) {
+          Slot& slot = slots_[(pos + j) & mask_];
+          slot.value = std::move(values[j]);
+          slot.sequence.store(pos + j + 1, std::memory_order_release);
+        }
+        return k;
+      }
+    }
+  }
+
+  /// Non-blocking batch pop: dequeues up to `max` elements into
+  /// out[0..). Returns the count dequeued (0 when the queue is empty).
+  size_t TryPopBatch(T* out, size_t max) {
+    if (max == 0) return 0;
+    size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      // Count consecutive published slots starting at pos.
+      size_t k = 0;
+      while (k < max) {
+        const Slot& slot = slots_[(pos + k) & mask_];
+        const size_t seq = slot.sequence.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + k + 1) !=
+            0)
+          break;
+        ++k;
+      }
+      if (k == 0) {
+        const size_t seq =
+            slots_[pos & mask_].sequence.load(std::memory_order_acquire);
+        if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos + 1) < 0) {
+          return 0;  // empty: slot not yet published by a producer
+        }
+        pos = head_.load(std::memory_order_relaxed);  // raced; reload
+        continue;
+      }
+      if (head_.compare_exchange_weak(pos, pos + k,
+                                      std::memory_order_relaxed)) {
+        for (size_t j = 0; j < k; ++j) {
+          Slot& slot = slots_[(pos + j) & mask_];
+          out[j] = std::move(slot.value);
+          slot.value = T();
+          slot.sequence.store(pos + j + mask_ + 1, std::memory_order_release);
+        }
+        return k;
+      }
+    }
+  }
+
+  /// Blocking batch pop: waits until at least one element is available,
+  /// then dequeues up to `max`. Returns 0 iff the queue is closed and
+  /// fully drained (mirrors Pop).
+  size_t PopBatch(T* out, size_t max) {
+    Backoff backoff;
+    for (;;) {
+      const size_t k = TryPopBatch(out, max);
+      if (k != 0) return k;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Drain anything published between the last TryPopBatch and the
+        // close.
+        return TryPopBatch(out, max);
+      }
+      backoff.Pause();
+    }
+  }
+
   /// Blocking push: spins/yields while full. Returns false iff the queue
   /// was closed before the element could be enqueued.
   bool Push(T value) {

@@ -70,6 +70,14 @@ void SumStats(const EngineStats& in, EngineStats* out) {
   out->total_cost += in.total_cost;
 }
 
+/// Events a worker pops (and the sequential drain processes) per
+/// Engine::BeginBatch window: large enough to amortize the batched
+/// predicate-mask precompute, small enough to keep the SoA scratch
+/// columns cache-resident.
+constexpr size_t kConsumeBatch = 64;
+/// Events the router stages per shard before a TryPushBatch flush.
+constexpr size_t kRouterBatch = 32;
+
 }  // namespace
 
 bool ShardRuntime::IsPartitionCorrelated(const Nfa& nfa, int attr) {
@@ -320,6 +328,15 @@ struct ShardRuntime::ShardState {
   std::vector<Match> matches;
   ShardResult result;
   std::unique_ptr<RingQueue<EventPtr>> queue;
+  /// In-flight consume batch: popped from the queue in one PopBatch and
+  /// handed to Engine::BeginBatch, with batch_pos marking the next
+  /// unconsumed entry. It survives worker death so a restarted worker (or
+  /// the router, via FinishDeadShard / AbandonShard) resumes exactly where
+  /// the dead worker stopped — the engine's active batch masks index into
+  /// this vector by pointer identity, so it must stay put until every
+  /// entry is consumed or accounted lost.
+  std::vector<EventPtr> batch;
+  size_t batch_pos = 0;
   /// Canonical-owner filter for window-slice routing (see Finish).
   bool slice_filter = false;
   int shard_id = 0;
@@ -327,10 +344,13 @@ struct ShardRuntime::ShardState {
   Duration slice_stride = 0;
   /// Ordinal of the next event this shard consumes (fault anchor).
   uint64_t consumed = 0;
-  /// Events the router has actually delivered to this shard: successful
-  /// queue pushes in Run, buffer appends in RunSequential. Router-owned;
+  /// Events the router has accepted for delivery to this shard: stage
+  /// appends in Run (counted when the routing decision lands, before the
+  /// batched queue flush), buffer appends in RunSequential. Router-owned;
   /// together with `handled` it forms the migration drain barrier and
-  /// anchors scoped `resize` fault entries.
+  /// anchors scoped `resize` fault entries. A staged event that is later
+  /// rejected because the shard was abandoned mid-flush stays counted —
+  /// harmless, since abandoned shards are excluded from the barrier.
   uint64_t pushed = 0;
   /// Delivered events fully handled by the consumer (incremented at the
   /// END of Consume, release order, on both the normal and the death
@@ -434,16 +454,40 @@ struct ShardRuntime::ShardState {
   }
 
   /// Worker-thread body (also the entry point of a restarted worker).
+  ///
+  /// Consumes the queue in batches: each PopBatch run is announced to the
+  /// engine with BeginBatch so batchable predicates evaluate from the
+  /// precomputed column masks. The worker deliberately never calls
+  /// EndBatch — after the last Consume of a drained queue it must not
+  /// touch the engine again (the router's handled == pushed barrier takes
+  /// the engine over for migration), and the next BeginBatch supersedes
+  /// the previous window anyway. A restarted worker finds the remainder
+  /// of the batch its predecessor died in and resumes it under a fresh
+  /// BeginBatch before popping anything new.
   void WorkerMain() {
-    EventPtr event;
-    while (queue->Pop(&event)) {
-      if (Consume(event)) {
-        // Simulated worker death: leave the queue open and Finish unrun;
-        // the router detects the exit and restarts or abandons the shard.
-        worker_exited.store(true, std::memory_order_release);
-        return;
+    for (;;) {
+      if (batch_pos < batch.size()) {
+        engine->BeginBatch(batch.data() + batch_pos, batch.size() - batch_pos);
+        while (batch_pos < batch.size()) {
+          const size_t i = batch_pos++;
+          if (Consume(batch[i])) {
+            // Simulated worker death: leave the queue open and Finish
+            // unrun; the router detects the exit and restarts or abandons
+            // the shard. The batch remainder stays for the successor.
+            worker_exited.store(true, std::memory_order_release);
+            return;
+          }
+        }
       }
+      batch.clear();
+      batch_pos = 0;
+      batch.resize(kConsumeBatch);
+      const size_t n = queue->PopBatch(batch.data(), kConsumeBatch);
+      if (n == 0) break;
+      batch.resize(n);
     }
+    batch.clear();
+    batch_pos = 0;
     Finish();
     clean_exit = true;
     worker_exited.store(true, std::memory_order_release);
@@ -511,6 +555,19 @@ void ShardRuntime::ReviveOrAbandon(ShardState* s) const {
 void ShardRuntime::AbandonShard(ShardState* s) const {
   s->result.abandoned = true;
   s->queue->Close();
+  // The remainder of the batch the dead worker popped but never consumed
+  // drains first — those events already left the queue, so the queue loop
+  // below would otherwise silently drop them from the accounting.
+  for (size_t i = s->batch_pos; i < s->batch.size(); ++i) {
+    ++s->result.events_routed;
+    ++s->result.events_lost;
+    if (s->obs != nullptr) {
+      s->obs->events_routed.Add();
+      s->obs->events_lost.Add();
+    }
+  }
+  s->batch.clear();
+  s->batch_pos = 0;
   EventPtr event;
   while (s->queue->Pop(&event)) {
     ++s->result.events_routed;
@@ -533,8 +590,7 @@ void ShardRuntime::FinishDeadShard(ShardState* s) const {
     s->result.abandoned = true;
     draining = true;
   }
-  EventPtr event;
-  while (s->queue->Pop(&event)) {
+  const auto deliver = [&](const EventPtr& event) {
     if (draining) {
       ++s->result.events_routed;
       ++s->result.events_lost;
@@ -542,7 +598,7 @@ void ShardRuntime::FinishDeadShard(ShardState* s) const {
         s->obs->events_routed.Add();
         s->obs->events_lost.Add();
       }
-      continue;
+      return;
     }
     if (s->Consume(event)) {
       if (s->restarts < opts_.max_worker_restarts) {
@@ -553,7 +609,19 @@ void ShardRuntime::FinishDeadShard(ShardState* s) const {
         draining = true;
       }
     }
+  };
+  // The dead worker's unconsumed batch remainder comes before the queue:
+  // those events were popped first, and the engine's still-active batch
+  // masks cover exactly these events, so Consume keeps the batched fast
+  // path (further injected deaths are honored mid-remainder).
+  while (s->batch_pos < s->batch.size()) {
+    const size_t i = s->batch_pos++;
+    deliver(s->batch[i]);
   }
+  s->batch.clear();
+  s->batch_pos = 0;
+  EventPtr event;
+  while (s->queue->Pop(&event)) deliver(event);
   s->Finish();
 }
 
@@ -807,6 +875,71 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
   ReshardController controller(opts_.reshard);
   uint64_t since_check = 0;
   std::vector<int> targets;
+  // Per-shard staging buffers: routing decisions append here and the
+  // buffer is flushed to the shard queue with one TryPushBatch claim once
+  // it reaches kRouterBatch (and at every resize barrier and at stream
+  // end), amortizing the queue's CAS/fence traffic over the batch.
+  std::vector<std::vector<EventPtr>> stage(shards.size());
+  const auto flush_shard = [&](int t) {
+    ShardState& s = *shards[static_cast<size_t>(t)];
+    std::vector<EventPtr>& buf = stage[static_cast<size_t>(t)];
+    size_t i = 0;
+    while (i < buf.size()) {
+      if (s.result.abandoned) {
+        s.result.events_rejected += static_cast<uint64_t>(buf.size() - i);
+        break;
+      }
+      const size_t k = s.queue->TryPushBatch(buf.data() + i, buf.size() - i);
+      result.routed_events += k;
+      i += k;
+      if (i == buf.size()) break;
+      // Queue full (or closed): fall back to the bounded-wait push for one
+      // element so the dead-consumer recovery below still runs. Queue-wait
+      // is timed only once a push has actually blocked past the first
+      // timeout: the uncontended fast path stays clock-free.
+      bool waited = false;
+      std::chrono::steady_clock::time_point wait_start;
+      bool settled = false;
+      while (!settled) {
+        const QueuePushResult r =
+            s.queue->PushForRef(buf[i], opts_.push_timeout_us);
+        if (r != QueuePushResult::kTimedOut && waited && s.obs != nullptr) {
+          s.obs->queue_wait_us.Record(std::chrono::duration<double, std::micro>(
+                                          std::chrono::steady_clock::now() - wait_start)
+                                          .count());
+        }
+        if (r == QueuePushResult::kOk) {
+          ++result.routed_events;
+          ++i;
+          settled = true;
+        } else if (r == QueuePushResult::kClosed) {
+          ++s.result.events_rejected;
+          ++i;
+          settled = true;
+        } else {
+          if (!waited) {
+            waited = true;
+            wait_start = std::chrono::steady_clock::now();
+            if (s.obs != nullptr) s.obs->queue_push_timeouts.Add();
+          }
+          // Timed out on a full queue: either the consumer is merely slow
+          // (keep waiting) or its thread is gone (restart or abandon). This
+          // bounded-wait loop is what turns a dead shard into degraded
+          // recall instead of a deadlocked router.
+          if (s.worker_exited.load(std::memory_order_acquire)) {
+            ReviveOrAbandon(&s);
+            if (s.result.abandoned) settled = true;  // loop top rejects the rest
+          }
+        }
+      }
+    }
+    buf.clear();
+  };
+  const auto flush_all = [&] {
+    for (size_t t = 0; t < stage.size(); ++t) {
+      if (!stage[t].empty()) flush_shard(static_cast<int>(t));
+    }
+  };
   for (const EventPtr& event : stream) {
     ++result.total_events;
     // Dynamic elasticity: sample the pressure signals every check_every
@@ -831,6 +964,10 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
       const int delta = controller.Decide(event->seq(), sig, live_shards_,
                                           EffectiveMaxShards());
       if (delta != 0) {
+        // Staged events must reach the queues before the drain barrier:
+        // the barrier proves quiescence via handled == pushed, and pushed
+        // already counts them.
+        flush_all();
         ExecuteResize(&shards, ClampLiveShards(live_shards_ + delta),
                       event->seq(), event->timestamp(), &result);
       }
@@ -841,6 +978,7 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
       RouteEvent(*event, &targets);
       const int delta = script.Fire(event->seq(), targets, shards);
       if (delta == 0) break;
+      flush_all();
       ExecuteResize(&shards, ClampLiveShards(live_shards_ + delta),
                     event->seq(), event->timestamp(), &result);
     }
@@ -855,45 +993,15 @@ Result<ShardRunResult> ShardRuntime::Run(const EventStream& stream,
         ++s.result.events_rejected;
         continue;
       }
-      // Queue-wait is timed only once a push has actually blocked past the
-      // first timeout: the uncontended fast path stays clock-free.
-      bool waited = false;
-      std::chrono::steady_clock::time_point wait_start;
-      for (;;) {
-        const QueuePushResult r = s.queue->PushFor(event, opts_.push_timeout_us);
-        if (r != QueuePushResult::kTimedOut && waited && s.obs != nullptr) {
-          s.obs->queue_wait_us.Record(std::chrono::duration<double, std::micro>(
-                                          std::chrono::steady_clock::now() - wait_start)
-                                          .count());
-        }
-        if (r == QueuePushResult::kOk) {
-          ++result.routed_events;
-          ++s.pushed;
-          break;
-        }
-        if (r == QueuePushResult::kClosed) {
-          ++s.result.events_rejected;
-          break;
-        }
-        if (!waited) {
-          waited = true;
-          wait_start = std::chrono::steady_clock::now();
-          if (s.obs != nullptr) s.obs->queue_push_timeouts.Add();
-        }
-        // Timed out on a full queue: either the consumer is merely slow
-        // (keep waiting) or its thread is gone (restart or abandon). This
-        // bounded-wait loop is what turns a dead shard into degraded
-        // recall instead of a deadlocked router.
-        if (s.worker_exited.load(std::memory_order_acquire)) {
-          ReviveOrAbandon(&s);
-          if (s.result.abandoned) {
-            ++s.result.events_rejected;
-            break;
-          }
-        }
-      }
+      // Accepted for delivery: `pushed` counts at stage time so scoped
+      // resize anchors (pushed >= at) keep firing immediately before the
+      // at-th delivery even though the physical push is deferred.
+      stage[static_cast<size_t>(t)].push_back(event);
+      ++s.pushed;
+      if (stage[static_cast<size_t>(t)].size() >= kRouterBatch) flush_shard(t);
     }
   }
+  flush_all();
   for (std::unique_ptr<ShardState>& s : shards) s->queue->Close();
   for (std::unique_ptr<ShardState>& s : shards) {
     if (s->worker.joinable()) s->worker.join();
@@ -981,27 +1089,37 @@ Result<ShardRunResult> ShardRuntime::RunSequential(
   // asymmetry stays as before: after abandonment, the parallel router
   // rejects events while the sequential path routes them and loses them.
   std::vector<std::vector<EventPtr>> buffers(shards.size());
+  // Chunked like the parallel worker's PopBatch loop so the engine takes
+  // the same batched predicate fast path; single-threaded, so the closing
+  // EndBatch is safe here (the parallel worker must leave it to the next
+  // BeginBatch).
   const auto drain_buffer = [&](ShardState& s, std::vector<EventPtr>* buffer) {
-    for (const EventPtr& event : *buffer) {
-      if (s.seq_draining) {
-        ++s.result.events_routed;
-        ++s.result.events_lost;
-        if (s.obs != nullptr) {
-          s.obs->events_routed.Add();
-          s.obs->events_lost.Add();
+    for (size_t base = 0; base < buffer->size(); base += kConsumeBatch) {
+      const size_t n = std::min(kConsumeBatch, buffer->size() - base);
+      s.engine->BeginBatch(buffer->data() + base, n);
+      for (size_t i = base; i < base + n; ++i) {
+        const EventPtr& event = (*buffer)[i];
+        if (s.seq_draining) {
+          ++s.result.events_routed;
+          ++s.result.events_lost;
+          if (s.obs != nullptr) {
+            s.obs->events_routed.Add();
+            s.obs->events_lost.Add();
+          }
+          continue;
         }
-        continue;
-      }
-      if (s.Consume(event)) {
-        if (s.restarts < opts_.max_worker_restarts) {
-          ++s.restarts;
-          ++s.result.worker_restarts;
-        } else {
-          s.result.abandoned = true;
-          s.seq_draining = true;
+        if (s.Consume(event)) {
+          if (s.restarts < opts_.max_worker_restarts) {
+            ++s.restarts;
+            ++s.result.worker_restarts;
+          } else {
+            s.result.abandoned = true;
+            s.seq_draining = true;
+          }
         }
       }
     }
+    s.engine->EndBatch();
     buffer->clear();
   };
   ResizeScript script(faults);

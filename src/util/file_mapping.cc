@@ -1,0 +1,54 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/util/file_mapping.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace cepshed {
+
+FileMapping::~FileMapping() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+FileMapping::FileMapping(FileMapping&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+FileMapping& FileMapping::operator=(FileMapping&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+Result<FileMapping> FileMapping::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return Status::InvalidArgument("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  FileMapping m;
+  m.size_ = static_cast<size_t>(st.st_size);
+  if (m.size_ > 0) {
+    void* p = ::mmap(nullptr, m.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      return Status::Internal("mmap failed for " + path);
+    }
+    m.data_ = p;
+    ::madvise(p, m.size_, MADV_SEQUENTIAL);
+  }
+  ::close(fd);
+  return m;
+}
+
+}  // namespace cepshed

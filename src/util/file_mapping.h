@@ -1,0 +1,49 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Read-only memory mapping of a whole file. Trace readers parse directly
+// out of the mapped bytes (string_view cursors), so ingest pays no per-row
+// read or copy; the kernel pages the file in behind a sequential-access
+// hint.
+
+#ifndef CEPSHED_UTIL_FILE_MAPPING_H_
+#define CEPSHED_UTIL_FILE_MAPPING_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace cepshed {
+
+/// \brief RAII owner of a read-only mmap of one regular file.
+///
+/// Move-only. The mapped bytes stay valid (and stable in memory) for the
+/// lifetime of the object, including across moves — views handed out by
+/// view() survive moving the owner. An empty file maps to a null, zero-
+/// length view, which is still a successful open.
+class FileMapping {
+ public:
+  FileMapping() = default;
+  ~FileMapping();
+  FileMapping(FileMapping&& other) noexcept;
+  FileMapping& operator=(FileMapping&& other) noexcept;
+  FileMapping(const FileMapping&) = delete;
+  FileMapping& operator=(const FileMapping&) = delete;
+
+  /// Maps `path` read-only. Fails if the file cannot be opened or is not
+  /// a regular file.
+  static Result<FileMapping> Open(const std::string& path);
+
+  const char* data() const { return static_cast<const char*>(data_); }
+  size_t size() const { return size_; }
+  std::string_view view() const { return {data(), size_}; }
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace cepshed
+
+#endif  // CEPSHED_UTIL_FILE_MAPPING_H_

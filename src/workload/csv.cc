@@ -3,25 +3,53 @@
 #include "src/workload/csv.h"
 
 #include <fstream>
-#include <sstream>
-#include <stdexcept>
+#include <string_view>
 #include <vector>
 
+#include "src/workload/csv_cursor.h"
+
 namespace cepshed {
+
+namespace {
+
+/// Writes one cell, quoting RFC-4180-style when the text contains a
+/// comma, quote, or line break (doubled quotes escape embedded quotes).
+/// Plain cells — every numeric cell, and most names — go out verbatim.
+void WriteCsvCell(std::string_view cell, std::ostream* out) {
+  if (cell.find_first_of(",\"\n\r") == std::string_view::npos) {
+    *out << cell;
+    return;
+  }
+  out->put('"');
+  for (const char ch : cell) {
+    if (ch == '"') out->put('"');
+    out->put(ch);
+  }
+  out->put('"');
+}
+
+}  // namespace
 
 Status WriteCsv(const EventStream& stream, std::ostream* out) {
   const Schema& schema = stream.schema();
   *out << "type,timestamp";
   for (size_t a = 0; a < schema.num_attributes(); ++a) {
-    *out << "," << schema.attribute(static_cast<int>(a)).name;
+    *out << ",";
+    WriteCsvCell(schema.attribute(static_cast<int>(a)).name, out);
   }
   *out << "\n";
   for (const EventPtr& e : stream) {
-    *out << schema.EventTypeName(e->type()) << "," << e->timestamp();
+    WriteCsvCell(schema.EventTypeName(e->type()), out);
+    *out << "," << e->timestamp();
     for (size_t a = 0; a < schema.num_attributes(); ++a) {
       const Value& v = e->attr(static_cast<int>(a));
       *out << ",";
-      if (!v.is_null()) *out << v.ToString();
+      if (v.is_null()) continue;
+      if (v.type() == ValueType::kString) {
+        WriteCsvCell(v.AsString(), out);
+      } else {
+        *out << v.ToString();
+      }
     }
     *out << "\n";
   }
@@ -37,69 +65,13 @@ Status WriteCsvFile(const EventStream& stream, const std::string& path) {
 
 namespace {
 
-std::vector<std::string> SplitLine(const std::string& line) {
-  std::vector<std::string> cells;
-  std::string cell;
-  std::istringstream ss(line);
-  while (std::getline(ss, cell, ',')) cells.push_back(cell);
-  if (!line.empty() && line.back() == ',') cells.push_back("");
-  return cells;
-}
-
-/// Parses one data row into (type, ts, attrs). Any failure is returned as
-/// ParseError; the caller decides whether that fails the read or just
-/// skips the row.
-Status ParseRow(const Schema& schema, const std::vector<std::string>& cells,
-                size_t expected_cells, size_t line_no, int* type, Timestamp* ts,
-                std::vector<Value>* attrs) {
-  if (cells.size() != expected_cells) {
-    return Status::ParseError("CSV line " + std::to_string(line_no) +
-                              ": wrong number of cells");
-  }
-  *type = schema.EventTypeId(cells[0]);
-  if (*type < 0) {
-    return Status::ParseError("CSV line " + std::to_string(line_no) +
-                              ": unknown type '" + cells[0] + "'");
-  }
-  try {
-    size_t used = 0;
-    *ts = std::stoll(cells[1], &used);
-    if (used != cells[1].size()) throw std::invalid_argument(cells[1]);
-  } catch (...) {
-    return Status::ParseError("CSV line " + std::to_string(line_no) +
-                              ": bad timestamp '" + cells[1] + "'");
-  }
-  attrs->assign(schema.num_attributes(), Value());
-  for (size_t a = 0; a < schema.num_attributes(); ++a) {
-    const std::string& cell = cells[a + 2];
-    if (cell.empty()) continue;
-    switch (schema.attribute(static_cast<int>(a)).type) {
-      case ValueType::kInt:
-        try {
-          size_t used = 0;
-          (*attrs)[a] = Value(static_cast<int64_t>(std::stoll(cell, &used)));
-          if (used != cell.size()) throw std::invalid_argument(cell);
-        } catch (...) {
-          return Status::ParseError("CSV line " + std::to_string(line_no) +
-                                    ": bad int '" + cell + "'");
-        }
-        break;
-      case ValueType::kDouble:
-        try {
-          size_t used = 0;
-          (*attrs)[a] = Value(std::stod(cell, &used));
-          if (used != cell.size()) throw std::invalid_argument(cell);
-        } catch (...) {
-          return Status::ParseError("CSV line " + std::to_string(line_no) +
-                                    ": bad double '" + cell + "'");
-        }
-        break;
-      default:
-        (*attrs)[a] = Value(cell);
-        break;
-    }
-  }
-  return Status::OK();
+/// Views `line` with a trailing CRLF '\r' stripped — std::getline only
+/// consumes the '\n', so Windows-authored traces otherwise leak the '\r'
+/// into the last cell.
+std::string_view StripCr(const std::string& line) {
+  std::string_view v(line);
+  if (!v.empty() && v.back() == '\r') v.remove_suffix(1);
+  return v;
 }
 
 }  // namespace
@@ -110,18 +82,13 @@ Result<EventStream> ReadCsv(const Schema& schema, std::istream* in,
   if (!std::getline(*in, line)) {
     return Status::InvalidArgument("CSV input is empty");
   }
-  const std::vector<std::string> header = SplitLine(line);
-  if (header.size() != 2 + schema.num_attributes() || header[0] != "type" ||
-      header[1] != "timestamp") {
+  CsvRowSplitter splitter;
+  std::vector<std::string_view> cells;
+  if (!splitter.Split(StripCr(line), &cells)) {
     return Status::InvalidArgument("CSV header does not match the schema");
   }
-  for (size_t a = 0; a < schema.num_attributes(); ++a) {
-    if (header[a + 2] != schema.attribute(static_cast<int>(a)).name) {
-      return Status::InvalidArgument("CSV column '" + header[a + 2] +
-                                     "' does not match attribute '" +
-                                     schema.attribute(static_cast<int>(a)).name + "'");
-    }
-  }
+  CEPSHED_RETURN_NOT_OK(ValidateCsvHeader(schema, cells));
+  const size_t expected_cells = cells.size();
 
   EventStream stream(&schema);
   CsvReadStats local;
@@ -129,18 +96,25 @@ Result<EventStream> ReadCsv(const Schema& schema, std::istream* in,
   size_t line_no = 1;
   while (std::getline(*in, line)) {
     ++line_no;
-    if (line.empty()) continue;
+    const std::string_view row = StripCr(line);
+    if (row.empty()) continue;
     ++counters->rows_read;
     int type = -1;
     Timestamp ts = 0;
     std::vector<Value> attrs;
-    Status row = ParseRow(schema, SplitLine(line), header.size(), line_no, &type,
-                          &ts, &attrs);
+    Status st = Status::OK();
+    if (!splitter.Split(row, &cells)) {
+      st = Status::ParseError("CSV line " + std::to_string(line_no) +
+                              ": unterminated quoted cell");
+    } else {
+      st = ParseCsvRow(schema, cells, expected_cells, line_no, &type, &ts,
+                       &attrs);
+    }
     // Emit can also reject the row (timestamps must be non-decreasing);
     // that is a property of the row's data, handled like any parse error.
-    if (row.ok()) row = stream.Emit(type, ts, std::move(attrs));
-    if (!row.ok()) {
-      if (!options.lenient) return row;
+    if (st.ok()) st = stream.Emit(type, ts, std::move(attrs));
+    if (!st.ok()) {
+      if (!options.lenient) return st;
       ++counters->malformed_rows;
     }
   }

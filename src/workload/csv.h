@@ -6,6 +6,13 @@
 //
 // Format: header `type,timestamp,<attr1>,<attr2>,...` (attributes in
 // schema order), one event per line, empty cells for null attributes.
+// Cells containing commas, quotes, or line breaks are quoted
+// RFC-4180-style on write (embedded quotes doubled) and unquoted on read;
+// CRLF line endings are accepted; numeric cells parse strictly and
+// locale-independently via std::from_chars (no leading/trailing
+// whitespace, no leading '+', no hex floats). Embedded line breaks in
+// string attributes are quoted on write but not reassembled on read —
+// the readers are line-oriented.
 
 #ifndef CEPSHED_WORKLOAD_CSV_H_
 #define CEPSHED_WORKLOAD_CSV_H_

@@ -1,0 +1,147 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/workload/csv_cursor.h"
+
+#include <charconv>
+
+namespace cepshed {
+
+std::string& CsvRowSplitter::NextScratch() {
+  if (scratch_used_ == scratch_.size()) scratch_.emplace_back();
+  return scratch_[scratch_used_++];
+}
+
+bool CsvRowSplitter::Split(std::string_view row,
+                          std::vector<std::string_view>* cells) {
+  cells->clear();
+  scratch_used_ = 0;
+  size_t i = 0;
+  for (;;) {
+    if (i < row.size() && row[i] == '"') {
+      // Quoted cell: scan to the closing quote, watching for "" escapes.
+      size_t j = i + 1;
+      bool escaped = false;
+      for (;;) {
+        if (j >= row.size()) return false;  // unterminated quote
+        if (row[j] == '"') {
+          if (j + 1 < row.size() && row[j + 1] == '"') {
+            escaped = true;
+            j += 2;
+            continue;
+          }
+          break;  // closing quote
+        }
+        ++j;
+      }
+      const std::string_view content = row.substr(i + 1, j - (i + 1));
+      if (!escaped) {
+        cells->push_back(content);
+      } else {
+        std::string& s = NextScratch();
+        s.clear();
+        for (size_t k = 0; k < content.size(); ++k) {
+          s.push_back(content[k]);
+          if (content[k] == '"') ++k;  // collapse the "" pair
+        }
+        cells->push_back(s);
+      }
+      i = j + 1;
+      if (i == row.size()) return true;
+      if (row[i] != ',') return false;  // text after the closing quote
+      ++i;
+    } else {
+      const size_t comma = row.find(',', i);
+      if (comma == std::string_view::npos) {
+        cells->push_back(row.substr(i));
+        return true;
+      }
+      cells->push_back(row.substr(i, comma - i));
+      i = comma + 1;
+    }
+  }
+}
+
+bool ParseCsvInt(std::string_view cell, int64_t* out) {
+  if (cell.empty()) return false;
+  const char* first = cell.data();
+  const char* last = first + cell.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out, 10);
+  return ec == std::errc() && ptr == last;
+}
+
+bool ParseCsvDouble(std::string_view cell, double* out) {
+  if (cell.empty()) return false;
+  const char* first = cell.data();
+  const char* last = first + cell.size();
+  const auto [ptr, ec] =
+      std::from_chars(first, last, *out, std::chars_format::general);
+  return ec == std::errc() && ptr == last;
+}
+
+Status ValidateCsvHeader(const Schema& schema,
+                         const std::vector<std::string_view>& header) {
+  if (header.size() != 2 + schema.num_attributes() || header[0] != "type" ||
+      header[1] != "timestamp") {
+    return Status::InvalidArgument("CSV header does not match the schema");
+  }
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    if (header[a + 2] != schema.attribute(static_cast<int>(a)).name) {
+      return Status::InvalidArgument(
+          "CSV column '" + std::string(header[a + 2]) +
+          "' does not match attribute '" +
+          schema.attribute(static_cast<int>(a)).name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status ParseCsvRow(const Schema& schema,
+                   const std::vector<std::string_view>& cells,
+                   size_t expected_cells, size_t line_no, int* type,
+                   Timestamp* ts, std::vector<Value>* attrs) {
+  if (cells.size() != expected_cells) {
+    return Status::ParseError("CSV line " + std::to_string(line_no) +
+                              ": wrong number of cells");
+  }
+  *type = schema.EventTypeId(cells[0]);
+  if (*type < 0) {
+    return Status::ParseError("CSV line " + std::to_string(line_no) +
+                              ": unknown type '" + std::string(cells[0]) + "'");
+  }
+  if (!ParseCsvInt(cells[1], ts)) {
+    return Status::ParseError("CSV line " + std::to_string(line_no) +
+                              ": bad timestamp '" + std::string(cells[1]) +
+                              "'");
+  }
+  attrs->assign(schema.num_attributes(), Value());
+  for (size_t a = 0; a < schema.num_attributes(); ++a) {
+    const std::string_view cell = cells[a + 2];
+    if (cell.empty()) continue;
+    switch (schema.attribute(static_cast<int>(a)).type) {
+      case ValueType::kInt: {
+        int64_t v = 0;
+        if (!ParseCsvInt(cell, &v)) {
+          return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                    ": bad int '" + std::string(cell) + "'");
+        }
+        (*attrs)[a] = Value(v);
+        break;
+      }
+      case ValueType::kDouble: {
+        double v = 0.0;
+        if (!ParseCsvDouble(cell, &v)) {
+          return Status::ParseError("CSV line " + std::to_string(line_no) +
+                                    ": bad double '" + std::string(cell) + "'");
+        }
+        (*attrs)[a] = Value(v);
+        break;
+      }
+      default:
+        (*attrs)[a] = Value(std::string(cell));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cepshed

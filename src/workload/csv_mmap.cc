@@ -1,0 +1,94 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+
+#include "src/workload/csv_mmap.h"
+
+#include <memory>
+#include <string_view>
+#include <utility>
+
+namespace cepshed {
+
+Result<MappedCsvReader> MappedCsvReader::Open(const Schema& schema,
+                                              const std::string& path,
+                                              CsvReadOptions options) {
+  FileMapping map;
+  CEPSHED_ASSIGN_OR_RETURN(map, FileMapping::Open(path));
+  MappedCsvReader reader(schema, std::move(map), options);
+  std::string_view header;
+  if (!reader.cursor_.NextRow(&header)) {
+    return Status::InvalidArgument("CSV input is empty");
+  }
+  if (!reader.splitter_.Split(header, &reader.cells_)) {
+    return Status::InvalidArgument("CSV header does not match the schema");
+  }
+  CEPSHED_RETURN_NOT_OK(ValidateCsvHeader(schema, reader.cells_));
+  reader.expected_cells_ = reader.cells_.size();
+  return reader;
+}
+
+Result<size_t> MappedCsvReader::NextBatch(size_t max_events,
+                                          std::vector<EventPtr>* out) {
+  size_t added = 0;
+  std::string_view row;
+  while (added < max_events) {
+    if (!cursor_.NextRow(&row)) {
+      done_ = true;
+      break;
+    }
+    if (row.empty()) continue;
+    ++stats_.rows_read;
+    int type = -1;
+    Timestamp ts = 0;
+    std::vector<Value> attrs;
+    Status st = Status::OK();
+    if (!splitter_.Split(row, &cells_)) {
+      st = Status::ParseError("CSV line " + std::to_string(cursor_.line_no()) +
+                              ": unterminated quoted cell");
+    } else {
+      st = ParseCsvRow(*schema_, cells_, expected_cells_, cursor_.line_no(),
+                       &type, &ts, &attrs);
+    }
+    // Mirror EventStream::Emit's timestamp check so lenient-mode skip
+    // counts match the istream reader row for row.
+    if (st.ok() && have_last_ && ts < last_ts_) {
+      st = Status::InvalidArgument(
+          "CSV line " + std::to_string(cursor_.line_no()) +
+          ": timestamps must be non-decreasing");
+    }
+    if (!st.ok()) {
+      if (!options_.lenient) return st;
+      ++stats_.malformed_rows;
+      continue;
+    }
+    last_ts_ = ts;
+    have_last_ = true;
+    out->push_back(
+        std::make_shared<Event>(type, ts, next_seq_++, std::move(attrs)));
+    ++added;
+  }
+  return added;
+}
+
+Result<EventStream> ReadCsvMappedFile(const Schema& schema,
+                                      const std::string& path,
+                                      const CsvReadOptions& options,
+                                      CsvReadStats* stats) {
+  auto opened = MappedCsvReader::Open(schema, path, options);
+  if (!opened.ok()) return opened.status();
+  MappedCsvReader& reader = *opened;
+  EventStream stream(&schema);
+  std::vector<EventPtr> batch;
+  for (;;) {
+    batch.clear();
+    auto n = reader.NextBatch(1024, &batch);
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;
+    for (EventPtr& e : batch) {
+      CEPSHED_RETURN_NOT_OK(stream.Append(std::move(e)));
+    }
+  }
+  if (stats != nullptr) *stats = reader.stats();
+  return stream;
+}
+
+}  // namespace cepshed

@@ -360,6 +360,18 @@ TEST_F(DifferentialTest, HashKleeneNextMatch) {
   RunDifferential(Ds1Config("Kleene/next/hash", q));
 }
 
+TEST_F(DifferentialTest, HashLiteralFilterAnyMatch) {
+  // Attr-vs-literal predicates are the shapes the engine's batched column
+  // masks cover, so this row exercises BeginBatch windows end to end:
+  // Run's PopBatch worker loop vs RunSequential's chunked drain vs the
+  // unbatched sequential reference must all agree exactly.
+  RunDifferential(Ds1Config(
+      "LiteralFilter/any/hash",
+      ParseOrDie("PATTERN SEQ(A a, B b, C c) "
+                 "WHERE a.V > 3 AND c.V <= 9 AND a.ID = b.ID AND a.ID = c.ID "
+                 "WITHIN 8ms")));
+}
+
 TEST_F(DifferentialTest, HashNegationAnyMatch) {
   auto q = queries::Q4();
   ASSERT_TRUE(q.ok());
