@@ -364,6 +364,72 @@ BENCHMARK(BM_EngineKleeneClone)
     ->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
+/// Expiry-path pair: Arg(0) finds expired matches with the O(live) window
+/// sweep, Arg(1) with the hierarchical timing wheel (deadline-ordered
+/// reaping, DESIGN.md §3.9). The workload is the wheel's target regime —
+/// Kleene state under a window spanning thousands of events, so the live
+/// set the scan arm walks every `evict_interval` events is ~100x larger
+/// than the handful of matches that actually expired in the stride. IDs
+/// repeat only a few times per window, keeping the hash-join probe work
+/// (identical in both arms) small relative to the sweeps. Kill sets,
+/// stats, and cost units are byte-identical by the parity contract
+/// (expiry_wheel_test/differential_test pin it; the bench aborts if the
+/// arms' emitted-match counts ever disagree), so the wall-clock ratio is
+/// pure sweep savings. scripts/check_expiry.py gates the ratio in CI.
+void BM_ExpirySweep(benchmark::State& state) {
+  const Schema schema = MakeDs1Schema();
+  const int id_attr = schema.AttributeIndex("ID");
+  const int v_attr = schema.AttributeIndex("V");
+  // 90% A (anchors + Kleene binds), 8% B (closers), 2% C; one event per
+  // microsecond against a 25ms window => the live set climbs past 40k
+  // matches while each sweep stride expires only a few hundred.
+  std::vector<EventPtr> stream;
+  const uint64_t kEvents = 30000;
+  const uint64_t kIdUniverse = 16384;
+  Rng rng(1234);
+  for (uint64_t s = 0; s < kEvents; ++s) {
+    const uint64_t roll = rng.Next() % 100;
+    const char* type = roll < 90 ? "A" : (roll < 98 ? "B" : "C");
+    std::vector<Value> attrs(schema.num_attributes());
+    attrs[static_cast<size_t>(id_attr)] =
+        Value(static_cast<int64_t>(rng.Next() % kIdUniverse));
+    attrs[static_cast<size_t>(v_attr)] = Value(static_cast<int64_t>(s % 10));
+    stream.push_back(std::make_shared<Event>(schema.EventTypeId(type),
+                                             static_cast<Timestamp>(s), s,
+                                             std::move(attrs)));
+  }
+  auto q = ParseQuery(
+      "PATTERN SEQ(A a, A+{1,2} b[], B c) "
+      "WHERE a.ID = b[i].ID AND a.ID = c.ID WITHIN 25ms");
+  auto nfa = Nfa::Compile(*q, &schema);
+  EngineOptions opts;
+  opts.use_expiry_wheel = state.range(0) != 0;
+  // Parity guard: both arms must emit the identical match count. The
+  // reference is computed once, from the scan arm's configuration.
+  static uint64_t expected_matches = 0;
+  if (expected_matches == 0) {
+    EngineOptions scan = opts;
+    scan.use_expiry_wheel = false;
+    Engine ref(*nfa, scan);
+    std::vector<Match> out;
+    for (const EventPtr& e : stream) ref.Process(e, &out);
+    expected_matches = ref.stats().matches_emitted;
+  }
+  for (auto _ : state) {
+    Engine engine(*nfa, opts);
+    std::vector<Match> out;
+    for (const EventPtr& e : stream) engine.Process(e, &out);
+    if (engine.stats().matches_emitted != expected_matches) {
+      state.SkipWithError("wheel/scan arms disagree on emitted matches");
+      break;
+    }
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(stream.size()));
+}
+BENCHMARK(BM_ExpirySweep)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 /// Shared fixture for the ingest benches: a DS1 trace serialized to CSV
 /// once, plus the fused attr-vs-constant predicates of a literal filter
 /// prefix compiled over the DS1 schema. The paper queries themselves are

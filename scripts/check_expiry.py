@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""CI gate: deadline-ordered expiry must beat the O(live) window sweep.
+
+Reads a google-benchmark JSON file containing BM_ExpirySweep/{0,1} rows
+(raw repetitions or aggregates): /0 finds expired partial matches by
+scanning every live match at each sweep tick, /1 through the
+hierarchical timing wheel (DESIGN.md §3.9). Both arms run the identical
+Kleene-heavy large-window stream and — by the parity contract pinned in
+expiry_wheel_test and the differential harness — kill the same matches
+at the same ticks with the same booked cost units; the bench itself
+aborts if the arms' emitted-match counts ever disagree. The /1 : /0
+events-per-second ratio is therefore the pure data-structure speedup of
+O(expired) reaping over the O(live) scan.
+
+Per-arm maxima over repetitions are used: the statistic least sensitive
+to noisy-neighbour drift on shared CI runners.
+
+Usage: check_expiry.py BENCH_JSON [--min-speedup 1.5]
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def collect(benchmarks):
+    """Map arm (0=scan, 1=wheel) -> max items_per_second."""
+    best = {}
+    for b in benchmarks:
+        m = re.match(r"^BM_ExpirySweep/([01])(?:_(\w+))?$", b["name"])
+        if not m:
+            continue
+        arg, agg = int(m.group(1)), m.group(2)
+        if agg in ("stddev", "cv"):
+            continue
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        ips = float(ips)
+        if arg not in best or ips > best[arg]:
+            best[arg] = ips
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("bench_json")
+    ap.add_argument("--min-speedup", type=float, default=1.5)
+    args = ap.parse_args()
+
+    with open(args.bench_json) as f:
+        data = json.load(f)
+    best = collect(data.get("benchmarks", []))
+
+    if 0 not in best or 1 not in best:
+        print("error: no complete BM_ExpirySweep/{0,1} pair in input",
+              file=sys.stderr)
+        return 2
+
+    scan, wheel = best[0], best[1]
+    speedup = wheel / scan
+    ok = speedup >= args.min_speedup
+    print(f"BM_ExpirySweep: scan {scan / 1e3:.1f}k/s, "
+          f"wheel {wheel / 1e3:.1f}k/s -> {speedup:.2f}x "
+          f"(threshold {args.min_speedup:.2f}) [{'OK' if ok else 'FAIL'}]")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

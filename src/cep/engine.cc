@@ -33,6 +33,10 @@ Engine::Engine(std::shared_ptr<const Nfa> nfa, EngineOptions options)
     vm_ = nfa_->vm_module().get();
     vm_ctx_.Prepare(vm_->num_loads());
   }
+  store_.ConfigureExpiry(nfa_->window(), nfa_->query().count_window,
+                         options_.use_expiry_wheel);
+  strict_gen_enabled_ = options_.use_strict_gen_list &&
+                        nfa_->query().policy == SelectionPolicy::kStrictContiguity;
   BuildIndexLayout();
   BuildBatchPlan();
 }
@@ -209,6 +213,23 @@ void Engine::BuildIndexLayout() {
       idx.proceed.spec = &st.fill_index;
     }
   }
+  // Distinct probe attributes, for the per-event hoist in Process.
+  int max_attr = -1;
+  auto note = [&](const HashIndex& hi) {
+    if (!hi.enabled) return;
+    const int attr = hi.spec->probe_attr;
+    if (std::find(probe_attrs_.begin(), probe_attrs_.end(), attr) ==
+        probe_attrs_.end()) {
+      probe_attrs_.push_back(attr);
+    }
+    max_attr = std::max(max_attr, attr);
+  };
+  for (const StateIndexes& idx : indexes_) {
+    note(idx.fresh);
+    note(idx.ext);
+    note(idx.proceed);
+  }
+  probe_keys_.assign(static_cast<size_t>(max_attr + 1), nullptr);
 }
 
 const std::vector<const Event*>& Engine::FlatEvents(const PartialMatch* pm) {
@@ -521,6 +542,7 @@ void Engine::StorePending(std::vector<Match>* out, double* cost) {
       stored = store_.Add(std::move(pm));
       ++stats_.pms_created;
       IndexInsert(stored);
+      if (strict_gen_enabled_) strict_next_gen_.push_back(stored);
     }
     if (pm_created_hook_) pm_created_hook_(*stored, parent);
   }
@@ -557,10 +579,18 @@ double Engine::Process(const EventPtr& event, std::vector<Match>* out) {
 
   if (++events_since_evict_ >= options_.evict_interval) {
     events_since_evict_ = 0;
+    // Cost parity: whichever mechanism finds the expired matches, the
+    // sweep is booked as the state-size-proportional maintenance the cost
+    // model charges — per_sweep_scan for every live match, taken from the
+    // O(1) live counters. The wheel changes how the expired set is found
+    // (O(expired) instead of O(live)), never what is killed, when, or
+    // what is accounted (DESIGN.md §3.9).
     const size_t scanned = store_.NumAlive() + store_.NumAliveWitnesses();
     cost += options_.costs.per_sweep_scan * static_cast<double>(scanned);
     size_t evicted = 0;
-    if (count_window > 0) {
+    if (store_.wheel_enabled()) {
+      evicted = store_.ReapExpired(now, seq);
+    } else if (count_window > 0) {
       auto sweep = [&](PartialMatch* pm) {
         if (pm->ExpiredByCount(seq, count_window)) {
           store_.Kill(pm);
@@ -614,7 +644,7 @@ double Engine::Process(const EventPtr& event, std::vector<Match>* out) {
     if (index.enabled) {
       ++stats_.index_probes;
       cost += options_.costs.per_index_probe;
-      const Value key = event->attr(index.spec->probe_attr);
+      const Value& key = *probe_keys_[static_cast<size_t>(index.spec->probe_attr)];
       if (!key.is_null()) {
         auto it = index.map.find(key);
         if (it != index.map.end()) {
@@ -626,6 +656,13 @@ double Engine::Process(const EventPtr& event, std::vector<Match>* out) {
       for (PartialMatch* pm : index.unkeyed) consider(pm);
     }
   };
+
+  // Hoist the probe-key attribute reads: one reference per distinct
+  // attribute per event, instead of a deep Value copy per probed state
+  // (string keys made that copy an allocation on the hot path).
+  for (int a : probe_attrs_) {
+    probe_keys_[static_cast<size_t>(a)] = &event->attr(a);
+  }
 
   for (int s : nfa_->StatesForType(event->type())) {
     StateIndexes& idx = indexes_[static_cast<size_t>(s)];
@@ -661,9 +698,23 @@ double Engine::Process(const EventPtr& event, std::vector<Match>* out) {
     // Strict contiguity: a stored match survives only if this very event
     // extended it (its newest clone carries the event's sequence number);
     // everything older dies.
-    store_.ForEachAlive([&](PartialMatch* pm) {
-      if (pm->LastEvent()->seq() != event->seq()) store_.Kill(pm);
-    });
+    if (strict_gen_enabled_) {
+      // The previous generation is exactly the live set the full scan
+      // would walk (every older generation already died here), so killing
+      // off the list is the same kill set at O(generation) instead of
+      // O(live store incl. tombstones).
+      for (PartialMatch* pm : strict_gen_) {
+        if (pm->alive && pm->LastEvent()->seq() != event->seq()) {
+          store_.Kill(pm);
+        }
+      }
+      strict_gen_.swap(strict_next_gen_);
+      strict_next_gen_.clear();
+    } else {
+      store_.ForEachAlive([&](PartialMatch* pm) {
+        if (pm->LastEvent()->seq() != event->seq()) store_.Kill(pm);
+      });
+    }
   }
 
   ++stats_.events_processed;
@@ -681,7 +732,9 @@ void Engine::Vacuum(Timestamp now) {
   // inside the count window (or keep ones that are out of it).
   const uint64_t count_window = nfa_->query().count_window;
   size_t evicted = 0;
-  if (count_window > 0) {
+  if (store_.wheel_enabled()) {
+    evicted = store_.ReapExpired(now, last_seq_);
+  } else if (count_window > 0) {
     auto sweep = [&](PartialMatch* pm) {
       if (pm->ExpiredByCount(last_seq_, count_window)) {
         store_.Kill(pm);
@@ -694,6 +747,10 @@ void Engine::Vacuum(Timestamp now) {
     evicted = store_.EvictExpired(now, nfa_->window());
   }
   stats_.pms_evicted += evicted;
+  // No tombstones means compaction would move nothing and the rebuild
+  // would recreate the indexes it just tore down; stored-match pointers
+  // (and the indexes into them) survive a vacuous Vacuum untouched.
+  if (store_.NumDead() == 0) return;
   store_.Compact();
   RebuildIndexes();
 }
@@ -801,6 +858,8 @@ void Engine::Reset() {
   next_pm_id_ = 1;
   events_since_evict_ = 0;
   last_seq_ = 0;
+  strict_gen_.clear();
+  strict_next_gen_.clear();
   EndBatch();
   // Ids restart at 1, so stale flatten entries must not survive a reset.
   flat_cache_.clear();
@@ -817,6 +876,20 @@ void Engine::RebuildIndexes() {
   for (int s = 0; s < store_.num_states(); ++s) {
     for (auto& pm : store_.bucket(s)) {
       if (pm->alive) IndexInsert(pm.get());
+    }
+  }
+  // Everything that invalidates index pointers (compaction, migration)
+  // funnels through here, and the generation list holds the same kind of
+  // raw store pointers — rebuild it from the live set alongside them.
+  // Under strict contiguity the live regulars are exactly the previous
+  // generation, so content is preserved; order becomes bucket order,
+  // which only permutes kill order within one event's reap.
+  if (strict_gen_enabled_) {
+    strict_gen_.clear();
+    for (int s = 0; s < store_.num_states(); ++s) {
+      for (auto& pm : store_.bucket(s)) {
+        if (pm->alive) strict_gen_.push_back(pm.get());
+      }
     }
   }
 }

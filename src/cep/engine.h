@@ -59,6 +59,18 @@ struct EngineOptions {
   bool use_pred_vm = true;
   /// Events between window-expiry sweeps.
   int evict_interval = 64;
+  /// Find expired matches through the store's hierarchical timing wheel —
+  /// O(expired) per sweep — instead of scanning every live match
+  /// (DESIGN.md §3.9). Kill timing, stats, and cost units are identical
+  /// to the scan path (the sweep still books per_sweep_scan for every
+  /// live match, from the O(1) live counters); the differential harness
+  /// pins wheel-vs-scan byte equality. The scan path is retained for
+  /// exactly that pinning.
+  bool use_expiry_wheel = true;
+  /// Strict contiguity: kill non-survivors off the last-extended
+  /// generation list instead of scanning every live match per event.
+  /// Same kill set as the scan, differentially pinned like the wheel.
+  bool use_strict_gen_list = true;
   /// Compact the store once this fraction of entries is dead...
   double compact_dead_fraction = 0.25;
   /// ...and at least this many entries are dead.
@@ -363,6 +375,23 @@ class Engine {
   /// comparison against ctx_.current (never dereferenced after
   /// ComputeBatchMasks returns), so the caller's buffer may recycle the
   /// EventPtrs while a batch is still active.
+  /// Strict-contiguity generation tracking (options_.use_strict_gen_list):
+  /// strict_gen_ holds every regular match stored by the previous event
+  /// (possibly tombstoned since by shedders — the kill loop checks the
+  /// flag), which under strict contiguity is exactly the live set the
+  /// post-event scan would walk. strict_next_gen_ collects this event's
+  /// stored matches and becomes the next generation. Raw pointers are kept
+  /// valid by rebuilding the list wherever indexes are rebuilt (the same
+  /// compaction events that invalidate index pointers invalidate these).
+  bool strict_gen_enabled_ = false;
+  std::vector<PartialMatch*> strict_gen_;
+  std::vector<PartialMatch*> strict_next_gen_;
+  /// Distinct probe attributes of enabled indexes, and the per-event
+  /// hoisted attribute values (indexed by attribute id). Event::attr
+  /// returns a reference into the event, so the hoist replaces a
+  /// per-state-per-event deep Value copy with one pointer read.
+  std::vector<int> probe_attrs_;
+  std::vector<const Value*> probe_keys_;
   std::vector<BatchProgram> batch_plan_;
   std::vector<int> batch_plan_of_prog_;  ///< prog -> plan index + 1; 0 = none
   std::vector<const Event*> batch_events_;

@@ -202,6 +202,28 @@ struct PartialMatch {
   /// Sequence number of the first bound event (count-window anchor).
   uint64_t start_seq = 0;
 
+  /// \name Expiry-wheel linkage (owned by the store's ExpiryWheel).
+  ///
+  /// A match's expiry deadline is fixed at creation (start anchor +
+  /// window), so the store threads every live match onto a timing wheel
+  /// through these intrusive links and finds the expired ones without
+  /// scanning the live set. The linkage is store-internal transient state:
+  /// it is never transferred by move (only store-owned matches are linked,
+  /// and those live behind unique_ptr indirection and never move as
+  /// objects).
+  ///@{
+  static constexpr int8_t kWheelNotQueued = -1;
+  static constexpr int8_t kWheelOverdue = -2;
+  /// Expiry deadline as a wheel key (monotone in deadline order).
+  uint64_t wheel_deadline = 0;
+  PartialMatch* wheel_next = nullptr;
+  PartialMatch* wheel_prev = nullptr;
+  /// Slot index within wheel_level (meaningless for sentinel levels).
+  uint16_t wheel_slot = 0;
+  /// Wheel level holding this match, or kWheelNotQueued / kWheelOverdue.
+  int8_t wheel_level = kWheelNotQueued;
+  ///@}
+
   PartialMatch() = default;
   ~PartialMatch() { ReleaseChain(); }
 
@@ -334,6 +356,79 @@ struct PartialMatch {
   BindingArena* arena_ = nullptr;
 };
 
+/// \brief Hierarchical timing wheel over partial-match expiry deadlines
+/// (DESIGN.md §3.9).
+///
+/// Eight levels of 256 slots each cover the full 64-bit key space; an
+/// entry sits at the coarsest level where its deadline still disagrees
+/// with the wheel's current time, and cascades toward level 0 as the wheel
+/// advances. Advancing to threshold T detaches only the slots the time
+/// hands actually crossed, so a reap costs O(expired + cascaded) plus a
+/// bounded slot walk — never O(live). Entries are intrusively linked
+/// through PartialMatch::wheel_* (O(1) unlink when shedding or migration
+/// kills a match out from under the wheel), per-slot lists are FIFO so
+/// reap order is deterministic, and every detached entry's deadline is
+/// checked exactly — slot residency is a search accelerator, never a
+/// correctness authority (multi-revolution jumps alias slots).
+///
+/// Out-of-order timestamps park entries whose deadline is already behind
+/// the wheel on an overdue list that every reap rechecks, mirroring the
+/// scan path's behavior of evicting them at the next sweep whose `now`
+/// passes the deadline. The wheel's clock never moves backwards.
+class ExpiryWheel {
+ public:
+  static constexpr int kLevels = 8;
+  static constexpr int kSlotBits = 8;
+  static constexpr int kSlots = 1 << kSlotBits;
+  static constexpr int kWords = kSlots / 64;
+
+  /// Links `pm` under its deadline key. The match must not be queued.
+  void Enqueue(PartialMatch* pm, uint64_t deadline);
+
+  /// Detaches `pm` if queued (no-op otherwise). O(1).
+  void Unlink(PartialMatch* pm);
+
+  /// Advances the wheel to `threshold` and appends every queued match
+  /// with deadline strictly below it to *out (detached, in deterministic
+  /// level/slot/FIFO order). A threshold at or behind the current time
+  /// only rechecks the overdue list. Returns the number reaped.
+  size_t Reap(uint64_t threshold, std::vector<PartialMatch*>* out);
+
+  /// Resets the wheel structure (links are NOT cleared on the matches —
+  /// callers reset or destroy them wholesale, as PartialMatchStore::Clear
+  /// does). The cascade counter survives: it is exported as a monotone
+  /// observability counter.
+  void Clear();
+
+  /// Queued matches (live matches when driven by PartialMatchStore).
+  size_t entries() const { return entries_; }
+  /// Total re-placements of surviving entries during advances (monotone).
+  uint64_t cascades() const { return cascades_; }
+  /// Current wheel time (the largest reap threshold seen).
+  uint64_t now() const { return now_; }
+
+ private:
+  struct Slot {
+    PartialMatch* head = nullptr;
+    PartialMatch* tail = nullptr;
+  };
+
+  void Place(PartialMatch* pm);
+  static void PushBack(Slot* slot, PartialMatch* pm);
+
+  Slot slots_[kLevels][kSlots];
+  uint64_t occupied_[kLevels][kWords] = {};
+  /// Entries enqueued with a deadline already behind now_ (out-of-order
+  /// event time); rechecked exactly on every reap.
+  Slot overdue_;
+  uint64_t now_ = 0;
+  size_t entries_ = 0;
+  uint64_t cascades_ = 0;
+  /// Scratch for entries surviving an advance; re-placed only after the
+  /// slot walk finishes so nothing is visited twice within one reap.
+  std::vector<PartialMatch*> cascade_scratch_;
+};
+
 /// \brief Buckets of partial matches per NFA state, plus negation
 /// witnesses, with tombstone-based removal.
 class PartialMatchStore {
@@ -456,6 +551,37 @@ class PartialMatchStore {
   /// elapsed at `now`; returns the number evicted.
   size_t EvictExpired(Timestamp now, Duration window);
 
+  /// \name Deadline-ordered expiry (DESIGN.md §3.9)
+  ///
+  /// A match's deadline is fixed at creation: start_ts + window for time
+  /// windows, start_seq + count_window for count windows. Once configured
+  /// with use_wheel, every Add/AddWitness enqueues the match on the
+  /// hierarchical timing wheel and ReapExpired kills exactly the set a
+  /// full scan (EvictExpired / an ExpiredByCount sweep) would kill — in
+  /// O(expired) instead of O(live). Kill, ExtractIf, and Clear keep the
+  /// wheel consistent, so matches shed or migrated out from under it are
+  /// simply no longer there to reap.
+  ///@{
+  /// Fixes the window semantics and enables (or disables) the wheel.
+  /// Call before the first Add; typically once, at engine construction.
+  void ConfigureExpiry(Duration window, uint64_t count_window, bool use_wheel);
+  bool wheel_enabled() const { return wheel_enabled_; }
+  /// Kills every live match whose window has elapsed at time `now` /
+  /// stream position `seq` (whichever the configured window mode uses);
+  /// returns the number killed. Requires wheel_enabled().
+  size_t ReapExpired(Timestamp now, uint64_t seq);
+  /// Matches killed by ReapExpired since construction (monotone).
+  uint64_t ExpiryReapedTotal() const { return expiry_reaped_total_; }
+  /// Cascade re-placements performed by the wheel (monotone).
+  uint64_t WheelCascadesTotal() const { return wheel_.cascades(); }
+  /// Matches currently queued on the wheel (== live matches + witnesses
+  /// when the wheel is enabled).
+  size_t WheelEntries() const { return wheel_.entries(); }
+  /// The deadline key of one match under the configured window mode
+  /// (exposed for tests; monotone in expiry order).
+  uint64_t DeadlineKey(const PartialMatch& pm) const;
+  ///@}
+
   /// Applies `fn` to every live regular match.
   void ForEachAlive(const std::function<void(PartialMatch*)>& fn);
   /// Applies `fn` to every live witness.
@@ -489,6 +615,13 @@ class PartialMatchStore {
   size_t num_alive_witnesses_ = 0;
   size_t num_dead_ = 0;
   size_t fixed_live_bytes_ = 0;
+  /// Deadline-ordered expiry state (see ConfigureExpiry).
+  ExpiryWheel wheel_;
+  bool wheel_enabled_ = false;
+  Duration expiry_window_ = 0;
+  uint64_t expiry_count_window_ = 0;
+  uint64_t expiry_reaped_total_ = 0;
+  std::vector<PartialMatch*> reap_scratch_;
 };
 
 }  // namespace cepshed

@@ -100,6 +100,8 @@ void AppendJsonShard(std::ostringstream* out, const ShardObsSnapshot& s) {
        << ",\"migrations_total\":" << s.migrations_total
        << ",\"migrated_pms\":" << s.migrated_pms
        << ",\"migrated_bytes\":" << s.migrated_bytes
+       << ",\"expiry_reaped\":" << s.expiry_reaped
+       << ",\"wheel_cascades\":" << s.wheel_cascades
        << ",\"guard_level\":" << s.guard_level
        << ",\"live_shards\":" << s.live_shards
        << ",\"arena_legacy_bytes\":" << s.arena_legacy_bytes
@@ -107,6 +109,7 @@ void AppendJsonShard(std::ostringstream* out, const ShardObsSnapshot& s) {
        << ",\"arena_live_bytes\":" << s.arena_live_bytes
        << ",\"arena_capacity_bytes\":" << s.arena_capacity_bytes
        << ",\"flat_cache_entries\":" << s.flat_cache_entries
+       << ",\"wheel_entries\":" << s.wheel_entries
        << ",\"shed_by_class\":[";
   for (int c = 0; c < ShardObs::kNumClasses; ++c) {
     if (c > 0) *out << ",";
@@ -189,6 +192,13 @@ std::string RenderPrometheus(const RegistrySnapshot& snap) {
                       "Estimated bytes of partial-match state migrated off "
                       "this shard",
                       snap, &ShardObsSnapshot::migrated_bytes);
+  AppendCounterSeries(&out, "cepshed_expiry_reaped_total",
+                      "Partial matches killed by the deadline-ordered "
+                      "expiry reap (timing wheel)",
+                      snap, &ShardObsSnapshot::expiry_reaped);
+  AppendCounterSeries(&out, "cepshed_wheel_cascades_total",
+                      "Expiry-wheel cascade re-placements while advancing",
+                      snap, &ShardObsSnapshot::wheel_cascades);
 
   out.append(
       "# HELP cepshed_shed_by_class_total Shed decisions per event/pm class\n"
@@ -225,6 +235,9 @@ std::string RenderPrometheus(const RegistrySnapshot& snap) {
   AppendGaugeSeries(&out, "cepshed_flat_cache_entries",
                     "Engine flatten-cache population", snap,
                     &ShardObsSnapshot::flat_cache_entries);
+  AppendGaugeSeries(&out, "cepshed_wheel_entries",
+                    "Matches currently queued on the expiry wheel", snap,
+                    &ShardObsSnapshot::wheel_entries);
   AppendGaugeSeries(&out, "cepshed_live_shards",
                     "Current number of live (routable) shards", snap,
                     &ShardObsSnapshot::live_shards);

@@ -88,6 +88,8 @@ ShardObsSnapshot SnapshotShard(const ShardObs& o) {
   s.migrations_total = o.migrations_total.Load();
   s.migrated_pms = o.migrated_pms.Load();
   s.migrated_bytes = o.migrated_bytes.Load();
+  s.expiry_reaped = o.expiry_reaped.Load();
+  s.wheel_cascades = o.wheel_cascades.Load();
   for (int c = 0; c < ShardObs::kNumClasses; ++c) {
     s.shed_by_class[c] = o.shed_by_class[c].Load();
   }
@@ -98,6 +100,7 @@ ShardObsSnapshot SnapshotShard(const ShardObs& o) {
   s.arena_live_bytes = o.arena_live_bytes.Load();
   s.arena_capacity_bytes = o.arena_capacity_bytes.Load();
   s.flat_cache_entries = o.flat_cache_entries.Load();
+  s.wheel_entries = o.wheel_entries.Load();
   s.event_cost = o.event_cost.Snapshot();
   s.migration_us = o.migration_us.Snapshot();
   s.queue_wait_us = o.queue_wait_us.Snapshot();
@@ -124,6 +127,8 @@ void ShardObsSnapshot::Merge(const ShardObsSnapshot& other) {
   migrations_total += other.migrations_total;
   migrated_pms += other.migrated_pms;
   migrated_bytes += other.migrated_bytes;
+  expiry_reaped += other.expiry_reaped;
+  wheel_cascades += other.wheel_cascades;
   for (int c = 0; c < ShardObs::kNumClasses; ++c) {
     shed_by_class[c] += other.shed_by_class[c];
   }
@@ -137,6 +142,7 @@ void ShardObsSnapshot::Merge(const ShardObsSnapshot& other) {
   arena_live_bytes += other.arena_live_bytes;
   arena_capacity_bytes += other.arena_capacity_bytes;
   flat_cache_entries += other.flat_cache_entries;
+  wheel_entries += other.wheel_entries;
   event_cost.Merge(other.event_cost);
   migration_us.Merge(other.migration_us);
   queue_wait_us.Merge(other.queue_wait_us);

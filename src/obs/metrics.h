@@ -171,6 +171,13 @@ struct ShardObs {
   Counter migrations_total;
   Counter migrated_pms;
   Counter migrated_bytes;
+  /// Partial matches killed by the deadline-ordered expiry reap (the
+  /// timing-wheel replacement for the O(live) sweep; DESIGN.md §3.9).
+  Counter expiry_reaped;
+  /// Timing-wheel cascade re-placements (entries migrating toward finer
+  /// levels as the wheel advances). A high ratio of cascades to reaps
+  /// means deadlines far exceed the advance stride.
+  Counter wheel_cascades;
   Counter shed_by_class[kNumClasses];
   Gauge guard_level;
   /// Current number of live (routable) shards; static runs report
@@ -188,6 +195,7 @@ struct ShardObs {
   Gauge arena_live_bytes;      // binding-arena live chain-node bytes
   Gauge arena_capacity_bytes;  // binding-arena bytes held from the allocator
   Gauge flat_cache_entries;    // engine flatten-cache population
+  Gauge wheel_entries;         // matches queued on the expiry wheel
 
   LogHistogram event_cost;        // per-event engine cost (cost units)
   LogHistogram migration_us;      // stop-the-world reshard pause (wall-clock)
@@ -223,6 +231,8 @@ struct ShardObsSnapshot {
   uint64_t migrations_total = 0;
   uint64_t migrated_pms = 0;
   uint64_t migrated_bytes = 0;
+  uint64_t expiry_reaped = 0;
+  uint64_t wheel_cascades = 0;
   uint64_t shed_by_class[ShardObs::kNumClasses] = {};
   int64_t guard_level = 0;
   int64_t live_shards = 0;
@@ -231,6 +241,7 @@ struct ShardObsSnapshot {
   int64_t arena_live_bytes = 0;
   int64_t arena_capacity_bytes = 0;
   int64_t flat_cache_entries = 0;
+  int64_t wheel_entries = 0;
   HistogramSnapshot event_cost;
   HistogramSnapshot migration_us;
   HistogramSnapshot queue_wait_us;

@@ -321,6 +321,9 @@ struct ShardRuntime::ShardState {
   obs::ShardObs* obs = nullptr;
   /// Matches already counted into obs->matches_emitted.
   size_t obs_matches_seen = 0;
+  /// Store expiry-wheel totals already published to the obs counters.
+  uint64_t obs_expiry_reaped_seen = 0;
+  uint64_t obs_wheel_cascades_seen = 0;
   /// Not owned; null when no faults target this run.
   const FaultInjector* faults = nullptr;
   LatencyMonitor monitor;
@@ -448,6 +451,21 @@ struct ShardRuntime::ShardState {
       obs->arena_capacity_bytes.Set(
           static_cast<int64_t>(engine->store().arena().CapacityBytes()));
       obs->flat_cache_entries.Set(static_cast<int64_t>(engine->FlatCacheSize()));
+      obs->wheel_entries.Set(static_cast<int64_t>(engine->store().WheelEntries()));
+      // Expiry-wheel counters are maintained by the store as totals;
+      // publish the delta since the last consume (same pattern as
+      // obs_matches_seen) so the obs counter stays monotone across
+      // worker restarts, which hand the same engine to a fresh worker.
+      const uint64_t reaped = engine->store().ExpiryReapedTotal();
+      if (reaped > obs_expiry_reaped_seen) {
+        obs->expiry_reaped.Add(reaped - obs_expiry_reaped_seen);
+        obs_expiry_reaped_seen = reaped;
+      }
+      const uint64_t cascades = engine->store().WheelCascadesTotal();
+      if (cascades > obs_wheel_cascades_seen) {
+        obs->wheel_cascades.Add(cascades - obs_wheel_cascades_seen);
+        obs_wheel_cascades_seen = cascades;
+      }
     }
     handled.fetch_add(1, std::memory_order_release);
     return false;

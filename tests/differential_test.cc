@@ -176,8 +176,9 @@ void ExpectRunsIdentical(const ShardRunResult& a, const ShardRunResult& b) {
 
 /// Ground-truth run on one global engine with one (optional) shedder.
 RunResult SequentialReference(const std::shared_ptr<const Nfa>& nfa,
-                              const EventStream& stream, bool shed) {
-  Engine engine(nfa, EngineOptions{});
+                              const EventStream& stream, bool shed,
+                              const EngineOptions& options = EngineOptions{}) {
+  Engine engine(nfa, options);
   NoShedder none;
   HashDropShedder drop(kShedSeed, kEventDropFrac, kPmDropFrac);
   Shedder* shedder = shed ? static_cast<Shedder*>(&drop) : &none;
@@ -199,6 +200,21 @@ void RunDifferential(const DiffConfig& config) {
     ASSERT_GT(expected.matches.size(), 0u)
         << config.name << ": reference run produced no matches";
     const std::vector<CanonMatch> expected_canon = Canon(expected.matches);
+
+    {
+      // (C) Expiry-mechanism differential: the deadline-ordered timing
+      // wheel (default) and the legacy O(live) scans must be byte-identical
+      // — matches, every stat, and total cost — with and without shedding.
+      EngineOptions scan;
+      scan.use_expiry_wheel = false;
+      scan.use_strict_gen_list = false;
+      const RunResult scanned =
+          SequentialReference(*nfa, *config.stream, shed, scan);
+      EXPECT_EQ(Canon(scanned.matches), expected_canon);
+      ExpectStatsEqual(scanned.engine_stats, expected.engine_stats);
+      EXPECT_EQ(scanned.dropped_events, expected.dropped_events);
+      EXPECT_EQ(scanned.shed_pms, expected.shed_pms);
+    }
 
     for (const int num_shards : kShardCounts) {
       SCOPED_TRACE(config.name + " shards=" + std::to_string(num_shards) +

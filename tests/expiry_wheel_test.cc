@@ -1,0 +1,524 @@
+// Copyright (c) the CepShed authors. Licensed under the Apache License 2.0.
+//
+// Differential pinning of the deadline-ordered expiry path (DESIGN.md
+// §3.9). Two layers:
+//
+//  1. Store-level randomized property: against a brute-force oracle (the
+//     definitional Expired/ExpiredByCount predicates over every live
+//     match), the wheel's ReapExpired must kill exactly the expired set —
+//     through random interleavings of adds (in-order, out-of-order, and
+//     future anchors), shedder kills, ExtractIf migrations into a second
+//     store, compactions, and clock advances of every size (including
+//     multi-level jumps and zero-width rechecks). The wheel-occupancy
+//     invariant (entries == live matches + witnesses) holds throughout.
+//
+//  2. Engine-level: a wheel engine and a scan engine fed the same stream
+//     — with deterministic state shedding, periodic Vacuums, aggressive
+//     compaction, and a mid-stream extract/adopt migration episode — must
+//     produce byte-identical matches and stats (every counter, peak_pms,
+//     and total cost units) across time windows, count windows, Kleene
+//     closure, negation witnesses, and all selection policies (strict
+//     contiguity additionally toggles the generation-list fast path).
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/cep/engine.h"
+#include "src/cep/match.h"
+#include "src/cep/nfa.h"
+#include "src/cep/partial_match.h"
+#include "src/query/parser.h"
+#include "tests/test_util.h"
+
+namespace cepshed {
+namespace {
+
+using cepshed::testing::MakeAbcdSchema;
+using cepshed::testing::MakeEvent;
+using cepshed::testing::MakeQ1;
+
+// ---------------------------------------------------------------------------
+// Store-level randomized property.
+
+constexpr int kNumStates = 3;
+
+std::set<const PartialMatch*> LiveSet(PartialMatchStore* store) {
+  std::set<const PartialMatch*> live;
+  store->ForEachAlive([&](PartialMatch* pm) { live.insert(pm); });
+  store->ForEachAliveWitness([&](PartialMatch* pm) { live.insert(pm); });
+  return live;
+}
+
+/// Drives one store pair (donor + migration recipient) through random
+/// operations, checking every reap against the brute-force oracle.
+/// `count_mode` switches between time windows and count windows.
+void RunStoreProperty(bool count_mode, uint64_t seed) {
+  SCOPED_TRACE(std::string(count_mode ? "count" : "time") + " seed=" +
+               std::to_string(seed));
+  const Duration window = 400;
+  const uint64_t count_window = 350;
+
+  PartialMatchStore donor(kNumStates, kNumStates);
+  PartialMatchStore recipient(kNumStates, kNumStates);
+  donor.ConfigureExpiry(count_mode ? 0 : window, count_mode ? count_window : 0,
+                        /*use_wheel=*/true);
+  recipient.ConfigureExpiry(count_mode ? 0 : window,
+                            count_mode ? count_window : 0, /*use_wheel=*/true);
+
+  std::mt19937_64 rng(seed);
+  // A negative starting clock exercises the order-preserving signed→
+  // unsigned key flip for time windows.
+  int64_t clock = count_mode ? 0 : -5000;
+  uint64_t seq_clock = 0;
+  uint64_t next_id = 1;
+  uint64_t reaped_donor = 0;
+  uint64_t reaped_recipient = 0;
+
+  auto expired = [&](const PartialMatch& pm) {
+    return count_mode ? pm.ExpiredByCount(seq_clock, count_window)
+                      : pm.Expired(clock, window);
+  };
+
+  auto check_occupancy = [&](PartialMatchStore* store) {
+    EXPECT_EQ(store->WheelEntries(),
+              store->NumAlive() + store->NumAliveWitnesses());
+  };
+
+  auto add_one = [&](PartialMatchStore* store) {
+    auto pm = std::make_unique<PartialMatch>();
+    pm->id = next_id++;
+    pm->state = static_cast<int>(rng() % kNumStates);
+    // Anchors scatter around the clock: behind it (including far enough
+    // behind to be born expired — the overdue path), at it, and ahead of
+    // it (out-of-order streams deliver anchors from the future too).
+    const int64_t offset = static_cast<int64_t>(rng() % 1600) - 1100;
+    pm->start_ts = clock + offset;
+    pm->last_ts = pm->start_ts;
+    // Count anchors only scatter backwards: stream positions are monotone,
+    // so the engine can never store a match anchored ahead of the current
+    // seq (and ExpiredByCount's unsigned subtraction defines that regime
+    // as already expired — unreachable, so not part of the contract).
+    const uint64_t back = rng() % 1600;
+    pm->start_seq = seq_clock - (back < seq_clock ? back : seq_clock);
+    if (rng() % 4 == 0) {
+      pm->is_witness = true;
+      pm->negated_elem = static_cast<int>(rng() % kNumStates);
+      store->AddWitness(std::move(pm));
+    } else {
+      store->Add(std::move(pm));
+    }
+  };
+
+  auto reap_and_check = [&](PartialMatchStore* store, uint64_t* reaped_accum) {
+    const std::set<const PartialMatch*> before = LiveSet(store);
+    std::set<const PartialMatch*> expect;
+    for (const PartialMatch* pm : before) {
+      if (expired(*pm)) expect.insert(pm);
+    }
+    const size_t n = store->ReapExpired(clock, seq_clock);
+    EXPECT_EQ(n, expect.size());
+    const std::set<const PartialMatch*> after = LiveSet(store);
+    EXPECT_EQ(after.size(), before.size() - expect.size());
+    for (const PartialMatch* pm : expect) {
+      EXPECT_EQ(after.count(pm), 0u) << "expired match survived the reap";
+    }
+    for (const PartialMatch* pm : after) {
+      EXPECT_EQ(expect.count(pm), 0u);
+      EXPECT_EQ(before.count(pm), 1u) << "reap resurrected a match";
+    }
+    *reaped_accum += n;
+    EXPECT_EQ(store->ExpiryReapedTotal(), *reaped_accum);
+    check_occupancy(store);
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const uint64_t op = rng() % 100;
+    if (op < 50) {
+      add_one(rng() % 5 == 0 ? &recipient : &donor);
+    } else if (op < 62) {
+      // Shedder kill: the store must unlink the victim from the wheel.
+      PartialMatchStore* store = rng() % 2 == 0 ? &donor : &recipient;
+      std::vector<PartialMatch*> live;
+      store->ForEachAlive([&](PartialMatch* pm) { live.push_back(pm); });
+      store->ForEachAliveWitness([&](PartialMatch* pm) { live.push_back(pm); });
+      if (!live.empty()) store->Kill(live[rng() % live.size()]);
+    } else if (op < 72) {
+      // Advance the clocks without reaping: expired matches accumulate.
+      clock += static_cast<int64_t>(rng() % 300);
+      seq_clock += rng() % 200;
+    } else if (op < 86) {
+      // Reap at the current clocks (zero-width advances recheck only the
+      // overdue list — they must still find matches parked there).
+      reap_and_check(&donor, &reaped_donor);
+      reap_and_check(&recipient, &reaped_recipient);
+    } else if (op < 92) {
+      // Migration: extract a content-keyed subset from the donor and adopt
+      // it into the recipient, which re-enqueues on its own wheel.
+      const uint64_t residue = rng() % 3;
+      std::vector<std::unique_ptr<PartialMatch>> regulars;
+      std::vector<std::unique_ptr<PartialMatch>> witnesses;
+      donor.ExtractIf(
+          [&](const PartialMatch& pm) { return pm.id % 3 == residue; },
+          &regulars, &witnesses);
+      for (auto& pm : regulars) recipient.Add(std::move(pm));
+      for (auto& pm : witnesses) recipient.AddWitness(std::move(pm));
+      check_occupancy(&donor);
+      check_occupancy(&recipient);
+    } else if (op < 97) {
+      // Wheel state must survive compaction: live matches never move as
+      // objects, so their intrusive links stay valid.
+      PartialMatchStore* store = rng() % 2 == 0 ? &donor : &recipient;
+      const size_t entries = store->WheelEntries();
+      store->Compact();
+      EXPECT_EQ(store->WheelEntries(), entries);
+      check_occupancy(store);
+    } else {
+      // Multi-level jump: crosses coarse wheel levels in one advance.
+      clock += static_cast<int64_t>(rng() % 100000);
+      seq_clock += rng() % 70000;
+      reap_and_check(&donor, &reaped_donor);
+      reap_and_check(&recipient, &reaped_recipient);
+    }
+    check_occupancy(&donor);
+    check_occupancy(&recipient);
+  }
+
+  // Drain: after a jump past every possible anchor, nothing survives.
+  clock += 1 << 21;
+  seq_clock += 1 << 21;
+  reap_and_check(&donor, &reaped_donor);
+  reap_and_check(&recipient, &reaped_recipient);
+  EXPECT_EQ(donor.NumAlive() + donor.NumAliveWitnesses(), 0u);
+  EXPECT_EQ(recipient.NumAlive() + recipient.NumAliveWitnesses(), 0u);
+  EXPECT_EQ(donor.WheelEntries(), 0u);
+  EXPECT_EQ(recipient.WheelEntries(), 0u);
+}
+
+TEST(ExpiryWheelStore, RandomizedTimeWindowMatchesOracle) {
+  for (uint64_t seed : {11u, 29u, 73u}) RunStoreProperty(false, seed);
+}
+
+TEST(ExpiryWheelStore, RandomizedCountWindowMatchesOracle) {
+  for (uint64_t seed : {13u, 41u, 97u}) RunStoreProperty(true, seed);
+}
+
+TEST(ExpiryWheelStore, DeadlineKeyIsMonotoneAcrossSignFlip) {
+  PartialMatchStore store(1, 1);
+  store.ConfigureExpiry(/*window=*/100, /*count_window=*/0, true);
+  PartialMatch a, b, c;
+  a.start_ts = -500;
+  b.start_ts = -1;
+  c.start_ts = 500;
+  EXPECT_LT(store.DeadlineKey(a), store.DeadlineKey(b));
+  EXPECT_LT(store.DeadlineKey(b), store.DeadlineKey(c));
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level wheel-vs-scan byte equality.
+
+void ExpectEngineStatsEqual(const EngineStats& a, const EngineStats& b) {
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.pms_created, b.pms_created);
+  EXPECT_EQ(a.witnesses_created, b.witnesses_created);
+  EXPECT_EQ(a.matches_emitted, b.matches_emitted);
+  EXPECT_EQ(a.matches_vetoed, b.matches_vetoed);
+  EXPECT_EQ(a.pms_evicted, b.pms_evicted);
+  EXPECT_EQ(a.predicate_evals, b.predicate_evals);
+  EXPECT_EQ(a.candidates_scanned, b.candidates_scanned);
+  EXPECT_EQ(a.index_probes, b.index_probes);
+  EXPECT_EQ(a.peak_pms, b.peak_pms);
+  EXPECT_EQ(a.total_cost, b.total_cost);
+}
+
+void ExpectMatchesIdentical(const std::vector<Match>& a,
+                            const std::vector<Match>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].detected_at, b[i].detected_at);
+    EXPECT_EQ(a[i].Key(), b[i].Key());
+  }
+}
+
+uint64_t MixId(uint64_t seed, uint64_t id) {
+  uint64_t h = seed ^ (id * 0x9E3779B97F4A7C15ull);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 29;
+  return h;
+}
+
+/// A hostile ABCD stream: small ID universe (dense joins), jittered
+/// inter-event gaps so windows expire continuously, occasional timestamp
+/// regressions (out-of-order arrival) to exercise the overdue path.
+std::vector<EventPtr> MakeHostileStream(const Schema& schema, size_t n,
+                                        uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<EventPtr> events;
+  events.reserve(n);
+  const char* kTypes[] = {"A", "A", "A", "B", "C", "D"};
+  Timestamp ts = 0;
+  for (size_t i = 0; i < n; ++i) {
+    ts += static_cast<Timestamp>(rng() % 40);
+    Timestamp event_ts = ts;
+    if (rng() % 16 == 0 && ts > 200) event_ts = ts - 150;  // late arrival
+    events.push_back(MakeEvent(schema, kTypes[rng() % 6], event_ts, i,
+                               static_cast<int64_t>(rng() % 6),
+                               static_cast<int64_t>(rng() % 8)));
+  }
+  return events;
+}
+
+struct EngineRunConfig {
+  bool use_wheel = true;
+  bool use_strict_gen_list = true;
+  bool shed = true;
+  bool vacuum = true;
+  bool force_compaction = true;
+};
+
+struct EngineRunResult {
+  std::vector<Match> matches;
+  EngineStats stats;
+};
+
+EngineRunResult RunEngine(const Schema& schema, const Query& query,
+                          const std::vector<EventPtr>& events,
+                          const EngineRunConfig& config) {
+  auto nfa = Nfa::Compile(query, &schema);
+  EXPECT_TRUE(nfa.ok()) << nfa.status().message();
+  EngineOptions opts;
+  opts.use_expiry_wheel = config.use_wheel;
+  opts.use_strict_gen_list = config.use_strict_gen_list;
+  if (config.force_compaction) {
+    opts.compact_min_dead = 8;
+    opts.compact_dead_fraction = 0.05;
+  }
+  Engine engine(*nfa, opts);
+  EngineRunResult run;
+  size_t i = 0;
+  for (const EventPtr& e : events) {
+    engine.Process(e, &run.matches);
+    ++i;
+    if (config.shed && i % 97 == 0) {
+      // Deterministic state shedding: both arms create matches in the
+      // same order, so content-hashing the match id selects the same
+      // victims — this is exactly what the equality under test implies.
+      std::vector<PartialMatch*> victims;
+      engine.store().ForEachAlive([&](PartialMatch* pm) {
+        if (MixId(0xC0FFEEull, pm->id) % 8 == 0) victims.push_back(pm);
+      });
+      for (PartialMatch* pm : victims) engine.store().Kill(pm);
+    }
+    if (config.vacuum && i % 331 == 0) engine.Vacuum(e->timestamp());
+  }
+  run.stats = engine.stats();
+  return run;
+}
+
+void ExpectWheelScanEqual(const Schema& schema, const Query& query,
+                          const std::vector<EventPtr>& events,
+                          bool shed = true) {
+  for (const bool vacuum : {false, true}) {
+    SCOPED_TRACE(std::string(vacuum ? "with" : "without") + " vacuum");
+    EngineRunConfig wheel_cfg;
+    wheel_cfg.shed = shed;
+    wheel_cfg.vacuum = vacuum;
+    EngineRunConfig scan_cfg = wheel_cfg;
+    scan_cfg.use_wheel = false;
+    scan_cfg.use_strict_gen_list = false;
+    const EngineRunResult wheel = RunEngine(schema, query, events, wheel_cfg);
+    const EngineRunResult scan = RunEngine(schema, query, events, scan_cfg);
+    ASSERT_GT(wheel.stats.pms_evicted, 0u)
+        << "degenerate run: nothing ever expired, the equality is vacuous";
+    ExpectMatchesIdentical(wheel.matches, scan.matches);
+    ExpectEngineStatsEqual(wheel.stats, scan.stats);
+  }
+}
+
+class ExpiryWheelEngine : public ::testing::Test {
+ protected:
+  static Query ParseOrDie(const std::string& text) {
+    auto q = ParseQuery(text);
+    EXPECT_TRUE(q.ok()) << q.status().message();
+    return *q;
+  }
+
+  Schema schema_ = MakeAbcdSchema();
+  std::vector<EventPtr> stream_ = MakeHostileStream(schema_, 2500, 77);
+};
+
+TEST_F(ExpiryWheelEngine, TimeWindowQ1) {
+  ExpectWheelScanEqual(schema_, MakeQ1(/*window=*/Millis(2)), stream_);
+}
+
+TEST_F(ExpiryWheelEngine, CountWindow) {
+  Query q = MakeQ1(Millis(8));
+  q.count_window = 180;
+  ExpectWheelScanEqual(schema_, q, stream_);
+}
+
+TEST_F(ExpiryWheelEngine, KleeneClosure) {
+  ExpectWheelScanEqual(
+      schema_,
+      ParseOrDie("PATTERN SEQ(A a, A+{1,3} b[], B c) "
+                 "WHERE a.ID = b[i].ID AND a.ID = c.ID WITHIN 2ms"),
+      stream_);
+}
+
+TEST_F(ExpiryWheelEngine, NegationWitnessesRideTheWheel) {
+  ExpectWheelScanEqual(
+      schema_,
+      ParseOrDie("PATTERN SEQ(A a, !B b, C c) "
+                 "WHERE a.ID = c.ID AND b.ID = a.ID WITHIN 2ms"),
+      stream_);
+}
+
+TEST_F(ExpiryWheelEngine, SkipTillNextMatch) {
+  Query q = MakeQ1(Millis(2));
+  q.policy = SelectionPolicy::kSkipTillNextMatch;
+  ExpectWheelScanEqual(schema_, q, stream_);
+}
+
+TEST_F(ExpiryWheelEngine, StrictContiguityAllFastPathCombinations) {
+  // Strict contiguity has two independent fast paths (wheel, generation
+  // list); every combination must match the double-scan baseline.
+  Query q = ParseOrDie(
+      "PATTERN SEQ(A a, B b, C c) WHERE a.ID = b.ID AND a.ID = c.ID "
+      "WITHIN 2ms");
+  q.policy = SelectionPolicy::kStrictContiguity;
+  EngineRunConfig base_cfg;
+  base_cfg.use_wheel = false;
+  base_cfg.use_strict_gen_list = false;
+  const EngineRunResult base = RunEngine(schema_, q, stream_, base_cfg);
+  for (const bool wheel : {false, true}) {
+    for (const bool gen_list : {false, true}) {
+      if (!wheel && !gen_list) continue;
+      SCOPED_TRACE("wheel=" + std::to_string(wheel) +
+                   " gen_list=" + std::to_string(gen_list));
+      EngineRunConfig cfg;
+      cfg.use_wheel = wheel;
+      cfg.use_strict_gen_list = gen_list;
+      const EngineRunResult run = RunEngine(schema_, q, stream_, cfg);
+      ExpectMatchesIdentical(run.matches, base.matches);
+      ExpectEngineStatsEqual(run.stats, base.stats);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Migration episode: adopted matches must land on the recipient's wheel.
+
+struct MigrationRunResult {
+  std::vector<Match> donor_matches;
+  std::vector<Match> recipient_matches;
+  EngineStats donor_stats;
+  EngineStats recipient_stats;
+};
+
+MigrationRunResult RunMigrationEpisode(const Schema& schema, const Query& query,
+                                       const std::vector<EventPtr>& events,
+                                       bool use_wheel) {
+  auto nfa = Nfa::Compile(query, &schema);
+  EXPECT_TRUE(nfa.ok()) << nfa.status().message();
+  EngineOptions opts;
+  opts.use_expiry_wheel = use_wheel;
+  Engine donor(*nfa, opts);
+  Engine recipient(*nfa, opts);
+  const int id_attr = schema.AttributeIndex("ID");
+
+  MigrationRunResult run;
+  const size_t half = events.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    donor.Process(events[i], &run.donor_matches);
+  }
+  // Seal-and-drain handover of the even-ID partition, mid-window: the
+  // moved matches carry live deadlines the recipient must keep honoring.
+  MigratedState moved = donor.ExtractPartialMatches([&](const PartialMatch& pm) {
+    const Event* first = pm.EventAt(0);
+    return first != nullptr && first->attr(id_attr).AsInt() % 2 == 0;
+  });
+  EXPECT_FALSE(moved.empty());
+  recipient.AdoptPartialMatches(std::move(moved));
+  for (size_t i = half; i < events.size(); ++i) {
+    const bool even = events[i]->attr(id_attr).AsInt() % 2 == 0;
+    Engine& owner = even ? recipient : donor;
+    owner.Process(events[i],
+                  even ? &run.recipient_matches : &run.donor_matches);
+  }
+  // Post-episode vacuums reap the stragglers on both wheels.
+  donor.Vacuum(events.back()->timestamp());
+  recipient.Vacuum(events.back()->timestamp());
+  run.donor_stats = donor.stats();
+  run.recipient_stats = recipient.stats();
+  return run;
+}
+
+TEST_F(ExpiryWheelEngine, MigratedMatchesExpireOnRecipientWheel) {
+  const Query q = MakeQ1(Millis(2));
+  const MigrationRunResult wheel = RunMigrationEpisode(schema_, q, stream_, true);
+  const MigrationRunResult scan = RunMigrationEpisode(schema_, q, stream_, false);
+  ASSERT_GT(wheel.recipient_stats.pms_evicted, 0u)
+      << "no adopted match ever expired — the migration leg is vacuous";
+  ExpectMatchesIdentical(wheel.donor_matches, scan.donor_matches);
+  ExpectMatchesIdentical(wheel.recipient_matches, scan.recipient_matches);
+  ExpectEngineStatsEqual(wheel.donor_stats, scan.donor_stats);
+  ExpectEngineStatsEqual(wheel.recipient_stats, scan.recipient_stats);
+}
+
+// ---------------------------------------------------------------------------
+// Vacuum fast path: zero tombstones must skip compaction + index rebuild.
+
+TEST_F(ExpiryWheelEngine, VacuumWithNoDeadIsANoOp) {
+  // A window far longer than the stream: nothing expires, nothing is shed,
+  // so the store holds zero tombstones at all times. The Kleene aggregate
+  // makes the engine assemble spans through the flatten cache, whose
+  // population is the tell-tale that RebuildIndexes did NOT run.
+  const Query q = ParseOrDie(
+      "PATTERN SEQ(A a, A+{1,2} b[], B c) "
+      "WHERE a.ID = b[i].ID AND a.ID = c.ID AND SUM(b[].V) >= 0 "
+      "WITHIN 1000000ms");
+  auto nfa = Nfa::Compile(q, &schema_);
+  ASSERT_TRUE(nfa.ok());
+  Engine vacuumed(*nfa, EngineOptions{});
+  Engine control(*nfa, EngineOptions{});
+
+  std::vector<Match> vacuumed_matches;
+  std::vector<Match> control_matches;
+  const size_t half = 150;
+  for (size_t i = 0; i < half; ++i) {
+    vacuumed.Process(stream_[i], &vacuumed_matches);
+    control.Process(stream_[i], &control_matches);
+  }
+  ASSERT_EQ(vacuumed.store().NumDead(), 0u);
+  const std::set<const PartialMatch*> before = LiveSet(&vacuumed.store());
+  ASSERT_FALSE(before.empty());
+  const size_t flat_cache = vacuumed.FlatCacheSize();
+
+  vacuumed.Vacuum(stream_[half - 1]->timestamp());
+
+  // The fast path must leave everything untouched: no tombstones created,
+  // the same live objects at the same addresses, and — the sharp
+  // observable that compaction + rebuild were skipped — the flatten cache
+  // still populated (RebuildIndexes would have dropped it).
+  EXPECT_EQ(vacuumed.store().NumDead(), 0u);
+  EXPECT_EQ(LiveSet(&vacuumed.store()), before);
+  EXPECT_EQ(vacuumed.FlatCacheSize(), flat_cache);
+  EXPECT_GT(flat_cache, 0u);
+
+  // And the engine keeps evaluating correctly on the surviving indexes.
+  for (size_t i = half; i < 300; ++i) {
+    vacuumed.Process(stream_[i], &vacuumed_matches);
+    control.Process(stream_[i], &control_matches);
+  }
+  ExpectMatchesIdentical(vacuumed_matches, control_matches);
+  ExpectEngineStatsEqual(vacuumed.stats(), control.stats());
+}
+
+}  // namespace
+}  // namespace cepshed
